@@ -1,0 +1,115 @@
+//! Scaled-down Criterion versions of the paper's figures — one benchmark
+//! group per figure, small enough for `cargo bench` to finish quickly. The
+//! full sweeps (all node counts, paper workload sizes) live in the `fig2`…
+//! `fig4b` binaries; see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use apuama_sim::{run_isolated, run_workload, SimCluster, SimClusterConfig, WorkloadSpec};
+use apuama_tpch::{generate, QueryParams, TpchConfig, TpchQuery};
+
+const SF: f64 = 0.002;
+
+fn dataset() -> apuama_tpch::TpchData {
+    generate(TpchConfig {
+        scale_factor: SF,
+        seed: 42,
+    })
+}
+
+/// Fig. 2 kernel: isolated Q6 latency at 1 vs 4 nodes.
+fn fig2_kernel(c: &mut Criterion) {
+    let data = dataset();
+    let sql = TpchQuery::Q6.sql(&QueryParams::default());
+    let mut group = c.benchmark_group("fig2_isolated_q6");
+    group.sample_size(10);
+    for nodes in [1usize, 4] {
+        let cluster = SimCluster::new(&data, SimClusterConfig::paper(nodes)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| run_isolated(black_box(&cluster), &sql, 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 3(a) kernel: 3 read streams, one round.
+fn fig3a_kernel(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("fig3a_throughput");
+    group.sample_size(10);
+    for nodes in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut cluster =
+                    SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
+                run_workload(
+                    &mut cluster,
+                    WorkloadSpec {
+                        read_streams: 3,
+                        rounds: 1,
+                        update_txns: 0,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 3(b) kernel: n streams on n nodes.
+fn fig3b_kernel(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("fig3b_scaleup");
+    group.sample_size(10);
+    for nodes in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut cluster =
+                    SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
+                run_workload(
+                    &mut cluster,
+                    WorkloadSpec {
+                        read_streams: n,
+                        rounds: 1,
+                        update_txns: 0,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 4(a)/4(b) kernel: mixed read + update workload.
+fn fig4_kernel(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("fig4_mixed");
+    group.sample_size(10);
+    for nodes in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut cluster =
+                    SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
+                run_workload(
+                    &mut cluster,
+                    WorkloadSpec {
+                        read_streams: 3,
+                        rounds: 1,
+                        update_txns: 10,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, fig2_kernel, fig3a_kernel, fig3b_kernel, fig4_kernel);
+criterion_main!(figures);

@@ -1,0 +1,123 @@
+//! Component micro-benchmarks: the building blocks whose costs the paper's
+//! architecture assumes are cheap (rewriting, composition) or dominant
+//! (scans, probes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use apuama::{compose, DataCatalog, Rewritten, SvpRewriter};
+use apuama_engine::Database;
+use apuama_sql::parse_statement;
+use apuama_storage::{AccessKind, BufferPool, PageKey};
+use apuama_tpch::{generate, load_into, QueryParams, TpchConfig, TpchQuery};
+
+fn bench_parser(c: &mut Criterion) {
+    let params = QueryParams::default();
+    let q1 = TpchQuery::Q1.sql(&params);
+    let q21 = TpchQuery::Q21.sql(&params);
+    c.bench_function("parse_q1", |b| {
+        b.iter(|| parse_statement(black_box(&q1)).unwrap())
+    });
+    c.bench_function("parse_q21_subqueries", |b| {
+        b.iter(|| parse_statement(black_box(&q21)).unwrap())
+    });
+}
+
+fn bench_rewriter(c: &mut Criterion) {
+    let rewriter = SvpRewriter::new(DataCatalog::tpch(6_000_000));
+    let params = QueryParams::default();
+    let q1 = TpchQuery::Q1.sql(&params);
+    let q21 = TpchQuery::Q21.sql(&params);
+    c.bench_function("svp_rewrite_q1_32_nodes", |b| {
+        b.iter(|| rewriter.rewrite(black_box(&q1), 32).unwrap())
+    });
+    c.bench_function("svp_rewrite_q21_32_nodes", |b| {
+        b.iter(|| rewriter.rewrite(black_box(&q21), 32).unwrap())
+    });
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    c.bench_function("buffer_pool_hit", |b| {
+        let mut pool = BufferPool::new(1024);
+        for p in 0..1024u64 {
+            pool.access(PageKey { table: 0, page: p }, AccessKind::Sequential);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) % 1024;
+            black_box(pool.access(PageKey { table: 0, page: p }, AccessKind::Sequential))
+        })
+    });
+    c.bench_function("buffer_pool_thrash", |b| {
+        let mut pool = BufferPool::new(64);
+        let mut p = 0u64;
+        b.iter(|| {
+            p += 1;
+            black_box(pool.access(PageKey { table: 0, page: p }, AccessKind::Sequential))
+        })
+    });
+}
+
+fn bench_engine_query(c: &mut Criterion) {
+    let mut db = Database::in_memory();
+    let data = generate(TpchConfig {
+        scale_factor: 0.001,
+        seed: 1,
+    });
+    load_into(&mut db, &data).unwrap();
+    let params = QueryParams::default();
+    let q6 = TpchQuery::Q6.sql(&params);
+    let q3 = TpchQuery::Q3.sql(&params);
+    c.bench_function("engine_q6_sf0.001", |b| {
+        b.iter(|| db.query(black_box(&q6)).unwrap())
+    });
+    c.bench_function("engine_q3_join_sf0.001", |b| {
+        b.iter(|| db.query(black_box(&q3)).unwrap())
+    });
+}
+
+fn bench_composer(c: &mut Criterion) {
+    // Compose 32 partial results of a grouped aggregate.
+    let rewriter = SvpRewriter::new(DataCatalog::tpch(1_000_000));
+    let Rewritten::Svp(plan) = rewriter
+        .rewrite(
+            "select o_orderpriority, count(*) as n, sum(o_totalprice) as t \
+             from orders group by o_orderpriority order by o_orderpriority",
+            32,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    let partial = apuama_engine::QueryOutput {
+        columns: plan.partial_columns.clone(),
+        rows: (0..5)
+            .map(|i| {
+                vec![
+                    apuama_sql::Value::Str(format!("{i}-PRIORITY")),
+                    apuama_sql::Value::Int(100 + i),
+                    apuama_sql::Value::Float(1000.0 * i as f64),
+                ]
+            })
+            .collect(),
+        ..Default::default()
+    };
+    let partials: Vec<_> = (0..32).map(|_| partial.clone()).collect();
+    c.bench_function("compose_32_partials", |b| {
+        b.iter_batched(
+            || partials.clone(),
+            |p| compose(black_box(&plan), &p).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_rewriter,
+    bench_buffer_pool,
+    bench_engine_query,
+    bench_composer
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 2 — speedup experiments: normalized execution time of each
+//! evaluation query, isolated, for 1–32 nodes.
+//!
+//! Paper methodology (§5): each (query, cluster size) runs five times; the
+//! metric is the mean of the last four (warm) runs, normalized by the
+//! one-node time. The paper reports ~50% at 2 nodes for every query,
+//! super-linear drops for the highly selective Q4/Q6 once the virtual
+//! partition fits in node memory, and near-linear scaling for the
+//! CPU-bound Q1/Q21.
+
+use apuama_bench::{fmt_ratio, FigureTable, HarnessConfig};
+use apuama_sim::run_isolated;
+use apuama_tpch::{QueryParams, ALL_QUERIES};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!(
+        "fig2: SF={} nodes={:?} seed={}",
+        cfg.scale_factor, cfg.node_counts, cfg.seed
+    );
+    let data = cfg.dataset();
+    let params = QueryParams::default();
+
+    // times[qi][ni] = warm-mean latency.
+    let mut times = vec![vec![0.0f64; cfg.node_counts.len()]; ALL_QUERIES.len()];
+    for (ni, &n) in cfg.node_counts.iter().enumerate() {
+        let cluster = cfg.cluster(&data, n);
+        for (qi, q) in ALL_QUERIES.iter().enumerate() {
+            cluster.drop_caches();
+            let report = run_isolated(&cluster, &q.sql(&params), 5)
+                .unwrap_or_else(|e| panic!("{} on {n} nodes failed: {e}", q.label()));
+            times[qi][ni] = report.warm_mean_ms();
+            eprintln!(
+                "  {} n={n}: cold={:.1}ms warm={:.1}ms",
+                q.label(),
+                report.cold_ms(),
+                report.warm_mean_ms()
+            );
+        }
+    }
+
+    // Normalized table (1.0 at the first configuration), as the paper
+    // plots it, plus the ideal-linear reference.
+    let mut header: Vec<&str> = vec!["nodes", "linear"];
+    let labels: Vec<String> = ALL_QUERIES.iter().map(|q| q.label()).collect();
+    header.extend(labels.iter().map(String::as_str));
+    let mut table = FigureTable::new(
+        "Fig. 2 — normalized query execution time (isolated queries)",
+        &header,
+    );
+    let base_nodes = cfg.node_counts[0] as f64;
+    for (ni, &n) in cfg.node_counts.iter().enumerate() {
+        let mut row = vec![n.to_string(), fmt_ratio(base_nodes / n as f64)];
+        for qt in &times {
+            row.push(fmt_ratio(qt[ni] / qt[0]));
+        }
+        table.push_row(row);
+    }
+    table.print();
+    let csv = table.write_csv("fig2_speedup").expect("csv writable");
+    eprintln!("wrote {}", csv.display());
+
+    // Absolute times for reference.
+    let mut abs = FigureTable::new("Fig. 2 — absolute warm-mean latency (ms)", &header);
+    for (ni, &n) in cfg.node_counts.iter().enumerate() {
+        let mut row = vec![n.to_string(), String::from("-")];
+        for qt in &times {
+            row.push(format!("{:.1}", qt[ni]));
+        }
+        abs.push_row(row);
+    }
+    abs.print();
+    abs.write_csv("fig2_absolute").expect("csv writable");
+}

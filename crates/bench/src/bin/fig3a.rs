@@ -1,0 +1,53 @@
+//! Figure 3(a) — throughput (queries per minute) of three concurrent
+//! read-only query sequences, versus the linear-scaling reference.
+//!
+//! Paper §5: "the throughput rises super-linearly. With 2 nodes, it is
+//! near linear. With 4 nodes, the throughput is almost 2 times higher than
+//! if a linear gain was obtained. From 8 to 32 nodes, the throughput is
+//! constantly about 6 times higher than linear gain."
+
+use apuama_bench::{fmt_ratio, FigureTable, HarnessConfig};
+use apuama_sim::{run_workload, WorkloadSpec};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!(
+        "fig3a: SF={} nodes={:?} seed={}",
+        cfg.scale_factor, cfg.node_counts, cfg.seed
+    );
+    let data = cfg.dataset();
+    let spec = |seed| WorkloadSpec {
+        read_streams: 3,
+        rounds: 2,
+        update_txns: 0,
+        seed,
+    };
+
+    let mut table = FigureTable::new(
+        "Fig. 3(a) — throughput, 3 concurrent read-only sequences (queries/min)",
+        &["nodes", "qpm", "linear_qpm", "vs_linear"],
+    );
+    let mut base_qpm = None;
+    let base_nodes = cfg.node_counts[0] as f64;
+    for &n in &cfg.node_counts {
+        let mut cluster = cfg.cluster(&data, n);
+        let report = run_workload(&mut cluster, spec(cfg.seed)).expect("workload runs");
+        let qpm = report.throughput_qpm();
+        let base = *base_qpm.get_or_insert(qpm);
+        let linear = base * n as f64 / base_nodes;
+        eprintln!(
+            "  n={n}: {} queries in {:.1}s -> {qpm:.2} qpm",
+            report.read_queries_done,
+            report.makespan_ms / 1000.0
+        );
+        table.push_row(vec![
+            n.to_string(),
+            format!("{qpm:.2}"),
+            format!("{linear:.2}"),
+            fmt_ratio(qpm / linear),
+        ]);
+    }
+    table.print();
+    let csv = table.write_csv("fig3a_throughput").expect("csv writable");
+    eprintln!("wrote {}", csv.display());
+}

@@ -1,0 +1,55 @@
+//! Figure 3(b) — scale-up: total execution time with n concurrent
+//! read-only sequences on n nodes.
+//!
+//! Paper §5: "the ideal situation is that the execution time would be the
+//! same for all cluster configurations, as the Linear curve shows. [...]
+//! From 8 to 32 nodes, the performance is always about 3 times better than
+//! expected."
+
+use apuama_bench::{fmt_ms, fmt_ratio, FigureTable, HarnessConfig};
+use apuama_sim::{run_workload, WorkloadSpec};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!(
+        "fig3b: SF={} nodes={:?} seed={}",
+        cfg.scale_factor, cfg.node_counts, cfg.seed
+    );
+    let data = cfg.dataset();
+
+    let mut table = FigureTable::new(
+        "Fig. 3(b) — scale-up: time for n read-only sequences on n nodes",
+        &["nodes", "sequences", "time", "linear_time", "linear/actual"],
+    );
+    let mut base_ms = None;
+    for &n in &cfg.node_counts {
+        let mut cluster = cfg.cluster(&data, n);
+        let report = run_workload(
+            &mut cluster,
+            WorkloadSpec {
+                read_streams: n,
+                rounds: 1,
+                update_txns: 0,
+                seed: cfg.seed,
+            },
+        )
+        .expect("workload runs");
+        let ms = report.read_span_ms();
+        let base = *base_ms.get_or_insert(ms);
+        eprintln!(
+            "  n={n}: {} queries in {:.1}s",
+            report.read_queries_done,
+            ms / 1000.0
+        );
+        table.push_row(vec![
+            n.to_string(),
+            n.to_string(),
+            fmt_ms(ms),
+            fmt_ms(base),
+            fmt_ratio(base / ms),
+        ]);
+    }
+    table.print();
+    let csv = table.write_csv("fig3b_scaleup").expect("csv writable");
+    eprintln!("wrote {}", csv.display());
+}

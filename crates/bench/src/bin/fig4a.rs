@@ -1,0 +1,59 @@
+//! Figure 4(a) — mixed workload throughput: three read-only sequences plus
+//! one update sequence.
+//!
+//! Paper §5: "From 2 to 8 nodes, performance of Apuama is near linear. For
+//! 16 and 32 nodes, the consistency protocol makes the update propagation
+//! delay hurt performance. There is almost no performance gain from 16 to
+//! 32 nodes."
+
+use apuama_bench::{fmt_ratio, FigureTable, HarnessConfig};
+use apuama_sim::{run_workload, WorkloadSpec};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let txns = cfg.update_txns();
+    eprintln!(
+        "fig4a: SF={} nodes={:?} seed={} update_txns={txns}",
+        cfg.scale_factor, cfg.node_counts, cfg.seed
+    );
+    let data = cfg.dataset();
+
+    let mut table = FigureTable::new(
+        "Fig. 4(a) — throughput, 3 read-only sequences + 1 update sequence (queries/min)",
+        &["nodes", "qpm", "updates", "linear_qpm", "vs_linear"],
+    );
+    let mut base_qpm = None;
+    let base_nodes = cfg.node_counts[0] as f64;
+    for &n in &cfg.node_counts {
+        let mut cluster = cfg.cluster(&data, n);
+        let report = run_workload(
+            &mut cluster,
+            WorkloadSpec {
+                read_streams: 3,
+                rounds: 2,
+                update_txns: txns,
+                seed: cfg.seed,
+            },
+        )
+        .expect("workload runs");
+        let qpm = report.throughput_qpm();
+        let base = *base_qpm.get_or_insert(qpm);
+        let linear = base * n as f64 / base_nodes;
+        eprintln!(
+            "  n={n}: {} reads + {} updates in {:.1}s -> {qpm:.2} qpm",
+            report.read_queries_done,
+            report.updates_done,
+            report.makespan_ms / 1000.0
+        );
+        table.push_row(vec![
+            n.to_string(),
+            format!("{qpm:.2}"),
+            report.updates_done.to_string(),
+            format!("{linear:.2}"),
+            fmt_ratio(qpm / linear),
+        ]);
+    }
+    table.print();
+    let csv = table.write_csv("fig4a_mixed_throughput").expect("csv writable");
+    eprintln!("wrote {}", csv.display());
+}

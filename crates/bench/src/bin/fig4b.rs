@@ -1,0 +1,56 @@
+//! Figure 4(b) — mixed-workload scale-up: n read-only sequences plus one
+//! update sequence, on n nodes.
+//!
+//! Paper §5: "There is a performance gain up to 16 nodes. However, for 32
+//! nodes, the performance is almost the same as with 4 nodes. This is due
+//! to the replica synchronization when using a large number of nodes."
+
+use apuama_bench::{fmt_ms, fmt_ratio, FigureTable, HarnessConfig};
+use apuama_sim::{run_workload, WorkloadSpec};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let txns = cfg.update_txns();
+    eprintln!(
+        "fig4b: SF={} nodes={:?} seed={} update_txns={txns}",
+        cfg.scale_factor, cfg.node_counts, cfg.seed
+    );
+    let data = cfg.dataset();
+
+    let mut table = FigureTable::new(
+        "Fig. 4(b) — scale-up: n read-only sequences + 1 update sequence on n nodes",
+        &["nodes", "sequences", "time", "linear_time", "linear/actual"],
+    );
+    let mut base_ms = None;
+    for &n in &cfg.node_counts {
+        let mut cluster = cfg.cluster(&data, n);
+        let report = run_workload(
+            &mut cluster,
+            WorkloadSpec {
+                read_streams: n,
+                rounds: 1,
+                update_txns: txns,
+                seed: cfg.seed,
+            },
+        )
+        .expect("workload runs");
+        let ms = report.read_span_ms();
+        let base = *base_ms.get_or_insert(ms);
+        eprintln!(
+            "  n={n}: {} reads + {} updates in {:.1}s",
+            report.read_queries_done,
+            report.updates_done,
+            ms / 1000.0
+        );
+        table.push_row(vec![
+            n.to_string(),
+            n.to_string(),
+            fmt_ms(ms),
+            fmt_ms(base),
+            fmt_ratio(base / ms),
+        ]);
+    }
+    table.print();
+    let csv = table.write_csv("fig4b_mixed_scaleup").expect("csv writable");
+    eprintln!("wrote {}", csv.display());
+}

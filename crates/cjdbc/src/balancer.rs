@@ -1,0 +1,120 @@
+//! Read load-balancing policies.
+//!
+//! The paper configures C-JDBC's load balancer "to select the node with the
+//! least number of pending requests"; round-robin and random are provided
+//! for the load-balancer ablation bench (DESIGN.md §5).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Chooses which backend serves the next read, given each backend's current
+/// pending-request count.
+pub trait LoadBalancer: Send + Sync {
+    /// Returns the index of the chosen backend. `pending[i]` is backend
+    /// `i`'s in-flight request count. `pending` is never empty.
+    fn choose(&self, pending: &[usize]) -> usize;
+
+    /// Policy name for diagnostics and bench labels.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's policy: fewest pending requests, ties broken by index.
+#[derive(Debug, Default)]
+pub struct LeastPendingBalancer;
+
+impl LoadBalancer for LeastPendingBalancer {
+    fn choose(&self, pending: &[usize]) -> usize {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &p)| p)
+            .map(|(i, _)| i)
+            .expect("pending is never empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "least-pending"
+    }
+}
+
+/// Round-robin over backends.
+#[derive(Debug, Default)]
+pub struct RoundRobinBalancer {
+    next: AtomicUsize,
+}
+
+impl LoadBalancer for RoundRobinBalancer {
+    fn choose(&self, pending: &[usize]) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % pending.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random choice (seeded, so runs stay reproducible).
+pub struct RandomBalancer {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomBalancer {
+    pub fn new(seed: u64) -> Self {
+        RandomBalancer {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl LoadBalancer for RandomBalancer {
+    fn choose(&self, pending: &[usize]) -> usize {
+        self.rng.lock().random_range(0..pending.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_pending_picks_minimum() {
+        let b = LeastPendingBalancer;
+        assert_eq!(b.choose(&[3, 1, 2]), 1);
+        assert_eq!(b.choose(&[0, 0, 0]), 0); // ties by index
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let b = RoundRobinBalancer::default();
+        let picks: Vec<usize> = (0..6).map(|_| b.choose(&[0, 0, 0])).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let b = RandomBalancer::new(1);
+        for _ in 0..100 {
+            assert!(b.choose(&[0, 0, 0, 0]) < 4);
+        }
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a: Vec<usize> = {
+            let b = RandomBalancer::new(9);
+            (0..10).map(|_| b.choose(&[0; 8])).collect()
+        };
+        let c: Vec<usize> = {
+            let b = RandomBalancer::new(9);
+            (0..10).map(|_| b.choose(&[0; 8])).collect()
+        };
+        assert_eq!(a, c);
+    }
+}

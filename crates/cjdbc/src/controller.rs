@@ -1,0 +1,583 @@
+//! The virtual-database façade.
+//!
+//! The controller is what the client application connects to: it classifies
+//! each request, broadcasts writes to every backend under the write
+//! scheduler's total order, and load-balances reads across backends. This
+//! is the full inter-query-parallelism story of C-JDBC on replicated data —
+//! any read can go to any node — and the exact layer Apuama slots beneath
+//! without modification.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use apuama_engine::{EngineError, EngineResult, QueryOutput};
+
+use crate::balancer::{LeastPendingBalancer, LoadBalancer};
+use crate::connection::{classify, Connection, StatementKind};
+use crate::scheduler::WriteScheduler;
+
+/// One registered backend and its in-flight request counter.
+struct Backend {
+    conn: Arc<dyn Connection>,
+    pending: AtomicUsize,
+    /// Writes successfully applied to this backend (replica freshness
+    /// diagnostic; Apuama keeps its own counters at the driver seam).
+    writes_applied: AtomicUsize,
+    /// False once the backend failed a request and was taken out of
+    /// rotation (C-JDBC's backend-disable; re-enable after external
+    /// recovery with [`Controller::enable_backend`]).
+    enabled: AtomicBool,
+    /// Reads this backend has served (balancer diagnostics).
+    reads_served: AtomicUsize,
+}
+
+/// Controller construction options.
+pub struct ControllerConfig {
+    /// Read load-balancing policy; the paper uses least-pending.
+    pub balancer: Box<dyn LoadBalancer>,
+    /// On a backend failure, disable that backend and keep serving from
+    /// the rest (C-JDBC's behaviour — it would then replay the recovery
+    /// log, which is out of scope here; see DESIGN.md §7). When false, a
+    /// failing write surfaces the error and all backends stay enabled.
+    pub disable_failed_backends: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            balancer: Box::new(LeastPendingBalancer),
+            disable_failed_backends: false,
+        }
+    }
+}
+
+/// The C-JDBC controller: one virtual database over N backends.
+pub struct Controller {
+    backends: Vec<Backend>,
+    scheduler: WriteScheduler,
+    balancer: Box<dyn LoadBalancer>,
+    disable_failed: bool,
+}
+
+impl Controller {
+    /// Builds a controller over the given backend connections.
+    pub fn new(conns: Vec<Arc<dyn Connection>>, config: ControllerConfig) -> Controller {
+        assert!(!conns.is_empty(), "a cluster needs at least one backend");
+        Controller {
+            backends: conns
+                .into_iter()
+                .map(|conn| Backend {
+                    conn,
+                    pending: AtomicUsize::new(0),
+                    writes_applied: AtomicUsize::new(0),
+                    enabled: AtomicBool::new(true),
+                    reads_served: AtomicUsize::new(0),
+                })
+                .collect(),
+            scheduler: WriteScheduler::new(),
+            balancer: config.balancer,
+            disable_failed: config.disable_failed_backends,
+        }
+    }
+
+    /// Indices of the backends currently in rotation.
+    pub fn enabled_backends(&self) -> Vec<usize> {
+        self.backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.enabled.load(Ordering::SeqCst))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Puts a backend back into rotation after external recovery. Note
+    /// that without a recovery log the replica must have been re-synced
+    /// out of band; re-enabling a stale replica silently serves stale
+    /// reads.
+    pub fn enable_backend(&self, i: usize) {
+        self.backends[i].enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Current pending-read counts (diagnostics / balancer input).
+    pub fn pending_counts(&self) -> Vec<usize> {
+        self.backends
+            .iter()
+            .map(|b| b.pending.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Reads served per backend (load-balance distribution diagnostics).
+    pub fn reads_served(&self) -> Vec<usize> {
+        self.backends
+            .iter()
+            .map(|b| b.reads_served.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Writes applied per backend; equal values mean converged replicas.
+    pub fn writes_applied(&self) -> Vec<usize> {
+        self.backends
+            .iter()
+            .map(|b| b.writes_applied.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Total writes put through the scheduler.
+    pub fn writes_scheduled(&self) -> u64 {
+        self.scheduler.writes_scheduled()
+    }
+
+    /// Executes a request, classifying it as the real controller does.
+    /// Returns the output and the index of the backend that served it
+    /// (writes report backend 0 — they ran everywhere).
+    pub fn execute(&self, sql: &str) -> EngineResult<(QueryOutput, usize)> {
+        match classify(sql)? {
+            StatementKind::Read => self.execute_read(sql),
+            StatementKind::Write => self.execute_write(sql).map(|o| (o, 0)),
+        }
+    }
+
+    /// Load-balanced read over the enabled backends.
+    pub fn execute_read(&self, sql: &str) -> EngineResult<(QueryOutput, usize)> {
+        let enabled = self.enabled_backends();
+        if enabled.is_empty() {
+            return Err(EngineError::Unsupported(
+                "no enabled backends remain".into(),
+            ));
+        }
+        let pending: Vec<usize> = enabled
+            .iter()
+            .map(|&i| self.backends[i].pending.load(Ordering::SeqCst))
+            .collect();
+        let chosen = enabled[self.balancer.choose(&pending)];
+        let backend = &self.backends[chosen];
+        backend.pending.fetch_add(1, Ordering::SeqCst);
+        let result = backend.conn.execute(sql);
+        backend.pending.fetch_sub(1, Ordering::SeqCst);
+        if result.is_ok() {
+            backend.reads_served.fetch_add(1, Ordering::SeqCst);
+        } else if self.disable_failed {
+            backend.enabled.store(false, Ordering::SeqCst);
+        }
+        result.map(|o| (o, chosen))
+    }
+
+    /// Totally ordered write broadcast: every enabled backend executes the
+    /// script; the first success's output is returned.
+    ///
+    /// Failure policy follows `disable_failed_backends`: when set, a
+    /// failing backend is taken out of rotation and the write succeeds if
+    /// at least one backend applied it (C-JDBC's model); otherwise the
+    /// first error is surfaced after the remaining backends were still
+    /// given the write, keeping replicas maximally aligned.
+    pub fn execute_write(&self, sql: &str) -> EngineResult<QueryOutput> {
+        let _ticket = self.scheduler.begin_write();
+        let mut first: Option<QueryOutput> = None;
+        let mut failure: Option<EngineError> = None;
+        for backend in &self.backends {
+            if !backend.enabled.load(Ordering::SeqCst) {
+                continue;
+            }
+            match backend.conn.execute(sql) {
+                Ok(out) => {
+                    backend.writes_applied.fetch_add(1, Ordering::SeqCst);
+                    if first.is_none() {
+                        first = Some(out);
+                    }
+                }
+                Err(e) => {
+                    if self.disable_failed {
+                        backend.enabled.store(false, Ordering::SeqCst);
+                    }
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+            }
+        }
+        match (first, failure) {
+            (Some(out), None) => Ok(out),
+            (Some(out), Some(_)) if self.disable_failed => Ok(out),
+            (_, Some(e)) => Err(e),
+            (None, None) => Err(EngineError::Unsupported(
+                "no enabled backends remain".into(),
+            )),
+        }
+    }
+
+    /// Executes a multi-statement write transaction atomically on every
+    /// backend (wrapped in BEGIN/COMMIT).
+    pub fn execute_write_transaction(&self, statements: &[String]) -> EngineResult<QueryOutput> {
+        let script = format!("begin; {}; commit", statements.join("; "));
+        self.execute_write(&script)
+    }
+
+    /// Name of backend `i`.
+    pub fn backend_name(&self, i: usize) -> &str {
+        self.backends[i].conn.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::{EngineNode, NodeConnection};
+    use apuama_engine::Database;
+    use apuama_sql::Value;
+
+    fn cluster(n: usize) -> (Controller, Vec<Arc<EngineNode>>) {
+        let mut nodes = Vec::new();
+        let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+        for i in 0..n {
+            let mut db = Database::in_memory();
+            db.execute("create table t (a int, b text)").unwrap();
+            let node = EngineNode::new(format!("node-{i}"), db);
+            conns.push(Arc::new(NodeConnection::new(node.clone())));
+            nodes.push(node);
+        }
+        (Controller::new(conns, ControllerConfig::default()), nodes)
+    }
+
+    #[test]
+    fn writes_reach_every_replica() {
+        let (c, nodes) = cluster(4);
+        c.execute("insert into t values (1, 'x')").unwrap();
+        c.execute("insert into t values (2, 'y')").unwrap();
+        for node in &nodes {
+            let n = node.with_db(|db| db.table("t").unwrap().row_count());
+            assert_eq!(n, 2);
+        }
+        assert_eq!(c.writes_applied(), vec![2, 2, 2, 2]);
+        assert_eq!(c.writes_scheduled(), 2);
+    }
+
+    #[test]
+    fn reads_are_load_balanced() {
+        let (c, _nodes) = cluster(3);
+        c.execute("insert into t values (1, 'x')").unwrap();
+        // With least-pending and sequential reads, ties go to index 0 every
+        // time; verify the read executes and reports a valid backend.
+        let (out, backend) = c.execute("select count(*) as n from t").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(1));
+        assert!(backend < 3);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_replicas_identical() {
+        let (c, nodes) = cluster(3);
+        let c = Arc::new(c);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..25 {
+                        c.execute(&format!("insert into t values ({}, 'w{w}')", w * 100 + i))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        // All replicas converged to the same multiset of rows.
+        let reference: Vec<Vec<Value>> = nodes[0].with_db(|db| {
+            db.query("select a, b from t order by a").unwrap().rows
+        });
+        assert_eq!(reference.len(), 100);
+        for node in &nodes[1..] {
+            let rows = node.with_db(|db| {
+                db.query("select a, b from t order by a").unwrap().rows
+            });
+            assert_eq!(rows, reference);
+        }
+    }
+
+    #[test]
+    fn write_transaction_is_atomic_per_backend() {
+        let (c, nodes) = cluster(2);
+        c.execute_write_transaction(&[
+            "insert into t values (1, 'a')".to_string(),
+            "insert into t values (2, 'b')".to_string(),
+        ])
+        .unwrap();
+        for node in &nodes {
+            assert_eq!(node.with_db(|db| db.table("t").unwrap().row_count()), 2);
+            assert!(!node.with_db(|db| db.in_transaction()));
+        }
+    }
+
+    #[test]
+    fn mixed_read_write_under_concurrency() {
+        let (c, nodes) = cluster(3);
+        let c = Arc::new(c);
+        std::thread::scope(|s| {
+            let cw = Arc::clone(&c);
+            s.spawn(move || {
+                for i in 0..50 {
+                    cw.execute(&format!("insert into t values ({i}, 'x')")).unwrap();
+                }
+            });
+            for _ in 0..3 {
+                let cr = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let (out, _) = cr.execute("select count(*) as n from t").unwrap();
+                        let n = out.rows[0][0].as_i64().unwrap();
+                        assert!((0..=50).contains(&n));
+                    }
+                });
+            }
+        });
+        for node in &nodes {
+            assert_eq!(node.with_db(|db| db.table("t").unwrap().row_count()), 50);
+        }
+    }
+
+    #[test]
+    fn failed_write_surfaces_error() {
+        let (c, _nodes) = cluster(2);
+        assert!(c.execute("insert into missing values (1)").is_err());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::connection::{EngineNode, NodeConnection};
+    use apuama_engine::Database;
+    use std::sync::atomic::AtomicBool as FailFlag;
+
+    /// A connection that can be tripped into failing every request.
+    struct Flaky {
+        inner: NodeConnection,
+        failing: FailFlag,
+    }
+
+    impl Connection for Flaky {
+        fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+            if self.failing.load(Ordering::SeqCst) {
+                return Err(EngineError::Unsupported("injected failure".into()));
+            }
+            self.inner.execute(sql)
+        }
+
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+    }
+
+    fn flaky_cluster(
+        n: usize,
+        disable_failed: bool,
+    ) -> (Controller, Vec<Arc<Flaky>>, Vec<Arc<EngineNode>>) {
+        let mut flakies = Vec::new();
+        let mut nodes = Vec::new();
+        let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+        for i in 0..n {
+            let mut db = Database::in_memory();
+            db.execute("create table t (a int)").unwrap();
+            let node = EngineNode::new(format!("node-{i}"), db);
+            let flaky = Arc::new(Flaky {
+                inner: NodeConnection::new(node.clone()),
+                failing: FailFlag::new(false),
+            });
+            conns.push(flaky.clone());
+            flakies.push(flaky);
+            nodes.push(node);
+        }
+        let controller = Controller::new(
+            conns,
+            ControllerConfig {
+                disable_failed_backends: disable_failed,
+                ..ControllerConfig::default()
+            },
+        );
+        (controller, flakies, nodes)
+    }
+
+    #[test]
+    fn failed_backend_is_disabled_and_cluster_continues() {
+        let (c, flakies, nodes) = flaky_cluster(3, true);
+        c.execute("insert into t values (1)").unwrap();
+        flakies[1].failing.store(true, Ordering::SeqCst);
+        // The write succeeds on the healthy backends and disables node 1.
+        c.execute("insert into t values (2)").unwrap();
+        assert_eq!(c.enabled_backends(), vec![0, 2]);
+        // Reads keep flowing from the survivors.
+        let (out, served_by) = c.execute("select count(*) as n from t").unwrap();
+        assert_eq!(out.rows[0][0], apuama_sql::Value::Int(2));
+        assert_ne!(served_by, 1);
+        // The healthy replicas both applied the write; the disabled one is
+        // stale (recovery-log replay is out of scope).
+        assert_eq!(nodes[0].with_db(|db| db.table("t").unwrap().row_count()), 2);
+        assert_eq!(nodes[1].with_db(|db| db.table("t").unwrap().row_count()), 1);
+        assert_eq!(nodes[2].with_db(|db| db.table("t").unwrap().row_count()), 2);
+    }
+
+    #[test]
+    fn strict_mode_surfaces_the_error_and_keeps_rotation() {
+        let (c, flakies, _) = flaky_cluster(2, false);
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        assert!(c.execute("insert into t values (1)").is_err());
+        assert_eq!(c.enabled_backends(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reenabling_a_backend_restores_rotation() {
+        let (c, flakies, _) = flaky_cluster(2, true);
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        let _ = c.execute("insert into t values (1)");
+        assert_eq!(c.enabled_backends(), vec![1]);
+        flakies[0].failing.store(false, Ordering::SeqCst);
+        c.enable_backend(0);
+        assert_eq!(c.enabled_backends(), vec![0, 1]);
+    }
+
+    #[test]
+    fn all_backends_down_is_an_error() {
+        let (c, flakies, _) = flaky_cluster(2, true);
+        for f in &flakies {
+            f.failing.store(true, Ordering::SeqCst);
+        }
+        let _ = c.execute("insert into t values (1)"); // disables both
+        assert!(c.enabled_backends().is_empty());
+        assert!(c.execute("select count(*) as n from t").is_err());
+        assert!(c.execute("insert into t values (2)").is_err());
+    }
+
+    #[test]
+    fn failing_read_disables_only_the_serving_backend() {
+        let (c, flakies, _) = flaky_cluster(3, true);
+        c.execute("insert into t values (1)").unwrap();
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        // Least-pending with zero load picks backend 0 → fails → disabled.
+        assert!(c.execute("select a from t").is_err());
+        assert_eq!(c.enabled_backends(), vec![1, 2]);
+        // Next read succeeds from the survivors.
+        assert!(c.execute("select a from t").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod balance_tests {
+    use super::*;
+    use crate::balancer::RoundRobinBalancer;
+    use crate::connection::{EngineNode, NodeConnection};
+    use apuama_engine::Database;
+
+    fn cluster_with(balancer: Box<dyn LoadBalancer>, n: usize) -> Controller {
+        let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+        for i in 0..n {
+            let mut db = Database::in_memory();
+            db.execute("create table t (a int)").unwrap();
+            db.execute("insert into t values (1)").unwrap();
+            conns.push(Arc::new(NodeConnection::new(EngineNode::new(
+                format!("n{i}"),
+                db,
+            ))));
+        }
+        Controller::new(
+            conns,
+            ControllerConfig {
+                balancer,
+                ..ControllerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_robin_spreads_serial_reads_evenly() {
+        let c = cluster_with(Box::new(RoundRobinBalancer::default()), 3);
+        for _ in 0..9 {
+            c.execute("select a from t").unwrap();
+        }
+        assert_eq!(c.reads_served(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn concurrent_reads_all_complete_and_are_counted() {
+        let c = Arc::new(cluster_with(Box::new(LeastPendingBalancer), 4));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        c.execute("select a from t").unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.reads_served().iter().sum::<usize>(), 200);
+    }
+
+    /// A connection whose execution blocks until released — lets the test
+    /// hold a read in flight deterministically.
+    struct Parking {
+        inner: NodeConnection,
+        hold: std::sync::Mutex<bool>,
+        cv: std::sync::Condvar,
+    }
+
+    impl Parking {
+        fn release(&self) {
+            *self.hold.lock().unwrap() = false;
+            self.cv.notify_all();
+        }
+    }
+
+    impl Connection for Parking {
+        fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+            let mut held = self.hold.lock().unwrap();
+            while *held {
+                held = self.cv.wait(held).unwrap();
+            }
+            drop(held);
+            self.inner.execute(sql)
+        }
+
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+    }
+
+    #[test]
+    fn least_pending_avoids_the_busy_backend() {
+        // Backend 0 parks its first read; while it is in flight, a second
+        // read must be routed to backend 1 (pending[0] = 1 > pending[1]).
+        let mut dbs = Vec::new();
+        for i in 0..2 {
+            let mut db = Database::in_memory();
+            db.execute("create table t (a int)").unwrap();
+            db.execute("insert into t values (1)").unwrap();
+            dbs.push(EngineNode::new(format!("n{i}"), db));
+        }
+        let parking = Arc::new(Parking {
+            inner: NodeConnection::new(dbs[0].clone()),
+            hold: std::sync::Mutex::new(true),
+            cv: std::sync::Condvar::new(),
+        });
+        let conns: Vec<Arc<dyn Connection>> = vec![
+            parking.clone(),
+            Arc::new(NodeConnection::new(dbs[1].clone())),
+        ];
+        let c = Arc::new(Controller::new(conns, ControllerConfig::default()));
+
+        let blocked = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.execute("select a from t").unwrap())
+        };
+        // Wait until the parked read is visibly pending on backend 0.
+        while c.pending_counts()[0] == 0 {
+            std::thread::yield_now();
+        }
+        let (_, served_by) = c.execute("select a from t").unwrap();
+        assert_eq!(served_by, 1, "least-pending must route around the busy node");
+        parking.release();
+        let (_, first_served_by) = blocked.join().unwrap();
+        assert_eq!(first_served_by, 0);
+        assert_eq!(c.reads_served(), vec![1, 1]);
+    }
+}

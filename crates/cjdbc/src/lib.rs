@@ -1,0 +1,34 @@
+//! A C-JDBC-style database-cluster controller.
+//!
+//! C-JDBC (Cecchet, 2004) is the middleware Apuama extends: applications
+//! talk JDBC to a *controller*, which presents a set of independent DBMS
+//! replicas as one virtual database. This crate re-implements the
+//! components the paper's architecture diagram (Fig. 1a) relies on:
+//!
+//! * [`connection::Connection`] — the driver seam. C-JDBC reaches each
+//!   backend through a JDBC driver; Apuama interposes *at exactly this
+//!   interface* ("C-JDBC no longer makes any direct connection to the
+//!   DBMSs. Each Database Backend connects to Apuama through a JDBC
+//!   driver"). Anything implementing the trait — a raw engine node or the
+//!   Apuama proxy — can serve as a backend.
+//! * [`scheduler::WriteScheduler`] — total ordering of update requests:
+//!   "makes sure that update requests are executed in the same order by
+//!   all DBMSs", while reads proceed concurrently.
+//! * [`balancer`] — read load balancing; the paper configures
+//!   "the node with the least number of pending requests", provided here
+//!   along with round-robin and random for the ablation bench.
+//! * [`controller::Controller`] — the virtual-database façade gluing the
+//!   above together.
+//!
+//! Out of scope (documented in DESIGN.md): C-JDBC's recovery log and
+//! controller replication.
+
+pub mod balancer;
+pub mod connection;
+pub mod controller;
+pub mod scheduler;
+
+pub use balancer::{LeastPendingBalancer, LoadBalancer, RandomBalancer, RoundRobinBalancer};
+pub use connection::{classify, Connection, EngineNode, NodeConnection, StatementKind};
+pub use controller::{Controller, ControllerConfig};
+pub use scheduler::WriteScheduler;

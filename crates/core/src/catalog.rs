@@ -1,0 +1,223 @@
+//! The Data Catalog: which tables can be virtually partitioned, and how.
+//!
+//! Paper §4: "The Cluster Administrator has a Query Parser component capable
+//! of determining which tables are referenced by a query and a Data Catalog
+//! that contains information about tables that can be virtually
+//! partitioned."
+//!
+//! For TPC-H the catalog holds the two fact tables: `orders`, partitioned on
+//! its primary key `o_orderkey`, and `lineitem`, whose partitioning is
+//! *derived* — `l_orderkey` is a foreign key to orders, so splitting the
+//! same key range partitions both tables consistently (§5).
+
+use apuama_sql::ast::{BinOp, Expr};
+use apuama_sql::Value;
+
+/// Virtual-partitioning metadata for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualPartitioning {
+    /// Table name.
+    pub table: String,
+    /// Virtual partitioning attribute (must be the clustering column for
+    /// SVP to be effective — enforced by the engine-side physical design).
+    pub vpa: String,
+    /// Smallest VPA value in the loaded data.
+    pub low: i64,
+    /// Largest VPA value in the loaded data.
+    pub high: i64,
+    /// Key domain this partitioning belongs to. Tables sharing a domain
+    /// (orders / lineitem via the foreign key) receive *aligned* ranges, so
+    /// a query joining them on the VPA can be range-restricted on both
+    /// sides safely.
+    pub domain: String,
+}
+
+impl VirtualPartitioning {
+    /// The half-open `[lo, hi)` sub-range of partition `i` of `n`.
+    ///
+    /// The first partition is left-unbounded and the last right-unbounded:
+    /// refresh streams insert keys above the recorded `high`, and those
+    /// tuples must still be owned by exactly one virtual partition or SVP
+    /// results would silently diverge from the replicated truth.
+    pub fn partition_bounds(&self, i: usize, n: usize) -> (Option<i64>, Option<i64>) {
+        assert!(n > 0 && i < n, "partition {i} of {n} is out of range");
+        let span = (self.high - self.low + 1).max(1);
+        let lo = self.low + (span * i as i64) / n as i64;
+        let hi = self.low + (span * (i + 1) as i64) / n as i64;
+        let lo = if i == 0 { None } else { Some(lo) };
+        let hi = if i == n - 1 { None } else { Some(hi) };
+        (lo, hi)
+    }
+
+    /// The range predicate of partition `i` of `n`, as an expression on
+    /// `qualifier.vpa` (or bare `vpa` when no qualifier is given) —
+    /// the paper's `l_orderkey >= :v1 and l_orderkey < :v2`.
+    pub fn partition_predicate(
+        &self,
+        qualifier: Option<&str>,
+        i: usize,
+        n: usize,
+    ) -> Option<Expr> {
+        let (lo, hi) = self.partition_bounds(i, n);
+        let col = || match qualifier {
+            Some(q) => Expr::Column(apuama_sql::ColumnRef::qualified(q, self.vpa.clone())),
+            None => Expr::Column(apuama_sql::ColumnRef::new(self.vpa.clone())),
+        };
+        let lo_pred = lo.map(|v| Expr::binary(col(), BinOp::GtEq, Expr::Literal(Value::Int(v))));
+        let hi_pred = hi.map(|v| Expr::binary(col(), BinOp::Lt, Expr::Literal(Value::Int(v))));
+        match (lo_pred, hi_pred) {
+            (Some(a), Some(b)) => Some(a.and(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            // A single partition covers everything: no predicate needed.
+            (None, None) => None,
+        }
+    }
+}
+
+/// The catalog of partitionable tables.
+#[derive(Debug, Clone, Default)]
+pub struct DataCatalog {
+    entries: Vec<VirtualPartitioning>,
+}
+
+impl DataCatalog {
+    pub fn new() -> Self {
+        DataCatalog::default()
+    }
+
+    /// Registers a partitionable table.
+    pub fn add(&mut self, vp: VirtualPartitioning) {
+        self.entries.retain(|e| e.table != vp.table);
+        self.entries.push(vp);
+    }
+
+    /// Partitioning info for a table, if it is partitionable.
+    pub fn get(&self, table: &str) -> Option<&VirtualPartitioning> {
+        self.entries.iter().find(|e| e.table == table)
+    }
+
+    /// All partitionable tables.
+    pub fn tables(&self) -> impl Iterator<Item = &VirtualPartitioning> {
+        self.entries.iter()
+    }
+
+    /// The paper's TPC-H catalog: `orders` on `o_orderkey` and the derived
+    /// partitioning of `lineitem` on `l_orderkey`, both over the dense key
+    /// range `[1, order_count]`.
+    pub fn tpch(order_count: i64) -> DataCatalog {
+        let mut c = DataCatalog::new();
+        c.add(VirtualPartitioning {
+            table: "orders".into(),
+            vpa: "o_orderkey".into(),
+            low: 1,
+            high: order_count,
+            domain: "orderkey".into(),
+        });
+        c.add(VirtualPartitioning {
+            table: "lineitem".into(),
+            vpa: "l_orderkey".into(),
+            low: 1,
+            high: order_count,
+            domain: "orderkey".into(),
+        });
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp() -> VirtualPartitioning {
+        VirtualPartitioning {
+            table: "lineitem".into(),
+            vpa: "l_orderkey".into(),
+            low: 1,
+            high: 6_000_000,
+            domain: "orderkey".into(),
+        }
+    }
+
+    #[test]
+    fn paper_example_bounds() {
+        // Paper §2: [1; 6,000,000] over 4 nodes ⇒ Q1: v2 = 1,500,001;
+        // Q2: v1 = 1,500,001, v2 = 3,000,001; ...
+        let vp = vp();
+        assert_eq!(vp.partition_bounds(0, 4), (None, Some(1_500_001)));
+        assert_eq!(vp.partition_bounds(1, 4), (Some(1_500_001), Some(3_000_001)));
+        assert_eq!(vp.partition_bounds(2, 4), (Some(3_000_001), Some(4_500_001)));
+        assert_eq!(vp.partition_bounds(3, 4), (Some(4_500_001), None));
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_exhaustive() {
+        let vp = VirtualPartitioning {
+            low: 1,
+            high: 103, // deliberately not divisible
+            ..self::vp()
+        };
+        for n in [1usize, 2, 3, 5, 7] {
+            // Every key (including ones outside the recorded range — the
+            // refresh-stream case) belongs to exactly one partition.
+            for key in -5i64..=120 {
+                let mut owners = 0;
+                for i in 0..n {
+                    let (lo, hi) = vp.partition_bounds(i, n);
+                    let in_lo = lo.is_none_or(|v| key >= v);
+                    let in_hi = hi.is_none_or(|v| key < v);
+                    if in_lo && in_hi {
+                        owners += 1;
+                    }
+                }
+                assert_eq!(owners, 1, "key {key} with {n} partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_has_no_predicate() {
+        assert_eq!(vp().partition_predicate(None, 0, 1), None);
+    }
+
+    #[test]
+    fn predicate_renders_like_the_paper() {
+        let p = vp().partition_predicate(None, 1, 4).unwrap();
+        assert_eq!(
+            p.to_string(),
+            "((l_orderkey >= 1500001) and (l_orderkey < 3000001))"
+        );
+        let p0 = vp().partition_predicate(None, 0, 4).unwrap();
+        assert_eq!(p0.to_string(), "(l_orderkey < 1500001)");
+    }
+
+    #[test]
+    fn qualified_predicate() {
+        let p = vp().partition_predicate(Some("l1"), 3, 4).unwrap();
+        assert_eq!(p.to_string(), "(l1.l_orderkey >= 4500001)");
+    }
+
+    #[test]
+    fn tpch_catalog_aligned_domains() {
+        let c = DataCatalog::tpch(1_000);
+        let o = c.get("orders").unwrap();
+        let l = c.get("lineitem").unwrap();
+        assert_eq!(o.domain, l.domain);
+        assert_eq!(o.high, 1_000);
+        assert!(c.get("customer").is_none());
+    }
+
+    #[test]
+    fn add_replaces_existing_entry() {
+        let mut c = DataCatalog::tpch(10);
+        c.add(VirtualPartitioning {
+            table: "orders".into(),
+            vpa: "o_orderkey".into(),
+            low: 1,
+            high: 99,
+            domain: "orderkey".into(),
+        });
+        assert_eq!(c.get("orders").unwrap().high, 99);
+        assert_eq!(c.tables().count(), 2);
+    }
+}

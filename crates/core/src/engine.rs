@@ -1,0 +1,426 @@
+//! The Apuama Engine and its per-node connection seam.
+//!
+//! C-JDBC is configured with one Database Backend per node; each backend's
+//! "JDBC driver" is an [`ApuamaConnection`] handed out by
+//! [`ApuamaEngine::connection`]. Reads that the Data Catalog marks
+//! SVP-eligible are hijacked into the Intra-Query Executor (sub-queries on
+//! every node in parallel, then result composition); everything else —
+//! OLTP statements, non-rewritable queries — passes straight through to the
+//! node the controller picked, so C-JDBC's inter-query parallelism and
+//! write ordering are preserved bit-for-bit.
+
+use std::sync::Arc;
+
+use apuama_cjdbc::{classify, Connection, StatementKind};
+use apuama_engine::{EngineResult, ExecStats, QueryOutput};
+
+use crate::catalog::DataCatalog;
+use crate::composer::ReusableComposer;
+use crate::consistency::{ConsistencyMode, UpdateGate};
+use parking_lot::Mutex;
+use crate::node::NodeProcessor;
+use crate::rewrite::{Rewritten, SvpPlan, SvpRewriter};
+
+/// Configuration knobs (defaults reproduce the paper; the alternatives are
+/// ablation arms).
+#[derive(Debug, Clone, Copy)]
+pub struct ApuamaConfig {
+    /// Intra-query parallelism on/off. Off = plain C-JDBC behaviour.
+    pub svp_enabled: bool,
+    /// `SET enable_seqscan = off` interference around SVP sub-queries.
+    pub force_index: bool,
+    /// Replica-consistency protocol.
+    pub consistency: ConsistencyMode,
+    /// Per-node connection-pool size.
+    pub pool_size: usize,
+}
+
+impl Default for ApuamaConfig {
+    fn default() -> Self {
+        ApuamaConfig {
+            svp_enabled: true,
+            force_index: true,
+            consistency: ConsistencyMode::Blocking,
+            pool_size: 8,
+        }
+    }
+}
+
+/// Detailed result of one SVP execution (the simulator and the benches
+/// price the pieces separately).
+#[derive(Debug, Clone)]
+pub struct SvpExecution {
+    /// Final result; its `stats` is the merge of all sub-query stats plus
+    /// the composition stats.
+    pub output: QueryOutput,
+    /// Per-node sub-query statistics, in node order.
+    pub per_node: Vec<ExecStats>,
+    /// Composition-step statistics.
+    pub composition_stats: ExecStats,
+    /// Total partial rows shipped to the composer.
+    pub partial_rows: u64,
+}
+
+/// The engine: Cluster Administrator + Node Processors (paper Fig. 1b).
+pub struct ApuamaEngine {
+    nodes: Vec<Arc<NodeProcessor>>,
+    rewriter: SvpRewriter,
+    gate: UpdateGate,
+    config: ApuamaConfig,
+    /// Pooled in-memory composer: keeps the staging table alive across
+    /// queries of the same template (ablation 4's winning variant).
+    composer: Mutex<ReusableComposer>,
+}
+
+impl ApuamaEngine {
+    /// Builds the engine over the given DBMS connections (one per node).
+    pub fn new(
+        conns: Vec<Arc<dyn Connection>>,
+        catalog: DataCatalog,
+        config: ApuamaConfig,
+    ) -> Arc<ApuamaEngine> {
+        assert!(!conns.is_empty(), "a cluster needs at least one node");
+        let n = conns.len();
+        Arc::new(ApuamaEngine {
+            nodes: conns
+                .into_iter()
+                .map(|c| NodeProcessor::new(c, config.pool_size, config.force_index))
+                .collect(),
+            rewriter: SvpRewriter::new(catalog),
+            gate: UpdateGate::new(n, config.consistency),
+            config,
+            composer: Mutex::new(ReusableComposer::new()),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ApuamaConfig {
+        &self.config
+    }
+
+    /// The SVP rewriter (exposed for EXPLAIN-style inspection and the
+    /// simulator, which prices sub-queries individually).
+    pub fn rewriter(&self) -> &SvpRewriter {
+        &self.rewriter
+    }
+
+    /// Per-node transaction counters (consistency diagnostics).
+    pub fn txn_counters(&self) -> Vec<u64> {
+        self.gate.counters()
+    }
+
+    /// The per-node connection C-JDBC's backend `node` plugs into.
+    pub fn connection(self: &Arc<Self>, node: usize) -> Arc<ApuamaConnection> {
+        assert!(node < self.nodes.len());
+        Arc::new(ApuamaConnection {
+            engine: Arc::clone(self),
+            node,
+            name: format!("apuama-{}", self.nodes[node].name()),
+        })
+    }
+
+    /// Connections for all nodes, in order — what you hand to
+    /// [`apuama_cjdbc::Controller::new`].
+    pub fn connections(self: &Arc<Self>) -> Vec<Arc<dyn Connection>> {
+        (0..self.nodes.len())
+            .map(|i| self.connection(i) as Arc<dyn Connection>)
+            .collect()
+    }
+
+    /// Read entry point: SVP when eligible, pass-through to the
+    /// controller-chosen node otherwise.
+    pub fn execute_read(&self, preferred_node: usize, sql: &str) -> EngineResult<QueryOutput> {
+        if self.config.svp_enabled {
+            match self.rewriter.rewrite(sql, self.nodes.len())? {
+                Rewritten::Svp(plan) => return self.execute_svp(&plan).map(|e| e.output),
+                Rewritten::Passthrough { .. } => {}
+            }
+        }
+        self.nodes[preferred_node].execute_read(sql)
+    }
+
+    /// Write entry point: pass-through under the consistency gate.
+    pub fn execute_write(&self, node: usize, sql: &str) -> EngineResult<QueryOutput> {
+        self.gate.begin_node_write(node, sql);
+        let result = self.nodes[node].execute_write(sql);
+        self.gate.end_node_write(node, sql, result.is_ok());
+        result
+    }
+
+    /// The Intra-Query Executor: consistency wait → parallel dispatch →
+    /// early update release → composition.
+    pub fn execute_svp(&self, plan: &SvpPlan) -> EngineResult<SvpExecution> {
+        assert_eq!(
+            plan.subqueries.len(),
+            self.nodes.len(),
+            "plan was rewritten for a different cluster size"
+        );
+        // 1. Wait for replica convergence; hold new updates.
+        self.gate.block_updates_and_wait();
+
+        // 2. Dispatch all sub-queries; release updates once every node has
+        //    its snapshot ticket ("sent and started").
+        let n = self.nodes.len();
+        let barrier = std::sync::Barrier::new(n + 1);
+        let results: Vec<EngineResult<QueryOutput>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .zip(&plan.subqueries)
+                .map(|(node, sql)| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let ticket = node.begin_subquery();
+                        barrier.wait();
+                        ticket.run(sql)
+                    })
+                })
+                .collect();
+            barrier.wait();
+            // 3. All sub-queries dispatched and snapshot-ordered: updates
+            //    may flow again (paper §3).
+            self.gate.release_updates();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sub-query thread panicked"))
+                .collect()
+        });
+
+        let mut partials = Vec::with_capacity(n);
+        let mut per_node = Vec::with_capacity(n);
+        for r in results {
+            let out = r?;
+            per_node.push(out.stats);
+            partials.push(out);
+        }
+
+        // 4. Result composition (pooled staging engine).
+        let composed = self.composer.lock().compose(plan, &partials)?;
+        let mut merged = ExecStats::default();
+        for s in &per_node {
+            merged.merge(s);
+        }
+        merged.merge(&composed.composition_stats);
+        let mut output = composed.output;
+        output.stats = merged;
+        Ok(SvpExecution {
+            output,
+            per_node,
+            composition_stats: composed.composition_stats,
+            partial_rows: composed.partial_rows,
+        })
+    }
+}
+
+/// The driver C-JDBC's backend for one node connects through.
+pub struct ApuamaConnection {
+    engine: Arc<ApuamaEngine>,
+    node: usize,
+    name: String,
+}
+
+impl ApuamaConnection {
+    /// The node index this connection fronts.
+    pub fn node_index(&self) -> usize {
+        self.node
+    }
+}
+
+impl Connection for ApuamaConnection {
+    fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+        match classify(sql)? {
+            StatementKind::Read => self.engine.execute_read(self.node, sql),
+            StatementKind::Write => self.engine.execute_write(self.node, sql),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apuama_cjdbc::{Controller, ControllerConfig, EngineNode, NodeConnection};
+    use apuama_engine::Database;
+    use apuama_sql::Value;
+
+    /// A tiny replicated cluster with Apuama interposed.
+    fn cluster(n: usize, config: ApuamaConfig) -> (Arc<ApuamaEngine>, Vec<Arc<EngineNode>>) {
+        let mut nodes = Vec::new();
+        let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+        for i in 0..n {
+            let mut db = Database::in_memory();
+            db.execute(
+                "create table orders (o_orderkey int not null, o_totalprice float, \
+                 primary key (o_orderkey)) clustered by (o_orderkey)",
+            )
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (1..=60i64)
+                .map(|k| vec![Value::Int(k), Value::Float(k as f64)])
+                .collect();
+            db.load_table("orders", rows).unwrap();
+            let node = EngineNode::new(format!("n{i}"), db);
+            conns.push(Arc::new(NodeConnection::new(node.clone())));
+            nodes.push(node);
+        }
+        let engine = ApuamaEngine::new(conns, DataCatalog::tpch(60), config);
+        (engine, nodes)
+    }
+
+    #[test]
+    fn svp_result_matches_single_node() {
+        let (engine, nodes) = cluster(4, ApuamaConfig::default());
+        let sql = "select count(*) as n, sum(o_totalprice) as t, avg(o_totalprice) as a \
+                   from orders";
+        let reference = nodes[0].with_db(|db| db.query(sql).unwrap());
+        let out = engine.execute_read(0, sql).unwrap();
+        assert_eq!(out.columns, vec!["n", "t", "a"]);
+        assert_eq!(out.rows[0][0], reference.rows[0][0]);
+        assert_eq!(out.rows[0][1], reference.rows[0][1]);
+        let (a, b) = (
+            out.rows[0][2].as_f64().unwrap(),
+            reference.rows[0][2].as_f64().unwrap(),
+        );
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svp_execution_reports_per_node_stats() {
+        let (engine, _) = cluster(3, ApuamaConfig::default());
+        let Rewritten::Svp(plan) = engine
+            .rewriter()
+            .rewrite("select sum(o_totalprice) as t from orders", 3)
+            .unwrap()
+        else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        assert_eq!(exec.per_node.len(), 3);
+        // Partitioning means each node scanned roughly a third of the rows.
+        for s in &exec.per_node {
+            assert!(s.rows_scanned <= 30, "scanned {}", s.rows_scanned);
+        }
+        assert_eq!(exec.partial_rows, 3);
+    }
+
+    #[test]
+    fn non_eligible_query_passes_through_to_preferred_node() {
+        let (engine, _) = cluster(3, ApuamaConfig::default());
+        // No fact table involved once we create a dimension-only table on
+        // every node. Writes are broadcast statement-by-statement, the way
+        // the C-JDBC scheduler serializes them.
+        for stmt in ["create table dim (d int)", "insert into dim values (7)"] {
+            for i in 0..3 {
+                engine.execute_write(i, stmt).unwrap();
+            }
+        }
+        let out = engine.execute_read(2, "select d from dim").unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn svp_disabled_config_behaves_like_cjdbc() {
+        let (engine, _) = cluster(3, ApuamaConfig {
+            svp_enabled: false,
+            ..ApuamaConfig::default()
+        });
+        let out = engine
+            .execute_read(1, "select count(*) as n from orders")
+            .unwrap();
+        // Still correct, just single-node.
+        assert_eq!(out.rows[0][0], Value::Int(60));
+    }
+
+    #[test]
+    fn through_cjdbc_controller() {
+        let (engine, _) = cluster(4, ApuamaConfig::default());
+        let controller = Controller::new(engine.connections(), ControllerConfig::default());
+        // OLAP query goes through the controller, gets hijacked by Apuama.
+        let (out, _) = controller
+            .execute("select sum(o_totalprice) as t from orders")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Float((1..=60).sum::<i64>() as f64));
+        // An update broadcast through the controller reaches all replicas
+        // and the counters converge.
+        controller
+            .execute("insert into orders values (61, 61.0)")
+            .unwrap();
+        assert_eq!(engine.txn_counters(), vec![1, 1, 1, 1]);
+        let (out, _) = controller
+            .execute("select count(*) as n from orders")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(61));
+    }
+
+    #[test]
+    fn updates_and_svp_interleave_consistently() {
+        let (engine, _) = cluster(3, ApuamaConfig::default());
+        let controller = Arc::new(Controller::new(
+            engine.connections(),
+            ControllerConfig::default(),
+        ));
+        let sums: Vec<i64> = std::thread::scope(|s| {
+            let writer = {
+                let c = Arc::clone(&controller);
+                s.spawn(move || {
+                    for k in 61..=100i64 {
+                        c.execute(&format!("insert into orders values ({k}, 0.0)"))
+                            .unwrap();
+                    }
+                })
+            };
+            let reader = {
+                let c = Arc::clone(&controller);
+                s.spawn(move || {
+                    let mut counts = Vec::new();
+                    for _ in 0..15 {
+                        let (out, _) =
+                            c.execute("select count(*) as n from orders").unwrap();
+                        counts.push(out.rows[0][0].as_i64().unwrap());
+                    }
+                    counts
+                })
+            };
+            writer.join().unwrap();
+            reader.join().unwrap()
+        });
+        // Every SVP count is a consistent snapshot: monotone within the
+        // writer's progression and within bounds. (A torn read across
+        // partitions would typically double- or zero-count in-flight rows.)
+        for w in sums.windows(2) {
+            assert!(w[1] >= w[0], "counts regressed: {sums:?}");
+        }
+        assert!(sums.iter().all(|&n| (60..=100).contains(&n)), "{sums:?}");
+        // Final state: all replicas converged.
+        assert_eq!(engine.txn_counters(), vec![40, 40, 40]);
+        let (out, _) = controller
+            .execute("select count(*) as n from orders")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn refresh_keys_beyond_catalog_range_are_still_counted() {
+        // The catalog recorded high=60; insert far beyond it and make sure
+        // the unbounded last partition owns the new keys.
+        let (engine, _) = cluster(4, ApuamaConfig::default());
+        for node in 0..0 {
+            let _ = node;
+        }
+        let controller = Controller::new(engine.connections(), ControllerConfig::default());
+        controller
+            .execute("insert into orders values (5000, 1.0)")
+            .unwrap();
+        let (out, _) = controller
+            .execute("select count(*) as n from orders")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(61));
+    }
+}

@@ -1,0 +1,219 @@
+//! Table metadata: schemas, key/clustering declarations, width estimates.
+
+use apuama_sql::{ColumnDef, DataType};
+use apuama_storage::TableId;
+
+use crate::error::{EngineError, EngineResult};
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+/// Estimated on-disk width of one column, used for page geometry. Text
+/// columns use a TPC-H-ish average.
+fn column_bytes(ty: DataType) -> u64 {
+    match ty {
+        DataType::Int => 8,
+        DataType::Float => 8,
+        DataType::Date => 4,
+        DataType::Bool => 1,
+        DataType::Text => 24,
+    }
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub id: TableId,
+    pub name: String,
+    pub columns: Vec<ColumnMeta>,
+    /// Primary-key column indices (order matters for compound keys).
+    pub primary_key: Vec<usize>,
+    /// Clustering column index: rows are physically ordered by this column
+    /// and its index supports contiguous range scans.
+    pub clustered_by: Option<usize>,
+}
+
+impl TableSchema {
+    /// Builds a schema from parsed DDL parts, validating key references.
+    pub fn from_ddl(
+        id: TableId,
+        name: &str,
+        columns: &[ColumnDef],
+        primary_key: &[String],
+        clustered_by: Option<&str>,
+    ) -> EngineResult<TableSchema> {
+        let metas: Vec<ColumnMeta> = columns
+            .iter()
+            .map(|c| ColumnMeta {
+                name: c.name.clone(),
+                data_type: c.data_type,
+                not_null: c.not_null,
+            })
+            .collect();
+        let find = |col: &str| -> EngineResult<usize> {
+            metas
+                .iter()
+                .position(|m| m.name == col)
+                .ok_or_else(|| EngineError::UnknownColumn(col.to_string()))
+        };
+        let pk = primary_key
+            .iter()
+            .map(|c| find(c))
+            .collect::<EngineResult<Vec<usize>>>()?;
+        let cluster = match clustered_by {
+            Some(c) => Some(find(c)?),
+            // Default: cluster by the first primary-key column, matching the
+            // paper's physical design ("tuples of the fact tables are
+            // physically ordered according to their partitioning
+            // attributes").
+            None => pk.first().copied(),
+        };
+        Ok(TableSchema {
+            id,
+            name: name.to_string(),
+            columns: metas,
+            primary_key: pk,
+            clustered_by: cluster,
+        })
+    }
+
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Estimated tuple width in bytes (page-geometry input).
+    pub fn tuple_bytes(&self) -> u64 {
+        8 + self
+            .columns
+            .iter()
+            .map(|c| column_bytes(c.data_type))
+            .sum::<u64>()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// The catalog: name → schema.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    schemas: Vec<TableSchema>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a schema; the caller supplies the already-assigned id.
+    pub fn add(&mut self, schema: TableSchema) -> EngineResult<()> {
+        if self.get(&schema.name).is_some() {
+            return Err(EngineError::TableExists(schema.name.clone()));
+        }
+        self.schemas.push(schema);
+        Ok(())
+    }
+
+    /// Looks a table up by name.
+    pub fn get(&self, name: &str) -> Option<&TableSchema> {
+        self.schemas.iter().find(|s| s.name == name)
+    }
+
+    /// Looks a table up by id.
+    pub fn get_by_id(&self, id: TableId) -> Option<&TableSchema> {
+        self.schemas.iter().find(|s| s.id == id)
+    }
+
+    /// Next free table id.
+    pub fn next_id(&self) -> TableId {
+        self.schemas.iter().map(|s| s.id + 1).max().unwrap_or(0)
+    }
+
+    /// All registered schemas.
+    pub fn iter(&self) -> impl Iterator<Item = &TableSchema> {
+        self.schemas.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str, ty: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            data_type: ty,
+            not_null: false,
+        }
+    }
+
+    #[test]
+    fn schema_from_ddl_resolves_keys() {
+        let s = TableSchema::from_ddl(
+            0,
+            "orders",
+            &[col("o_orderkey", DataType::Int), col("o_comment", DataType::Text)],
+            &["o_orderkey".into()],
+            None,
+        )
+        .unwrap();
+        assert_eq!(s.primary_key, vec![0]);
+        // Defaults to clustering on the first PK column.
+        assert_eq!(s.clustered_by, Some(0));
+    }
+
+    #[test]
+    fn explicit_cluster_column() {
+        let s = TableSchema::from_ddl(
+            0,
+            "lineitem",
+            &[
+                col("l_orderkey", DataType::Int),
+                col("l_linenumber", DataType::Int),
+            ],
+            &["l_orderkey".into(), "l_linenumber".into()],
+            Some("l_orderkey"),
+        )
+        .unwrap();
+        assert_eq!(s.clustered_by, Some(0));
+        assert_eq!(s.primary_key, vec![0, 1]);
+    }
+
+    #[test]
+    fn bad_key_column_errors() {
+        let err = TableSchema::from_ddl(0, "t", &[col("a", DataType::Int)], &["b".into()], None)
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownColumn("b".into()));
+    }
+
+    #[test]
+    fn tuple_bytes_counts_columns() {
+        let s = TableSchema::from_ddl(
+            0,
+            "t",
+            &[col("a", DataType::Int), col("b", DataType::Text)],
+            &[],
+            None,
+        )
+        .unwrap();
+        assert_eq!(s.tuple_bytes(), 8 + 8 + 24);
+        assert_eq!(s.clustered_by, None);
+    }
+
+    #[test]
+    fn catalog_rejects_duplicates() {
+        let mut c = Catalog::new();
+        let s = TableSchema::from_ddl(0, "t", &[col("a", DataType::Int)], &[], None).unwrap();
+        c.add(s.clone()).unwrap();
+        assert!(matches!(c.add(s), Err(EngineError::TableExists(_))));
+        assert_eq!(c.next_id(), 1);
+    }
+}

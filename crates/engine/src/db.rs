@@ -1,0 +1,1060 @@
+//! The database façade: statement dispatch, sessions settings, transactions.
+//!
+//! One [`Database`] instance is one cluster node's DBMS. Reads
+//! ([`Database::query`]) take `&self` and may run concurrently from many
+//! threads (the buffer pool serializes internally); writes
+//! ([`Database::execute`]) take `&mut self`, matching the cluster layer's
+//! reader-writer locking and C-JDBC's totally ordered write broadcast.
+//!
+//! `SET enable_seqscan = on|off` is accepted on the read path because that
+//! is exactly how Apuama interferes with the optimizer around SVP
+//! sub-queries without opening a write transaction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use apuama_sql::ast::{Expr, Statement};
+use apuama_sql::{parse_statement, parse_statements, Value};
+use apuama_storage::{AccessKind, BufferPool, BufferStats, PageKey, Row, RowId, TableId};
+
+use crate::catalog::{Catalog, TableSchema};
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{eval_expr, split_conjuncts};
+use crate::exec::{self, ExecContext};
+use crate::planner;
+use crate::stats::ExecStats;
+use crate::table::Table;
+
+/// Result of one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Output column names (empty for DML/DDL).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Row>,
+    /// Rows affected by DML (0 for queries/DDL).
+    pub rows_affected: u64,
+    /// Work accounting for the simulator.
+    pub stats: ExecStats,
+}
+
+/// Session-level settings. Only `enable_seqscan` affects planning; other
+/// `SET` names are stored verbatim so drivers can round-trip them.
+#[derive(Debug)]
+pub struct Settings {
+    enable_seqscan: AtomicBool,
+    misc: Mutex<HashMap<String, String>>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            enable_seqscan: AtomicBool::new(true),
+            misc: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Undo-log entry for transaction rollback.
+#[derive(Debug)]
+enum Undo {
+    Insert { table: TableId, rid: RowId },
+    Delete { table: TableId, row: Row },
+    Update { table: TableId, rid: RowId, old: Row },
+}
+
+/// A single-node database instance.
+#[derive(Debug)]
+pub struct Database {
+    catalog: Catalog,
+    tables: Vec<Table>,
+    pool: Mutex<BufferPool>,
+    settings: Settings,
+    /// `Some` while a transaction is open; holds the undo log.
+    txn: Option<Vec<Undo>>,
+}
+
+impl Database {
+    /// Creates a database whose buffer pool holds `pool_pages` pages. This
+    /// is the per-node RAM knob of the reproduction.
+    pub fn new(pool_pages: usize) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            tables: Vec::new(),
+            pool: Mutex::new(BufferPool::new(pool_pages)),
+            settings: Settings::default(),
+            txn: None,
+        }
+    }
+
+    /// An effectively-infinite buffer pool: the in-memory engine used for
+    /// result composition (the paper's HSQLDB role).
+    pub fn in_memory() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            tables: Vec::new(),
+            pool: Mutex::new(BufferPool::unbounded()),
+            settings: Settings::default(),
+            txn: None,
+        }
+    }
+
+    // -- metadata access -----------------------------------------------------
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.catalog
+            .get(name)
+            .map(|s| &self.tables[s.id as usize])
+    }
+
+    fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id as usize]
+    }
+
+    /// Whether the planner may pick sequential scans.
+    pub fn seqscan_enabled(&self) -> bool {
+        self.settings.enable_seqscan.load(Ordering::SeqCst)
+    }
+
+    /// Whether the planner may pick index scans (`SET enable_indexscan`,
+    /// default on — PostgreSQL's matching knob).
+    pub fn indexscan_enabled(&self) -> bool {
+        self.settings
+            .misc
+            .lock()
+            .get("enable_indexscan")
+            .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
+            .unwrap_or(true)
+    }
+
+    /// Reads back a miscellaneous session setting.
+    pub fn setting(&self, name: &str) -> Option<String> {
+        if name == "enable_seqscan" {
+            return Some(if self.seqscan_enabled() { "on" } else { "off" }.to_string());
+        }
+        self.settings.misc.lock().get(name).cloned()
+    }
+
+    // -- buffer pool ----------------------------------------------------------
+
+    /// Touches a page; returns hit/miss. Called by executors.
+    pub(crate) fn pool_access(&self, key: PageKey, kind: AccessKind) -> bool {
+        self.pool.lock().access(key, kind)
+    }
+
+    /// Cumulative pool counters (includes evictions, which are not
+    /// attributable to single statements).
+    pub fn pool_stats(&self) -> BufferStats {
+        self.pool.lock().stats()
+    }
+
+    /// Empties the pool — cold-cache experiment setup.
+    pub fn drop_caches(&self) {
+        self.pool.lock().clear();
+    }
+
+    /// Drops one table's pages from the pool (post-vacuum: the page
+    /// layout changed, so cached residency is meaningless).
+    fn pool_invalidate(&self, table: TableId) {
+        self.pool.lock().invalidate_table(table);
+    }
+
+    /// Pool capacity in pages.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.lock().capacity()
+    }
+
+    /// Re-sizes the buffer pool (evicting if shrinking). The simulator uses
+    /// this after loading to set each node's RAM at the paper's
+    /// RAM:database ratio.
+    pub fn set_pool_capacity(&self, pages: usize) {
+        self.pool.lock().set_capacity(pages);
+    }
+
+    /// Total heap pages across all tables (database "size on disk").
+    pub fn total_pages(&self) -> u64 {
+        self.tables.iter().map(|t| t.pages()).sum()
+    }
+
+    // -- statement execution ---------------------------------------------------
+
+    /// Executes any statement (reads and writes).
+    pub fn execute(&mut self, sql: &str) -> EngineResult<QueryOutput> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Executes a `;`-separated script, merging statistics; returns the
+    /// last statement's output with the merged stats.
+    pub fn execute_script(&mut self, sql: &str) -> EngineResult<QueryOutput> {
+        let stmts = parse_statements(sql)?;
+        let mut merged = ExecStats::default();
+        let mut last = QueryOutput::default();
+        for s in &stmts {
+            let out = self.execute_stmt(s)?;
+            merged.merge(&out.stats);
+            last = out;
+        }
+        last.stats = merged;
+        Ok(last)
+    }
+
+    /// Read-only entry point usable from `&self` (concurrent readers).
+    /// Accepts SELECT and SET; anything else is rejected.
+    pub fn query(&self, sql: &str) -> EngineResult<QueryOutput> {
+        let stmt = parse_statement(sql)?;
+        match &stmt {
+            Statement::Select(q) => {
+                let ctx = ExecContext::new(self);
+                let rel = exec::run_select(q, &[], &ctx)?;
+                ctx.record_output(&rel);
+                Ok(QueryOutput {
+                    columns: rel.column_names(),
+                    rows: rel.rows,
+                    rows_affected: 0,
+                    stats: ctx.take_stats(),
+                })
+            }
+            Statement::Set { name, value } => {
+                self.apply_set(name, value);
+                Ok(QueryOutput::default())
+            }
+            Statement::Explain(inner) => match inner.as_ref() {
+                Statement::Select(q) => {
+                    let ctx = ExecContext::new(self);
+                    let lines = exec::explain_select(q, &ctx)?;
+                    Ok(QueryOutput {
+                        columns: vec!["plan".to_string()],
+                        rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+                        rows_affected: 0,
+                        stats: ctx.take_stats(),
+                    })
+                }
+                other => Err(EngineError::Unsupported(format!(
+                    "EXPLAIN only supports SELECT, got: {other}"
+                ))),
+            },
+            other => Err(EngineError::Unsupported(format!(
+                "query() only runs SELECT/SET, got: {other}"
+            ))),
+        }
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> EngineResult<QueryOutput> {
+        match stmt {
+            Statement::Select(_) | Statement::Set { .. } | Statement::Explain(_) => {
+                // Delegate to the read path (it covers all three).
+                self.query(&stmt.to_string())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.exec_insert(table, columns, rows),
+            Statement::Delete { table, selection } => self.exec_delete(table, selection.as_ref()),
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => self.exec_update(table, assignments, selection.as_ref()),
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                clustered_by,
+            } => {
+                let id = self.catalog.next_id();
+                debug_assert_eq!(id as usize, self.tables.len());
+                let schema =
+                    TableSchema::from_ddl(id, name, columns, primary_key, clustered_by.as_deref())?;
+                self.catalog.add(schema.clone())?;
+                self.tables.push(Table::new(schema));
+                Ok(QueryOutput::default())
+            }
+            Statement::CreateIndex { table, column, .. } => {
+                let schema = self
+                    .catalog
+                    .get(table)
+                    .ok_or_else(|| EngineError::UnknownTable(table.clone()))?;
+                let ci = schema
+                    .column_index(column)
+                    .ok_or_else(|| EngineError::UnknownColumn(column.clone()))?;
+                let id = schema.id;
+                self.table_mut(id).create_index(ci);
+                Ok(QueryOutput::default())
+            }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(EngineError::Transaction("nested BEGIN".into()));
+                }
+                self.txn = Some(Vec::new());
+                Ok(QueryOutput::default())
+            }
+            Statement::Commit => {
+                if self.txn.take().is_none() {
+                    return Err(EngineError::Transaction("COMMIT without BEGIN".into()));
+                }
+                Ok(QueryOutput::default())
+            }
+            Statement::Rollback => {
+                let Some(undo) = self.txn.take() else {
+                    return Err(EngineError::Transaction("ROLLBACK without BEGIN".into()));
+                };
+                for entry in undo.into_iter().rev() {
+                    match entry {
+                        Undo::Insert { table, rid } => {
+                            self.table_mut(table).delete(rid);
+                        }
+                        Undo::Delete { table, row } => {
+                            self.table_mut(table).insert(row)?;
+                        }
+                        Undo::Update { table, rid, old } => {
+                            self.table_mut(table).update(rid, old)?;
+                        }
+                    }
+                }
+                Ok(QueryOutput::default())
+            }
+        }
+    }
+
+    fn apply_set(&self, name: &str, value: &str) {
+        if name == "enable_seqscan" {
+            let on = matches!(value, "on" | "true" | "1" | "yes");
+            self.settings.enable_seqscan.store(on, Ordering::SeqCst);
+        } else {
+            self.settings
+                .misc
+                .lock()
+                .insert(name.to_string(), value.to_string());
+        }
+    }
+
+    // -- DML -----------------------------------------------------------------
+
+    fn exec_insert(
+        &mut self,
+        table_name: &str,
+        columns: &[String],
+        value_rows: &[Vec<Expr>],
+    ) -> EngineResult<QueryOutput> {
+        let schema = self
+            .catalog
+            .get(table_name)
+            .ok_or_else(|| EngineError::UnknownTable(table_name.to_string()))?
+            .clone();
+        // Column mapping: listed columns or positional.
+        let mapping: Vec<usize> = if columns.is_empty() {
+            (0..schema.arity()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .column_index(c)
+                        .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+                })
+                .collect::<EngineResult<_>>()?
+        };
+        // Evaluate the value expressions (column-free by construction).
+        let mut stats = ExecStats::default();
+        let rows: Vec<Row> = {
+            let ctx = ExecContext::new(self);
+            let mut out = Vec::with_capacity(value_rows.len());
+            for exprs in value_rows {
+                if exprs.len() != mapping.len() {
+                    return Err(EngineError::Constraint(format!(
+                        "INSERT expects {} values per row, got {}",
+                        mapping.len(),
+                        exprs.len()
+                    )));
+                }
+                let mut row = vec![Value::Null; schema.arity()];
+                for (expr, &slot) in exprs.iter().zip(&mapping) {
+                    row[slot] = eval_expr(expr, &[], &ctx)?;
+                }
+                out.push(row);
+            }
+            stats.merge(&ctx.take_stats());
+            out
+        };
+        let index_count = self.tables[schema.id as usize].indexed_columns().count() as u64;
+        let mut inserted = Vec::with_capacity(rows.len());
+        for row in rows {
+            let rid = self.table_mut(schema.id).insert(row)?;
+            inserted.push(rid);
+        }
+        // Charge I/O: each inserted row dirties its heap page; index
+        // maintenance is CPU work.
+        for &rid in &inserted {
+            let table = &self.tables[schema.id as usize];
+            let page = table.heap.geometry().page_of(rid);
+            let hit = self.pool_access(
+                PageKey {
+                    table: schema.id,
+                    page,
+                },
+                AccessKind::Random,
+            );
+            if hit {
+                stats.buffer.hits += 1;
+            } else {
+                stats.buffer.misses_rand += 1;
+            }
+            stats.cpu_tuple_ops += 1 + index_count;
+        }
+        let n = inserted.len() as u64;
+        if let Some(undo) = &mut self.txn {
+            undo.extend(inserted.into_iter().map(|rid| Undo::Insert {
+                table: schema.id,
+                rid,
+            }));
+        }
+        Ok(QueryOutput {
+            rows_affected: n,
+            stats,
+            ..QueryOutput::default()
+        })
+    }
+
+    /// Finds row ids matching a predicate, using the same access-path logic
+    /// as queries (RF2's keyed deletes hit the clustered index, not a scan).
+    fn matching_rids(
+        &self,
+        table: &Table,
+        selection: Option<&Expr>,
+        stats: &mut ExecStats,
+    ) -> EngineResult<Vec<RowId>> {
+        let ctx = ExecContext::new(self);
+        let conjuncts = split_conjuncts(selection);
+        let eval_const = |e: &Expr| -> Option<Value> {
+            let mut has_col = false;
+            apuama_sql::visit::shallow_walk(e, &mut |x| {
+                if matches!(x, Expr::Column(_)) {
+                    has_col = true;
+                }
+            });
+            if has_col {
+                None
+            } else {
+                eval_expr(e, &[], &ctx).ok()
+            }
+        };
+        let choice = planner::choose_access_path(
+            table,
+            &table.schema.name,
+            &conjuncts,
+            self.seqscan_enabled(),
+            self.indexscan_enabled(),
+            &eval_const,
+        );
+        let residual: Vec<Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(ci, _)| !choice.consumed.contains(ci))
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rids = exec::scan_rids(&ctx, table, &choice.path, &residual)?;
+        stats.merge(&ctx.take_stats());
+        Ok(rids)
+    }
+
+    fn exec_delete(
+        &mut self,
+        table_name: &str,
+        selection: Option<&Expr>,
+    ) -> EngineResult<QueryOutput> {
+        let id = self
+            .catalog
+            .get(table_name)
+            .ok_or_else(|| EngineError::UnknownTable(table_name.to_string()))?
+            .id;
+        let mut stats = ExecStats::default();
+        let rids = self.matching_rids(&self.tables[id as usize], selection, &mut stats)?;
+        let index_count = self.tables[id as usize].indexed_columns().count() as u64;
+        let mut n = 0u64;
+        for rid in rids {
+            let page = self.tables[id as usize].heap.geometry().page_of(rid);
+            if let Some(row) = self.table_mut(id).delete(rid) {
+                n += 1;
+                let hit = self.pool_access(PageKey { table: id, page }, AccessKind::Random);
+                if hit {
+                    stats.buffer.hits += 1;
+                } else {
+                    stats.buffer.misses_rand += 1;
+                }
+                stats.cpu_tuple_ops += 1 + index_count;
+                if let Some(undo) = &mut self.txn {
+                    undo.push(Undo::Delete { table: id, row });
+                }
+            }
+        }
+        // Auto-vacuum: once a third of the heap is tombstones, compact and
+        // rebuild indexes so page counts (and therefore I/O charges) track
+        // live data again — outside transactions only, since the undo log
+        // holds no row ids but rollback re-inserts would interleave badly
+        // with a concurrent compaction of the same statement.
+        if self.txn.is_none() {
+            let table = &self.tables[id as usize];
+            if table.tombstone_ratio() > 0.34 && table.heap.slots() > 128 {
+                let reclaimed = self.table_mut(id).vacuum();
+                let _ = self.pool_invalidate(id);
+                stats.cpu_tuple_ops += reclaimed;
+            }
+        }
+        Ok(QueryOutput {
+            rows_affected: n,
+            stats,
+            ..QueryOutput::default()
+        })
+    }
+
+    fn exec_update(
+        &mut self,
+        table_name: &str,
+        assignments: &[(String, Expr)],
+        selection: Option<&Expr>,
+    ) -> EngineResult<QueryOutput> {
+        let schema = self
+            .catalog
+            .get(table_name)
+            .ok_or_else(|| EngineError::UnknownTable(table_name.to_string()))?
+            .clone();
+        let targets: Vec<usize> = assignments
+            .iter()
+            .map(|(c, _)| {
+                schema
+                    .column_index(c)
+                    .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+            })
+            .collect::<EngineResult<_>>()?;
+        let mut stats = ExecStats::default();
+        let rids = self.matching_rids(&self.tables[schema.id as usize], selection, &mut stats)?;
+        // Compute the new rows (assignments may reference current values).
+        let mut updates: Vec<(RowId, Row)> = Vec::with_capacity(rids.len());
+        {
+            let ctx = ExecContext::new(self);
+            let table = &self.tables[schema.id as usize];
+            let bindings = exec::bindings_for_table(&table.schema, None);
+            for &rid in &rids {
+                let Some(row) = table.heap.get(rid) else {
+                    continue;
+                };
+                let frames = [crate::eval::Frame {
+                    bindings: &bindings,
+                    row,
+                }];
+                let mut new_row = row.clone();
+                for ((_, expr), &slot) in assignments.iter().zip(&targets) {
+                    new_row[slot] = eval_expr(expr, &frames, &ctx)?;
+                }
+                updates.push((rid, new_row));
+            }
+            stats.merge(&ctx.take_stats());
+        }
+        let mut n = 0u64;
+        for (rid, new_row) in updates {
+            let page = self.tables[schema.id as usize].heap.geometry().page_of(rid);
+            if let Some(old) = self.table_mut(schema.id).update(rid, new_row)? {
+                n += 1;
+                let hit = self.pool_access(
+                    PageKey {
+                        table: schema.id,
+                        page,
+                    },
+                    AccessKind::Random,
+                );
+                if hit {
+                    stats.buffer.hits += 1;
+                } else {
+                    stats.buffer.misses_rand += 1;
+                }
+                stats.cpu_tuple_ops += 1;
+                if let Some(undo) = &mut self.txn {
+                    undo.push(Undo::Update {
+                        table: schema.id,
+                        rid,
+                        old,
+                    });
+                }
+            }
+        }
+        Ok(QueryOutput {
+            rows_affected: n,
+            stats,
+            ..QueryOutput::default()
+        })
+    }
+
+    // -- bulk loading ----------------------------------------------------------
+
+    /// Loads rows directly into a (fresh) table, bypassing SQL. Used by the
+    /// TPC-H loader to populate replicas quickly; clustered tables are
+    /// sorted by their clustering key exactly as the paper's physical
+    /// design prescribes.
+    pub fn load_table(&mut self, name: &str, rows: Vec<Row>) -> EngineResult<()> {
+        let id = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?
+            .id;
+        self.table_mut(id).bulk_load(rows)
+    }
+
+    /// Appends rows through the normal insert path (indexes maintained,
+    /// works on non-empty tables) — the staging-table reload used by
+    /// pooled composers.
+    pub fn append_rows(&mut self, name: &str, rows: Vec<Row>) -> EngineResult<()> {
+        let id = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?
+            .id;
+        for row in rows {
+            self.table_mut(id).insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut d = Database::in_memory();
+        d.execute(
+            "create table t (k int not null, v float, s text, primary key (k)) clustered by (k)",
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn insert_and_select() {
+        let mut d = db();
+        let out = d
+            .execute("insert into t values (1, 1.5, 'a'), (2, 2.5, 'b')")
+            .unwrap();
+        assert_eq!(out.rows_affected, 2);
+        let res = d.query("select k, v from t where k = 2").unwrap();
+        assert_eq!(res.columns, vec!["k", "v"]);
+        assert_eq!(res.rows, vec![vec![Value::Int(2), Value::Float(2.5)]]);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut d = db();
+        d.execute("insert into t (k) values (7)").unwrap();
+        let res = d.query("select v from t").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn delete_with_range_predicate() {
+        let mut d = db();
+        for i in 0..10 {
+            d.execute(&format!("insert into t values ({i}, {i}.0, 'x')"))
+                .unwrap();
+        }
+        let out = d.execute("delete from t where k >= 5 and k < 8").unwrap();
+        assert_eq!(out.rows_affected, 3);
+        assert_eq!(d.table("t").unwrap().row_count(), 7);
+    }
+
+    #[test]
+    fn update_statement() {
+        let mut d = db();
+        d.execute("insert into t values (1, 1.0, 'a')").unwrap();
+        let out = d.execute("update t set v = v + 1.0 where k = 1").unwrap();
+        assert_eq!(out.rows_affected, 1);
+        let res = d.query("select v from t").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Float(2.0)]]);
+    }
+
+    #[test]
+    fn aggregation_with_group_by() {
+        let mut d = db();
+        d.execute("insert into t values (1, 10.0, 'a'), (2, 20.0, 'a'), (3, 5.0, 'b')")
+            .unwrap();
+        let res = d
+            .query("select s, sum(v) as total, count(*) as n from t group by s order by s")
+            .unwrap();
+        assert_eq!(
+            res.rows,
+            vec![
+                vec![Value::Str("a".into()), Value::Float(30.0), Value::Int(2)],
+                vec![Value::Str("b".into()), Value::Float(5.0), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn avg_and_expression_over_aggregates() {
+        let mut d = db();
+        d.execute("insert into t values (1, 10.0, 'a'), (2, 30.0, 'a')")
+            .unwrap();
+        let res = d
+            .query("select avg(v) as m, sum(v) / count(*) as m2 from t")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Float(20.0), Value::Float(20.0)]]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let d = db();
+        let res = d.query("select count(*) as n, sum(v) as s from t").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let mut d = db();
+        d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'c')")
+            .unwrap();
+        let res = d
+            .query("select k from t order by k desc limit 2")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn transaction_rollback_restores_rows() {
+        let mut d = db();
+        d.execute("insert into t values (1, 1.0, 'a')").unwrap();
+        d.execute("begin").unwrap();
+        d.execute("insert into t values (2, 2.0, 'b')").unwrap();
+        d.execute("delete from t where k = 1").unwrap();
+        d.execute("rollback").unwrap();
+        let res = d.query("select k from t order by k").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn transaction_commit_keeps_changes() {
+        let mut d = db();
+        d.execute("begin").unwrap();
+        d.execute("insert into t values (1, 1.0, 'a')").unwrap();
+        d.execute("commit").unwrap();
+        assert_eq!(d.table("t").unwrap().row_count(), 1);
+        assert!(!d.in_transaction());
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let mut d = db();
+        d.execute("begin").unwrap();
+        assert!(matches!(
+            d.execute("begin"),
+            Err(EngineError::Transaction(_))
+        ));
+    }
+
+    #[test]
+    fn set_enable_seqscan_roundtrip() {
+        let d = db();
+        assert!(d.seqscan_enabled());
+        d.query("set enable_seqscan = off").unwrap();
+        assert!(!d.seqscan_enabled());
+        assert_eq!(d.setting("enable_seqscan").as_deref(), Some("off"));
+        d.query("set enable_seqscan = on").unwrap();
+        assert!(d.seqscan_enabled());
+    }
+
+    #[test]
+    fn query_rejects_writes() {
+        let d = db();
+        assert!(d.query("insert into t values (1, 1.0, 'x')").is_err());
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let mut d = db();
+        d.execute("create table u (k int not null, w text, primary key (k))")
+            .unwrap();
+        d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'b')")
+            .unwrap();
+        d.execute("insert into u values (1, 'one'), (3, 'three')")
+            .unwrap();
+        let res = d
+            .query("select t.k, w from t, u where t.k = u.k")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(1), Value::Str("one".into())]]);
+    }
+
+    #[test]
+    fn exists_subquery_correlated() {
+        let mut d = db();
+        d.execute("create table u (k int not null, w text, primary key (k))")
+            .unwrap();
+        d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'b')")
+            .unwrap();
+        d.execute("insert into u values (2, 'two')").unwrap();
+        let res = d
+            .query("select k from t where exists (select 1 from u where u.k = t.k)")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(2)]]);
+        let res = d
+            .query("select k from t where not exists (select 1 from u where u.k = t.k) order by k")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let mut d = db();
+        d.execute("create table u (k int not null, w text, primary key (k))")
+            .unwrap();
+        d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'b')")
+            .unwrap();
+        d.execute("insert into u values (2, 'two')").unwrap();
+        let res = d
+            .query("select k from t where k in (select k from u)")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let mut d = db();
+        d.execute("insert into t values (1, 1.0, 'a'), (5, 2.0, 'b')")
+            .unwrap();
+        let res = d
+            .query("select k from t where k = (select max(k) from t)")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(5)]]);
+    }
+
+    #[test]
+    fn case_expression_aggregation() {
+        let mut d = db();
+        d.execute("insert into t values (1, 10.0, 'a'), (2, 20.0, 'b'), (3, 30.0, 'a')")
+            .unwrap();
+        let res = d
+            .query(
+                "select sum(case when s = 'a' then v else 0.0 end) as a_total from t",
+            )
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Float(40.0)]]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut d = db();
+        d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'a')")
+            .unwrap();
+        let res = d.query("select distinct s from t").unwrap();
+        assert_eq!(res.rows.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_pages_and_rows() {
+        let mut d = Database::new(1_000);
+        d.execute("create table t (k int not null, v float, primary key (k))")
+            .unwrap();
+        for i in 0..100 {
+            d.execute(&format!("insert into t values ({i}, {i}.0)")).unwrap();
+        }
+        let out = d.query("select sum(v) from t").unwrap();
+        assert_eq!(out.stats.rows_scanned, 100);
+        assert!(out.stats.buffer.accesses() > 0);
+        assert_eq!(out.stats.rows_out, 1);
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let mut d = db();
+        d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'b')")
+            .unwrap();
+        let res = d
+            .query("select x from (select k as x from t) sub where x > 1")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut d = db();
+        d.execute("insert into t values (1, 10.0, 'a'), (2, 20.0, 'a'), (3, 5.0, 'b')")
+            .unwrap();
+        let res = d
+            .query("select s, count(*) as n from t group by s having count(*) > 1")
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Str("a".into()), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn date_predicates() {
+        let mut d = Database::in_memory();
+        d.execute("create table e (d date, x int)").unwrap();
+        d.execute("insert into e values (date '1994-06-01', 1), (date '1995-06-01', 2)")
+            .unwrap();
+        let res = d
+            .query(
+                "select x from e where d >= date '1994-01-01' \
+                 and d < date '1994-01-01' + interval '1' year",
+            )
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(1)]]);
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut d = Database::new(100);
+        d.execute(
+            "create table orders (o_orderkey int not null, o_totalprice float, \
+             primary key (o_orderkey)) clustered by (o_orderkey)",
+        )
+        .unwrap();
+        d.execute(
+            "create table lineitem (l_orderkey int not null, l_qty float, \
+             primary key (l_orderkey)) clustered by (l_orderkey)",
+        )
+        .unwrap();
+        // Big enough that index ranges beat the (few-page) seq scan.
+        let orders: Vec<Vec<Value>> = (1..=5_000i64)
+            .map(|k| vec![Value::Int(k), Value::Float(k as f64)])
+            .collect();
+        let lineitem: Vec<Vec<Value>> = (1..=5_000i64)
+            .map(|k| vec![Value::Int(k), Value::Float(1.0)])
+            .collect();
+        d.load_table("orders", orders).unwrap();
+        d.load_table("lineitem", lineitem).unwrap();
+        d
+    }
+
+    fn plan_text(d: &Database, sql: &str) -> String {
+        let out = d.query(sql).unwrap();
+        assert_eq!(out.columns, vec!["plan"]);
+        out.rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn explain_shows_index_range_for_keyed_predicate() {
+        let d = db();
+        let plan = plan_text(
+            &d,
+            "explain select o_totalprice from orders where o_orderkey >= 10 and o_orderkey < 20",
+        );
+        assert!(plan.contains("clustered index range on o_orderkey"), "{plan}");
+        assert!(plan.contains("[10= .. 20)"), "{plan}");
+    }
+
+    #[test]
+    fn explain_shows_seq_scan_without_predicates() {
+        let d = db();
+        let plan = plan_text(&d, "explain select o_totalprice from orders");
+        assert!(plan.contains("seq scan"), "{plan}");
+    }
+
+    #[test]
+    fn explain_respects_enable_seqscan() {
+        let d = db();
+        d.query("set enable_seqscan = off").unwrap();
+        let plan = plan_text(&d, "explain select o_totalprice from orders");
+        assert!(plan.contains("index range"), "{plan}");
+        d.query("set enable_seqscan = on").unwrap();
+    }
+
+    #[test]
+    fn explain_shows_join_order_and_aggregate() {
+        let d = db();
+        let plan = plan_text(
+            &d,
+            "explain select count(*) as n from orders, lineitem \
+             where l_orderkey = o_orderkey group by o_totalprice order by o_totalprice limit 5",
+        );
+        assert!(plan.contains("drive with"), "{plan}");
+        assert!(plan.contains("hash join"), "{plan}");
+        assert!(plan.contains("hash group by o_totalprice"), "{plan}");
+        assert!(plan.contains("sort: 1 key(s)"), "{plan}");
+        assert!(plan.contains("limit 5"), "{plan}");
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let d = db();
+        let before = d.pool_stats();
+        d.query("explain select count(*) as n from lineitem").unwrap();
+        let after = d.pool_stats();
+        // Planning touches no heap pages.
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn explain_non_select_rejected() {
+        let mut d = db();
+        assert!(d
+            .execute("explain insert into orders values (999999, 1.0)")
+            .is_err());
+    }
+
+    #[test]
+    fn explain_roundtrips_through_display() {
+        let stmt = apuama_sql::parse_statement("explain select 1").unwrap();
+        assert!(stmt.is_explain());
+        assert_eq!(stmt.to_string(), "explain select 1");
+    }
+}
+
+#[cfg(test)]
+mod vacuum_integration_tests {
+    use super::*;
+
+    #[test]
+    fn autocommit_deletes_trigger_auto_vacuum() {
+        let mut d = Database::in_memory();
+        d.execute("create table t (k int not null, primary key (k)) clustered by (k)")
+            .unwrap();
+        let rows: Vec<Row> = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+        d.load_table("t", rows).unwrap();
+        let pages_before = d.table("t").unwrap().pages();
+        d.execute("delete from t where k < 600").unwrap();
+        // 60% tombstones → auto-vacuum kicked in.
+        assert_eq!(d.table("t").unwrap().tombstone_ratio(), 0.0);
+        assert!(d.table("t").unwrap().pages() < pages_before);
+        // Data still answers correctly through the rebuilt index.
+        let out = d
+            .query("select count(*) as n from t where k >= 800 and k < 900")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn transactional_deletes_do_not_vacuum_and_rollback_restores() {
+        let mut d = Database::in_memory();
+        d.execute("create table t (k int not null, primary key (k)) clustered by (k)")
+            .unwrap();
+        let rows: Vec<Row> = (0..500i64).map(|i| vec![Value::Int(i)]).collect();
+        d.load_table("t", rows).unwrap();
+        d.execute("begin").unwrap();
+        d.execute("delete from t where k < 400").unwrap();
+        // No vacuum inside the transaction: the undo log must stay valid.
+        assert!(d.table("t").unwrap().tombstone_ratio() > 0.5);
+        d.execute("rollback").unwrap();
+        assert_eq!(d.table("t").unwrap().row_count(), 500);
+        let out = d.query("select count(*) as n from t where k < 400").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(400));
+    }
+}

@@ -1,0 +1,621 @@
+//! Expression evaluation with SQL three-valued logic and subquery support.
+//!
+//! Evaluation happens against a stack of [`Frame`]s: the innermost frame is
+//! the current tuple; outer frames belong to enclosing queries, which is how
+//! correlated subqueries (TPC-H Q4's `EXISTS`, Q21's `EXISTS`/`NOT EXISTS`)
+//! resolve their outer references.
+//!
+//! `EXISTS` over a single table is executed with a semi-join optimization:
+//! if the subquery has an equality conjunct between an indexed inner column
+//! and an expression computable from the outer frames, the evaluator probes
+//! the index instead of scanning — the same plan PostgreSQL picks for these
+//! queries, and essential for Q21 (three lineitem references) to finish.
+
+use apuama_sql::ast::{BinOp, ColumnRef, Expr, Select, TableRef, UnaryOp};
+use apuama_sql::value::HashableValue;
+use apuama_sql::Value;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use crate::error::{EngineError, EngineResult};
+use crate::exec::{self, Binding, ExecContext};
+
+/// One scope level: the bindings describing a tuple's columns plus the
+/// tuple itself.
+#[derive(Clone, Copy)]
+pub struct Frame<'a> {
+    pub bindings: &'a [Binding],
+    pub row: &'a [Value],
+}
+
+/// Resolves a column reference against a frame stack (innermost first).
+pub fn resolve_in_frames(
+    frames: &[Frame<'_>],
+    col: &ColumnRef,
+) -> EngineResult<(usize, usize)> {
+    for (fi, frame) in frames.iter().enumerate() {
+        match exec::resolve_column(frame.bindings, col) {
+            Ok(ci) => return Ok((fi, ci)),
+            Err(EngineError::AmbiguousColumn(c)) => {
+                return Err(EngineError::AmbiguousColumn(c))
+            }
+            Err(_) => continue,
+        }
+    }
+    Err(EngineError::UnknownColumn(format!("{col}")))
+}
+
+/// Evaluates an expression. `frames[0]` is the innermost scope.
+pub fn eval_expr(
+    expr: &Expr,
+    frames: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => {
+            let (fi, ci) = resolve_in_frames(frames, c)?;
+            Ok(frames[fi].row[ci].clone())
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, frames, ctx)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(x) => Ok(Value::Float(-x)),
+                    other => Err(EngineError::TypeError(format!("cannot negate {other}"))),
+                },
+                UnaryOp::Not => match truthiness(&v) {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Bool(!b)),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, frames, ctx),
+        Expr::Function { name, args, .. } => eval_scalar_function(name, args, frames, ctx),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, result) in branches {
+                if truthiness(&eval_expr(cond, frames, ctx)?) == Some(true) {
+                    return eval_expr(result, frames, ctx);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_expr(e, frames, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_expr(expr, frames, ctx)?;
+            let lo = eval_expr(low, frames, ctx)?;
+            let hi = eval_expr(high, frames, ctx)?;
+            let ge = compare(&v, &lo).map(|o| o != Ordering::Less);
+            let le = compare(&v, &hi).map(|o| o != Ordering::Greater);
+            let within = and3(ge, le);
+            Ok(bool3(if *negated { not3(within) } else { within }))
+        }
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval_expr(expr, frames, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval_expr(item, frames, ctx)?;
+                match compare(&v, &w) {
+                    None => saw_null = true,
+                    Some(Ordering::Equal) => {
+                        return Ok(Value::Bool(!negated));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::InSubquery {
+            expr,
+            negated,
+            query,
+        } => {
+            let v = eval_expr(expr, frames, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let (set, saw_null) = subquery_value_set(query, frames, ctx)?;
+            if set.contains(&v.hash_key()) {
+                Ok(Value::Bool(!negated))
+            } else if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Exists { negated, query } => {
+            let found = eval_exists(query, frames, ctx)?;
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::ScalarSubquery(query) => {
+            let rel = exec::run_select(query, frames, ctx)?;
+            match rel.rows.len() {
+                0 => Ok(Value::Null),
+                1 => {
+                    let row = &rel.rows[0];
+                    if row.len() != 1 {
+                        return Err(EngineError::TypeError(
+                            "scalar subquery must return one column".into(),
+                        ));
+                    }
+                    Ok(row[0].clone())
+                }
+                _ => Err(EngineError::TypeError(
+                    "scalar subquery returned more than one row".into(),
+                )),
+            }
+        }
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let v = eval_expr(expr, frames, ctx)?;
+            let p = eval_expr(pattern, frames, ctx)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    let m = like_match(&s, &pat);
+                    Ok(Value::Bool(m != *negated))
+                }
+                (a, b) => Err(EngineError::TypeError(format!(
+                    "LIKE needs strings, got {a} and {b}"
+                ))),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, frames, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+fn eval_binary(
+    left: &Expr,
+    op: BinOp,
+    right: &Expr,
+    frames: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Value> {
+    // AND/OR get short-circuit three-valued logic.
+    if op == BinOp::And {
+        let l = truthiness(&eval_expr(left, frames, ctx)?);
+        if l == Some(false) {
+            return Ok(Value::Bool(false));
+        }
+        let r = truthiness(&eval_expr(right, frames, ctx)?);
+        return Ok(bool3(and3(l, r)));
+    }
+    if op == BinOp::Or {
+        let l = truthiness(&eval_expr(left, frames, ctx)?);
+        if l == Some(true) {
+            return Ok(Value::Bool(true));
+        }
+        let r = truthiness(&eval_expr(right, frames, ctx)?);
+        return Ok(bool3(or3(l, r)));
+    }
+    let l = eval_expr(left, frames, ctx)?;
+    let r = eval_expr(right, frames, ctx)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let Some(ord) = compare(&l, &r) else {
+            return Err(EngineError::TypeError(format!(
+                "cannot compare {l} with {r}"
+            )));
+        };
+        let b = match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::NotEq => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::LtEq => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    arith(l, op, r)
+}
+
+/// Numeric / date arithmetic.
+fn arith(l: Value, op: BinOp, r: Value) -> EngineResult<Value> {
+    use Value::*;
+    match (l, op, r) {
+        // Date ± interval.
+        (Date(d), BinOp::Add, Interval(iv)) | (Interval(iv), BinOp::Add, Date(d)) => {
+            Ok(Date(d.add_interval(iv)))
+        }
+        (Date(d), BinOp::Sub, Interval(iv)) => Ok(Date(d.add_interval(iv.negate()))),
+        // Integer arithmetic stays exact.
+        (Int(a), BinOp::Add, Int(b)) => Ok(Int(a.wrapping_add(b))),
+        (Int(a), BinOp::Sub, Int(b)) => Ok(Int(a.wrapping_sub(b))),
+        (Int(a), BinOp::Mul, Int(b)) => Ok(Int(a.wrapping_mul(b))),
+        (Int(a), BinOp::Div, Int(b)) => {
+            if b == 0 {
+                Ok(Null)
+            } else {
+                Ok(Int(a / b))
+            }
+        }
+        // Mixed / float arithmetic widens to f64.
+        (a, op2, b) => {
+            let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+                return Err(EngineError::TypeError(format!(
+                    "bad operands for {}: {a}, {b}",
+                    op2.symbol()
+                )));
+            };
+            let v = match op2 {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Ok(Null);
+                    }
+                    x / y
+                }
+                _ => unreachable!("comparisons handled earlier"),
+            };
+            Ok(Float(v))
+        }
+    }
+}
+
+/// Scalar (non-aggregate) functions available in expressions. Aggregates
+/// reaching this point mean the planner misclassified the query.
+fn eval_scalar_function(
+    name: &str,
+    args: &[Expr],
+    frames: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Value> {
+    match name {
+        "extract_year" | "year" => {
+            let v = eval_expr(&args[0], frames, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Date(d) => Ok(Value::Int(d.year() as i64)),
+                other => Err(EngineError::TypeError(format!("year() on {other}"))),
+            }
+        }
+        "substring" | "substr" => {
+            // substring(s, start, len) with 1-based start, SQL style.
+            if args.len() != 3 {
+                return Err(EngineError::TypeError("substring needs 3 args".into()));
+            }
+            let s = eval_expr(&args[0], frames, ctx)?;
+            let start = eval_expr(&args[1], frames, ctx)?;
+            let len = eval_expr(&args[2], frames, ctx)?;
+            match (s, start, len) {
+                (Value::Null, _, _) => Ok(Value::Null),
+                (Value::Str(s), Value::Int(st), Value::Int(ln)) => {
+                    let st = (st.max(1) - 1) as usize;
+                    let ln = ln.max(0) as usize;
+                    Ok(Value::Str(s.chars().skip(st).take(ln).collect()))
+                }
+                _ => Err(EngineError::TypeError("bad substring args".into())),
+            }
+        }
+        "abs" => {
+            let v = eval_expr(&args[0], frames, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(x) => Ok(Value::Float(x.abs())),
+                other => Err(EngineError::TypeError(format!("abs() on {other}"))),
+            }
+        }
+        "coalesce" => {
+            for a in args {
+                let v = eval_expr(a, frames, ctx)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        agg if apuama_sql::ast::is_aggregate_name(agg) => Err(EngineError::TypeError(format!(
+            "aggregate {agg}() used outside aggregation context"
+        ))),
+        other => Err(EngineError::Unsupported(format!("function {other}()"))),
+    }
+}
+
+/// SQL LIKE matcher (`%` = any run, `_` = any single char); iterative
+/// two-pointer algorithm, O(n·m) worst case, no allocation.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_s += 1;
+            si = star_s;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// SQL truthiness: NULL ⇒ None, Bool(b) ⇒ Some(b); anything else is a type
+/// error in strict SQL but we treat non-null non-bool as an error upstream —
+/// here we map it to false to keep predicates total (this never fires on
+/// well-typed queries).
+pub fn truthiness(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        _ => Some(false),
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|b| !b)
+}
+
+fn bool3(a: Option<bool>) -> Value {
+    match a {
+        None => Value::Null,
+        Some(b) => Value::Bool(b),
+    }
+}
+
+/// Comparison used by predicates (NULL ⇒ None).
+pub fn compare(a: &Value, b: &Value) -> Option<Ordering> {
+    a.sql_cmp(b)
+}
+
+// ---------------------------------------------------------------------------
+// Subquery execution
+// ---------------------------------------------------------------------------
+
+/// Executes an IN-subquery and collects its (single) output column into a
+/// hash set, noting whether any NULL appeared (SQL's NOT IN trap).
+fn subquery_value_set(
+    query: &Select,
+    frames: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<(HashSet<HashableValue>, bool)> {
+    let rel = exec::run_select(query, frames, ctx)?;
+    let mut set = HashSet::with_capacity(rel.rows.len());
+    let mut saw_null = false;
+    for row in &rel.rows {
+        if row.len() != 1 {
+            return Err(EngineError::TypeError(
+                "IN subquery must return one column".into(),
+            ));
+        }
+        if row[0].is_null() {
+            saw_null = true;
+        } else {
+            set.insert(row[0].hash_key());
+        }
+    }
+    Ok((set, saw_null))
+}
+
+/// Evaluates `EXISTS (subquery)` for the current frame stack.
+///
+/// Fast path: single-table subquery with an equality conjunct
+/// `inner_indexed_col = outer_expr` — probe the index, check the residual
+/// predicate per candidate. Slow path: sequential scan with the predicate.
+fn eval_exists(
+    query: &Select,
+    frames: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<bool> {
+    // General shapes (joins, grouping) fall back to full execution.
+    let single_table = match query.from.as_slice() {
+        [TableRef::Table { name, alias }] => Some((name.clone(), alias.clone())),
+        _ => None,
+    };
+    let Some((table_name, alias)) = single_table else {
+        let rel = exec::run_select(query, frames, ctx)?;
+        return Ok(!rel.rows.is_empty());
+    };
+    let table = ctx
+        .db
+        .table(&table_name)
+        .ok_or_else(|| EngineError::UnknownTable(table_name.clone()))?;
+    let bindings = exec::bindings_for_table(&table.schema, alias.as_deref());
+
+    // Split the predicate and look for an index-probe opportunity.
+    let conjuncts = split_conjuncts(query.selection.as_ref());
+    let mut probe: Option<(usize, Value)> = None;
+    for c in &conjuncts {
+        if let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = c
+        {
+            for (a, b) in [(left, right), (right, left)] {
+                let Expr::Column(col) = a.as_ref() else {
+                    continue;
+                };
+                let Ok(ci) = exec::resolve_column(&bindings, col) else {
+                    continue;
+                };
+                if table.index_on(ci).is_none() {
+                    continue;
+                }
+                // The other side must be computable from the *outer* frames
+                // (i.e. not mention the inner table).
+                if let Ok(v) = eval_expr(b, frames, ctx) {
+                    probe = Some((ci, v));
+                    break;
+                }
+            }
+        }
+        if probe.is_some() {
+            break;
+        }
+    }
+
+    let check_row = |row: &[Value], ctx: &ExecContext<'_>| -> EngineResult<bool> {
+        let mut stack: Vec<Frame<'_>> = Vec::with_capacity(frames.len() + 1);
+        stack.push(Frame {
+            bindings: &bindings,
+            row,
+        });
+        stack.extend_from_slice(frames);
+        match &query.selection {
+            None => Ok(true),
+            Some(pred) => Ok(truthiness(&eval_expr(pred, &stack, ctx)?) == Some(true)),
+        }
+    };
+
+    if let Some((ci, val)) = probe {
+        ctx.bump_index_probes(1);
+        let idx = table.index_on(ci).expect("probe chose an indexed column");
+        for &rid in idx.get(&val) {
+            let Some(row) = table.heap.get(rid) else {
+                continue;
+            };
+            ctx.charge_row_fetch(table, rid);
+            if check_row(row, ctx)? {
+                return Ok(true);
+            }
+        }
+        return Ok(false);
+    }
+
+    // Sequential fallback.
+    let mut last_page = u64::MAX;
+    for (rid, row) in table.heap.iter() {
+        let page = table.heap.geometry().page_of(rid);
+        if page != last_page {
+            ctx.charge_page(table.schema.id, page, apuama_storage::AccessKind::Sequential);
+            last_page = page;
+        }
+        ctx.bump_rows_scanned(1);
+        if check_row(row, ctx)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Splits an optional predicate into its top-level AND conjuncts.
+pub fn split_conjuncts(pred: Option<&Expr>) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn go(e: &Expr, out: &mut Vec<Expr>) {
+        if let Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } = e
+        {
+            go(left, out);
+            go(right, out);
+        } else {
+            out.push(e.clone());
+        }
+    }
+    if let Some(p) = pred {
+        go(p, &mut out);
+    }
+    out
+}
+
+/// Rebuilds a predicate from conjuncts (inverse of [`split_conjuncts`]).
+pub fn conjoin(conjuncts: Vec<Expr>) -> Option<Expr> {
+    conjuncts.into_iter().reduce(Expr::and)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matcher_cases() {
+        assert!(like_match("PROMO BRUSHED", "PROMO%"));
+        assert!(!like_match("STANDARD", "PROMO%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abbc", "a_c"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("x%y", "x%y"));
+        assert!(like_match("special requests", "%special%requests%"));
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        assert_eq!(and3(Some(true), None), None);
+        assert_eq!(and3(Some(false), None), Some(false));
+        assert_eq!(or3(Some(true), None), Some(true));
+        assert_eq!(or3(Some(false), None), None);
+        assert_eq!(not3(None), None);
+    }
+
+    #[test]
+    fn conjunct_splitting_roundtrip() {
+        let e = apuama_sql::parse_expression("a = 1 and b = 2 and c = 3").unwrap();
+        let parts = split_conjuncts(Some(&e));
+        assert_eq!(parts.len(), 3);
+        let back = conjoin(parts).unwrap();
+        assert_eq!(back.to_string(), "(((a = 1) and (b = 2)) and (c = 3))");
+    }
+
+    #[test]
+    fn or_is_not_split() {
+        let e = apuama_sql::parse_expression("a = 1 or b = 2").unwrap();
+        assert_eq!(split_conjuncts(Some(&e)).len(), 1);
+    }
+}

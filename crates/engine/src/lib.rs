@@ -1,0 +1,42 @@
+//! A single-node relational engine — the "PostgreSQL" each cluster node runs.
+//!
+//! The Apuama paper treats the per-node DBMS as a black box reachable over
+//! JDBC. This crate supplies that black box: enough of a relational engine
+//! to execute the TPC-H evaluation queries and refresh streams for real,
+//! while exposing the two behaviours the middleware's correctness and
+//! performance arguments rest on:
+//!
+//! 1. **A cost-based access-path choice** between full sequential scans and
+//!    clustered-index range scans, overridable with
+//!    `SET enable_seqscan = off` — the knob Apuama flips around SVP
+//!    sub-queries (paper §3: "Apuama directly interferes in optimizer
+//!    choices in order to force index usage").
+//! 2. **Exact I/O accounting** through a per-node LRU buffer pool, so the
+//!    simulator can convert page faults into time and reproduce the paper's
+//!    memory-fit super-linear speedups.
+//!
+//! Architecture (one module per stage, DataFusion-style layering):
+//!
+//! ```text
+//!   SQL text ──parse──▶ AST ──plan──▶ AccessPlan ──execute──▶ rows + stats
+//!              (apuama-sql)  (planner)              (exec, eval)
+//! ```
+//!
+//! Updates (INSERT/DELETE/UPDATE) maintain every index and support
+//! single-session transactions with an undo log — the granularity C-JDBC
+//! needs for its totally ordered write broadcast.
+
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod planner;
+pub mod stats;
+pub mod table;
+
+pub use catalog::{Catalog, ColumnMeta, TableSchema};
+pub use db::{Database, QueryOutput, Settings};
+pub use error::{EngineError, EngineResult};
+pub use stats::ExecStats;
+pub use table::Table;

@@ -1,0 +1,69 @@
+//! Per-statement execution statistics.
+//!
+//! These counters are the contract between the real execution (this crate)
+//! and the simulated timing (`apuama-sim`): the engine counts *work*, the
+//! simulator prices it. Buffer-pool numbers come from diffing
+//! [`apuama_storage::BufferStats`] around the statement; CPU-side numbers
+//! are counted by the executor.
+
+use apuama_storage::BufferStats;
+
+/// Everything a statement did, in hardware-neutral units.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Buffer pool activity attributed to this statement.
+    pub buffer: BufferStats,
+    /// Tuples read out of heaps (scan output before filtering).
+    pub rows_scanned: u64,
+    /// Tuples flowing through CPU-bound operators (filter evaluations,
+    /// hash-join build+probe, aggregation updates, sort comparisons are
+    /// folded in at `n log n`).
+    pub cpu_tuple_ops: u64,
+    /// Rows in the statement result.
+    pub rows_out: u64,
+    /// Approximate bytes in the statement result (network transfer input
+    /// for the cost model).
+    pub bytes_out: u64,
+    /// Number of index probes performed (subquery lookups, secondary-index
+    /// point reads).
+    pub index_probes: u64,
+}
+
+impl ExecStats {
+    /// Component-wise sum, used when one logical operation runs several
+    /// statements (e.g. a refresh transaction).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.buffer.hits += other.buffer.hits;
+        self.buffer.misses_seq += other.buffer.misses_seq;
+        self.buffer.misses_rand += other.buffer.misses_rand;
+        self.buffer.evictions += other.buffer.evictions;
+        self.rows_scanned += other.rows_scanned;
+        self.cpu_tuple_ops += other.cpu_tuple_ops;
+        self.rows_out += other.rows_out;
+        self.bytes_out += other.bytes_out;
+        self.index_probes += other.index_probes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ExecStats {
+            rows_scanned: 10,
+            cpu_tuple_ops: 5,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            rows_scanned: 3,
+            rows_out: 1,
+            ..ExecStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 13);
+        assert_eq!(a.cpu_tuple_ops, 5);
+        assert_eq!(a.rows_out, 1);
+    }
+}

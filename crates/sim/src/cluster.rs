@@ -1,0 +1,454 @@
+//! The simulated cluster: N real replicas plus the Apuama machinery,
+//! driven single-threaded by the event loop.
+
+use apuama::{DataCatalog, Rewritten, SvpPlan, SvpRewriter};
+use apuama_engine::{Database, EngineResult, ExecStats, QueryOutput};
+use apuama_tpch::{load_into, TpchData};
+
+use crate::cost::CostModel;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClusterConfig {
+    /// Number of nodes (replicas).
+    pub nodes: usize,
+    /// Per-node buffer pool as a fraction of the database's *heap* page
+    /// count (see [`SimClusterConfig::paper`] for the calibration).
+    pub pool_fraction: f64,
+    /// Apuama on (SVP intra-query parallelism) or off (plain C-JDBC
+    /// inter-query baseline).
+    pub svp: bool,
+    /// `SET enable_seqscan = off` around SVP sub-queries (ablation knob).
+    pub force_index: bool,
+    /// CPUs per node — each node is a k-server queue (the testbed's dual
+    /// Opterons ⇒ 2).
+    pub servers_per_node: usize,
+    /// When set, isolated queries use Adaptive Virtual Partitioning
+    /// (chunked dispatch + work stealing, `apuama::avp`) instead of SVP's
+    /// static ranges. Concurrent-workload runs always use SVP (the paper's
+    /// configuration).
+    pub avp: Option<apuama::AvpConfig>,
+    /// Read load-balancing policy for pass-through queries in workload
+    /// runs (the paper configures least-pending).
+    pub balancer: SimBalancer,
+    /// The pricing model.
+    pub cost: CostModel,
+}
+
+impl SimClusterConfig {
+    /// The paper's configuration at `nodes` nodes.
+    ///
+    /// `pool_fraction`: the testbed has 2 GB RAM against 11 GB *on disk*,
+    /// but the 11 GB includes index pages (roughly a quarter of a TPC-H
+    /// PostgreSQL footprint), which this engine's accounting does not
+    /// charge as heap I/O. 2 GB against ~8 GB of heap pages ≈ 0.25 — and
+    /// it is this ratio that determines where the paper's memory-fit
+    /// crossovers land (lineitem partitions start fitting at n = 4).
+    pub fn paper(nodes: usize) -> SimClusterConfig {
+        SimClusterConfig {
+            nodes,
+            pool_fraction: 0.25,
+            svp: true,
+            force_index: true,
+            servers_per_node: 2,
+            avp: None,
+            balancer: SimBalancer::LeastPending,
+            cost: CostModel::paper_2006(),
+        }
+    }
+}
+
+/// Read load-balancing policies available in workload simulations —
+/// the counterparts of `apuama_cjdbc::balancer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBalancer {
+    /// The paper's configuration: fewest queued+running requests.
+    #[default]
+    LeastPending,
+    /// Cycle through nodes regardless of load.
+    RoundRobin,
+    /// Seeded uniform choice.
+    Random {
+        /// RNG seed (keeps runs reproducible).
+        seed: u64,
+    },
+}
+
+/// Outcome of one simulated query (isolated-mode timing).
+#[derive(Debug, Clone)]
+pub struct SimQueryResult {
+    /// End-to-end latency assuming the sub-queries run concurrently on
+    /// their nodes with no competing load.
+    pub makespan_ms: f64,
+    /// Per-node sub-query durations (the DES enqueues these as tasks).
+    pub node_task_ms: Vec<f64>,
+    /// Composition-step duration (0 for pass-through queries).
+    pub composition_ms: f64,
+    /// Network time: partials in, final result out.
+    pub transfer_ms: f64,
+    /// The real query answer.
+    pub output: QueryOutput,
+}
+
+/// N full replicas plus rewriter and cost model.
+pub struct SimCluster {
+    nodes: Vec<Database>,
+    rewriter: SvpRewriter,
+    config: SimClusterConfig,
+    /// Generation parameters of the loaded data (refresh streams reuse
+    /// them for key-domain sizing).
+    tpch_config: apuama_tpch::TpchConfig,
+    /// Next key for refresh transactions (above the loaded key range).
+    next_refresh_key: i64,
+}
+
+impl SimCluster {
+    /// Builds the cluster: loads `data` into every replica and sizes each
+    /// buffer pool at `pool_fraction` of the database's pages.
+    pub fn new(data: &TpchData, config: SimClusterConfig) -> EngineResult<SimCluster> {
+        assert!(config.nodes > 0);
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for _ in 0..config.nodes {
+            // Load with an unbounded pool (loading is not measured), then
+            // clamp to the RAM budget and start cold.
+            let mut db = Database::in_memory();
+            load_into(&mut db, data)?;
+            let budget = (db.total_pages() as f64 * config.pool_fraction).ceil() as usize;
+            db.set_pool_capacity(budget.max(1));
+            db.drop_caches();
+            nodes.push(db);
+        }
+        let order_count = data.config.orders() as i64;
+        Ok(SimCluster {
+            nodes,
+            rewriter: SvpRewriter::new(DataCatalog::tpch(order_count)),
+            config,
+            tpch_config: data.config,
+            next_refresh_key: order_count + 1,
+        })
+    }
+
+    /// Generation parameters of the loaded dataset.
+    pub fn tpch_config(&self) -> apuama_tpch::TpchConfig {
+        self.tpch_config
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimClusterConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to a replica (assertions in tests).
+    pub fn node(&self, i: usize) -> &Database {
+        &self.nodes[i]
+    }
+
+    /// Empties every node's buffer pool — cold-start state between
+    /// experiments sharing one loaded cluster.
+    pub fn drop_caches(&self) {
+        for db in &self.nodes {
+            db.drop_caches();
+        }
+    }
+
+    /// Reserves a fresh refresh key range of `n` orders.
+    pub fn reserve_refresh_keys(&mut self, n: i64) -> i64 {
+        let k = self.next_refresh_key;
+        self.next_refresh_key += n;
+        k
+    }
+
+    /// The reusable virtual-partitioning template for a query (`None` when
+    /// not SVP-eligible) — AVP and other adaptive executors build on it.
+    pub fn template(&self, sql: &str) -> EngineResult<Option<apuama::QueryTemplate>> {
+        Ok(self.rewriter.template(sql)?)
+    }
+
+    /// Rewrites a query for this cluster (SVP plan or pass-through).
+    pub fn rewrite(&self, sql: &str) -> EngineResult<Rewritten> {
+        if !self.config.svp {
+            return Ok(Rewritten::Passthrough {
+                reason: "SVP disabled (inter-query baseline)".into(),
+            });
+        }
+        Ok(self.rewriter.rewrite(sql, self.nodes.len())?)
+    }
+
+    /// Executes one SVP sub-query on a node **now** (in event-loop order),
+    /// applying the optimizer interference, and prices it.
+    pub fn exec_subquery(&self, node: usize, sql: &str) -> EngineResult<(QueryOutput, f64)> {
+        let db = &self.nodes[node];
+        if self.config.force_index {
+            db.query("set enable_seqscan = off")?;
+        }
+        let result = db.query(sql);
+        if self.config.force_index {
+            db.query("set enable_seqscan = on")?;
+        }
+        let out = result?;
+        let ms = self.config.cost.statement_ms(&out.stats);
+        Ok((out, ms))
+    }
+
+    /// Executes a pass-through read on one node and prices it (query time
+    /// plus result transfer).
+    pub fn exec_read(&self, node: usize, sql: &str) -> EngineResult<(QueryOutput, f64)> {
+        let out = self.nodes[node].query(sql)?;
+        let ms = self.config.cost.statement_ms(&out.stats) + self.config.cost.transfer_ms(&out.stats);
+        Ok((out, ms))
+    }
+
+    /// Executes a write script on one node (replica maintenance) and
+    /// prices the node-local work.
+    pub fn exec_write(&mut self, node: usize, script: &str) -> EngineResult<f64> {
+        let out = self.nodes[node].execute_script(script)?;
+        Ok(self.config.cost.statement_ms(&out.stats))
+    }
+
+    /// Composes partial results and prices composition + network.
+    pub fn compose(
+        &self,
+        plan: &SvpPlan,
+        partials: &[QueryOutput],
+    ) -> EngineResult<(QueryOutput, f64, f64)> {
+        let composed = apuama::compose(plan, partials)?;
+        let comp_ms = self.config.cost.statement_ms(&composed.composition_stats);
+        // Partials converge on the controller NIC (serialized), then the
+        // final result ships to the client.
+        let mut transfer = 0.0;
+        for p in partials {
+            transfer += self.config.cost.transfer_ms(&p.stats);
+        }
+        transfer += self
+            .config
+            .cost
+            .transfer_ms(&composed.output.stats.clone());
+        let mut output = composed.output;
+        output.stats = ExecStats::default();
+        Ok((output, comp_ms, transfer))
+    }
+
+    /// Runs a whole query in isolation (no competing load): SVP sub-queries
+    /// in parallel, AVP chunked dispatch when configured, or single-node
+    /// pass-through.
+    pub fn run_query_isolated(&self, sql: &str) -> EngineResult<SimQueryResult> {
+        if let Some(avp_cfg) = self.config.avp {
+            if self.config.svp {
+                if let Some(template) = self.template(sql)? {
+                    return self.run_query_avp(&template, avp_cfg);
+                }
+            }
+        }
+        match self.rewrite(sql)? {
+            Rewritten::Svp(plan) => {
+                let mut partials = Vec::with_capacity(self.nodes.len());
+                let mut node_task_ms = Vec::with_capacity(self.nodes.len());
+                for (i, sub) in plan.subqueries.iter().enumerate() {
+                    let (out, ms) = self.exec_subquery(i, sub)?;
+                    node_task_ms.push(ms);
+                    partials.push(out);
+                }
+                let (output, comp_ms, transfer_ms) = self.compose(&plan, &partials)?;
+                let slowest = node_task_ms.iter().cloned().fold(0.0, f64::max);
+                Ok(SimQueryResult {
+                    makespan_ms: slowest + comp_ms + transfer_ms,
+                    node_task_ms,
+                    composition_ms: comp_ms,
+                    transfer_ms,
+                    output,
+                })
+            }
+            Rewritten::Passthrough { .. } => {
+                let (output, ms) = self.exec_read(0, sql)?;
+                Ok(SimQueryResult {
+                    makespan_ms: ms,
+                    node_task_ms: vec![ms],
+                    composition_ms: 0.0,
+                    transfer_ms: 0.0,
+                    output,
+                })
+            }
+        }
+    }
+
+    /// AVP execution of an eligible query: chunked sub-queries with work
+    /// stealing, priced per chunk; composition over all chunk partials.
+    fn run_query_avp(
+        &self,
+        template: &apuama::QueryTemplate,
+        avp_cfg: apuama::AvpConfig,
+    ) -> EngineResult<SimQueryResult> {
+        let outcome = apuama::execute_avp(template, self.nodes.len(), avp_cfg, |node, sub| {
+            self.exec_subquery(node, sub)
+        })?;
+        let plan = template.svp_plan(self.nodes.len());
+        let (output, comp_ms, transfer_ms) = self.compose(&plan, &outcome.partials)?;
+        let node_task_ms: Vec<f64> = outcome.per_node.iter().map(|t| t.cost).collect();
+        Ok(SimQueryResult {
+            makespan_ms: outcome.makespan_cost + comp_ms + transfer_ms,
+            node_task_ms,
+            composition_ms: comp_ms,
+            transfer_ms,
+            output,
+        })
+    }
+
+    /// Applies one update script to **every** replica (C-JDBC broadcast),
+    /// returning per-node execution times and the coordination charge.
+    pub fn broadcast_write(&mut self, script: &str) -> EngineResult<(Vec<f64>, f64)> {
+        let mut times = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            times.push(self.exec_write(i, script)?);
+        }
+        let coord = self.config.cost.broadcast_coord_ms(self.nodes.len());
+        Ok((times, coord))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apuama_tpch::{generate, QueryParams, TpchConfig, TpchQuery};
+
+    fn tiny_cluster(nodes: usize) -> SimCluster {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+        });
+        SimCluster::new(&data, SimClusterConfig::paper(nodes)).unwrap()
+    }
+
+    #[test]
+    fn pool_sized_at_paper_ratio() {
+        let c = tiny_cluster(2);
+        let pages = c.node(0).total_pages() as f64;
+        let cap = c.node(0).pool_capacity() as f64;
+        assert!((cap / pages - 0.25).abs() < 0.01, "{cap}/{pages}");
+    }
+
+    #[test]
+    fn svp_answer_matches_single_node_answer() {
+        let c = tiny_cluster(4);
+        let sql = TpchQuery::Q6.sql(&QueryParams::default());
+        let svp = c.run_query_isolated(&sql).unwrap();
+        let (direct, _) = c.exec_read(0, &sql).unwrap();
+        assert_eq!(svp.output.rows.len(), direct.rows.len());
+        let (a, b) = (
+            svp.output.rows[0][0].as_f64().unwrap_or(0.0),
+            direct.rows[0][0].as_f64().unwrap_or(0.0),
+        );
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn more_nodes_reduce_isolated_latency() {
+        let sql = TpchQuery::Q1.sql(&QueryParams::default());
+        let c1 = tiny_cluster(1);
+        let t1 = c1.run_query_isolated(&sql).unwrap().makespan_ms;
+        let c4 = tiny_cluster(4);
+        let t4 = c4.run_query_isolated(&sql).unwrap().makespan_ms;
+        assert!(
+            t4 < t1 / 2.0,
+            "expected clear speedup: 1 node = {t1} ms, 4 nodes = {t4} ms"
+        );
+    }
+
+    #[test]
+    fn warm_cache_is_faster_than_cold() {
+        // At 8 nodes a lineitem virtual partition (~1/8 of the database)
+        // fits inside the per-node pool (~18% of the database), so the
+        // second run hits cache; at fewer nodes LRU sequential flooding
+        // keeps every run disk-bound — exactly the paper's memory-fit
+        // crossover.
+        let c = tiny_cluster(8);
+        let sql = TpchQuery::Q6.sql(&QueryParams::default());
+        let cold = c.run_query_isolated(&sql).unwrap().makespan_ms;
+        let warm = c.run_query_isolated(&sql).unwrap().makespan_ms;
+        assert!(warm < cold, "cold={cold} warm={warm}");
+    }
+
+    #[test]
+    fn broadcast_touches_every_replica() {
+        let mut c = tiny_cluster(3);
+        let before = c.node(2).table("orders").unwrap().row_count();
+        let key = c.reserve_refresh_keys(1);
+        c.broadcast_write(&format!(
+            "insert into orders values ({key}, 1, 'O', 1.0, date '1995-01-01', '1-URGENT', 'c', 0, 'x')"
+        ))
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(c.node(i).table("orders").unwrap().row_count(), before + 1);
+        }
+    }
+
+    #[test]
+    fn svp_disabled_runs_single_node() {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+        });
+        let mut cfg = SimClusterConfig::paper(4);
+        cfg.svp = false;
+        let c = SimCluster::new(&data, cfg).unwrap();
+        let res = c
+            .run_query_isolated(&TpchQuery::Q6.sql(&QueryParams::default()))
+            .unwrap();
+        assert_eq!(res.node_task_ms.len(), 1);
+        assert_eq!(res.composition_ms, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod avp_mode_tests {
+    use super::*;
+    use apuama_tpch::{generate, QueryParams, TpchConfig, TpchQuery};
+
+    #[test]
+    fn avp_mode_matches_svp_answers_and_is_comparable_in_time() {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 33,
+        });
+        let sql = TpchQuery::Q6.sql(&QueryParams::default());
+        let svp = SimCluster::new(&data, SimClusterConfig::paper(4)).unwrap();
+        let mut avp_cfg = SimClusterConfig::paper(4);
+        avp_cfg.avp = Some(apuama::AvpConfig::default());
+        let avp = SimCluster::new(&data, avp_cfg).unwrap();
+        let r_svp = svp.run_query_isolated(&sql).unwrap();
+        let r_avp = avp.run_query_isolated(&sql).unwrap();
+        assert_eq!(r_svp.output.rows.len(), r_avp.output.rows.len());
+        let (a, b) = (
+            r_svp.output.rows[0][0].as_f64().unwrap_or(0.0),
+            r_avp.output.rows[0][0].as_f64().unwrap_or(0.0),
+        );
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        // On uniform nodes AVP pays at most modest chunking overhead.
+        assert!(
+            r_avp.makespan_ms < r_svp.makespan_ms * 2.0,
+            "svp={} avp={}",
+            r_svp.makespan_ms,
+            r_avp.makespan_ms
+        );
+    }
+
+    #[test]
+    fn avp_mode_ineligible_query_passes_through() {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 33,
+        });
+        let mut cfg = SimClusterConfig::paper(2);
+        cfg.avp = Some(apuama::AvpConfig::default());
+        let c = SimCluster::new(&data, cfg).unwrap();
+        let r = c
+            .run_query_isolated("select n_name from nation order by n_name limit 3")
+            .unwrap();
+        assert_eq!(r.output.rows.len(), 3);
+        assert_eq!(r.composition_ms, 0.0);
+    }
+}

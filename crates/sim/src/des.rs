@@ -1,0 +1,213 @@
+//! Discrete-event primitives: a deterministic event queue and k-server
+//! node queues.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// An event scheduled at a virtual time. Ties break on insertion order, so
+/// simulations are fully deterministic.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now — events
+    /// cannot fire in the past).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        let time = if at < self.now { self.now } else { at };
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        let now = self.now;
+        self.schedule(now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A k-server FIFO queue modelling one node's CPUs. SVP sub-queries may be
+/// enqueued with priority (they were "dispatched" by the middleware and
+/// jump ahead of ordinary requests, modelling the snapshot the paper takes
+/// at dispatch time).
+pub struct NodeQueue<T> {
+    servers: usize,
+    busy: usize,
+    waiting: VecDeque<T>,
+}
+
+impl<T> NodeQueue<T> {
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0);
+        NodeQueue {
+            servers,
+            busy: 0,
+            waiting: VecDeque::new(),
+        }
+    }
+
+    /// Submits a task. If a server is free the task starts immediately and
+    /// is returned; otherwise it waits (at the front when `priority`).
+    #[must_use]
+    pub fn submit(&mut self, task: T, priority: bool) -> Option<T> {
+        if self.busy < self.servers {
+            self.busy += 1;
+            Some(task)
+        } else {
+            if priority {
+                self.waiting.push_front(task);
+            } else {
+                self.waiting.push_back(task);
+            }
+            None
+        }
+    }
+
+    /// Marks one running task finished; returns the next task to start, if
+    /// any is waiting.
+    #[must_use]
+    pub fn complete(&mut self) -> Option<T> {
+        debug_assert!(self.busy > 0, "complete without a running task");
+        match self.waiting.pop_front() {
+            Some(t) => Some(t), // server stays busy with the next task
+            None => {
+                self.busy -= 1;
+                None
+            }
+        }
+    }
+
+    /// Instantaneous load: running + waiting tasks (the least-pending
+    /// balancer's input).
+    pub fn load(&self) -> usize {
+        self.busy + self.waiting.len()
+    }
+
+    /// True when nothing is running or waiting.
+    pub fn is_idle(&self) -> bool {
+        self.busy == 0 && self.waiting.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn clock_advances_and_clamps() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, 1);
+        q.pop();
+        assert_eq!(q.now(), 2.0);
+        // Scheduling in the past clamps to now.
+        q.schedule(1.0, 2);
+        assert_eq!(q.pop().unwrap().0, 2.0);
+    }
+
+    #[test]
+    fn node_queue_two_servers() {
+        let mut n = NodeQueue::new(2);
+        assert!(n.submit(1, false).is_some());
+        assert!(n.submit(2, false).is_some());
+        assert!(n.submit(3, false).is_none()); // queued
+        assert_eq!(n.load(), 3);
+        assert_eq!(n.complete(), Some(3)); // next starts
+        assert_eq!(n.complete(), None);
+        assert_eq!(n.complete(), None);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn priority_jumps_the_queue() {
+        let mut n = NodeQueue::new(1);
+        assert!(n.submit("running", false).is_some());
+        assert!(n.submit("normal", false).is_none());
+        assert!(n.submit("svp", true).is_none());
+        assert_eq!(n.complete(), Some("svp"));
+        assert_eq!(n.complete(), Some("normal"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Isolated-query runs — the Fig. 2 methodology.
+//!
+//! Paper §5: "Every execution was repeated five times and the final metric
+//! is the mean value obtained in such runs, not considering the first one."
+//! The first (cold) repetition warms the buffer pools; reps 2–5 measure the
+//! steady state — which is exactly where the memory-fit super-linearity
+//! comes from.
+
+use apuama_engine::EngineResult;
+
+use crate::cluster::SimCluster;
+
+/// Result of one isolated-query experiment.
+#[derive(Debug, Clone)]
+pub struct IsolatedReport {
+    /// Latency of every repetition, in order (index 0 is the cold run).
+    pub rep_ms: Vec<f64>,
+}
+
+impl IsolatedReport {
+    /// The paper's metric: mean over repetitions 2..n.
+    pub fn warm_mean_ms(&self) -> f64 {
+        let warm = &self.rep_ms[1..];
+        if warm.is_empty() {
+            return self.rep_ms.first().copied().unwrap_or(0.0);
+        }
+        warm.iter().sum::<f64>() / warm.len() as f64
+    }
+
+    /// The cold (first) repetition.
+    pub fn cold_ms(&self) -> f64 {
+        self.rep_ms.first().copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs `sql` `reps` times in isolation on the cluster.
+pub fn run_isolated(cluster: &SimCluster, sql: &str, reps: usize) -> EngineResult<IsolatedReport> {
+    assert!(reps >= 1);
+    let mut rep_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        rep_ms.push(cluster.run_query_isolated(sql)?.makespan_ms);
+    }
+    Ok(IsolatedReport { rep_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SimClusterConfig;
+    use apuama_tpch::{generate, QueryParams, TpchConfig, TpchQuery};
+
+    #[test]
+    fn warm_mean_excludes_cold_run() {
+        let r = IsolatedReport {
+            rep_ms: vec![100.0, 10.0, 10.0, 10.0, 10.0],
+        };
+        assert_eq!(r.warm_mean_ms(), 10.0);
+        assert_eq!(r.cold_ms(), 100.0);
+    }
+
+    #[test]
+    fn five_reps_show_warmup() {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 5,
+        });
+        let cluster = SimCluster::new(&data, SimClusterConfig::paper(4)).unwrap();
+        let report = run_isolated(
+            &cluster,
+            &TpchQuery::Q6.sql(&QueryParams::default()),
+            5,
+        )
+        .unwrap();
+        assert_eq!(report.rep_ms.len(), 5);
+        assert!(report.warm_mean_ms() <= report.cold_ms());
+    }
+}

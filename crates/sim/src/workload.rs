@@ -1,0 +1,536 @@
+//! Concurrent-workload simulation — the Figs. 3 and 4 methodology.
+//!
+//! TPC-H-style streams: each read stream runs its permuted sequence of the
+//! eight queries, submitting the next query when the previous one
+//! completes; the optional update stream applies refresh transactions the
+//! same way (paper §5). Queries and updates contend for the nodes' 2-CPU
+//! servers; SVP queries fan one task out to every node and finish with a
+//! composition step; update broadcasts place a task on every node plus an
+//! O(n) coordination charge.
+//!
+//! Consistency semantics mirror the Apuama gate: an SVP query arriving
+//! while an update broadcast is in flight waits for it to drain (replica
+//! convergence); once dispatched, its sub-queries take priority in the node
+//! queues (the dispatch-time snapshot) and subsequent updates queue behind
+//! them.
+
+use std::collections::VecDeque;
+
+use apuama::{Rewritten, SvpPlan};
+use apuama_engine::EngineResult;
+use rand::{RngExt, SeedableRng};
+use apuama_tpch::{query_sequence, refresh_stream, QueryParams};
+
+use crate::cluster::{SimBalancer, SimCluster};
+use crate::des::{EventQueue, NodeQueue};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of concurrent read-only query sequences.
+    pub read_streams: usize,
+    /// How many times each stream runs its 8-query sequence.
+    pub rounds: usize,
+    /// Refresh transactions in the update stream (0 = read-only workload).
+    /// The first half inserts, the second half deletes, as in the paper.
+    pub update_txns: usize,
+    /// Seed for query-parameter substitution and refresh data.
+    pub seed: u64,
+}
+
+/// One completed read query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    pub stream: usize,
+    pub label: String,
+    pub start_ms: f64,
+    pub end_ms: f64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which everything finished.
+    pub makespan_ms: f64,
+    /// Read queries completed.
+    pub read_queries_done: usize,
+    /// Update transactions completed.
+    pub updates_done: usize,
+    /// Per-query completion records.
+    pub records: Vec<QueryRecord>,
+}
+
+impl SimReport {
+    /// Virtual time at which the last read query completed. The paper's
+    /// throughput is measured over the query streams; the update stream may
+    /// keep draining afterwards (its tail is visible in `makespan_ms`).
+    pub fn read_span_ms(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.end_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Read-query throughput in queries per minute — the paper's Fig. 3(a)
+    /// / 4(a) metric.
+    pub fn throughput_qpm(&self) -> f64 {
+        let span = self.read_span_ms();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.read_queries_done as f64 / (span / 60_000.0)
+    }
+
+    /// Per-query-label latency summary `(label, executions, mean ms)`,
+    /// sorted by label — lets harnesses report which queries dominate a
+    /// stream's wall clock.
+    pub fn latency_by_label(&self) -> Vec<(String, usize, f64)> {
+        let mut acc: std::collections::BTreeMap<&str, (usize, f64)> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            let e = acc.entry(r.label.as_str()).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += r.end_ms - r.start_ms;
+        }
+        acc.into_iter()
+            .map(|(label, (n, total))| (label.to_string(), n, total / n as f64))
+            .collect()
+    }
+}
+
+enum Ev {
+    SubmitRead { stream: usize },
+    SubmitUpdate,
+    TaskDone { node: usize, job: usize },
+    JobFinal { job: usize },
+}
+
+enum JobKind {
+    Read { stream: usize, label: String },
+    Update,
+}
+
+struct Job {
+    kind: JobKind,
+    remaining: usize,
+    /// Charged after the last task completes (composition + transfer for
+    /// SVP reads; broadcast coordination for updates).
+    tail_ms: f64,
+    start_ms: f64,
+}
+
+/// A task sitting in a node queue: which job it belongs to and how long it
+/// will run once a server picks it up.
+#[derive(Clone, Copy)]
+struct Task {
+    job: usize,
+    dur_ms: f64,
+}
+
+/// Runs the workload to completion on the cluster.
+pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResult<SimReport> {
+    let n = cluster.node_count();
+    // Build each stream's query list: rounds × permuted sequences with
+    // TPC-H-style randomized parameters.
+    let mut streams: Vec<VecDeque<(String, String)>> = (0..spec.read_streams)
+        .map(|s| {
+            let mut q = VecDeque::new();
+            for round in 0..spec.rounds {
+                let perm = query_sequence(s as u64 + spec.read_streams as u64 * round as u64);
+                for (qi, query) in perm.iter().enumerate() {
+                    let pseed = spec
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((s as u64) << 32)
+                        .wrapping_add((round as u64) << 16)
+                        .wrapping_add(qi as u64);
+                    q.push_back((query.label(), query.sql(&QueryParams::random(pseed))));
+                }
+            }
+            q
+        })
+        .collect();
+    let mut updates: VecDeque<String> = if spec.update_txns > 0 {
+        let start_key = cluster.reserve_refresh_keys(spec.update_txns.div_ceil(2) as i64);
+        refresh_stream(&cluster.tpch_config(), spec.update_txns, start_key, spec.seed)
+            .into_iter()
+            .map(|t| t.script())
+            .collect()
+    } else {
+        VecDeque::new()
+    };
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut nodes: Vec<NodeQueue<Task>> = (0..n)
+        .map(|_| NodeQueue::new(cluster.config().servers_per_node))
+        .collect();
+    // Pass-through read balancing state.
+    let balancer = cluster.config().balancer;
+    let mut rr_next = 0usize;
+    let mut lb_rng = rand::rngs::StdRng::seed_from_u64(match balancer {
+        SimBalancer::Random { seed } => seed,
+        _ => 0,
+    });
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut waiting_svp: VecDeque<(usize, String, SvpPlan)> = VecDeque::new();
+    let mut update_inflight = false;
+    let mut report = SimReport {
+        makespan_ms: 0.0,
+        read_queries_done: 0,
+        updates_done: 0,
+        records: Vec::new(),
+    };
+
+    for s in 0..spec.read_streams {
+        queue.schedule(0.0, Ev::SubmitRead { stream: s });
+    }
+    if !updates.is_empty() {
+        queue.schedule(0.0, Ev::SubmitUpdate);
+    }
+
+    // Starts a task on a node if a server is free.
+    fn start_if_free(
+        queue: &mut EventQueue<Ev>,
+        nodes: &mut [NodeQueue<Task>],
+        node: usize,
+        task: Task,
+        priority: bool,
+    ) {
+        if let Some(t) = nodes[node].submit(task, priority) {
+            queue.schedule_in(t.dur_ms, Ev::TaskDone { node, job: t.job });
+        }
+    }
+
+    // Dispatches an SVP query: real sub-query execution and composition
+    // happen now (the dispatch-time snapshot); the DES then models server
+    // occupancy for the measured durations.
+    let dispatch_svp = |cluster: &SimCluster,
+                            queue: &mut EventQueue<Ev>,
+                            nodes: &mut [NodeQueue<Task>],
+                            jobs: &mut Vec<Job>,
+                            stream: usize,
+                            label: String,
+                            plan: &SvpPlan|
+     -> EngineResult<()> {
+        let mut partials = Vec::with_capacity(plan.subqueries.len());
+        let mut durs = Vec::with_capacity(plan.subqueries.len());
+        for (i, sub) in plan.subqueries.iter().enumerate() {
+            let (out, ms) = cluster.exec_subquery(i, sub)?;
+            partials.push(out);
+            durs.push(ms);
+        }
+        let (_, comp_ms, transfer_ms) = cluster.compose(plan, &partials)?;
+        let job_id = jobs.len();
+        jobs.push(Job {
+            kind: JobKind::Read { stream, label },
+            remaining: durs.len(),
+            tail_ms: comp_ms + transfer_ms,
+            start_ms: queue.now(),
+        });
+        for (node, dur) in durs.into_iter().enumerate() {
+            start_if_free(queue, nodes, node, Task { job: job_id, dur_ms: dur }, true);
+        }
+        Ok(())
+    };
+
+    while let Some((now, ev)) = queue.pop() {
+        report.makespan_ms = now;
+        match ev {
+            Ev::SubmitRead { stream } => {
+                let Some((label, sql)) = streams[stream].pop_front() else {
+                    continue;
+                };
+                match cluster.rewrite(&sql)? {
+                    Rewritten::Svp(plan) => {
+                        if update_inflight {
+                            waiting_svp.push_back((stream, label, plan));
+                        } else {
+                            dispatch_svp(
+                                cluster, &mut queue, &mut nodes, &mut jobs, stream, label,
+                                &plan,
+                            )?;
+                        }
+                    }
+                    Rewritten::Passthrough { .. } => {
+                        let node = match balancer {
+                            SimBalancer::LeastPending => (0..n)
+                                .min_by_key(|&i| nodes[i].load())
+                                .expect("n > 0"),
+                            SimBalancer::RoundRobin => {
+                                rr_next = (rr_next + 1) % n;
+                                rr_next
+                            }
+                            SimBalancer::Random { .. } => lb_rng.random_range(0..n),
+                        };
+                        let (_, dur) = cluster.exec_read(node, &sql)?;
+                        let job_id = jobs.len();
+                        jobs.push(Job {
+                            kind: JobKind::Read { stream, label },
+                            remaining: 1,
+                            tail_ms: 0.0,
+                            start_ms: now,
+                        });
+                        start_if_free(
+                            &mut queue,
+                            &mut nodes,
+                            node,
+                            Task {
+                                job: job_id,
+                                dur_ms: dur,
+                            },
+                            false,
+                        );
+                    }
+                }
+            }
+            Ev::SubmitUpdate => {
+                let Some(script) = updates.pop_front() else {
+                    continue;
+                };
+                update_inflight = true;
+                let (durs, coord) = cluster.broadcast_write(&script)?;
+                let job_id = jobs.len();
+                jobs.push(Job {
+                    kind: JobKind::Update,
+                    remaining: durs.len(),
+                    tail_ms: coord,
+                    start_ms: now,
+                });
+                for (node, dur) in durs.into_iter().enumerate() {
+                    start_if_free(
+                        &mut queue,
+                        &mut nodes,
+                        node,
+                        Task {
+                            job: job_id,
+                            dur_ms: dur,
+                        },
+                        false,
+                    );
+                }
+            }
+            Ev::TaskDone { node, job } => {
+                if let Some(next) = nodes[node].complete() {
+                    queue.schedule_in(next.dur_ms, Ev::TaskDone { node, job: next.job });
+                }
+                let j = &mut jobs[job];
+                j.remaining -= 1;
+                if j.remaining == 0 {
+                    let tail = j.tail_ms;
+                    queue.schedule_in(tail, Ev::JobFinal { job });
+                }
+            }
+            Ev::JobFinal { job } => {
+                let (kind, start_ms) = {
+                    let j = &jobs[job];
+                    (
+                        match &j.kind {
+                            JobKind::Read { stream, label } => {
+                                Some((*stream, label.clone()))
+                            }
+                            JobKind::Update => None,
+                        },
+                        j.start_ms,
+                    )
+                };
+                match kind {
+                    Some((stream, label)) => {
+                        report.read_queries_done += 1;
+                        report.records.push(QueryRecord {
+                            stream,
+                            label,
+                            start_ms,
+                            end_ms: now,
+                        });
+                        queue.schedule(now, Ev::SubmitRead { stream });
+                    }
+                    None => {
+                        report.updates_done += 1;
+                        update_inflight = false;
+                        // Replicas converged: dispatch the SVP queries that
+                        // were waiting on the gate.
+                        while let Some((stream, label, plan)) = waiting_svp.pop_front() {
+                            dispatch_svp(
+                                cluster, &mut queue, &mut nodes, &mut jobs, stream, label,
+                                &plan,
+                            )?;
+                        }
+                        queue.schedule(now, Ev::SubmitUpdate);
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SimClusterConfig;
+    use apuama_tpch::{generate, TpchConfig};
+
+    fn data() -> apuama_tpch::TpchData {
+        generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+        })
+    }
+
+    fn spec(streams: usize, updates: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            read_streams: streams,
+            rounds: 1,
+            update_txns: updates,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn read_only_workload_completes_all_queries() {
+        let d = data();
+        let mut c = SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap();
+        let r = run_workload(&mut c, spec(3, 0)).unwrap();
+        assert_eq!(r.read_queries_done, 24);
+        assert_eq!(r.updates_done, 0);
+        assert!(r.makespan_ms > 0.0);
+        assert!(r.throughput_qpm() > 0.0);
+        assert_eq!(r.records.len(), 24);
+    }
+
+    #[test]
+    fn mixed_workload_completes_reads_and_updates() {
+        let d = data();
+        let mut c = SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap();
+        let before = c.node(0).table("orders").unwrap().row_count();
+        let r = run_workload(&mut c, spec(2, 10)).unwrap();
+        assert_eq!(r.read_queries_done, 16);
+        assert_eq!(r.updates_done, 10);
+        // Even txn count: inserts fully deleted again on every replica.
+        for i in 0..2 {
+            assert_eq!(c.node(i).table("orders").unwrap().row_count(), before);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = data();
+        let mut c1 = SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap();
+        let r1 = run_workload(&mut c1, spec(2, 4)).unwrap();
+        let mut c2 = SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap();
+        let r2 = run_workload(&mut c2, spec(2, 4)).unwrap();
+        assert_eq!(r1.makespan_ms, r2.makespan_ms);
+        assert_eq!(r1.read_queries_done, r2.read_queries_done);
+    }
+
+    #[test]
+    fn more_nodes_give_higher_read_throughput() {
+        let d = data();
+        let mut c1 = SimCluster::new(&d, SimClusterConfig::paper(1)).unwrap();
+        let t1 = run_workload(&mut c1, spec(3, 0)).unwrap().throughput_qpm();
+        let mut c4 = SimCluster::new(&d, SimClusterConfig::paper(4)).unwrap();
+        let t4 = run_workload(&mut c4, spec(3, 0)).unwrap().throughput_qpm();
+        assert!(t4 > t1, "1 node: {t1} qpm, 4 nodes: {t4} qpm");
+    }
+
+    #[test]
+    fn latency_summary_counts_every_execution() {
+        let d = data();
+        let mut c = SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap();
+        let r = run_workload(&mut c, spec(2, 0)).unwrap();
+        let summary = r.latency_by_label();
+        // 8 distinct query labels, 2 streams each.
+        assert_eq!(summary.len(), 8);
+        assert!(summary.iter().all(|(_, n, _)| *n == 2));
+        assert!(summary.iter().all(|(_, _, ms)| *ms > 0.0));
+        let total: usize = summary.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(total, r.read_queries_done);
+    }
+
+    #[test]
+    fn records_are_well_formed() {
+        let d = data();
+        let mut c = SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap();
+        let r = run_workload(&mut c, spec(1, 0)).unwrap();
+        for rec in &r.records {
+            assert!(rec.end_ms >= rec.start_ms);
+            assert!(rec.end_ms <= r.makespan_ms);
+            assert!(rec.label.starts_with('Q'));
+        }
+    }
+}
+
+#[cfg(test)]
+mod balancer_tests {
+    use super::*;
+    use crate::cluster::{SimBalancer, SimClusterConfig};
+    use apuama_tpch::{generate, TpchConfig};
+
+    fn baseline_cluster(balancer: SimBalancer) -> SimCluster {
+        let d = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+        });
+        let mut cfg = SimClusterConfig::paper(4);
+        cfg.svp = false; // every query is a pass-through read → balanced
+        cfg.balancer = balancer;
+        SimCluster::new(&d, cfg).unwrap()
+    }
+
+    #[test]
+    fn all_policies_complete_the_baseline_workload() {
+        for balancer in [
+            SimBalancer::LeastPending,
+            SimBalancer::RoundRobin,
+            SimBalancer::Random { seed: 5 },
+        ] {
+            let mut c = baseline_cluster(balancer);
+            let r = run_workload(
+                &mut c,
+                WorkloadSpec {
+                    read_streams: 3,
+                    rounds: 1,
+                    update_txns: 0,
+                    seed: 9,
+                },
+            )
+            .unwrap();
+            assert_eq!(r.read_queries_done, 24, "{balancer:?}");
+            assert!(r.throughput_qpm() > 0.0, "{balancer:?}");
+        }
+    }
+
+    #[test]
+    fn least_pending_beats_or_matches_random_on_the_baseline() {
+        let mut lp = baseline_cluster(SimBalancer::LeastPending);
+        let t_lp = run_workload(
+            &mut lp,
+            WorkloadSpec {
+                read_streams: 4,
+                rounds: 1,
+                update_txns: 0,
+                seed: 9,
+            },
+        )
+        .unwrap()
+        .read_span_ms();
+        let mut rnd = baseline_cluster(SimBalancer::Random { seed: 3 });
+        let t_rnd = run_workload(
+            &mut rnd,
+            WorkloadSpec {
+                read_streams: 4,
+                rounds: 1,
+                update_txns: 0,
+                seed: 9,
+            },
+        )
+        .unwrap()
+        .read_span_ms();
+        // Random can collide streams on one node; least-pending never
+        // queues behind an idle alternative.
+        assert!(
+            t_lp <= t_rnd * 1.05,
+            "least-pending {t_lp:.0}ms vs random {t_rnd:.0}ms"
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Hand-written SQL lexer.
+//!
+//! Keywords and identifiers are case-insensitive and normalized to lower
+//! case, matching the behaviour the paper's middleware relies on when it
+//! pattern-matches query text coming through the JDBC seam.
+
+use crate::{ParseError, ParseResult};
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, lower-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation and operators.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Operator / punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+}
+
+impl Token {
+    /// True if this token is the given keyword (already lower-cased).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenizer over SQL text. Produces a full token vector up front; SQL
+/// statements in this system are short (kilobytes), so a streaming lexer
+/// buys nothing.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input, returning tokens paired with offsets.
+    pub fn tokenize(mut self) -> ParseResult<Vec<(Token, usize)>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments();
+            let start = self.pos;
+            let tok = self.next_token()?;
+            let done = tok == Token::Eof;
+            out.push((tok, start));
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'-') && self.peek2() == Some(b'-') {
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> ParseResult<Token> {
+        let Some(c) = self.peek() else {
+            return Ok(Token::Eof);
+        };
+        match c {
+            b'(' => self.sym(Symbol::LParen),
+            b')' => self.sym(Symbol::RParen),
+            b',' => self.sym(Symbol::Comma),
+            b';' => self.sym(Symbol::Semicolon),
+            b'*' => self.sym(Symbol::Star),
+            b'+' => self.sym(Symbol::Plus),
+            b'-' => self.sym(Symbol::Minus),
+            b'/' => self.sym(Symbol::Slash),
+            b'.' => self.sym(Symbol::Dot),
+            b'=' => self.sym(Symbol::Eq),
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Ok(Token::Symbol(Symbol::LtEq))
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Ok(Token::Symbol(Symbol::NotEq))
+                    }
+                    _ => Ok(Token::Symbol(Symbol::Lt)),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Ok(Token::Symbol(Symbol::GtEq))
+                } else {
+                    Ok(Token::Symbol(Symbol::Gt))
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Ok(Token::Symbol(Symbol::NotEq))
+                } else {
+                    Err(ParseError::new("unexpected '!'", self.pos - 1))
+                }
+            }
+            b'\'' => self.string_literal(),
+            b'0'..=b'9' => self.number(),
+            c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+            other => Err(ParseError::new(
+                format!("unexpected character {:?}", other as char),
+                self.pos,
+            )),
+        }
+    }
+
+    fn sym(&mut self, s: Symbol) -> ParseResult<Token> {
+        self.pos += 1;
+        Ok(Token::Symbol(s))
+    }
+
+    fn string_literal(&mut self) -> ParseResult<Token> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::new("unterminated string literal", start)),
+                Some(b'\'') => {
+                    if self.peek2() == Some(b'\'') {
+                        out.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(Token::Str(out));
+                    }
+                }
+                Some(_) => {
+                    // Advance over a full UTF-8 code point.
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("peek saw a byte");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<Token> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                is_float = true;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save; // `e` starts an identifier, not an exponent
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| ParseError::new(format!("bad float literal: {e}"), start))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| ParseError::new(format!("bad integer literal: {e}"), start))
+        }
+    }
+
+    fn ident(&mut self) -> ParseResult<Token> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        Ok(Token::Ident(self.src[start..self.pos].to_ascii_lowercase()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::new(s)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        assert_eq!(
+            lex("SELECT foo"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            lex("42 4.5 1e3"),
+            vec![
+                Token::Int(42),
+                Token::Float(4.5),
+                Token::Float(1000.0),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn e_suffix_without_digits_is_ident() {
+        // "12ex" lexes as the number 12 followed by identifier "ex".
+        assert_eq!(
+            lex("12ex"),
+            vec![Token::Int(12), Token::Ident("ex".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(lex("'it''s'"), vec![Token::Str("it's".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("<= <> >= != = < >"),
+            vec![
+                Token::Symbol(Symbol::LtEq),
+                Token::Symbol(Symbol::NotEq),
+                Token::Symbol(Symbol::GtEq),
+                Token::Symbol(Symbol::NotEq),
+                Token::Symbol(Symbol::Eq),
+                Token::Symbol(Symbol::Lt),
+                Token::Symbol(Symbol::Gt),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            lex("select -- comment\n 1"),
+            vec![Token::Ident("select".into()), Token::Int(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::new("a  bc").tokenize().unwrap();
+        assert_eq!(toks[0].1, 0);
+        assert_eq!(toks[1].1, 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property: for ASTs generated from the full expression grammar,
+//! `Display` output re-parses to a tree that renders identically —
+//! the invariant the SVP rewriter stakes correctness on (it rewrites
+//! trees and ships rendered text to backends).
+
+use proptest::prelude::*;
+
+use apuama_sql::ast::{BinOp, ColumnRef, Expr, OrderByItem, Select, SelectItem, TableRef, UnaryOp};
+use apuama_sql::value::{Date, Interval, Value};
+use apuama_sql::{parse_expression, parse_statement, Statement};
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        prop_oneof!["a", "b", "c_total", "l_orderkey", "x1"]
+            .prop_map(|n: String| Expr::Column(ColumnRef::new(n))),
+        ("t1", prop_oneof!["a", "b"]).prop_map(|(t, c)| Expr::Column(ColumnRef::qualified(t, c))),
+        (-1000i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
+        (-100.0f64..100.0).prop_map(|f| Expr::Literal(Value::Float(f))),
+        "[a-z ']{0,12}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        (1990i32..2000, 1u32..13, 1u32..28).prop_map(|(y, m, d)| {
+            Expr::Literal(Value::Date(Date::from_ymd(y, m, d).expect("valid")))
+        }),
+        (1i32..500).prop_map(|n| Expr::Literal(Value::Interval(Interval::days(n)))),
+        (1i32..20).prop_map(|n| Expr::Literal(Value::Interval(Interval::months(n)))),
+        Just(Expr::Literal(Value::Null)),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, neg)| Expr::Between {
+                    expr: Box::new(e),
+                    negated: neg,
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                }
+            ),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, neg)| Expr::InList {
+                    expr: Box::new(e),
+                    negated: neg,
+                    list,
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, neg)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: neg,
+            }),
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            (
+                prop_oneof!["sum", "min", "max", "coalesce", "abs"],
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(name, args)| Expr::Function {
+                    name: name.to_string(),
+                    args,
+                    distinct: false,
+                    star: false,
+                }),
+            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(|(e, pat, neg)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    negated: neg,
+                    pattern: Box::new(Expr::Literal(Value::Str(pat))),
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn arb_select() -> impl Strategy<Value = Select> {
+    (
+        proptest::collection::vec((arb_expr(), proptest::option::of("[a-z]{1,6}")), 1..4),
+        prop_oneof!["orders", "lineitem", "t"],
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec(arb_expr(), 0..2),
+        proptest::collection::vec((arb_expr(), any::<bool>()), 0..2),
+        proptest::option::of(0u64..100),
+    )
+        .prop_map(|(items, table, selection, group_by, order_by, limit)| Select {
+            items: items
+                .into_iter()
+                .map(|(expr, alias)| SelectItem::Expr {
+                    expr,
+                    alias: alias.map(|a| a.to_string()),
+                })
+                .collect(),
+            from: vec![TableRef::Table {
+                name: table.to_string(),
+                alias: None,
+            }],
+            selection,
+            group_by,
+            having: None,
+            order_by: order_by
+                .into_iter()
+                .map(|(expr, desc)| OrderByItem { expr, desc })
+                .collect(),
+            limit,
+            ..Select::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // One parse normalizes constructions the parser folds (e.g. `- 0`
+    // becomes the literal 0); after that, Display ∘ parse must be a fixed
+    // point. That is the invariant the SVP rewriter needs: every tree it
+    // handles came out of the parser, and the text it renders must mean
+    // the same thing when a backend parses it again.
+    #[test]
+    fn expression_display_is_stable_after_one_parse(e in arb_expr()) {
+        let r1 = e.to_string();
+        let once = parse_expression(&r1)
+            .unwrap_or_else(|err| panic!("failed to reparse {r1:?}: {err}"));
+        let r2 = once.to_string();
+        let twice = parse_expression(&r2)
+            .unwrap_or_else(|err| panic!("failed to re-reparse {r2:?}: {err}"));
+        prop_assert_eq!(twice.to_string(), r2);
+    }
+
+    #[test]
+    fn select_display_is_stable_after_one_parse(s in arb_select()) {
+        let stmt = Statement::Select(s);
+        let r1 = stmt.to_string();
+        let once = parse_statement(&r1)
+            .unwrap_or_else(|err| panic!("failed to reparse {r1:?}: {err}"));
+        let r2 = once.to_string();
+        let twice = parse_statement(&r2)
+            .unwrap_or_else(|err| panic!("failed to re-reparse {r2:?}: {err}"));
+        prop_assert_eq!(twice.to_string(), r2);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        // Errors are fine; panics are not.
+        let _ = apuama_sql::Lexer::new(&s).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = parse_statement(&s);
+    }
+}

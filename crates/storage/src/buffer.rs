@@ -1,0 +1,378 @@
+//! LRU buffer pool with exact hit/miss accounting.
+//!
+//! The pool does not hold page bytes — rows live in the heaps — it holds
+//! *residency metadata*: which logical pages would currently be cached in a
+//! node's RAM. This is what the reproduction needs: the paper's super-linear
+//! speedups come entirely from whether a node's virtual partition fits in
+//! its 2 GB of memory ("after the first query execution, no page faults
+//! occur"), and that is a pure function of the access sequence and the pool
+//! capacity, not of the page contents.
+//!
+//! Implementation: a hash map from page key to slot plus an intrusive
+//! doubly-linked LRU list over a slab of slots, giving O(1) access and
+//! eviction without per-access allocation.
+
+use std::collections::HashMap;
+
+use crate::TableId;
+
+/// Identifies one logical page: a table plus a page number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    pub table: TableId,
+    pub page: u64,
+}
+
+/// How a page was reached — sequential scans and random (index) probes have
+/// very different disk costs, and the cost model charges them differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Sequential,
+    Random,
+}
+
+/// Counters accumulated by the pool. The engine snapshots and diffs these
+/// around each statement to attribute I/O to queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests satisfied from the pool.
+    pub hits: u64,
+    /// Sequential-access misses (table scan order).
+    pub misses_seq: u64,
+    /// Random-access misses (index probes).
+    pub misses_rand: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl BufferStats {
+    /// Total page faults.
+    pub fn misses(&self) -> u64 {
+        self.misses_seq + self.misses_rand
+    }
+
+    /// Total page requests.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Component-wise difference (`self - earlier`), used to attribute I/O
+    /// to a single statement.
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits - earlier.hits,
+            misses_seq: self.misses_seq - earlier.misses_seq,
+            misses_rand: self.misses_rand - earlier.misses_rand,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: PageKey,
+    prev: u32,
+    next: u32,
+}
+
+/// Fixed-capacity LRU set of pages.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    map: HashMap<PageKey, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages. A capacity of zero
+    /// means "nothing is ever cached" (every access is a miss); use
+    /// [`BufferPool::unbounded`] for a pure in-memory engine.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// A pool so large it never evicts — models the in-memory composer
+    /// (the paper's HSQLDB) and unit tests that want no I/O effects.
+    pub fn unbounded() -> Self {
+        BufferPool::new(usize::MAX / 2)
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Touches a page: returns `true` on a hit, `false` on a fault (in which
+    /// case the page is brought in, evicting the LRU page if full).
+    pub fn access(&mut self, key: PageKey, kind: AccessKind) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.stats.hits += 1;
+            self.move_to_front(slot);
+            return true;
+        }
+        match kind {
+            AccessKind::Sequential => self.stats.misses_seq += 1,
+            AccessKind::Random => self.stats.misses_rand += 1,
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                s
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        false
+    }
+
+    /// Drops every page belonging to `table` (used when a table is bulk
+    /// reloaded or dropped).
+    pub fn invalidate_table(&mut self, table: TableId) {
+        let keys: Vec<PageKey> = self
+            .map
+            .keys()
+            .filter(|k| k.table == table)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(slot) = self.map.remove(&k) {
+                self.unlink(slot);
+                self.free.push(slot);
+            }
+        }
+    }
+
+    /// Changes the capacity, evicting LRU pages if shrinking. Used when a
+    /// node's RAM budget is derived from the size of the loaded database
+    /// (the paper's 2 GB RAM : 11 GB database ratio).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Empties the pool (cold-cache experiments) without resetting counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Resets the counters (start of a measured run).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict called on empty pool");
+        let key = self.slots[victim as usize].key;
+        self.unlink(victim);
+        self.map.remove(&key);
+        self.free.push(victim);
+        self.stats.evictions += 1;
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[slot as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let Slot { prev, next, .. } = self.slots[slot as usize];
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn move_to_front(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    /// Returns true if the page is currently resident (no stats impact).
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.map.contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u64) -> PageKey {
+        PageKey { table: 1, page: p }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut pool = BufferPool::new(4);
+        assert!(!pool.access(key(1), AccessKind::Sequential));
+        assert!(pool.access(key(1), AccessKind::Sequential));
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses_seq, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut pool = BufferPool::new(2);
+        pool.access(key(1), AccessKind::Sequential);
+        pool.access(key(2), AccessKind::Sequential);
+        pool.access(key(1), AccessKind::Sequential); // 1 now MRU
+        pool.access(key(3), AccessKind::Sequential); // evicts 2
+        assert!(pool.contains(key(1)));
+        assert!(!pool.contains(key(2)));
+        assert!(pool.contains(key(3)));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_zero_never_caches() {
+        let mut pool = BufferPool::new(0);
+        assert!(!pool.access(key(1), AccessKind::Random));
+        assert!(!pool.access(key(1), AccessKind::Random));
+        assert_eq!(pool.stats().misses_rand, 2);
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn scan_larger_than_pool_thrashes() {
+        // A repeated sequential scan over more pages than fit must miss
+        // every time under LRU (the classic sequential-flooding behaviour
+        // the paper's 1-node configuration suffers from).
+        let mut pool = BufferPool::new(10);
+        for _round in 0..3 {
+            for p in 0..20 {
+                pool.access(key(p), AccessKind::Sequential);
+            }
+        }
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses_seq, 60);
+    }
+
+    #[test]
+    fn scan_fitting_in_pool_warms_up() {
+        // The paper's n>=4 virtual partitions: second and later scans are
+        // all hits.
+        let mut pool = BufferPool::new(32);
+        for p in 0..20 {
+            pool.access(key(p), AccessKind::Sequential);
+        }
+        for p in 0..20 {
+            assert!(pool.access(key(p), AccessKind::Sequential));
+        }
+        assert_eq!(pool.stats().misses_seq, 20);
+        assert_eq!(pool.stats().hits, 20);
+    }
+
+    #[test]
+    fn invalidate_table_only_touches_that_table() {
+        let mut pool = BufferPool::new(8);
+        pool.access(PageKey { table: 1, page: 0 }, AccessKind::Sequential);
+        pool.access(PageKey { table: 2, page: 0 }, AccessKind::Sequential);
+        pool.invalidate_table(1);
+        assert!(!pool.contains(PageKey { table: 1, page: 0 }));
+        assert!(pool.contains(PageKey { table: 2, page: 0 }));
+    }
+
+    #[test]
+    fn stats_since_diff() {
+        let mut pool = BufferPool::new(4);
+        pool.access(key(1), AccessKind::Sequential);
+        let snap = pool.stats();
+        pool.access(key(1), AccessKind::Sequential);
+        pool.access(key(2), AccessKind::Random);
+        let d = pool.stats().since(&snap);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses_rand, 1);
+        assert_eq!(d.misses_seq, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut pool = BufferPool::new(4);
+        pool.access(key(1), AccessKind::Sequential);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats().misses_seq, 1);
+        assert!(!pool.access(key(1), AccessKind::Sequential));
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut pool = BufferPool::new(2);
+        for p in 0..100 {
+            pool.access(key(p), AccessKind::Sequential);
+        }
+        // Slab must not grow beyond capacity.
+        assert!(pool.slots.len() <= 3);
+        assert_eq!(pool.resident(), 2);
+    }
+}

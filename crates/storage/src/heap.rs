@@ -1,0 +1,276 @@
+//! Paged tuple heaps.
+//!
+//! A [`Heap`] stores the rows of one table and assigns every row slot to a
+//! logical page through a [`PageGeometry`]. The geometry mimics a
+//! fixed-size-page engine: pages hold `rows_per_page` slots, computed by the
+//! engine catalog from the schema's estimated tuple width and an 8 KiB page,
+//! so page counts (and therefore I/O charges) track table size the way they
+//! do in PostgreSQL.
+//!
+//! Deletions leave tombstones (like a real heap before VACUUM) so row ids
+//! remain stable for the indexes; the engine compacts when the tombstone
+//! ratio gets large.
+
+use crate::Row;
+
+/// A stable row identifier: the slot number within the heap.
+pub type RowId = u64;
+
+/// Maps row slots to logical page numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageGeometry {
+    /// How many row slots share one logical page. Always at least 1.
+    pub rows_per_page: u64,
+}
+
+impl PageGeometry {
+    /// Builds a geometry from an estimated tuple width in bytes, assuming
+    /// 8 KiB pages (PostgreSQL's default).
+    pub fn for_tuple_bytes(tuple_bytes: u64) -> PageGeometry {
+        const PAGE_BYTES: u64 = 8192;
+        PageGeometry {
+            rows_per_page: (PAGE_BYTES / tuple_bytes.max(1)).max(1),
+        }
+    }
+
+    /// Page number of a row slot.
+    pub fn page_of(&self, row: RowId) -> u64 {
+        row / self.rows_per_page
+    }
+
+    /// Number of pages needed for `rows` slots.
+    pub fn pages_for(&self, rows: u64) -> u64 {
+        rows.div_ceil(self.rows_per_page)
+    }
+}
+
+/// The heap itself: a slab of optional rows plus the page geometry.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    rows: Vec<Option<Row>>,
+    geometry: PageGeometry,
+    live: u64,
+}
+
+impl Heap {
+    /// Creates an empty heap with the given geometry.
+    pub fn new(geometry: PageGeometry) -> Self {
+        Heap {
+            rows: Vec::new(),
+            geometry,
+            live: 0,
+        }
+    }
+
+    /// The page geometry in force.
+    pub fn geometry(&self) -> PageGeometry {
+        self.geometry
+    }
+
+    /// Appends a row, returning its id.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        let id = self.rows.len() as RowId;
+        self.rows.push(Some(row));
+        self.live += 1;
+        id
+    }
+
+    /// Bulk-appends rows (used by the loader after sorting by the
+    /// clustering key; clustered order is therefore slot order).
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) {
+        for r in rows {
+            self.insert(r);
+        }
+    }
+
+    /// Fetches a row by id; `None` if the slot is a tombstone or out of
+    /// range.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(id as usize).and_then(|r| r.as_ref())
+    }
+
+    /// Mutable fetch (UPDATE executes through this).
+    pub fn get_mut(&mut self, id: RowId) -> Option<&mut Row> {
+        self.rows.get_mut(id as usize).and_then(|r| r.as_mut())
+    }
+
+    /// Tombstones a row; returns the row if it was live.
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let slot = self.rows.get_mut(id as usize)?;
+        let old = slot.take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> u64 {
+        self.live
+    }
+
+    /// Number of slots (live + tombstoned); page counts derive from this,
+    /// matching a heap that has not been vacuumed.
+    pub fn slots(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Number of logical pages occupied.
+    pub fn pages(&self) -> u64 {
+        self.geometry.pages_for(self.slots())
+    }
+
+    /// Fraction of slots that are tombstones (compaction heuristic input).
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.live as f64 / self.rows.len() as f64
+    }
+
+    /// Iterates `(row_id, row)` over live rows in slot (clustered) order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i as RowId, row)))
+    }
+
+    /// Iterates live rows within a slot range (clustered-index range scans
+    /// land here: the index resolves the key range to a slot range).
+    pub fn iter_range(
+        &self,
+        start: RowId,
+        end: RowId,
+    ) -> impl Iterator<Item = (RowId, &Row)> {
+        let lo = (start as usize).min(self.rows.len());
+        let hi = (end as usize).min(self.rows.len());
+        self.rows[lo..hi]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, r)| r.as_ref().map(|row| ((lo + i) as RowId, row)))
+    }
+
+    /// Rebuilds the heap without tombstones, returning the mapping from old
+    /// row id to new row id so indexes can be rebuilt. Clustered order is
+    /// preserved (slot order is retained).
+    pub fn compact(&mut self) -> Vec<(RowId, RowId)> {
+        let mut mapping = Vec::with_capacity(self.live as usize);
+        let mut new_rows = Vec::with_capacity(self.live as usize);
+        for (i, slot) in self.rows.drain(..).enumerate() {
+            if let Some(row) = slot {
+                mapping.push((i as RowId, new_rows.len() as RowId));
+                new_rows.push(Some(row));
+            }
+        }
+        self.rows = new_rows;
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apuama_sql::Value;
+
+    fn row(v: i64) -> Row {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn geometry_from_tuple_bytes() {
+        let g = PageGeometry::for_tuple_bytes(100);
+        assert_eq!(g.rows_per_page, 81);
+        assert_eq!(g.page_of(0), 0);
+        assert_eq!(g.page_of(81), 1);
+        assert_eq!(g.pages_for(0), 0);
+        assert_eq!(g.pages_for(1), 1);
+        assert_eq!(g.pages_for(82), 2);
+    }
+
+    #[test]
+    fn geometry_minimum_one_row_per_page() {
+        let g = PageGeometry::for_tuple_bytes(1 << 20);
+        assert_eq!(g.rows_per_page, 1);
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        let a = h.insert(row(1));
+        let b = h.insert(row(2));
+        assert_eq!(h.get(a), Some(&row(1)));
+        assert_eq!(h.delete(a), Some(row(1)));
+        assert_eq!(h.get(a), None);
+        assert_eq!(h.get(b), Some(&row(2)));
+        assert_eq!(h.live_rows(), 1);
+        assert_eq!(h.slots(), 2);
+    }
+
+    #[test]
+    fn double_delete_is_none() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        let a = h.insert(row(1));
+        assert!(h.delete(a).is_some());
+        assert!(h.delete(a).is_none());
+        assert_eq!(h.live_rows(), 0);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        for i in 0..5 {
+            h.insert(row(i));
+        }
+        h.delete(2);
+        let ids: Vec<RowId> = h.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn range_iter_bounds() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        for i in 0..10 {
+            h.insert(row(i));
+        }
+        let vals: Vec<i64> = h
+            .iter_range(3, 7)
+            .map(|(_, r)| r[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![3, 4, 5, 6]);
+        // Out-of-range end is clamped.
+        assert_eq!(h.iter_range(8, 100).count(), 2);
+    }
+
+    #[test]
+    fn compact_preserves_order_and_maps_ids() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        for i in 0..6 {
+            h.insert(row(i));
+        }
+        h.delete(1);
+        h.delete(4);
+        let mapping = h.compact();
+        assert_eq!(h.slots(), 4);
+        assert_eq!(h.live_rows(), 4);
+        assert_eq!(h.tombstone_ratio(), 0.0);
+        let vals: Vec<i64> = h.iter().map(|(_, r)| r[0].as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![0, 2, 3, 5]);
+        assert!(mapping.contains(&(5, 3)));
+    }
+
+    #[test]
+    fn pages_track_slots_not_live_rows() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 2 });
+        for i in 0..6 {
+            h.insert(row(i));
+        }
+        for id in 0..6 {
+            h.delete(id);
+        }
+        // All dead but the heap still spans 3 pages until compaction.
+        assert_eq!(h.pages(), 3);
+        h.compact();
+        assert_eq!(h.pages(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Ordered (B-tree) indexes.
+//!
+//! One index covers one column. The same structure serves two roles:
+//!
+//! * **clustered index** — built on the clustering key of a clustered table;
+//!   because the heap keeps clustered tables in key order, a key-range
+//!   lookup resolves to a contiguous *slot range* and the scan touches the
+//!   minimal set of pages (the property SVP's virtual partitions need), and
+//! * **secondary index** — key → row-id postings, probed randomly (each
+//!   posting charged as a random page access).
+//!
+//! Backed by `std::collections::BTreeMap`, which is a B-tree; we wrap
+//! [`apuama_sql::Value`] in [`IndexKey`] to give it the total order SQL
+//! sorting defines (NULLs first).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use apuama_sql::Value;
+
+use crate::heap::RowId;
+
+/// A totally ordered wrapper around [`Value`] usable as a BTreeMap key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexKey(pub Value);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.sort_cmp(&other.0)
+    }
+}
+
+/// An ordered index from key values to row-id posting lists.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedIndex {
+    map: BTreeMap<IndexKey, Vec<RowId>>,
+    entries: u64,
+}
+
+impl OrderedIndex {
+    pub fn new() -> Self {
+        OrderedIndex::default()
+    }
+
+    /// Inserts a `(key, row)` posting.
+    pub fn insert(&mut self, key: Value, row: RowId) {
+        self.map.entry(IndexKey(key)).or_default().push(row);
+        self.entries += 1;
+    }
+
+    /// Removes a `(key, row)` posting; returns true if it existed.
+    pub fn remove(&mut self, key: &Value, row: RowId) -> bool {
+        let k = IndexKey(key.clone());
+        if let Some(list) = self.map.get_mut(&k) {
+            if let Some(pos) = list.iter().position(|&r| r == row) {
+                list.swap_remove(pos);
+                self.entries -= 1;
+                if list.is_empty() {
+                    self.map.remove(&k);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact-match postings.
+    pub fn get(&self, key: &Value) -> &[RowId] {
+        self.map
+            .get(&IndexKey(key.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates postings with keys in `[low, high)` / `[low, high]` etc.,
+    /// expressed as bounds on [`Value`]s, in key order.
+    pub fn range<'a>(
+        &'a self,
+        low: Bound<&'a Value>,
+        high: Bound<&'a Value>,
+    ) -> impl Iterator<Item = (&'a Value, RowId)> + 'a {
+        // An inverted or empty range (which conflicting predicates
+        // legitimately produce — e.g. a point lookup intersected with a
+        // disjoint virtual-partition range) must yield nothing rather than
+        // panic inside BTreeMap::range.
+        let empty = match (&low, &high) {
+            (
+                Bound::Included(l) | Bound::Excluded(l),
+                Bound::Included(h) | Bound::Excluded(h),
+            ) => {
+                let cmp = l.sort_cmp(h);
+                cmp == std::cmp::Ordering::Greater
+                    || (cmp == std::cmp::Ordering::Equal
+                        && !(matches!(low, Bound::Included(_))
+                            && matches!(high, Bound::Included(_))))
+            }
+            _ => false,
+        };
+        let (lo, hi) = if empty {
+            // A canonical always-empty interval (x < k ≤ x matches no key;
+            // BTreeMap accepts it, unlike doubly-excluded equal bounds).
+            (
+                Bound::Excluded(IndexKey(Value::Null)),
+                Bound::Included(IndexKey(Value::Null)),
+            )
+        } else {
+            (map_bound(low), map_bound(high))
+        };
+        self.map
+            .range::<IndexKey, _>((lo, hi))
+            .flat_map(|(k, rows)| rows.iter().map(move |&r| (&k.0, r)))
+    }
+
+    /// Smallest and largest keys currently present (planner statistics).
+    pub fn min_max(&self) -> Option<(&Value, &Value)> {
+        let min = self.map.keys().next()?;
+        let max = self.map.keys().next_back()?;
+        Some((&min.0, &max.0))
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True if no postings exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys (planner selectivity input).
+    pub fn distinct_keys(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Estimates the fraction of postings whose keys fall in the range by
+    /// linear interpolation between the min and max key — the classic
+    /// equi-width histogram assumption planners make for uniformly
+    /// distributed keys (TPC-H order keys are uniform, so this is accurate).
+    pub fn range_selectivity(&self, low: Bound<&Value>, high: Bound<&Value>) -> f64 {
+        let Some((min, max)) = self.min_max() else {
+            return 0.0;
+        };
+        let (Some(min_f), Some(max_f)) = (key_as_f64(min), key_as_f64(max)) else {
+            return 0.5; // non-numeric keys: no histogram, assume half
+        };
+        if max_f <= min_f {
+            return 1.0;
+        }
+        let lo_f = match low {
+            Bound::Unbounded => min_f,
+            Bound::Included(v) | Bound::Excluded(v) => key_as_f64(v).unwrap_or(min_f),
+        };
+        let hi_f = match high {
+            Bound::Unbounded => max_f,
+            Bound::Included(v) | Bound::Excluded(v) => key_as_f64(v).unwrap_or(max_f),
+        };
+        ((hi_f.min(max_f) - lo_f.max(min_f)) / (max_f - min_f)).clamp(0.0, 1.0)
+    }
+
+    /// Clears the index (bulk reload).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries = 0;
+    }
+}
+
+fn map_bound(b: Bound<&Value>) -> Bound<IndexKey> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(IndexKey(v.clone())),
+        Bound::Excluded(v) => Bound::Excluded(IndexKey(v.clone())),
+    }
+}
+
+fn key_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Date(d) => Some(d.0 as f64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = OrderedIndex::new();
+        idx.insert(iv(5), 100);
+        idx.insert(iv(5), 101);
+        assert_eq!(idx.get(&iv(5)), &[100, 101]);
+        assert!(idx.remove(&iv(5), 100));
+        assert_eq!(idx.get(&iv(5)), &[101]);
+        assert!(!idx.remove(&iv(5), 100));
+        assert!(idx.remove(&iv(5), 101));
+        assert!(idx.get(&iv(5)).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn range_scan_in_key_order() {
+        let mut idx = OrderedIndex::new();
+        for i in [5i64, 1, 9, 3, 7] {
+            idx.insert(iv(i), i as RowId);
+        }
+        let keys: Vec<i64> = idx
+            .range(Bound::Included(&iv(3)), Bound::Excluded(&iv(9)))
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn unbounded_range_is_everything() {
+        let mut idx = OrderedIndex::new();
+        for i in 0..10 {
+            idx.insert(iv(i), i as RowId);
+        }
+        assert_eq!(idx.range(Bound::Unbounded, Bound::Unbounded).count(), 10);
+    }
+
+    #[test]
+    fn min_max_and_distinct() {
+        let mut idx = OrderedIndex::new();
+        idx.insert(iv(2), 0);
+        idx.insert(iv(8), 1);
+        idx.insert(iv(8), 2);
+        let (min, max) = idx.min_max().unwrap();
+        assert_eq!(min, &iv(2));
+        assert_eq!(max, &iv(8));
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn selectivity_interpolation() {
+        let mut idx = OrderedIndex::new();
+        for i in 0..=100 {
+            idx.insert(iv(i), i as RowId);
+        }
+        let sel = idx.range_selectivity(Bound::Included(&iv(0)), Bound::Included(&iv(50)));
+        assert!((sel - 0.5).abs() < 0.01, "sel={sel}");
+        let all = idx.range_selectivity(Bound::Unbounded, Bound::Unbounded);
+        assert!((all - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn selectivity_clamps_out_of_range() {
+        let mut idx = OrderedIndex::new();
+        for i in 10..20 {
+            idx.insert(iv(i), i as RowId);
+        }
+        let sel = idx.range_selectivity(Bound::Included(&iv(100)), Bound::Included(&iv(200)));
+        assert_eq!(sel, 0.0);
+    }
+
+    #[test]
+    fn inverted_range_is_empty_not_panic() {
+        let mut idx = OrderedIndex::new();
+        for i in 0..10 {
+            idx.insert(iv(i), i as RowId);
+        }
+        // lo > hi
+        assert_eq!(
+            idx.range(Bound::Included(&iv(8)), Bound::Excluded(&iv(3))).count(),
+            0
+        );
+        // lo == hi but half-open
+        assert_eq!(
+            idx.range(Bound::Included(&iv(5)), Bound::Excluded(&iv(5))).count(),
+            0
+        );
+        // lo == hi, both inclusive: the point itself
+        assert_eq!(
+            idx.range(Bound::Included(&iv(5)), Bound::Included(&iv(5))).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn date_keys_order_correctly() {
+        use apuama_sql::Date;
+        let mut idx = OrderedIndex::new();
+        let d1 = Value::Date(Date::parse("1994-01-01").unwrap());
+        let d2 = Value::Date(Date::parse("1995-01-01").unwrap());
+        idx.insert(d2.clone(), 1);
+        idx.insert(d1.clone(), 0);
+        let rows: Vec<RowId> = idx
+            .range(Bound::Included(&d1), Bound::Excluded(&d2))
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(rows, vec![0]);
+    }
+}

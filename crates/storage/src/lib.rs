@@ -1,0 +1,36 @@
+//! Node-local storage substrate for the Apuama reproduction.
+//!
+//! Each simulated cluster node runs one `apuama-engine` database instance
+//! whose tables live in this crate's structures:
+//!
+//! * [`heap::Heap`] — a paged tuple heap. Pages are *logical*: rows are kept
+//!   in memory, but every access is attributed to a page number so the
+//!   buffer pool can account for I/O exactly as a disk-resident engine
+//!   would. Clustered tables keep rows physically ordered by the clustering
+//!   key (TPC-H fact tables are clustered by their virtual-partitioning
+//!   attribute, the property the paper's SVP depends on).
+//! * [`buffer::BufferPool`] — an LRU page cache with hit/miss/eviction
+//!   accounting. Its capacity is the knob that reproduces the paper's
+//!   memory-fit effects: the per-node pool is sized at the paper's RAM:DB
+//!   ratio, so virtual partitions start fitting in memory at the same node
+//!   counts as in the original 32-node cluster.
+//! * [`index::OrderedIndex`] — a B-tree-backed secondary/clustered index
+//!   with range scans, the access path `SET enable_seqscan = off` forces.
+//!
+//! The engine charges page accesses through [`buffer::BufferPool::access`];
+//! the simulator later converts the recorded sequential/random miss counts
+//! into time using the calibrated cost model.
+
+pub mod buffer;
+pub mod heap;
+pub mod index;
+
+pub use buffer::{AccessKind, BufferPool, BufferStats, PageKey};
+pub use heap::{Heap, PageGeometry, RowId};
+pub use index::{IndexKey, OrderedIndex};
+
+/// A tuple: one dynamic value per column.
+pub type Row = Vec<apuama_sql::Value>;
+
+/// Identifies a table within a node (assigned by the engine catalog).
+pub type TableId = u32;

@@ -1,0 +1,125 @@
+//! Model-based property tests: the LRU buffer pool against a naive
+//! reference implementation, and the ordered index against a BTreeMap
+//! model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use apuama_storage::{AccessKind, BufferPool, IndexKey, OrderedIndex, PageKey};
+use apuama_sql::Value;
+
+/// Naive LRU: a Vec ordered most-recent-first.
+struct NaiveLru {
+    capacity: usize,
+    pages: Vec<u64>,
+}
+
+impl NaiveLru {
+    fn access(&mut self, page: u64) -> bool {
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(pos);
+            self.pages.insert(0, page);
+            true
+        } else {
+            if self.capacity > 0 {
+                if self.pages.len() >= self.capacity {
+                    self.pages.pop();
+                }
+                self.pages.insert(0, page);
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn buffer_pool_matches_naive_lru(
+        capacity in 0usize..12,
+        accesses in proptest::collection::vec(0u64..24, 0..300),
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        let mut model = NaiveLru { capacity, pages: Vec::new() };
+        for page in accesses {
+            let hit = pool.access(PageKey { table: 1, page }, AccessKind::Sequential);
+            let expected = model.access(page);
+            prop_assert_eq!(hit, expected, "page {} capacity {}", page, capacity);
+            prop_assert!(pool.resident() <= capacity);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses(), s.accesses());
+    }
+
+    #[test]
+    fn ordered_index_matches_btreemap_model(
+        ops in proptest::collection::vec((0u8..3, 0i64..40, 0u64..8), 0..200),
+    ) {
+        let mut idx = OrderedIndex::new();
+        let mut model: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+        for (op, key, rid) in ops {
+            match op {
+                0 => {
+                    idx.insert(Value::Int(key), rid);
+                    model.entry(key).or_default().push(rid);
+                }
+                1 => {
+                    let removed = idx.remove(&Value::Int(key), rid);
+                    let model_removed = match model.get_mut(&key) {
+                        Some(list) => match list.iter().position(|&r| r == rid) {
+                            Some(pos) => {
+                                list.swap_remove(pos);
+                                if list.is_empty() {
+                                    model.remove(&key);
+                                }
+                                true
+                            }
+                            None => false,
+                        },
+                        None => false,
+                    };
+                    prop_assert_eq!(removed, model_removed);
+                }
+                _ => {
+                    // Range check over a random window.
+                    let lo = Value::Int(key - 5);
+                    let hi = Value::Int(key + 5);
+                    let mut got: Vec<u64> = idx
+                        .range(std::ops::Bound::Included(&lo), std::ops::Bound::Excluded(&hi))
+                        .map(|(_, r)| r)
+                        .collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = model
+                        .range(key - 5..key + 5)
+                        .flat_map(|(_, rs)| rs.iter().copied())
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(idx.len() as usize,
+                model.values().map(Vec::len).sum::<usize>());
+            prop_assert_eq!(idx.distinct_keys() as usize, model.len());
+        }
+    }
+
+    #[test]
+    fn index_key_ordering_is_total_and_consistent(
+        a in -50i64..50,
+        b in -50i64..50,
+        c in -50i64..50,
+    ) {
+        let (ka, kb, kc) = (
+            IndexKey(Value::Int(a)),
+            IndexKey(Value::Int(b)),
+            IndexKey(Value::Int(c)),
+        );
+        // Antisymmetry + transitivity spot checks.
+        prop_assert_eq!(ka.cmp(&kb), kb.cmp(&ka).reverse());
+        if ka <= kb && kb <= kc {
+            prop_assert!(ka <= kc);
+        }
+    }
+}

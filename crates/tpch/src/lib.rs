@@ -1,0 +1,32 @@
+//! TPC-H workload substrate for the Apuama reproduction.
+//!
+//! The paper evaluates Apuama with TPC-H at scale factor 5 (11 GB on disk)
+//! on a 32-node cluster. This crate provides a laptop-scale, deterministic
+//! equivalent:
+//!
+//! * [`schema`] — the eight TPC-H tables with the paper's physical design:
+//!   fact tables (`orders`, `lineitem`) clustered by their
+//!   virtual-partitioning attributes (`o_orderkey`, `l_orderkey`) and
+//!   indexes on every foreign key;
+//! * [`gen`] — a seeded data generator preserving the distributions the
+//!   evaluation queries depend on (uniform dense order keys — the paper's
+//!   SVP interval arithmetic assumes `[1, 6,000,000]`-style dense ranges —
+//!   date windows, segment/priority/shipmode domains, `PROMO%` part types);
+//! * [`queries`] — the eight evaluation queries (Q1, Q3, Q4, Q5, Q6, Q12,
+//!   Q14, Q21) with TPC-H-spec parameter substitution;
+//! * [`sequences`] — the permuted query sequences of the throughput test;
+//! * [`refresh`] — RF1/RF2-style refresh transactions (insert an order and
+//!   its lineitems; later delete them), the paper's mixed-workload update
+//!   stream.
+
+pub mod gen;
+pub mod queries;
+pub mod refresh;
+pub mod schema;
+pub mod sequences;
+
+pub use gen::{generate, load_into, TpchConfig, TpchData};
+pub use queries::{QueryParams, TpchQuery, ALL_QUERIES};
+pub use refresh::{refresh_stream, RefreshTransaction};
+pub use schema::{create_schema, fact_tables, DDL};
+pub use sequences::query_sequence;

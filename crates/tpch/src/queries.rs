@@ -1,0 +1,329 @@
+//! The eight TPC-H queries the paper evaluates (§5): Q1, Q3, Q4, Q5, Q6,
+//! Q12, Q14 and Q21, with TPC-H-spec parameter substitution.
+//!
+//! The SQL is the official text adapted to this repo's dialect (no
+//! `extract`, explicit float literals). Every query references at least one
+//! fact table and — except where the spec says otherwise — is eligible for
+//! Apuama's virtual partitioning.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::gen::{REGIONS, SEGMENTS, SHIP_MODES};
+
+/// The evaluation queries, named as in TPC-H.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpchQuery {
+    Q1,
+    Q3,
+    Q4,
+    Q5,
+    Q6,
+    Q12,
+    Q14,
+    Q21,
+}
+
+/// All eight, in TPC-H numeric order.
+pub const ALL_QUERIES: [TpchQuery; 8] = [
+    TpchQuery::Q1,
+    TpchQuery::Q3,
+    TpchQuery::Q4,
+    TpchQuery::Q5,
+    TpchQuery::Q6,
+    TpchQuery::Q12,
+    TpchQuery::Q14,
+    TpchQuery::Q21,
+];
+
+/// Substitution parameters for one query instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryParams {
+    /// Q1: days subtracted from 1998-12-01 (60–120).
+    pub q1_delta: i64,
+    /// Q3: market segment.
+    pub q3_segment: String,
+    /// Q3: order-date cutoff day in March 1995 (1–31).
+    pub q3_day: u32,
+    /// Q4/Q5/Q6/Q12/Q14: period start (year, month).
+    pub q4_year: i32,
+    pub q4_month: u32,
+    pub q5_region: String,
+    pub q5_year: i32,
+    pub q6_year: i32,
+    pub q6_discount: f64,
+    pub q6_quantity: i64,
+    pub q12_mode_a: String,
+    pub q12_mode_b: String,
+    pub q12_year: i32,
+    pub q14_year: i32,
+    pub q14_month: u32,
+    pub q21_nation: String,
+}
+
+impl Default for QueryParams {
+    /// The TPC-H validation parameters (the fixed values the spec uses for
+    /// answer checking) — handy for reproducible tests.
+    fn default() -> Self {
+        QueryParams {
+            q1_delta: 90,
+            q3_segment: "BUILDING".into(),
+            q3_day: 15,
+            q4_year: 1993,
+            q4_month: 7,
+            q5_region: "ASIA".into(),
+            q5_year: 1994,
+            q6_year: 1994,
+            q6_discount: 0.06,
+            q6_quantity: 24,
+            q12_mode_a: "MAIL".into(),
+            q12_mode_b: "SHIP".into(),
+            q12_year: 1994,
+            q14_year: 1995,
+            q14_month: 9,
+            q21_nation: "SAUDI ARABIA".into(),
+        }
+    }
+}
+
+impl QueryParams {
+    /// Draws a random parameter set per TPC-H's substitution rules.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mode_a = SHIP_MODES[rng.random_range(0..SHIP_MODES.len())].to_string();
+        let mode_b = loop {
+            let m = SHIP_MODES[rng.random_range(0..SHIP_MODES.len())].to_string();
+            if m != mode_a {
+                break m;
+            }
+        };
+        QueryParams {
+            q1_delta: rng.random_range(60..=120),
+            q3_segment: SEGMENTS[rng.random_range(0..SEGMENTS.len())].into(),
+            q3_day: rng.random_range(1..=31),
+            q4_year: rng.random_range(1993..=1997),
+            q4_month: rng.random_range(1..=10),
+            q5_region: REGIONS[rng.random_range(0..REGIONS.len())].into(),
+            q5_year: rng.random_range(1993..=1997),
+            q6_year: rng.random_range(1993..=1997),
+            q6_discount: rng.random_range(2..=9) as f64 / 100.0,
+            q6_quantity: rng.random_range(24..=25),
+            q12_mode_a: mode_a,
+            q12_mode_b: mode_b,
+            q12_year: rng.random_range(1993..=1997),
+            q14_year: rng.random_range(1993..=1997),
+            q14_month: rng.random_range(1..=10),
+            q21_nation: crate::gen::NATIONS[rng.random_range(0..25)].0.into(),
+        }
+    }
+}
+
+impl TpchQuery {
+    /// TPC-H query number.
+    pub fn number(self) -> u32 {
+        match self {
+            TpchQuery::Q1 => 1,
+            TpchQuery::Q3 => 3,
+            TpchQuery::Q4 => 4,
+            TpchQuery::Q5 => 5,
+            TpchQuery::Q6 => 6,
+            TpchQuery::Q12 => 12,
+            TpchQuery::Q14 => 14,
+            TpchQuery::Q21 => 21,
+        }
+    }
+
+    /// Canonical label (`Q1`, `Q3`, ...).
+    pub fn label(self) -> String {
+        format!("Q{}", self.number())
+    }
+
+    /// Renders the query with the given parameters.
+    pub fn sql(self, p: &QueryParams) -> String {
+        match self {
+            TpchQuery::Q1 => format!(
+                "select l_returnflag, l_linestatus, \
+                   sum(l_quantity) as sum_qty, \
+                   sum(l_extendedprice) as sum_base_price, \
+                   sum(l_extendedprice * (1.0 - l_discount)) as sum_disc_price, \
+                   sum(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) as sum_charge, \
+                   avg(l_quantity) as avg_qty, \
+                   avg(l_extendedprice) as avg_price, \
+                   avg(l_discount) as avg_disc, \
+                   count(*) as count_order \
+                 from lineitem \
+                 where l_shipdate <= date '1998-12-01' - interval '{}' day \
+                 group by l_returnflag, l_linestatus \
+                 order by l_returnflag, l_linestatus",
+                p.q1_delta
+            ),
+            TpchQuery::Q3 => format!(
+                "select l_orderkey, \
+                   sum(l_extendedprice * (1.0 - l_discount)) as revenue, \
+                   o_orderdate, o_shippriority \
+                 from customer, orders, lineitem \
+                 where c_mktsegment = '{}' \
+                   and c_custkey = o_custkey \
+                   and l_orderkey = o_orderkey \
+                   and o_orderdate < date '1995-03-{:02}' \
+                   and l_shipdate > date '1995-03-{:02}' \
+                 group by l_orderkey, o_orderdate, o_shippriority \
+                 order by revenue desc, o_orderdate \
+                 limit 10",
+                p.q3_segment, p.q3_day, p.q3_day
+            ),
+            TpchQuery::Q4 => format!(
+                "select o_orderpriority, count(*) as order_count \
+                 from orders \
+                 where o_orderdate >= date '{}-{:02}-01' \
+                   and o_orderdate < date '{}-{:02}-01' + interval '3' month \
+                   and exists (select * from lineitem \
+                               where l_orderkey = o_orderkey \
+                                 and l_commitdate < l_receiptdate) \
+                 group by o_orderpriority \
+                 order by o_orderpriority",
+                p.q4_year, p.q4_month, p.q4_year, p.q4_month
+            ),
+            TpchQuery::Q5 => format!(
+                "select n_name, \
+                   sum(l_extendedprice * (1.0 - l_discount)) as revenue \
+                 from customer, orders, lineitem, supplier, nation, region \
+                 where c_custkey = o_custkey \
+                   and l_orderkey = o_orderkey \
+                   and l_suppkey = s_suppkey \
+                   and c_nationkey = s_nationkey \
+                   and s_nationkey = n_nationkey \
+                   and n_regionkey = r_regionkey \
+                   and r_name = '{}' \
+                   and o_orderdate >= date '{}-01-01' \
+                   and o_orderdate < date '{}-01-01' + interval '1' year \
+                 group by n_name \
+                 order by revenue desc",
+                p.q5_region, p.q5_year, p.q5_year
+            ),
+            TpchQuery::Q6 => format!(
+                "select sum(l_extendedprice * l_discount) as revenue \
+                 from lineitem \
+                 where l_shipdate >= date '{}-01-01' \
+                   and l_shipdate < date '{}-01-01' + interval '1' year \
+                   and l_discount between {:.2} - 0.01 and {:.2} + 0.01 \
+                   and l_quantity < {}.0",
+                p.q6_year, p.q6_year, p.q6_discount, p.q6_discount, p.q6_quantity
+            ),
+            TpchQuery::Q12 => format!(
+                "select l_shipmode, \
+                   sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' \
+                            then 1 else 0 end) as high_line_count, \
+                   sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' \
+                            then 1 else 0 end) as low_line_count \
+                 from orders, lineitem \
+                 where o_orderkey = l_orderkey \
+                   and l_shipmode in ('{}', '{}') \
+                   and l_commitdate < l_receiptdate \
+                   and l_shipdate < l_commitdate \
+                   and l_receiptdate >= date '{}-01-01' \
+                   and l_receiptdate < date '{}-01-01' + interval '1' year \
+                 group by l_shipmode \
+                 order by l_shipmode",
+                p.q12_mode_a, p.q12_mode_b, p.q12_year, p.q12_year
+            ),
+            TpchQuery::Q14 => format!(
+                "select 100.00 * sum(case when p_type like 'PROMO%' \
+                                          then l_extendedprice * (1.0 - l_discount) \
+                                          else 0.0 end) \
+                        / sum(l_extendedprice * (1.0 - l_discount)) as promo_revenue \
+                 from lineitem, part \
+                 where l_partkey = p_partkey \
+                   and l_shipdate >= date '{}-{:02}-01' \
+                   and l_shipdate < date '{}-{:02}-01' + interval '1' month",
+                p.q14_year, p.q14_month, p.q14_year, p.q14_month
+            ),
+            TpchQuery::Q21 => format!(
+                "select s_name, count(*) as numwait \
+                 from supplier, lineitem l1, orders, nation \
+                 where s_suppkey = l1.l_suppkey \
+                   and o_orderkey = l1.l_orderkey \
+                   and o_orderstatus = 'F' \
+                   and l1.l_receiptdate > l1.l_commitdate \
+                   and exists (select * from lineitem l2 \
+                               where l2.l_orderkey = l1.l_orderkey \
+                                 and l2.l_suppkey <> l1.l_suppkey) \
+                   and not exists (select * from lineitem l3 \
+                                   where l3.l_orderkey = l1.l_orderkey \
+                                     and l3.l_suppkey <> l1.l_suppkey \
+                                     and l3.l_receiptdate > l3.l_commitdate) \
+                   and s_nationkey = n_nationkey \
+                   and n_name = '{}' \
+                 group by s_name \
+                 order by numwait desc, s_name \
+                 limit 100",
+                p.q21_nation
+            ),
+        }
+    }
+
+    /// The paper's workload characterization of each query (§5), used by
+    /// tests and documentation.
+    pub fn description(self) -> &'static str {
+        match self {
+            TpchQuery::Q1 => {
+                "lineitem only; many aggregates; ~99% of tuples pass the filter; CPU-bound"
+            }
+            TpchQuery::Q3 => "joins lineitem, orders and a dimension; large result",
+            TpchQuery::Q4 => "orders with a correlated EXISTS over lineitem; highly selective",
+            TpchQuery::Q5 => "joins lineitem, orders and four dimension tables; one aggregate",
+            TpchQuery::Q6 => "lineitem only; one aggregate; ~1.5% of tuples pass; IO-bound",
+            TpchQuery::Q12 => "joins lineitem and orders; two aggregations",
+            TpchQuery::Q14 => "joins lineitem and a dimension table",
+            TpchQuery::Q21 => {
+                "three lineitem references (two in subqueries); CPU-bound"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apuama_sql::{parse_statement, Statement};
+
+    #[test]
+    fn all_queries_parse() {
+        let p = QueryParams::default();
+        for q in ALL_QUERIES {
+            let sql = q.sql(&p);
+            let stmt = parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}\n{sql}", q.label()));
+            assert!(matches!(stmt, Statement::Select(_)));
+        }
+    }
+
+    #[test]
+    fn random_params_in_spec_ranges() {
+        for seed in 0..20 {
+            let p = QueryParams::random(seed);
+            assert!((60..=120).contains(&p.q1_delta));
+            assert!((1993..=1997).contains(&p.q4_year));
+            assert!((0.02..=0.09).contains(&p.q6_discount));
+            assert_ne!(p.q12_mode_a, p.q12_mode_b);
+        }
+    }
+
+    #[test]
+    fn params_deterministic_per_seed() {
+        assert_eq!(QueryParams::random(3), QueryParams::random(3));
+    }
+
+    #[test]
+    fn labels_and_numbers() {
+        assert_eq!(TpchQuery::Q12.label(), "Q12");
+        assert_eq!(TpchQuery::Q21.number(), 21);
+    }
+
+    #[test]
+    fn q4_contains_correlated_exists() {
+        let sql = TpchQuery::Q4.sql(&QueryParams::default());
+        assert!(sql.contains("exists"));
+        assert!(sql.contains("l_orderkey = o_orderkey"));
+    }
+}

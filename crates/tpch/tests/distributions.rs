@@ -1,0 +1,176 @@
+//! Statistical checks of the generator: the evaluation queries' behaviour
+//! depends on these distributions (selectivity bands, key density, value
+//! domains), so they are pinned here rather than trusted silently.
+
+use apuama_engine::Database;
+use apuama_tpch::{generate, load_into, TpchConfig};
+
+fn loaded() -> (Database, apuama_tpch::TpchData) {
+    let data = generate(TpchConfig {
+        scale_factor: 0.004,
+        seed: 99,
+    });
+    let mut db = Database::in_memory();
+    load_into(&mut db, &data).unwrap();
+    (db, data)
+}
+
+fn fraction(db: &Database, num_sql: &str, den_sql: &str) -> f64 {
+    let n = db.query(num_sql).unwrap().rows[0][0].as_i64().unwrap() as f64;
+    let d = db.query(den_sql).unwrap().rows[0][0].as_i64().unwrap() as f64;
+    n / d
+}
+
+#[test]
+fn q1_filter_keeps_almost_everything() {
+    // Paper: "The where predicate of Q1 is not very selective since around
+    // 99% of tuples are retrieved."
+    let (db, _) = loaded();
+    let f = fraction(
+        &db,
+        "select count(*) as n from lineitem \
+         where l_shipdate <= date '1998-12-01' - interval '90' day",
+        "select count(*) as n from lineitem",
+    );
+    assert!(f > 0.95, "Q1 selectivity {f:.3} should be ~0.99");
+}
+
+#[test]
+fn q6_filter_is_highly_selective() {
+    // Paper: Q6 "retrieving only 1.5% of tuples". Our simplified value
+    // distributions put it in the same order of magnitude.
+    let (db, _) = loaded();
+    let f = fraction(
+        &db,
+        "select count(*) as n from lineitem \
+         where l_shipdate >= date '1994-01-01' \
+           and l_shipdate < date '1994-01-01' + interval '1' year \
+           and l_discount between 0.05 and 0.07 \
+           and l_quantity < 24.0",
+        "select count(*) as n from lineitem",
+    );
+    assert!(f < 0.05, "Q6 selectivity {f:.4} should be a few percent");
+    assert!(f > 0.0005, "Q6 must still match something: {f:.5}");
+}
+
+#[test]
+fn order_dates_span_the_tpch_window() {
+    let (db, _) = loaded();
+    let out = db
+        .query("select min(o_orderdate) as lo, max(o_orderdate) as hi from orders")
+        .unwrap();
+    let lo = out.rows[0][0].as_date().unwrap();
+    let hi = out.rows[0][1].as_date().unwrap();
+    assert!(lo >= apuama_sql::Date::from_ymd(1992, 1, 1).unwrap());
+    assert!(hi <= apuama_sql::Date::from_ymd(1998, 8, 2).unwrap());
+    // Both halves of the window are populated (uniformity sanity check).
+    let early = fraction(
+        &db,
+        "select count(*) as n from orders where o_orderdate < date '1995-05-01'",
+        "select count(*) as n from orders",
+    );
+    assert!((0.35..=0.65).contains(&early), "early half holds {early:.2}");
+}
+
+#[test]
+fn market_segments_are_roughly_uniform() {
+    let (db, _) = loaded();
+    let out = db
+        .query("select c_mktsegment, count(*) as n from customer group by c_mktsegment")
+        .unwrap();
+    assert_eq!(out.rows.len(), 5);
+    let total: i64 = out.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+    for row in &out.rows {
+        let share = row[1].as_i64().unwrap() as f64 / total as f64;
+        assert!(
+            (0.10..=0.32).contains(&share),
+            "segment {} holds {share:.2} of customers",
+            row[0]
+        );
+    }
+}
+
+#[test]
+fn every_lineitem_has_its_order() {
+    // Referential integrity: the derived partitioning depends on it.
+    let (db, _) = loaded();
+    let orphans = db
+        .query(
+            "select count(*) as n from lineitem where not exists \
+             (select 1 from orders where o_orderkey = l_orderkey)",
+        )
+        .unwrap();
+    assert_eq!(orphans.rows[0][0].as_i64().unwrap(), 0);
+}
+
+#[test]
+fn order_status_matches_line_statuses() {
+    // 'F' orders must have no open ('O') lineitems.
+    let (db, _) = loaded();
+    let bad = db
+        .query(
+            "select count(*) as n from orders where o_orderstatus = 'F' and exists \
+             (select 1 from lineitem where l_orderkey = o_orderkey and l_linestatus = 'O')",
+        )
+        .unwrap();
+    assert_eq!(bad.rows[0][0].as_i64().unwrap(), 0);
+}
+
+#[test]
+fn promo_share_supports_q14() {
+    // p_type prefixes are uniform over 6 values ⇒ PROMO ≈ 1/6 of parts,
+    // which keeps Q14's promo_revenue percentage meaningfully between the
+    // degenerate extremes.
+    let (db, _) = loaded();
+    let f = fraction(
+        &db,
+        "select count(*) as n from part where p_type like 'PROMO%'",
+        "select count(*) as n from part",
+    );
+    assert!((0.08..=0.28).contains(&f), "PROMO share {f:.3}");
+}
+
+#[test]
+fn ship_modes_cover_q12_pair() {
+    let (db, _) = loaded();
+    for mode in ["MAIL", "SHIP"] {
+        let n = db
+            .query(&format!(
+                "select count(*) as n from lineitem where l_shipmode = '{mode}'"
+            ))
+            .unwrap();
+        assert!(
+            n.rows[0][0].as_i64().unwrap() > 0,
+            "no lineitems shipped via {mode}"
+        );
+    }
+}
+
+#[test]
+fn commit_receipt_ship_date_relationships() {
+    let (db, _) = loaded();
+    // Receipt strictly after ship for every line (generator invariant).
+    let bad = db
+        .query("select count(*) as n from lineitem where l_receiptdate <= l_shipdate")
+        .unwrap();
+    assert_eq!(bad.rows[0][0].as_i64().unwrap(), 0);
+    // Q12's "commit before receipt" band is non-trivial in both directions.
+    let f = fraction(
+        &db,
+        "select count(*) as n from lineitem where l_commitdate < l_receiptdate",
+        "select count(*) as n from lineitem",
+    );
+    assert!((0.2..=0.9).contains(&f), "commit<receipt fraction {f:.2}");
+}
+
+#[test]
+fn q21_nation_has_suppliers() {
+    let (db, _) = loaded();
+    let n = db
+        .query(
+            "select count(*) as n from supplier, nation \
+             where s_nationkey = n_nationkey and n_name = 'SAUDI ARABIA'",
+        )
+        .unwrap();
+    assert!(n.rows[0][0].as_i64().unwrap() > 0, "Q21 needs Saudi suppliers");
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the Apuama reproduction workspace.
+//!
+//! Re-exports every layer so the `examples/` binaries and the cross-crate
+//! integration tests in `tests/` have a single dependency surface. The
+//! interesting code lives in the member crates:
+//!
+//! * [`sql`] — SQL front end (lexer, parser, AST, pretty-printer),
+//! * [`storage`] — paged heaps, B-tree indexes, LRU buffer pool,
+//! * [`engine`] — the single-node RDBMS each cluster node runs,
+//! * [`tpch`] — TPC-H schema, generator, queries, refresh streams,
+//! * [`cjdbc`] — the C-JDBC-style cluster controller substrate,
+//! * [`apuama`] — the paper's contribution: SVP intra-query parallelism,
+//! * [`sim`] — the discrete-event cluster simulator and cost model.
+
+pub use apuama;
+pub use apuama_cjdbc as cjdbc;
+pub use apuama_engine as engine;
+pub use apuama_sim as sim;
+pub use apuama_sql as sql;
+pub use apuama_storage as storage;
+pub use apuama_tpch as tpch;

@@ -1,0 +1,192 @@
+//! Concurrency torture tests for the replica-consistency protocol: OLAP
+//! queries must see converged snapshots while refresh transactions hammer
+//! the cluster from multiple angles.
+
+use std::sync::Arc;
+
+use apuama::{ApuamaConfig, ApuamaEngine, DataCatalog};
+use apuama_cjdbc::{Connection, Controller, ControllerConfig, EngineNode, NodeConnection};
+use apuama_engine::Database;
+use apuama_tpch::{generate, load_into, TpchConfig};
+
+fn cluster(nodes: usize) -> (Arc<ApuamaEngine>, Arc<Controller>, i64) {
+    let data = generate(TpchConfig {
+        scale_factor: 0.001,
+        seed: 17,
+    });
+    let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+    for i in 0..nodes {
+        let mut db = Database::in_memory();
+        load_into(&mut db, &data).expect("replica loads");
+        conns.push(Arc::new(NodeConnection::new(EngineNode::new(
+            format!("node-{i}"),
+            db,
+        ))));
+    }
+    let orders = data.config.orders() as i64;
+    let engine = ApuamaEngine::new(conns, DataCatalog::tpch(orders), ApuamaConfig::default());
+    let controller = Arc::new(Controller::new(
+        engine.connections(),
+        ControllerConfig::default(),
+    ));
+    (engine, controller, orders)
+}
+
+#[test]
+fn snapshot_counts_never_tear() {
+    let (engine, controller, base_orders) = cluster(3);
+    // Each inserted order comes with exactly 2 lineitems, so a consistent
+    // snapshot always satisfies: lineitems_added = 2 × orders_added.
+    let base_lineitems = {
+        let (o, _) = controller
+            .execute("select count(*) as n from lineitem")
+            .unwrap();
+        o.rows[0][0].as_i64().unwrap()
+    };
+    std::thread::scope(|s| {
+        let writer = {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                for k in 0..30i64 {
+                    let key = base_orders + 1 + k;
+                    c.execute_write_transaction(&[
+                        format!(
+                            "insert into orders values ({key}, 1, 'O', 1.0, \
+                             date '1997-01-01', '5-LOW', 'c', 0, 'x')"
+                        ),
+                        format!(
+                            "insert into lineitem values ({key}, 1, 1, 1, 1.0, 1.0, 0.0, 0.0, \
+                             'N', 'O', date '1997-02-01', date '1997-02-01', date '1997-02-02', \
+                             'NONE', 'MAIL', 'x')"
+                        ),
+                        format!(
+                            "insert into lineitem values ({key}, 1, 1, 2, 1.0, 1.0, 0.0, 0.0, \
+                             'N', 'O', date '1997-02-01', date '1997-02-01', date '1997-02-02', \
+                             'NONE', 'MAIL', 'x')"
+                        ),
+                    ])
+                    .unwrap();
+                }
+            })
+        };
+        for _ in 0..2 {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                for _ in 0..10 {
+                    // One SVP query returning both counts in one snapshot.
+                    let (out, _) = c
+                        .execute(
+                            "select count(*) as n from orders",
+                        )
+                        .unwrap();
+                    let orders_now = out.rows[0][0].as_i64().unwrap();
+                    let (out, _) = c
+                        .execute("select count(*) as n from lineitem")
+                        .unwrap();
+                    let lineitems_now = out.rows[0][0].as_i64().unwrap();
+                    // Within each single snapshot the invariant holds; the
+                    // two queries are separate snapshots, so lineitems can
+                    // only have grown relative to the first query's state.
+                    let orders_added = orders_now - base_orders;
+                    let lineitems_added = lineitems_now - base_lineitems;
+                    assert!(
+                        lineitems_added >= 2 * orders_added - 2 * 30
+                            && lineitems_added >= 0,
+                        "torn counts: +{orders_added} orders, +{lineitems_added} lineitems"
+                    );
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    // Converged at the end.
+    assert_eq!(engine.txn_counters(), vec![30, 30, 30]);
+    let (o, _) = controller.execute("select count(*) as n from orders").unwrap();
+    assert_eq!(o.rows[0][0].as_i64().unwrap(), base_orders + 30);
+}
+
+#[test]
+fn single_snapshot_join_invariant_holds_exactly() {
+    // Stronger check: ONE SVP query that observes both tables must see the
+    // 2-lineitems-per-new-order invariant exactly, never a torn state.
+    let (_, controller, base_orders) = cluster(3);
+    std::thread::scope(|s| {
+        let writer = {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                for k in 0..20i64 {
+                    let key = base_orders + 1 + k;
+                    c.execute_write_transaction(&[
+                        format!(
+                            "insert into orders values ({key}, 1, 'O', 1.0, \
+                             date '2005-01-01', '5-LOW', 'c', 0, 'probe')"
+                        ),
+                        format!(
+                            "insert into lineitem values ({key}, 1, 1, 1, 1.0, 1.0, 0.0, 0.0, \
+                             'N', 'O', date '2005-02-01', date '2005-02-01', date '2005-02-02', \
+                             'NONE', 'MAIL', 'probe')"
+                        ),
+                        format!(
+                            "insert into lineitem values ({key}, 1, 1, 2, 1.0, 1.0, 0.0, 0.0, \
+                             'N', 'O', date '2005-02-01', date '2005-02-01', date '2005-02-02', \
+                             'NONE', 'MAIL', 'probe')"
+                        ),
+                    ])
+                    .unwrap();
+                }
+            })
+        };
+        let reader = {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                for _ in 0..12 {
+                    // New orders are dated 2005+, disjoint from base data,
+                    // so this join counts exactly the inserted pairs.
+                    let (out, _) = c
+                        .execute(
+                            "select count(*) as pairs, count(l_orderkey) as li \
+                             from orders, lineitem \
+                             where l_orderkey = o_orderkey \
+                               and o_orderdate >= date '2005-01-01'",
+                        )
+                        .unwrap();
+                    let pairs = out.rows[0][0].as_i64().unwrap();
+                    // Each new order joins to its 2 lineitems: pairs is
+                    // always even in a consistent snapshot.
+                    assert_eq!(pairs % 2, 0, "torn join snapshot: {pairs} pairs");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+#[test]
+fn many_writers_one_svp_reader_no_deadlock() {
+    let (engine, controller, base_orders) = cluster(4);
+    std::thread::scope(|s| {
+        // The C-JDBC scheduler serializes broadcasts; competing writer
+        // threads exercise the ticket + gate interplay.
+        for w in 0..3i64 {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                for k in 0..10i64 {
+                    let key = base_orders + 1 + w * 100 + k;
+                    c.execute(&format!(
+                        "insert into orders values ({key}, 1, 'O', 1.0, \
+                         date '1997-01-01', '5-LOW', 'c', 0, 'w')"
+                    ))
+                    .unwrap();
+                }
+            });
+        }
+        let c = Arc::clone(&controller);
+        s.spawn(move || {
+            for _ in 0..15 {
+                c.execute("select max(o_orderkey) as k from orders").unwrap();
+            }
+        });
+    });
+    assert_eq!(engine.txn_counters(), vec![30, 30, 30, 30]);
+}

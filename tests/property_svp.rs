@@ -1,0 +1,200 @@
+//! Property-based tests of the core invariants:
+//!
+//! 1. **SVP equivalence** — for random data, random partition counts, and a
+//!    family of aggregate queries, executing the SVP plan over replicas and
+//!    composing the partials equals executing the original query directly.
+//! 2. **Partition coverage** — the injected range predicates form an exact
+//!    partition of the key space (every key owned exactly once).
+//! 3. **SQL round-trip** — rendering a parsed statement and re-parsing it
+//!    is a fixed point.
+
+use proptest::prelude::*;
+
+use apuama::{compose, DataCatalog, Rewritten, SvpRewriter, VirtualPartitioning};
+use apuama_engine::{Database, QueryOutput};
+use apuama_sql::{parse_statement, Value};
+
+/// Builds a fresh database with an `orders`-like fact table holding the
+/// given rows (key, qty, price, tag).
+fn db_with_orders(rows: &[(i64, i64, f64, u8)]) -> Database {
+    let mut db = Database::in_memory();
+    db.execute(
+        "create table orders (o_orderkey int not null, o_qty int, o_price float, \
+         o_tag text, primary key (o_orderkey)) clustered by (o_orderkey)",
+    )
+    .unwrap();
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(k, q, p, t)| {
+            vec![
+                Value::Int(*k),
+                Value::Int(*q),
+                Value::Float(*p),
+                Value::Str(format!("tag{}", t % 4)),
+            ]
+        })
+        .collect();
+    db.load_table("orders", data).unwrap();
+    db
+}
+
+/// Strategy: unique order keys with arbitrary payloads.
+fn orders_strategy() -> impl Strategy<Value = Vec<(i64, i64, f64, u8)>> {
+    proptest::collection::btree_map(1i64..500, (0i64..100, 0.0f64..1000.0, any::<u8>()), 0..120)
+        .prop_map(|m| {
+            m.into_iter()
+                .map(|(k, (q, p, t))| (k, q, p, t))
+                .collect::<Vec<_>>()
+        })
+}
+
+/// The aggregate query family exercised by the equivalence property.
+const QUERIES: &[&str] = &[
+    "select count(*) as n from orders",
+    "select sum(o_qty) as s from orders",
+    "select avg(o_price) as a from orders",
+    "select min(o_price) as lo, max(o_price) as hi from orders",
+    "select o_tag, count(*) as n, sum(o_qty) as s from orders group by o_tag order by o_tag",
+    "select o_tag, avg(o_qty) as a from orders group by o_tag having count(*) > 2 order by o_tag",
+    "select sum(o_price) / (count(*) + 1) as weird from orders",
+    "select o_orderkey, o_qty from orders where o_qty > 50 order by o_orderkey limit 7",
+    "select o_tag, count(*) as n from orders where o_price between 100.0 and 900.0 \
+     group by o_tag order by n desc, o_tag limit 3",
+];
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let tol = 1e-6 * x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn svp_equals_direct_execution(
+        rows in orders_strategy(),
+        nodes in 1usize..7,
+        query_idx in 0usize..QUERIES.len(),
+    ) {
+        let sql = QUERIES[query_idx];
+        let reference_db = db_with_orders(&rows);
+        let expected = reference_db.query(sql).unwrap();
+
+        let rewriter = SvpRewriter::new(DataCatalog::tpch(500));
+        let plan = match rewriter.rewrite(sql, nodes).unwrap() {
+            Rewritten::Svp(p) => p,
+            Rewritten::Passthrough { reason } => {
+                prop_assert!(false, "unexpected passthrough: {reason}");
+                unreachable!()
+            }
+        };
+        // Each "node" is a full replica.
+        let partials: Vec<QueryOutput> = plan
+            .subqueries
+            .iter()
+            .map(|sub| db_with_orders(&rows).query(sub).unwrap())
+            .collect();
+        let composed = compose(&plan, &partials).unwrap();
+
+        prop_assert_eq!(&composed.output.columns, &expected.columns);
+        prop_assert_eq!(composed.output.rows.len(), expected.rows.len(),
+            "row count for {} on {} nodes", sql, nodes);
+        for (got, want) in composed.output.rows.iter().zip(&expected.rows) {
+            for (x, y) in got.iter().zip(want) {
+                prop_assert!(values_close(x, y),
+                    "{} on {} nodes: {} vs {}", sql, nodes, x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_every_key_exactly_once(
+        low in -1000i64..1000,
+        span in 1i64..100_000,
+        nodes in 1usize..40,
+        probe_offset in -500i64..500,
+    ) {
+        let vp = VirtualPartitioning {
+            table: "t".into(),
+            vpa: "k".into(),
+            low,
+            high: low + span,
+            domain: "d".into(),
+        };
+        // Probe keys inside and outside the recorded range.
+        let probes = [low - 1, low, low + span / 2, low + span, low + span + probe_offset.abs() + 1, probe_offset];
+        for key in probes {
+            let mut owners = 0;
+            for i in 0..nodes {
+                let (lo, hi) = vp.partition_bounds(i, nodes);
+                if lo.is_none_or(|v| key >= v) && hi.is_none_or(|v| key < v) {
+                    owners += 1;
+                }
+            }
+            prop_assert_eq!(owners, 1, "key {} with {} nodes", key, nodes);
+        }
+    }
+
+    #[test]
+    fn partition_bounds_are_monotone(
+        low in 0i64..100,
+        span in 1i64..1_000_000,
+        nodes in 2usize..33,
+    ) {
+        let vp = VirtualPartitioning {
+            table: "t".into(),
+            vpa: "k".into(),
+            low,
+            high: low + span,
+            domain: "d".into(),
+        };
+        let mut last_hi: Option<i64> = None;
+        for i in 0..nodes {
+            let (lo, hi) = vp.partition_bounds(i, nodes);
+            if i == 0 {
+                prop_assert!(lo.is_none());
+            }
+            if i == nodes - 1 {
+                prop_assert!(hi.is_none());
+            }
+            if let (Some(prev_hi), Some(this_lo)) = (last_hi, lo) {
+                prop_assert_eq!(prev_hi, this_lo, "gap between partitions");
+            }
+            if let (Some(l), Some(h)) = (lo, hi) {
+                prop_assert!(l <= h);
+            }
+            last_hi = hi;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display(parse(sql)) is a fixed point of Display ∘ parse.
+    #[test]
+    fn rendered_sql_reparses_to_itself(query_idx in 0usize..QUERIES.len(), nodes in 1usize..9) {
+        let sql = QUERIES[query_idx];
+        let stmt = parse_statement(sql).unwrap();
+        let rendered = stmt.to_string();
+        let reparsed = parse_statement(&rendered).unwrap();
+        prop_assert_eq!(&reparsed.to_string(), &rendered);
+
+        // The SVP sub-queries and composition query also round-trip.
+        let rewriter = SvpRewriter::new(DataCatalog::tpch(500));
+        // (orders-family queries are always eligible here)
+        if let Rewritten::Svp(plan) = rewriter.rewrite(sql, nodes).unwrap() {
+            for sub in &plan.subqueries {
+                let p = parse_statement(sub).unwrap();
+                prop_assert_eq!(&p.to_string(), sub);
+            }
+            let c = parse_statement(&plan.composition_sql).unwrap();
+            prop_assert_eq!(&c.to_string(), &plan.composition_sql);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * cases are generated from a deterministic per-test RNG (seeded from the
+//!   test's module path), so failures reproduce across runs;
+//! * no shrinking — the failing case index is printed instead;
+//! * string strategies implement a small regex subset (literals, `\\`
+//!   escapes, `[...]` classes with ranges, `\PC`, and `{m}`/`{m,n}`
+//!   quantifiers) — enough for every pattern in this repository.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::{btree_map, vec};
+}
+
+pub mod option {
+    pub use crate::strategy::of;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Non-fatal assertion (here: plain `assert!` — no shrinking to protect).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test entry point. Each contained `fn` (which carries its own
+/// `#[test]` attribute, as in upstream proptest style) becomes a test that
+/// runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                let mut __reporter =
+                    $crate::test_runner::CaseReporter::new(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+                __reporter.disarm();
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}

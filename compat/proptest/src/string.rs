@@ -1,0 +1,182 @@
+//! Generation of strings matching the small regex subset used by this
+//! repository's string strategies: literal characters, `\\` escapes,
+//! character classes `[...]` (with `a-z` ranges), the printable-class
+//! shorthand `\PC`, and `{m}` / `{m,n}` quantifiers.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+    // A few non-ASCII printables so "any printable char" patterns exercise
+    // multi-byte UTF-8 in the lexer/parser robustness properties.
+    pool.extend(['é', 'ß', 'λ', '中', '🦀']);
+    pool
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push(p);
+                }
+                return out;
+            }
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                let (lo, hi) = (lo as u32, hi as u32);
+                for v in lo..=hi {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().unwrap_or('\\')) {
+                    out.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    out
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().unwrap_or(0),
+            hi.trim().parse().unwrap_or(0),
+        ),
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let kind = match c {
+            '\\' => match chars.next() {
+                // `\PC` — "any printable character" (the only Unicode class
+                // used in this repository's patterns).
+                Some('P') => {
+                    chars.next(); // consume the class letter (`C`)
+                    AtomKind::Class(printable_pool())
+                }
+                Some(esc) => AtomKind::Lit(esc),
+                None => AtomKind::Lit('\\'),
+            },
+            '[' => AtomKind::Class(parse_class(&mut chars)),
+            other => AtomKind::Lit(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        let reps = if atom.min >= atom.max {
+            atom.min
+        } else {
+            rng.random_range(atom.min..=atom.max)
+        };
+        for _ in 0..reps {
+            match &atom.kind {
+                AtomKind::Lit(c) => out.push(*c),
+                AtomKind::Class(pool) => {
+                    if !pool.is_empty() {
+                        out.push(pool[rng.random_range(0..pool.len())]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::from_seed(1);
+        assert_eq!(generate("orders", &mut rng), "orders");
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = generate("[a-z ']{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\''));
+        }
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+        }
+        for _ in 0..200 {
+            let s = generate("[a-z%_]{0,8}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '%' || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = generate("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Deterministic test-runner support: per-test RNG and case reporting.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// RNG handed to strategies; deterministic per (test name, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+        let seed = fnv1a(test_name.as_bytes()) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Prints the failing case index when a property body panics (there is no
+/// shrinker; the case index plus the deterministic seed reproduce the
+/// failure exactly).
+pub struct CaseReporter {
+    test: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseReporter {
+    pub fn new(test: &'static str, case: u32) -> CaseReporter {
+        CaseReporter {
+            test,
+            case,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: property '{}' failed at deterministic case {}",
+                self.test, self.case
+            );
+        }
+    }
+}

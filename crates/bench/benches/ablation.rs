@@ -82,7 +82,9 @@ fn balancer_cost(c: &mut Criterion) {
     let pending = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
     let mut group = c.benchmark_group("ablation_balancer");
     let lp = LeastPendingBalancer;
-    group.bench_function("least_pending", |b| b.iter(|| lp.choose(black_box(&pending))));
+    group.bench_function("least_pending", |b| {
+        b.iter(|| lp.choose(black_box(&pending)))
+    });
     let rr = RoundRobinBalancer::default();
     group.bench_function("round_robin", |b| b.iter(|| rr.choose(black_box(&pending))));
     let rnd = RandomBalancer::new(7);
@@ -101,7 +103,9 @@ criterion_group!(
 // Appended: composer strategy ablation (DESIGN.md §5, candidate 4).
 mod composer_ablation {
     use super::*;
-    use apuama::{compose, DataCatalog, ReusableComposer, Rewritten, SvpRewriter};
+    use apuama::{
+        compose, Composer, DataCatalog, ReusableComposer, Rewritten, StreamingComposer, SvpRewriter,
+    };
 
     pub fn composer_strategies(c: &mut Criterion) {
         let rewriter = SvpRewriter::new(DataCatalog::tpch(1_000_000));
@@ -140,7 +144,25 @@ mod composer_ablation {
             pooled.compose(&plan, &partials).unwrap();
             b.iter(|| pooled.compose(black_box(&plan), &partials).unwrap())
         });
+        group.bench_function("streaming_fold", |b| {
+            let mut composer = StreamingComposer::new();
+            // Prime once: steady state reuses the residual-statement pool.
+            drive(&mut composer, &plan, &partials);
+            b.iter(|| drive(black_box(&mut composer), &plan, &partials))
+        });
         group.finish();
+    }
+
+    fn drive(
+        composer: &mut StreamingComposer,
+        plan: &apuama::SvpPlan,
+        partials: &[apuama_engine::QueryOutput],
+    ) -> apuama::Composed {
+        composer.begin(plan).unwrap();
+        for (i, p) in partials.iter().enumerate() {
+            composer.accept(i, p.clone()).unwrap();
+        }
+        composer.finish().unwrap()
     }
 }
 

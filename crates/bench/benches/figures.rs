@@ -41,8 +41,7 @@ fn fig3a_kernel(c: &mut Criterion) {
     for nodes in [1usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| {
-                let mut cluster =
-                    SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
+                let mut cluster = SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
                 run_workload(
                     &mut cluster,
                     WorkloadSpec {
@@ -67,8 +66,7 @@ fn fig3b_kernel(c: &mut Criterion) {
     for nodes in [1usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| {
-                let mut cluster =
-                    SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
+                let mut cluster = SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
                 run_workload(
                     &mut cluster,
                     WorkloadSpec {
@@ -93,8 +91,7 @@ fn fig4_kernel(c: &mut Criterion) {
     for nodes in [2usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| {
-                let mut cluster =
-                    SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
+                let mut cluster = SimCluster::new(&data, SimClusterConfig::paper(n)).unwrap();
                 run_workload(
                     &mut cluster,
                     WorkloadSpec {
@@ -111,5 +108,11 @@ fn fig4_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(figures, fig2_kernel, fig3a_kernel, fig3b_kernel, fig4_kernel);
+criterion_group!(
+    figures,
+    fig2_kernel,
+    fig3a_kernel,
+    fig3b_kernel,
+    fig4_kernel
+);
 criterion_main!(figures);

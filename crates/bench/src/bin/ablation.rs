@@ -5,6 +5,10 @@
 //! 2. **Optimizer interference** — `SET enable_seqscan = off` on/off; the
 //!    paper (§3) claims SVP "can be severely hurt" without it.
 //! 3. **Consistency cost** — read-only vs mixed workload at a fixed size.
+//! 4. **SVP vs AVP** — static partitions vs adaptive chunks + stealing.
+//! 5. **Load-balancer policy** — pass-through read balancing arms.
+//! 6. **Composer strategy** — staged (HSQLDB-style staging table) vs the
+//!    streaming composer that folds partials as they arrive.
 //!
 //! Run with the same `APUAMA_*` environment knobs as the figure binaries.
 
@@ -32,7 +36,9 @@ fn main() {
         svp_cluster.drop_caches();
         base_cluster.drop_caches();
         let sql = q.sql(&params);
-        let svp = run_isolated(&svp_cluster, &sql, 5).expect("svp run").warm_mean_ms();
+        let svp = run_isolated(&svp_cluster, &sql, 5)
+            .expect("svp run")
+            .warm_mean_ms();
         let base = run_isolated(&base_cluster, &sql, 5)
             .expect("baseline run")
             .warm_mean_ms();
@@ -44,7 +50,8 @@ fn main() {
         ]);
     }
     t1.print();
-    t1.write_csv("ablation_svp_vs_baseline").expect("csv writable");
+    t1.write_csv("ablation_svp_vs_baseline")
+        .expect("csv writable");
 
     // -- 2. enable_seqscan interference ---------------------------------------
     // Three arms: (a) Apuama's interference (index forced); (b) optimizer
@@ -55,7 +62,13 @@ fn main() {
     // severely hurt", §3) — forced here via `enable_indexscan = off`.
     let mut t2 = FigureTable::new(
         format!("Ablation 2 — optimizer interference around SVP sub-queries, {n} nodes"),
-        &["query", "index_forced", "free_choice", "full_scans", "fullscan/forced"],
+        &[
+            "query",
+            "index_forced",
+            "free_choice",
+            "full_scans",
+            "fullscan/forced",
+        ],
     );
     let mut noforce_cfg = SimClusterConfig::paper(n);
     noforce_cfg.force_index = false;
@@ -72,7 +85,9 @@ fn main() {
         noforce_cluster.drop_caches();
         fullscan_cluster.drop_caches();
         let sql = q.sql(&params);
-        let forced = run_isolated(&svp_cluster, &sql, 5).expect("run").warm_mean_ms();
+        let forced = run_isolated(&svp_cluster, &sql, 5)
+            .expect("run")
+            .warm_mean_ms();
         let unforced = run_isolated(&noforce_cluster, &sql, 5)
             .expect("run")
             .warm_mean_ms();
@@ -132,45 +147,7 @@ fn main() {
 
     svp_vs_avp(&cfg, &data, n);
     balancer_policies(&cfg, &data, n);
-}
-
-/// Ablation 5 — read load-balancer policies on the inter-query-only
-/// baseline (every query is a pass-through read, so the balancer is on the
-/// critical path). The paper configures least-pending.
-fn balancer_policies(cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
-    use apuama_sim::cluster::SimBalancer;
-
-    let mut t5 = FigureTable::new(
-        format!("Ablation 5 — load-balancer policy, inter-query baseline, {n} nodes"),
-        &["policy", "qpm", "read_span"],
-    );
-    for (name, balancer) in [
-        ("least-pending", SimBalancer::LeastPending),
-        ("round-robin", SimBalancer::RoundRobin),
-        ("random", SimBalancer::Random { seed: cfg.seed }),
-    ] {
-        let mut ccfg = SimClusterConfig::paper(n);
-        ccfg.svp = false;
-        ccfg.balancer = balancer;
-        let mut cluster = SimCluster::new(data, ccfg).expect("cluster builds");
-        let r = run_workload(
-            &mut cluster,
-            WorkloadSpec {
-                read_streams: n.max(3),
-                rounds: 1,
-                update_txns: 0,
-                seed: cfg.seed,
-            },
-        )
-        .expect("workload runs");
-        t5.push_row(vec![
-            name.into(),
-            format!("{:.2}", r.throughput_qpm()),
-            fmt_ms(r.read_span_ms()),
-        ]);
-    }
-    t5.print();
-    t5.write_csv("ablation_balancer_policy").expect("csv writable");
+    composer_strategies(&cfg, &data, n);
 }
 
 /// Ablation 4 — SVP's static partitions vs AVP's adaptive chunks with work
@@ -214,10 +191,7 @@ fn svp_vs_avp(cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
 
             // AVP over the same replicas (cold again for fairness).
             cluster.drop_caches();
-            let template = cluster
-                .template(&sql)
-                .expect("parses")
-                .expect("eligible");
+            let template = cluster.template(&sql).expect("parses").expect("eligible");
             let mut avp_ms = 0.0f64;
             for _ in 0..2 {
                 let outcome = execute_avp(&template, n, avp_cfg, |node, sub| {
@@ -239,4 +213,120 @@ fn svp_vs_avp(cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
     }
     t4.print();
     t4.write_csv("ablation_svp_vs_avp").expect("csv writable");
+}
+
+/// Ablation 5 — read load-balancer policies on the inter-query-only
+/// baseline (every query is a pass-through read, so the balancer is on the
+/// critical path). The paper configures least-pending.
+fn balancer_policies(cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
+    use apuama_sim::cluster::SimBalancer;
+
+    let mut t5 = FigureTable::new(
+        format!("Ablation 5 — load-balancer policy, inter-query baseline, {n} nodes"),
+        &["policy", "qpm", "read_span"],
+    );
+    for (name, balancer) in [
+        ("least-pending", SimBalancer::LeastPending),
+        ("round-robin", SimBalancer::RoundRobin),
+        ("random", SimBalancer::Random { seed: cfg.seed }),
+    ] {
+        let mut ccfg = SimClusterConfig::paper(n);
+        ccfg.svp = false;
+        ccfg.balancer = balancer;
+        let mut cluster = SimCluster::new(data, ccfg).expect("cluster builds");
+        let r = run_workload(
+            &mut cluster,
+            WorkloadSpec {
+                read_streams: n.max(3),
+                rounds: 1,
+                update_txns: 0,
+                seed: cfg.seed,
+            },
+        )
+        .expect("workload runs");
+        t5.push_row(vec![
+            name.into(),
+            format!("{:.2}", r.throughput_qpm()),
+            fmt_ms(r.read_span_ms()),
+        ]);
+    }
+    t5.print();
+    t5.write_csv("ablation_balancer_policy")
+        .expect("csv writable");
+}
+
+/// Ablation 6 — staged vs streaming result composition over all eight
+/// evaluation queries and two node profiles. The same partial results are
+/// priced through both strategies, so the comparison isolates the
+/// composition timeline; the final rows are asserted byte-identical, which
+/// is the correctness contract the streaming composer maintains.
+fn composer_strategies(_cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
+    use apuama::{ComposerStrategy, Rewritten};
+
+    let mut t6 = FigureTable::new(
+        format!("Ablation 6 — staged vs streaming result composition, {n} nodes"),
+        &[
+            "query",
+            "profile",
+            "staged",
+            "streaming",
+            "streaming/staged",
+        ],
+    );
+    let params = QueryParams::default();
+    let mut staged_cfg = SimClusterConfig::paper(n);
+    staged_cfg.composer = ComposerStrategy::Staged;
+    let staged_cluster = SimCluster::new(data, staged_cfg).expect("cluster builds");
+    let mut streaming_cfg = SimClusterConfig::paper(n);
+    streaming_cfg.composer = ComposerStrategy::Streaming;
+    let streaming_cluster = SimCluster::new(data, streaming_cfg).expect("cluster builds");
+    for q in apuama_tpch::ALL_QUERIES {
+        let sql = q.sql(&params);
+        let Rewritten::Svp(plan) = staged_cluster.rewrite(&sql).expect("parses") else {
+            panic!("{} must be eligible", q.label());
+        };
+        // One execution of the sub-queries; both strategies then price the
+        // identical partial set.
+        staged_cluster.drop_caches();
+        let mut partials = Vec::with_capacity(n);
+        let mut durs = Vec::with_capacity(n);
+        for (node, sub) in plan.subqueries.iter().enumerate() {
+            let (out, ms) = staged_cluster.exec_subquery(node, sub).expect("subquery");
+            partials.push(out);
+            durs.push(ms);
+        }
+        for (profile, factor) in [("uniform", 1.0f64), ("straggler", 5.0)] {
+            let mut finish = durs.clone();
+            finish[0] *= factor;
+            let staged = staged_cluster
+                .compose_timed(&plan, &partials, &finish)
+                .expect("staged compose");
+            let streaming = streaming_cluster
+                .compose_timed(&plan, &partials, &finish)
+                .expect("streaming compose");
+            assert_eq!(
+                staged.output.rows,
+                streaming.output.rows,
+                "{} {profile}: strategies must agree byte-for-byte",
+                q.label()
+            );
+            assert!(
+                streaming.done_ms <= staged.done_ms,
+                "{} {profile}: streaming {}ms must not lose to staged {}ms",
+                q.label(),
+                streaming.done_ms,
+                staged.done_ms
+            );
+            t6.push_row(vec![
+                q.label(),
+                profile.into(),
+                fmt_ms(staged.done_ms),
+                fmt_ms(streaming.done_ms),
+                fmt_ratio(streaming.done_ms / staged.done_ms),
+            ]);
+        }
+    }
+    t6.print();
+    t6.write_csv("ablation_composer_strategy")
+        .expect("csv writable");
 }

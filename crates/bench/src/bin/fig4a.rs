@@ -54,6 +54,8 @@ fn main() {
         ]);
     }
     table.print();
-    let csv = table.write_csv("fig4a_mixed_throughput").expect("csv writable");
+    let csv = table
+        .write_csv("fig4a_mixed_throughput")
+        .expect("csv writable");
     eprintln!("wrote {}", csv.display());
 }

@@ -51,6 +51,8 @@ fn main() {
         ]);
     }
     table.print();
-    let csv = table.write_csv("fig4b_mixed_scaleup").expect("csv writable");
+    let csv = table
+        .write_csv("fig4b_mixed_scaleup")
+        .expect("csv writable");
     eprintln!("wrote {}", csv.display());
 }

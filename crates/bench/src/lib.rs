@@ -126,7 +126,10 @@ impl FigureTable {
             s
         };
         println!("{}", line(&self.columns));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

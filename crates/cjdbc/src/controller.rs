@@ -283,14 +283,11 @@ mod tests {
             }
         });
         // All replicas converged to the same multiset of rows.
-        let reference: Vec<Vec<Value>> = nodes[0].with_db(|db| {
-            db.query("select a, b from t order by a").unwrap().rows
-        });
+        let reference: Vec<Vec<Value>> =
+            nodes[0].with_db(|db| db.query("select a, b from t order by a").unwrap().rows);
         assert_eq!(reference.len(), 100);
         for node in &nodes[1..] {
-            let rows = node.with_db(|db| {
-                db.query("select a, b from t order by a").unwrap().rows
-            });
+            let rows = node.with_db(|db| db.query("select a, b from t order by a").unwrap().rows);
             assert_eq!(rows, reference);
         }
     }
@@ -317,7 +314,8 @@ mod tests {
             let cw = Arc::clone(&c);
             s.spawn(move || {
                 for i in 0..50 {
-                    cw.execute(&format!("insert into t values ({i}, 'x')")).unwrap();
+                    cw.execute(&format!("insert into t values ({i}, 'x')"))
+                        .unwrap();
                 }
             });
             for _ in 0..3 {
@@ -574,7 +572,10 @@ mod balance_tests {
             std::thread::yield_now();
         }
         let (_, served_by) = c.execute("select a from t").unwrap();
-        assert_eq!(served_by, 1, "least-pending must route around the busy node");
+        assert_eq!(
+            served_by, 1,
+            "least-pending must route around the busy node"
+        );
         parking.release();
         let (_, first_served_by) = blocked.join().unwrap();
         assert_eq!(first_served_by, 0);

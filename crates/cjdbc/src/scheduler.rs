@@ -42,10 +42,7 @@ impl WriteScheduler {
     pub fn begin_write(&self) -> WriteTicket<'_> {
         let guard = self.token.lock();
         let seq = self.sequence.fetch_add(1, Ordering::SeqCst) + 1;
-        WriteTicket {
-            _guard: guard,
-            seq,
-        }
+        WriteTicket { _guard: guard, seq }
     }
 
     /// Number of writes scheduled so far.
@@ -67,11 +64,16 @@ mod tests {
                 .map(|_| {
                     let s = Arc::clone(&s);
                     scope.spawn(move || {
-                        (0..25).map(|_| s.begin_write().sequence()).collect::<Vec<u64>>()
+                        (0..25)
+                            .map(|_| s.begin_write().sequence())
+                            .collect::<Vec<u64>>()
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         seqs.sort_unstable();
         assert_eq!(seqs, (1..=200).collect::<Vec<u64>>());

@@ -83,6 +83,18 @@ pub struct AvpOutcome {
     pub makespan_cost: f64,
 }
 
+/// Result of a streaming AVP run: the execution trace alone — chunk
+/// partials were delivered to the sink as they completed instead of being
+/// accumulated here.
+#[derive(Debug, Clone)]
+pub struct AvpRun {
+    /// Per-node execution traces.
+    pub per_node: Vec<NodeTrace>,
+    /// Virtual makespan: the largest per-node cost (nodes run in
+    /// parallel).
+    pub makespan_cost: f64,
+}
+
 /// One node's unprocessed key region.
 #[derive(Debug, Clone, Copy)]
 struct Region {
@@ -118,10 +130,37 @@ pub fn execute_avp<F>(
     template: &QueryTemplate,
     nodes: usize,
     config: AvpConfig,
-    mut exec: F,
+    exec: F,
 ) -> EngineResult<AvpOutcome>
 where
     F: FnMut(usize, &str) -> EngineResult<(QueryOutput, f64)>,
+{
+    let mut partials = Vec::new();
+    let run = execute_avp_streaming(template, nodes, config, exec, |_, out| {
+        partials.push(out);
+        Ok(())
+    })?;
+    Ok(AvpOutcome {
+        partials,
+        per_node: run.per_node,
+        makespan_cost: run.makespan_cost,
+    })
+}
+
+/// Streaming variant of [`execute_avp`]: every chunk's partial output is
+/// handed to `sink(node, partial)` the moment the chunk completes, instead
+/// of accumulating a `partials` vector. Feed the sink into an incremental
+/// [`crate::composer::Composer`] and composition overlaps chunk execution.
+pub fn execute_avp_streaming<F, S>(
+    template: &QueryTemplate,
+    nodes: usize,
+    config: AvpConfig,
+    mut exec: F,
+    mut sink: S,
+) -> EngineResult<AvpRun>
+where
+    F: FnMut(usize, &str) -> EngineResult<(QueryOutput, f64)>,
+    S: FnMut(usize, QueryOutput) -> EngineResult<()>,
 {
     assert!(nodes > 0, "AVP needs at least one node");
     assert!(config.initial_chunk > 0 && config.max_chunk >= config.initial_chunk);
@@ -144,7 +183,6 @@ where
         })
         .collect();
 
-    let mut partials = Vec::new();
     // A `while let` would hide the steal-and-retry control flow below.
     #[allow(clippy::while_let_loop)]
     loop {
@@ -212,7 +250,7 @@ where
         st.trace.keys += width;
         st.trace.cost += cost;
         st.trace.chunk_sizes.push(width);
-        partials.push(out);
+        sink(node, out)?;
 
         // Adapt: double while cost-per-key stays near the best observed,
         // shrink otherwise.
@@ -227,8 +265,7 @@ where
 
     let per_node: Vec<NodeTrace> = states.into_iter().map(|s| s.trace).collect();
     let makespan_cost = per_node.iter().map(|t| t.cost).fold(0.0, f64::max);
-    Ok(AvpOutcome {
-        partials,
+    Ok(AvpRun {
         per_node,
         makespan_cost,
     })
@@ -389,7 +426,8 @@ mod tests {
         db.query("set enable_seqscan = on").unwrap();
         // Insert a key far beyond the range via a separate write handle.
         let mut db2 = replica();
-        db2.execute("insert into orders values (100000, 1)").unwrap();
+        db2.execute("insert into orders values (100000, 1)")
+            .unwrap();
         let outcome = execute_avp(&t, 2, tiny_config(), |_, sub| {
             let out = db2.query(sub)?;
             Ok((out, 1.0))

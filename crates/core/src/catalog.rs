@@ -52,12 +52,7 @@ impl VirtualPartitioning {
     /// The range predicate of partition `i` of `n`, as an expression on
     /// `qualifier.vpa` (or bare `vpa` when no qualifier is given) —
     /// the paper's `l_orderkey >= :v1 and l_orderkey < :v2`.
-    pub fn partition_predicate(
-        &self,
-        qualifier: Option<&str>,
-        i: usize,
-        n: usize,
-    ) -> Option<Expr> {
+    pub fn partition_predicate(&self, qualifier: Option<&str>, i: usize, n: usize) -> Option<Expr> {
         let (lo, hi) = self.partition_bounds(i, n);
         let col = || match qualifier {
             Some(q) => Expr::Column(apuama_sql::ColumnRef::qualified(q, self.vpa.clone())),
@@ -145,8 +140,14 @@ mod tests {
         // Q2: v1 = 1,500,001, v2 = 3,000,001; ...
         let vp = vp();
         assert_eq!(vp.partition_bounds(0, 4), (None, Some(1_500_001)));
-        assert_eq!(vp.partition_bounds(1, 4), (Some(1_500_001), Some(3_000_001)));
-        assert_eq!(vp.partition_bounds(2, 4), (Some(3_000_001), Some(4_500_001)));
+        assert_eq!(
+            vp.partition_bounds(1, 4),
+            (Some(1_500_001), Some(3_000_001))
+        );
+        assert_eq!(
+            vp.partition_bounds(2, 4),
+            (Some(3_000_001), Some(4_500_001))
+        );
         assert_eq!(vp.partition_bounds(3, 4), (Some(4_500_001), None));
     }
 

@@ -12,11 +12,13 @@
 //! simulator can price the composition step (the paper measures it at under
 //! a second even for large partials).
 
+use std::collections::HashMap;
+
 use apuama_engine::{Database, EngineError, EngineResult, ExecStats, QueryOutput};
-use apuama_sql::Value;
+use apuama_sql::{HashableValue, Value};
 use apuama_storage::Row;
 
-use crate::rewrite::{SvpPlan, PARTIALS_TABLE};
+use crate::rewrite::{ComposeSpec, FoldFn, SvpPlan, PARTIALS_TABLE};
 
 /// Result of composing partial outputs.
 #[derive(Debug, Clone)]
@@ -336,6 +338,710 @@ impl ReusableComposer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental composition
+// ---------------------------------------------------------------------------
+
+/// Which Result Composer implementation the engine pipelines partials into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComposerStrategy {
+    /// Buffer every partial row, then stage + compose once at the end (the
+    /// original HSQLDB-style path, pooled across queries).
+    Staged,
+    /// Fold each partial into running per-group state as it arrives;
+    /// composition work overlaps the still-running sub-queries and the
+    /// final query runs over one folded row per group.
+    #[default]
+    Streaming,
+}
+
+impl ComposerStrategy {
+    /// Builds a fresh composer for this strategy.
+    pub fn new_composer(self) -> Box<dyn Composer + Send> {
+        match self {
+            ComposerStrategy::Staged => Box::new(StagedComposer::new()),
+            ComposerStrategy::Streaming => Box::new(StreamingComposer::new()),
+        }
+    }
+}
+
+/// Incremental result composition: `begin(plan)` → `accept(node, partial)`
+/// per arriving partial → `finish()`.
+///
+/// Implementations key all state on the *node index*, never on arrival
+/// order, so the composed result is a function of the per-node partial
+/// sequences alone — sub-queries may complete in any interleaving and the
+/// output (rows, ordering, floating-point bit patterns) does not change.
+pub trait Composer {
+    /// Starts a new composition for `plan`, discarding any prior state.
+    fn begin(&mut self, plan: &SvpPlan) -> EngineResult<()>;
+    /// Feeds one partial result produced by `node`. A node may contribute
+    /// several partials (AVP chunks); their relative order is the node's
+    /// own execution order.
+    fn accept(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()>;
+    /// Completes the composition and returns the final result.
+    fn finish(&mut self) -> EngineResult<Composed>;
+}
+
+/// Runs a full begin/accept/finish cycle over per-node partials (partial
+/// `i` attributed to node `i`) — the one-shot convenience the benches and
+/// tests use.
+pub fn compose_with(
+    strategy: ComposerStrategy,
+    plan: &SvpPlan,
+    partials: &[QueryOutput],
+) -> EngineResult<Composed> {
+    let mut composer = strategy.new_composer();
+    composer.begin(plan)?;
+    for (node, p) in partials.iter().enumerate() {
+        composer.accept(node, p.clone())?;
+    }
+    composer.finish()
+}
+
+fn arity_error(node: usize, got: usize, want: usize) -> EngineError {
+    EngineError::Constraint(format!(
+        "partial result from node {node} has arity {got} but the plan expects {want}"
+    ))
+}
+
+/// [`Composer`] port of the staging-table path: buffers partials per node
+/// and replays them node-major through the pooled [`ReusableComposer`] at
+/// `finish()`.
+pub struct StagedComposer {
+    pool: ReusableComposer,
+    plan: Option<SvpPlan>,
+    nodes: Vec<Vec<QueryOutput>>,
+}
+
+impl Default for StagedComposer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StagedComposer {
+    pub fn new() -> Self {
+        StagedComposer {
+            pool: ReusableComposer::new(),
+            plan: None,
+            nodes: Vec::new(),
+        }
+    }
+}
+
+impl Composer for StagedComposer {
+    fn begin(&mut self, plan: &SvpPlan) -> EngineResult<()> {
+        self.plan = Some(plan.clone());
+        self.nodes.clear();
+        Ok(())
+    }
+
+    fn accept(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()> {
+        let plan = self.plan.as_ref().expect("begin() before accept()");
+        let arity = plan.partial_columns.len();
+        if let Some(bad) = partial.rows.iter().find(|r| r.len() != arity) {
+            return Err(arity_error(node, bad.len(), arity));
+        }
+        if self.nodes.len() <= node {
+            self.nodes.resize_with(node + 1, Vec::new);
+        }
+        self.nodes[node].push(partial);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> EngineResult<Composed> {
+        let plan = self.plan.take().expect("begin() before finish()");
+        let flat: Vec<QueryOutput> = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .flatten()
+            .collect();
+        self.pool.compose(&plan, &flat)
+    }
+}
+
+/// Accumulator for one re-aggregated partial column within one group.
+///
+/// Mirrors the engine executor's aggregate accumulator exactly — same NULL
+/// skipping, same int/float dual tracking with `wrapping_add`, same
+/// `sql_cmp`-based min/max — so folding partials here and then running the
+/// composition query over the folded rows produces bit-identical results
+/// to staging every raw partial row.
+#[derive(Debug, Clone)]
+enum FoldAcc {
+    Sum {
+        int: i64,
+        float: f64,
+        any_float: bool,
+        n: i64,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl FoldAcc {
+    fn new(fold: FoldFn) -> FoldAcc {
+        match fold {
+            FoldFn::Sum => FoldAcc::Sum {
+                int: 0,
+                float: 0.0,
+                any_float: false,
+                n: 0,
+            },
+            FoldFn::Min => FoldAcc::Min(None),
+            FoldFn::Max => FoldAcc::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> EngineResult<()> {
+        match self {
+            FoldAcc::Sum {
+                int,
+                float,
+                any_float,
+                n,
+            } => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                match v {
+                    Value::Int(i) => {
+                        *int = int.wrapping_add(*i);
+                        *float += *i as f64;
+                    }
+                    Value::Float(x) => {
+                        *any_float = true;
+                        *float += x;
+                    }
+                    other => return Err(EngineError::TypeError(format!("sum() over {other}"))),
+                }
+                *n += 1;
+            }
+            FoldAcc::Min(cur) => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.sql_cmp(c) == Some(std::cmp::Ordering::Less),
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            FoldAcc::Max(cur) => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.sql_cmp(c) == Some(std::cmp::Ordering::Greater),
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds another accumulator into this one (cross-node reduction, in
+    /// node-index order).
+    fn absorb(&mut self, other: &FoldAcc) -> EngineResult<()> {
+        match (self, other) {
+            (
+                FoldAcc::Sum {
+                    int,
+                    float,
+                    any_float,
+                    n,
+                },
+                FoldAcc::Sum {
+                    int: oi,
+                    float: of,
+                    any_float: oa,
+                    n: on,
+                },
+            ) => {
+                *int = int.wrapping_add(*oi);
+                *float += of;
+                *any_float |= oa;
+                *n += on;
+                Ok(())
+            }
+            (acc @ (FoldAcc::Min(_) | FoldAcc::Max(_)), FoldAcc::Min(v) | FoldAcc::Max(v)) => {
+                if let Some(v) = v {
+                    acc.update(v)?;
+                }
+                Ok(())
+            }
+            _ => unreachable!("fold shapes come from the same plan"),
+        }
+    }
+
+    fn finalize(&self) -> Value {
+        match self {
+            FoldAcc::Sum {
+                int,
+                float,
+                any_float,
+                n,
+            } => {
+                if *n == 0 {
+                    Value::Null
+                } else if *any_float {
+                    Value::Float(*float)
+                } else {
+                    Value::Int(*int)
+                }
+            }
+            FoldAcc::Min(v) | FoldAcc::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Per-group folded state: first-seen group-key values plus one
+/// accumulator per aggregate column.
+#[derive(Debug, Clone)]
+struct FoldGroup {
+    keys: Vec<Value>,
+    accs: Vec<FoldAcc>,
+}
+
+/// One node's running fold, groups in first-seen order (which is what the
+/// engine's hash aggregation reports, so the final composition sees groups
+/// in the same order the staged path would).
+#[derive(Debug, Default)]
+struct NodeFold {
+    index: HashMap<Vec<HashableValue>, usize>,
+    groups: Vec<FoldGroup>,
+}
+
+impl NodeFold {
+    fn fold_row(&mut self, group_cols: usize, folds: &[FoldFn], row: &Row) -> EngineResult<()> {
+        let key: Vec<HashableValue> = row[..group_cols].iter().map(Value::hash_key).collect();
+        let gi = match self.index.get(&key) {
+            Some(&gi) => gi,
+            None => {
+                self.groups.push(FoldGroup {
+                    keys: row[..group_cols].to_vec(),
+                    accs: folds.iter().map(|&f| FoldAcc::new(f)).collect(),
+                });
+                self.index.insert(key, self.groups.len() - 1);
+                self.groups.len() - 1
+            }
+        };
+        let group = &mut self.groups[gi];
+        for (acc, v) in group.accs.iter_mut().zip(&row[group_cols..]) {
+            acc.update(v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming state, chosen at `begin()` from the plan's [`ComposeSpec`].
+enum StreamState {
+    Idle,
+    /// Aggregated query: group-wise fold per node.
+    Reagg {
+        group_cols: usize,
+        folds: Vec<FoldFn>,
+        nodes: Vec<NodeFold>,
+    },
+    /// Plain union: buffer rows tagged `(node, seq)`, pruning to the top
+    /// `limit` under the ORDER BY comparator when both are available.
+    Union {
+        /// ORDER BY keys as partial-column indices; `None` disables the
+        /// cutoff (un-analyzable ORDER BY expression).
+        order: Option<Vec<(usize, bool)>>,
+        limit: Option<u64>,
+        rows: Vec<(usize, u64, Row)>,
+        /// Per-node row sequence counters.
+        seqs: Vec<u64>,
+    },
+}
+
+/// The streaming Result Composer: folds partial rows into per-node,
+/// per-group accumulators as they arrive, reduces across nodes in node
+/// order at `finish()`, and runs the plan's composition query over the
+/// folded rows (one per group) so HAVING / ORDER BY / LIMIT / output
+/// expressions get exactly the engine's semantics.
+///
+/// For non-aggregated queries with `ORDER BY … LIMIT k` over output
+/// columns, arriving rows are cut off at the global top `k` (stable
+/// comparator: ORDER BY keys via `Value::sort_cmp`, then `(node, seq)` —
+/// the same tie-break a stable sort over the staging table gives), so
+/// memory stays `O(k)` instead of `O(total partial rows)`.
+pub struct StreamingComposer {
+    /// The final mini-composition reuses the pooled staging machinery —
+    /// folded rows form a tiny `svp_partials` table.
+    pool: ReusableComposer,
+    plan: Option<SvpPlan>,
+    state: StreamState,
+    accepted_rows: u64,
+}
+
+impl Default for StreamingComposer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingComposer {
+    pub fn new() -> Self {
+        StreamingComposer {
+            pool: ReusableComposer::new(),
+            plan: None,
+            state: StreamState::Idle,
+            accepted_rows: 0,
+        }
+    }
+
+    /// Inserts a row into the pruned union buffer, keeping `rows` sorted by
+    /// (ORDER BY keys, node, seq) and truncated to `limit`.
+    fn union_insert(
+        rows: &mut Vec<(usize, u64, Row)>,
+        keys: &[(usize, bool)],
+        limit: usize,
+        entry: (usize, u64, Row),
+    ) {
+        let cmp = |a: &(usize, u64, Row), b: &(usize, u64, Row)| {
+            for &(col, desc) in keys {
+                let ord = a.2[col].sort_cmp(&b.2[col]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            (a.0, a.1).cmp(&(b.0, b.1))
+        };
+        let pos = rows
+            .binary_search_by(|probe| cmp(probe, &entry))
+            .unwrap_or_else(|p| p);
+        if pos >= limit {
+            return;
+        }
+        rows.insert(pos, entry);
+        rows.truncate(limit);
+    }
+}
+
+impl Composer for StreamingComposer {
+    fn begin(&mut self, plan: &SvpPlan) -> EngineResult<()> {
+        self.state = match &plan.compose {
+            ComposeSpec::Reaggregate { group_cols, folds } => StreamState::Reagg {
+                group_cols: *group_cols,
+                folds: folds.clone(),
+                nodes: Vec::new(),
+            },
+            ComposeSpec::Union { order, limit } => StreamState::Union {
+                order: order.clone(),
+                limit: *limit,
+                rows: Vec::new(),
+                seqs: Vec::new(),
+            },
+        };
+        self.plan = Some(plan.clone());
+        self.accepted_rows = 0;
+        Ok(())
+    }
+
+    fn accept(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()> {
+        let plan = self.plan.as_ref().expect("begin() before accept()");
+        let arity = plan.partial_columns.len();
+        if let Some(bad) = partial.rows.iter().find(|r| r.len() != arity) {
+            return Err(arity_error(node, bad.len(), arity));
+        }
+        self.accepted_rows += partial.rows.len() as u64;
+        match &mut self.state {
+            StreamState::Idle => panic!("begin() before accept()"),
+            StreamState::Reagg {
+                group_cols,
+                folds,
+                nodes,
+            } => {
+                if nodes.len() <= node {
+                    nodes.resize_with(node + 1, NodeFold::default);
+                }
+                for row in &partial.rows {
+                    nodes[node].fold_row(*group_cols, folds, row)?;
+                }
+            }
+            StreamState::Union {
+                order,
+                limit,
+                rows,
+                seqs,
+            } => {
+                if seqs.len() <= node {
+                    seqs.resize(node + 1, 0);
+                }
+                let cutoff = match (&order, limit) {
+                    (Some(keys), Some(k)) => Some((keys.clone(), *k as usize)),
+                    _ => None,
+                };
+                for row in partial.rows {
+                    let seq = seqs[node];
+                    seqs[node] += 1;
+                    match &cutoff {
+                        Some((keys, k)) => Self::union_insert(rows, keys, *k, (node, seq, row)),
+                        None => rows.push((node, seq, row)),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> EngineResult<Composed> {
+        let plan = self.plan.take().expect("begin() before finish()");
+        let folded: Vec<Row> = match std::mem::replace(&mut self.state, StreamState::Idle) {
+            StreamState::Idle => panic!("begin() before finish()"),
+            StreamState::Reagg {
+                group_cols: _,
+                folds: _,
+                nodes,
+            } => {
+                // Cross-node reduction in node-index order; group output
+                // order is global first-seen order, matching the staged
+                // path's hash aggregation over node-major staging rows.
+                let mut index: HashMap<Vec<HashableValue>, usize> = HashMap::new();
+                let mut merged: Vec<FoldGroup> = Vec::new();
+                for node in nodes {
+                    for group in node.groups {
+                        let key: Vec<HashableValue> =
+                            group.keys.iter().map(Value::hash_key).collect();
+                        match index.get(&key) {
+                            Some(&gi) => {
+                                let target = &mut merged[gi];
+                                for (acc, other) in target.accs.iter_mut().zip(&group.accs) {
+                                    acc.absorb(other)?;
+                                }
+                            }
+                            None => {
+                                index.insert(key, merged.len());
+                                merged.push(group);
+                            }
+                        }
+                    }
+                }
+                merged
+                    .into_iter()
+                    .map(|g| {
+                        let mut row = g.keys;
+                        row.extend(g.accs.iter().map(FoldAcc::finalize));
+                        row
+                    })
+                    .collect()
+            }
+            StreamState::Union { mut rows, .. } => {
+                // Restore staging insertion order (node-major, per-node
+                // sequence); the composition query re-applies ORDER BY.
+                rows.sort_by_key(|(node, seq, _)| (*node, *seq));
+                rows.into_iter().map(|(_, _, row)| row).collect()
+            }
+        };
+        let folded_output = QueryOutput {
+            columns: plan.partial_columns.clone(),
+            rows: folded,
+            ..QueryOutput::default()
+        };
+        let mut composed = self.pool.compose(&plan, &[folded_output])?;
+        // Report rows *accepted*, not rows staged after folding — callers
+        // use this as "partial rows shipped to the composer".
+        composed.partial_rows = self.accepted_rows;
+        Ok(composed)
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::catalog::DataCatalog;
+    use crate::rewrite::{Rewritten, SvpRewriter};
+
+    fn replica() -> Database {
+        let mut db = Database::in_memory();
+        db.execute(
+            "create table orders (o_orderkey int not null, o_totalprice float, \
+             o_orderpriority text, primary key (o_orderkey)) clustered by (o_orderkey)",
+        )
+        .unwrap();
+        for k in 1..=100i64 {
+            db.execute(&format!(
+                "insert into orders values ({k}, {}.5, '{}')",
+                k * 10,
+                if k % 2 == 0 { "1-URGENT" } else { "5-LOW" }
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    fn plan_and_partials(sql: &str, n: usize) -> (SvpPlan, Vec<QueryOutput>) {
+        let rewriter = SvpRewriter::new(DataCatalog::tpch(100));
+        let Rewritten::Svp(plan) = rewriter.rewrite(sql, n).unwrap() else {
+            panic!("expected SVP plan for {sql}");
+        };
+        let db = replica();
+        let partials = plan
+            .subqueries
+            .iter()
+            .map(|s| db.query(s).unwrap())
+            .collect();
+        (plan, partials)
+    }
+
+    const QUERIES: &[&str] = &[
+        "select sum(o_totalprice) as s from orders",
+        "select avg(o_totalprice) as a, count(*) as n from orders",
+        "select min(o_totalprice) as lo, max(o_totalprice) as hi from orders",
+        "select o_orderpriority, count(*) as n, sum(o_totalprice) as t from orders \
+         group by o_orderpriority order by o_orderpriority limit 2",
+        "select o_orderpriority, count(*) as n from orders group by o_orderpriority \
+         having count(*) > 30 order by o_orderpriority",
+        "select o_orderkey, o_totalprice from orders where o_totalprice > 900.0 \
+         order by o_orderkey",
+        "select o_orderkey, o_totalprice from orders where o_totalprice > 100.0 \
+         order by o_totalprice desc, o_orderkey limit 7",
+        "select o_orderkey from orders where o_totalprice > 980.0",
+    ];
+
+    #[test]
+    fn streaming_equals_staged_bit_for_bit() {
+        for sql in QUERIES {
+            for n in [1usize, 3, 5] {
+                let (plan, partials) = plan_and_partials(sql, n);
+                let staged = compose_with(ComposerStrategy::Staged, &plan, &partials).unwrap();
+                let streaming =
+                    compose_with(ComposerStrategy::Streaming, &plan, &partials).unwrap();
+                assert_eq!(streaming.output.columns, staged.output.columns, "{sql}");
+                assert_eq!(streaming.output.rows, staged.output.rows, "{sql} n={n}");
+                assert_eq!(streaming.partial_rows, staged.partial_rows, "{sql} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_the_result() {
+        for sql in QUERIES {
+            let (plan, partials) = plan_and_partials(sql, 4);
+            let baseline = compose_with(ComposerStrategy::Streaming, &plan, &partials).unwrap();
+            // Reverse and interleave arrival orders.
+            for order in [vec![3usize, 2, 1, 0], vec![2, 0, 3, 1]] {
+                let mut composer = StreamingComposer::new();
+                composer.begin(&plan).unwrap();
+                for &node in &order {
+                    composer.accept(node, partials[node].clone()).unwrap();
+                }
+                let shuffled = composer.finish().unwrap();
+                assert_eq!(
+                    shuffled.output.rows, baseline.output.rows,
+                    "{sql} {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_strategies_match_the_one_shot_composer() {
+        for sql in QUERIES {
+            let (plan, partials) = plan_and_partials(sql, 3);
+            let reference = compose(&plan, &partials).unwrap();
+            for strategy in [ComposerStrategy::Staged, ComposerStrategy::Streaming] {
+                let got = compose_with(strategy, &plan, &partials).unwrap();
+                assert_eq!(got.output.rows, reference.output.rows, "{sql} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn composer_instances_are_reusable_across_plans() {
+        let mut composer = StreamingComposer::new();
+        for round in 0..2 {
+            for sql in [
+                "select count(*) as n from orders",
+                "select o_orderpriority, sum(o_totalprice) as t from orders \
+                 group by o_orderpriority order by o_orderpriority",
+            ] {
+                let (plan, partials) = plan_and_partials(sql, 3);
+                composer.begin(&plan).unwrap();
+                for (i, p) in partials.iter().enumerate() {
+                    composer.accept(i, p.clone()).unwrap();
+                }
+                let got = composer.finish().unwrap();
+                let want = compose(&plan, &partials).unwrap();
+                assert_eq!(got.output.rows, want.output.rows, "round {round}: {sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_cutoff_bounds_the_union_buffer() {
+        let sql = "select o_orderkey, o_totalprice from orders \
+                   order by o_totalprice desc limit 5";
+        let (plan, partials) = plan_and_partials(sql, 4);
+        let mut composer = StreamingComposer::new();
+        composer.begin(&plan).unwrap();
+        for (i, p) in partials.iter().enumerate() {
+            composer.accept(i, p.clone()).unwrap();
+        }
+        if let StreamState::Union { rows, .. } = &composer.state {
+            assert_eq!(rows.len(), 5, "buffer should hold only the top LIMIT rows");
+        } else {
+            panic!("plain ORDER BY/LIMIT query should stream as a union");
+        }
+        let got = composer.finish().unwrap();
+        let want = compose(&plan, &partials).unwrap();
+        assert_eq!(got.output.rows, want.output.rows);
+        assert_eq!(got.partial_rows, want.partial_rows);
+    }
+
+    #[test]
+    fn streaming_reports_accepted_rows_not_folded_rows() {
+        // 3 nodes × 1 partial row each fold to a single global-aggregate
+        // row; partial_rows must still say 3.
+        let (plan, partials) = plan_and_partials("select sum(o_totalprice) as s from orders", 3);
+        let got = compose_with(ComposerStrategy::Streaming, &plan, &partials).unwrap();
+        assert_eq!(got.partial_rows, 3);
+    }
+
+    #[test]
+    fn accept_rejects_arity_mismatch() {
+        let (plan, _) = plan_and_partials("select sum(o_totalprice) as s from orders", 2);
+        for strategy in [ComposerStrategy::Staged, ComposerStrategy::Streaming] {
+            let mut composer = strategy.new_composer();
+            composer.begin(&plan).unwrap();
+            let bad = QueryOutput {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![vec![Value::Int(1), Value::Int(2)]],
+                ..QueryOutput::default()
+            };
+            assert!(composer.accept(0, bad).is_err(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_composes_like_empty_staging() {
+        let (plan, _) = plan_and_partials("select sum(o_totalprice) as s from orders", 2);
+        let empty = QueryOutput {
+            columns: plan.partial_columns.clone(),
+            rows: vec![],
+            ..QueryOutput::default()
+        };
+        let staged = compose_with(
+            ComposerStrategy::Staged,
+            &plan,
+            &[empty.clone(), empty.clone()],
+        )
+        .unwrap();
+        let streaming =
+            compose_with(ComposerStrategy::Streaming, &plan, &[empty.clone(), empty]).unwrap();
+        assert_eq!(staged.output.rows, vec![vec![Value::Null]]);
+        assert_eq!(streaming.output.rows, staged.output.rows);
+    }
+}
+
 #[cfg(test)]
 mod reusable_tests {
     use super::*;
@@ -344,7 +1050,10 @@ mod reusable_tests {
     use apuama_sql::Value;
 
     fn plan_for(sql: &str, n: usize) -> SvpPlan {
-        match SvpRewriter::new(DataCatalog::tpch(100)).rewrite(sql, n).unwrap() {
+        match SvpRewriter::new(DataCatalog::tpch(100))
+            .rewrite(sql, n)
+            .unwrap()
+        {
             Rewritten::Svp(p) => p,
             _ => panic!("eligible"),
         }
@@ -390,12 +1099,20 @@ mod reusable_tests {
         let mut reusable = ReusableComposer::new();
         let p1 = plan_for("select count(*) as n from orders", 2);
         let r1 = reusable
-            .compose(&p1, &[partial(&p1, vec![vec![Value::Int(3)]]),
-                            partial(&p1, vec![vec![Value::Int(4)]])])
+            .compose(
+                &p1,
+                &[
+                    partial(&p1, vec![vec![Value::Int(3)]]),
+                    partial(&p1, vec![vec![Value::Int(4)]]),
+                ],
+            )
             .unwrap();
         assert_eq!(r1.output.rows, vec![vec![Value::Int(7)]]);
         // Different template: more columns.
-        let p2 = plan_for("select min(o_totalprice) as lo, max(o_totalprice) as hi from orders", 2);
+        let p2 = plan_for(
+            "select min(o_totalprice) as lo, max(o_totalprice) as hi from orders",
+            2,
+        );
         let r2 = reusable
             .compose(
                 &p2,
@@ -405,11 +1122,19 @@ mod reusable_tests {
                 ],
             )
             .unwrap();
-        assert_eq!(r2.output.rows, vec![vec![Value::Float(0.5), Value::Float(9.0)]]);
+        assert_eq!(
+            r2.output.rows,
+            vec![vec![Value::Float(0.5), Value::Float(9.0)]]
+        );
         // And back to the first shape (forces another rebuild).
         let r3 = reusable
-            .compose(&p1, &[partial(&p1, vec![vec![Value::Int(1)]]),
-                            partial(&p1, vec![vec![Value::Int(1)]])])
+            .compose(
+                &p1,
+                &[
+                    partial(&p1, vec![vec![Value::Int(1)]]),
+                    partial(&p1, vec![vec![Value::Int(1)]]),
+                ],
+            )
             .unwrap();
         assert_eq!(r3.output.rows, vec![vec![Value::Int(2)]]);
     }

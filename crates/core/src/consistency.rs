@@ -331,9 +331,10 @@ mod staleness_tests {
 
     #[test]
     fn bounded_staleness_waits_beyond_lag() {
-        let g = Arc::new(UpdateGate::new(2, ConsistencyMode::BoundedStaleness {
-            max_lag: 0,
-        }));
+        let g = Arc::new(UpdateGate::new(
+            2,
+            ConsistencyMode::BoundedStaleness { max_lag: 0 },
+        ));
         g.begin_node_write(0, "w");
         g.end_node_write(0, "w", true); // spread now 1 > 0
         let g2 = Arc::clone(&g);

@@ -10,16 +10,17 @@
 //! write ordering are preserved bit-for-bit.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use apuama_cjdbc::{classify, Connection, StatementKind};
-use apuama_engine::{EngineResult, ExecStats, QueryOutput};
+use apuama_engine::{EngineResult, ExecStats, PhaseTiming, QueryOutput};
 
 use crate::catalog::DataCatalog;
-use crate::composer::ReusableComposer;
+use crate::composer::{Composer, ComposerStrategy};
 use crate::consistency::{ConsistencyMode, UpdateGate};
-use parking_lot::Mutex;
 use crate::node::NodeProcessor;
 use crate::rewrite::{Rewritten, SvpPlan, SvpRewriter};
+use parking_lot::Mutex;
 
 /// Configuration knobs (defaults reproduce the paper; the alternatives are
 /// ablation arms).
@@ -33,6 +34,9 @@ pub struct ApuamaConfig {
     pub consistency: ConsistencyMode,
     /// Per-node connection-pool size.
     pub pool_size: usize,
+    /// Result-composition strategy (staged staging table vs streaming
+    /// fold).
+    pub composer: ComposerStrategy,
 }
 
 impl Default for ApuamaConfig {
@@ -42,6 +46,7 @@ impl Default for ApuamaConfig {
             force_index: true,
             consistency: ConsistencyMode::Blocking,
             pool_size: 8,
+            composer: ComposerStrategy::default(),
         }
     }
 }
@@ -59,6 +64,8 @@ pub struct SvpExecution {
     pub composition_stats: ExecStats,
     /// Total partial rows shipped to the composer.
     pub partial_rows: u64,
+    /// Wall-clock phase breakdown of the pipelined execution.
+    pub timing: PhaseTiming,
 }
 
 /// The engine: Cluster Administrator + Node Processors (paper Fig. 1b).
@@ -67,9 +74,10 @@ pub struct ApuamaEngine {
     rewriter: SvpRewriter,
     gate: UpdateGate,
     config: ApuamaConfig,
-    /// Pooled in-memory composer: keeps the staging table alive across
-    /// queries of the same template (ablation 4's winning variant).
-    composer: Mutex<ReusableComposer>,
+    /// Pooled incremental composer (strategy fixed at construction). Kept
+    /// across queries so the staging engine survives between same-template
+    /// compositions.
+    composer: Mutex<Box<dyn Composer + Send>>,
 }
 
 impl ApuamaEngine {
@@ -89,7 +97,7 @@ impl ApuamaEngine {
             rewriter: SvpRewriter::new(catalog),
             gate: UpdateGate::new(n, config.consistency),
             config,
-            composer: Mutex::new(ReusableComposer::new()),
+            composer: Mutex::new(config.composer.new_composer()),
         })
     }
 
@@ -153,7 +161,13 @@ impl ApuamaEngine {
     }
 
     /// The Intra-Query Executor: consistency wait → parallel dispatch →
-    /// early update release → composition.
+    /// early update release → pipelined composition.
+    ///
+    /// Sub-query results are not join-all'ed: each node thread sends its
+    /// partial through a channel the moment it completes, and the composer
+    /// folds it in while the remaining sub-queries are still running. The
+    /// update gate still releases at "dispatched and started" — composition
+    /// happens strictly after the release point.
     pub fn execute_svp(&self, plan: &SvpPlan) -> EngineResult<SvpExecution> {
         assert_eq!(
             plan.subqueries.len(),
@@ -167,52 +181,97 @@ impl ApuamaEngine {
         //    its snapshot ticket ("sent and started").
         let n = self.nodes.len();
         let barrier = std::sync::Barrier::new(n + 1);
-        let results: Vec<EngineResult<QueryOutput>> = std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .nodes
-                .iter()
-                .zip(&plan.subqueries)
-                .map(|(node, sql)| {
-                    let barrier = &barrier;
-                    s.spawn(move || {
-                        let ticket = node.begin_subquery();
-                        barrier.wait();
-                        ticket.run(sql)
-                    })
-                })
-                .collect();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        std::thread::scope(|s| {
+            for (i, (node, sql)) in self.nodes.iter().zip(&plan.subqueries).enumerate() {
+                let barrier = &barrier;
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let ticket = node.begin_subquery();
+                    barrier.wait();
+                    // The receiver drains all n messages, but ignore send
+                    // errors anyway so a panicking main can't wedge a node.
+                    let _ = tx.send((i, ticket.run(sql)));
+                });
+            }
+            drop(tx);
             barrier.wait();
             // 3. All sub-queries dispatched and snapshot-ordered: updates
             //    may flow again (paper §3).
             self.gate.release_updates();
-            handles
+            let dispatched = Instant::now();
+
+            // 4. Pipelined composition: consume partials as they complete.
+            let mut composer = self.composer.lock();
+            composer.begin(plan)?;
+            let mut per_node: Vec<Option<ExecStats>> = vec![None; n];
+            let mut first_error: Option<(usize, apuama_engine::EngineError)> = None;
+            let mut accept_error: Option<apuama_engine::EngineError> = None;
+            let mut timing = PhaseTiming::default();
+            let mut received = 0usize;
+            for (i, result) in rx.iter() {
+                received += 1;
+                if received == 1 {
+                    timing.first_partial_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                }
+                let last = received == n;
+                match result {
+                    Ok(out) => {
+                        per_node[i] = Some(out.stats);
+                        if first_error.is_none() && accept_error.is_none() {
+                            let t = Instant::now();
+                            if let Err(e) = composer.accept(i, out) {
+                                accept_error = Some(e);
+                            }
+                            let spent = t.elapsed().as_secs_f64() * 1e3;
+                            if last {
+                                timing.compose_tail_ms += spent;
+                            } else {
+                                timing.compose_overlap_ms += spent;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Keep draining so every node thread finishes, but
+                        // remember the lowest-node error (the order the old
+                        // join-all reported).
+                        if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                            first_error = Some((i, e));
+                        }
+                    }
+                }
+            }
+            if let Some((_, e)) = first_error {
+                return Err(e);
+            }
+            if let Some(e) = accept_error {
+                return Err(e);
+            }
+
+            // 5. Finish the composition (serial tail).
+            let t = Instant::now();
+            let composed = composer.finish()?;
+            timing.compose_tail_ms += t.elapsed().as_secs_f64() * 1e3;
+            timing.total_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+
+            let per_node: Vec<ExecStats> = per_node
                 .into_iter()
-                .map(|h| h.join().expect("sub-query thread panicked"))
-                .collect()
-        });
-
-        let mut partials = Vec::with_capacity(n);
-        let mut per_node = Vec::with_capacity(n);
-        for r in results {
-            let out = r?;
-            per_node.push(out.stats);
-            partials.push(out);
-        }
-
-        // 4. Result composition (pooled staging engine).
-        let composed = self.composer.lock().compose(plan, &partials)?;
-        let mut merged = ExecStats::default();
-        for s in &per_node {
-            merged.merge(s);
-        }
-        merged.merge(&composed.composition_stats);
-        let mut output = composed.output;
-        output.stats = merged;
-        Ok(SvpExecution {
-            output,
-            per_node,
-            composition_stats: composed.composition_stats,
-            partial_rows: composed.partial_rows,
+                .map(|s| s.expect("every node reported"))
+                .collect();
+            let mut merged = ExecStats::default();
+            for s in &per_node {
+                merged.merge(s);
+            }
+            merged.merge(&composed.composition_stats);
+            let mut output = composed.output;
+            output.stats = merged;
+            Ok(SvpExecution {
+                output,
+                per_node,
+                composition_stats: composed.composition_stats,
+                partial_rows: composed.partial_rows,
+                timing,
+            })
         })
     }
 }
@@ -327,10 +386,13 @@ mod tests {
 
     #[test]
     fn svp_disabled_config_behaves_like_cjdbc() {
-        let (engine, _) = cluster(3, ApuamaConfig {
-            svp_enabled: false,
-            ..ApuamaConfig::default()
-        });
+        let (engine, _) = cluster(
+            3,
+            ApuamaConfig {
+                svp_enabled: false,
+                ..ApuamaConfig::default()
+            },
+        );
         let out = engine
             .execute_read(1, "select count(*) as n from orders")
             .unwrap();
@@ -381,8 +443,7 @@ mod tests {
                 s.spawn(move || {
                     let mut counts = Vec::new();
                     for _ in 0..15 {
-                        let (out, _) =
-                            c.execute("select count(*) as n from orders").unwrap();
+                        let (out, _) = c.execute("select count(*) as n from orders").unwrap();
                         counts.push(out.rows[0][0].as_i64().unwrap());
                     }
                     counts
@@ -411,9 +472,6 @@ mod tests {
         // The catalog recorded high=60; insert far beyond it and make sure
         // the unbounded last partition owns the new keys.
         let (engine, _) = cluster(4, ApuamaConfig::default());
-        for node in 0..0 {
-            let _ = node;
-        }
         let controller = Controller::new(engine.connections(), ControllerConfig::default());
         controller
             .execute("insert into orders values (5000, 1.0)")

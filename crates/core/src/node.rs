@@ -193,7 +193,8 @@ mod tests {
         db.execute("create table t (k int not null, v float, primary key (k)) clustered by (k)")
             .unwrap();
         for i in 0..100 {
-            db.execute(&format!("insert into t values ({i}, {i}.0)")).unwrap();
+            db.execute(&format!("insert into t values ({i}, {i}.0)"))
+                .unwrap();
         }
         let engine_node = EngineNode::new("n0", db);
         let conn: Arc<dyn Connection> = Arc::new(NodeConnection::new(engine_node.clone()));
@@ -204,7 +205,8 @@ mod tests {
     fn passthrough_read_and_write_count() {
         let (np, _) = node(true);
         assert_eq!(np.txn_count(), 0);
-        np.execute_write("insert into t values (1000, 0.0)").unwrap();
+        np.execute_write("insert into t values (1000, 0.0)")
+            .unwrap();
         assert_eq!(np.txn_count(), 1);
         let out = np.execute_read("select count(*) as n from t").unwrap();
         assert_eq!(out.rows[0][0], apuama_sql::Value::Int(101));
@@ -257,7 +259,8 @@ mod tests {
         let ticket = np.begin_subquery();
         let np2 = Arc::clone(&np);
         let writer = std::thread::spawn(move || {
-            np2.execute_write("insert into t values (500, 1.0)").unwrap();
+            np2.execute_write("insert into t values (500, 1.0)")
+                .unwrap();
         });
         // Give the writer a moment to block on the snapshot lock.
         std::thread::sleep(std::time::Duration::from_millis(50));

@@ -25,7 +25,9 @@
 //! unconnected fact reference is simply left unpartitioned, which is always
 //! correct on replicated data.
 
-use apuama_sql::ast::{is_aggregate_name, Expr, Select, SelectItem, SetQuantifier, Statement, TableRef};
+use apuama_sql::ast::{
+    is_aggregate_name, Expr, Select, SelectItem, SetQuantifier, Statement, TableRef,
+};
 use apuama_sql::{parse_statement, visit, ParseError};
 
 use crate::catalog::DataCatalog;
@@ -59,6 +61,44 @@ pub struct SvpPlan {
     pub output_columns: Vec<String>,
     /// Which tables were range-restricted (diagnostics).
     pub partitioned_tables: Vec<String>,
+    /// Structured description of the composition step, for composers that
+    /// fold partials incrementally instead of replaying `composition_sql`
+    /// over a full staging table.
+    pub compose: ComposeSpec,
+}
+
+/// How partial rows combine into the final result — derived during
+/// decomposition, so an incremental composer never has to re-parse
+/// [`SvpPlan::composition_sql`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComposeSpec {
+    /// Non-aggregated query: partial rows *are* result rows; composition
+    /// only unions them, then applies the global ORDER BY / LIMIT.
+    Union {
+        /// ORDER BY keys as `(partial column index, descending)` — `Some`
+        /// only when every key is a bare output column, which is what
+        /// enables streaming top-k cutoff.
+        order: Option<Vec<(usize, bool)>>,
+        /// Global LIMIT, if any.
+        limit: Option<u64>,
+    },
+    /// Aggregated query: the first `group_cols` partial columns are the
+    /// grouping keys and column `group_cols + i` re-aggregates with
+    /// `folds[i]`.
+    Reaggregate {
+        group_cols: usize,
+        folds: Vec<FoldFn>,
+    },
+}
+
+/// Re-aggregation function for one partial aggregate column. `count`
+/// re-aggregates as `Sum` of partial counts and `avg` decomposes into two
+/// `Sum` columns, so three folds cover every decomposable aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldFn {
+    Sum,
+    Min,
+    Max,
 }
 
 /// A reusable virtual-partitioning template: the decomposed sub-query with
@@ -79,6 +119,8 @@ pub struct QueryTemplate {
     pub composition_sql: String,
     /// Output column names of the final result.
     pub output_columns: Vec<String>,
+    /// Structured composition description (see [`ComposeSpec`]).
+    pub compose: ComposeSpec,
 }
 
 impl QueryTemplate {
@@ -117,8 +159,7 @@ impl QueryTemplate {
             };
             let lo_pred =
                 lo.map(|v| Expr::binary(col(), BinOp::GtEq, Expr::Literal(Value::Int(v))));
-            let hi_pred =
-                hi.map(|v| Expr::binary(col(), BinOp::Lt, Expr::Literal(Value::Int(v))));
+            let hi_pred = hi.map(|v| Expr::binary(col(), BinOp::Lt, Expr::Literal(Value::Int(v))));
             let pred = match (lo_pred, hi_pred) {
                 (Some(a), Some(b)) => Some(a.and(b)),
                 (Some(a), None) => Some(a),
@@ -151,6 +192,7 @@ impl QueryTemplate {
             composition_sql: self.composition_sql.clone(),
             output_columns: self.output_columns.clone(),
             partitioned_tables: self.partitioned_tables(),
+            compose: self.compose.clone(),
         }
     }
 }
@@ -253,9 +295,9 @@ impl SvpRewriter {
             if vp.domain != primary_vp.domain {
                 continue;
             }
-            let joined = conjuncts.iter().any(|c| {
-                is_vpa_equality(c, &primary_binding, &primary_vp.vpa, binding, &vp.vpa)
-            });
+            let joined = conjuncts
+                .iter()
+                .any(|c| is_vpa_equality(c, &primary_binding, &primary_vp.vpa, binding, &vp.vpa));
             if joined {
                 partitioned.push((binding.clone(), vp));
             }
@@ -297,6 +339,7 @@ impl SvpRewriter {
                 .collect(),
             composition_sql: decomposition.composition.to_string(),
             output_columns: decomposition.output_columns,
+            compose: decomposition.compose,
         })
     }
 }
@@ -312,6 +355,7 @@ struct Decomposition {
     partial_items: Vec<(String, Expr)>,
     composition: Select,
     output_columns: Vec<String>,
+    compose: ComposeSpec,
 }
 
 /// Splits a predicate into top-level conjuncts (local copy to avoid a
@@ -338,13 +382,7 @@ fn split_conjuncts(pred: Option<&Expr>) -> Vec<Expr> {
 }
 
 /// True if the conjunct is `a.vpa_a = b.vpa_b` in either order.
-fn is_vpa_equality(
-    c: &Expr,
-    binding_a: &str,
-    vpa_a: &str,
-    binding_b: &str,
-    vpa_b: &str,
-) -> bool {
+fn is_vpa_equality(c: &Expr, binding_a: &str, vpa_a: &str, binding_b: &str, vpa_b: &str) -> bool {
     let Expr::Binary {
         left,
         op: apuama_sql::BinOp::Eq,
@@ -433,10 +471,31 @@ fn decompose_plain(q: &Select) -> Decomposition {
         limit: q.limit,
         ..Select::default()
     };
+    // Streaming cutoff needs every ORDER BY key to be a bare output column
+    // (anything else cannot be evaluated against a partial row alone).
+    let order = if q.order_by.is_empty() {
+        Some(vec![])
+    } else {
+        q.order_by
+            .iter()
+            .map(|o| match &o.expr {
+                Expr::Column(c) => output_columns
+                    .iter()
+                    .position(|n| *n == c.column)
+                    .map(|i| (i, o.desc)),
+                _ => None,
+            })
+            .collect()
+    };
+    let compose = ComposeSpec::Union {
+        order,
+        limit: q.limit,
+    };
     Decomposition {
         partial_items,
         composition,
         output_columns,
+        compose,
     }
 }
 
@@ -445,10 +504,7 @@ fn decompose_plain(q: &Select) -> Decomposition {
 /// we accept column expressions matching output names only and silently
 /// keep the others as-is (they will fail at composition, surfacing a clear
 /// error rather than a wrong answer).
-fn rewrite_order_by_plain(
-    q: &Select,
-    output_columns: &[String],
-) -> Vec<apuama_sql::OrderByItem> {
+fn rewrite_order_by_plain(q: &Select, output_columns: &[String]) -> Vec<apuama_sql::OrderByItem> {
     q.order_by
         .iter()
         .map(|o| {
@@ -467,6 +523,9 @@ fn rewrite_order_by_plain(
 fn decompose_aggregated(q: &Select) -> Result<Decomposition, String> {
     let mut slots: Vec<AggSlot> = Vec::new();
     let mut partial_items: Vec<(String, Expr)> = Vec::new();
+    // Fold function per aggregate partial column, appended in lockstep with
+    // `partial_items` pushes inside `transform_expr`.
+    let mut folds: Vec<FoldFn> = Vec::new();
 
     // 1. Group-by expressions become partial columns (named after the
     //    select item that exposes them, or a synthetic name).
@@ -493,7 +552,13 @@ fn decompose_aggregated(q: &Select) -> Result<Decomposition, String> {
             unreachable!("wildcards rejected in eligibility");
         };
         let name = item.output_name(i);
-        let comp_expr = transform_expr(expr, &group_aliases, &mut slots, &mut partial_items)?;
+        let comp_expr = transform_expr(
+            expr,
+            &group_aliases,
+            &mut slots,
+            &mut partial_items,
+            &mut folds,
+        )?;
         comp_items.push(SelectItem::Expr {
             expr: comp_expr,
             alias: Some(name.clone()),
@@ -507,6 +572,7 @@ fn decompose_aggregated(q: &Select) -> Result<Decomposition, String> {
             &group_aliases,
             &mut slots,
             &mut partial_items,
+            &mut folds,
         )?),
     };
     let comp_order: Vec<apuama_sql::OrderByItem> = q
@@ -518,7 +584,13 @@ fn decompose_aggregated(q: &Select) -> Result<Decomposition, String> {
                 Expr::Column(c) if c.table.is_none() && output_columns.contains(&c.column) => {
                     Ok(Expr::col(c.column.clone()))
                 }
-                other => transform_expr(other, &group_aliases, &mut slots, &mut partial_items),
+                other => transform_expr(
+                    other,
+                    &group_aliases,
+                    &mut slots,
+                    &mut partial_items,
+                    &mut folds,
+                ),
             }?;
             Ok(apuama_sql::OrderByItem { expr, desc: o.desc })
         })
@@ -539,10 +611,15 @@ fn decompose_aggregated(q: &Select) -> Result<Decomposition, String> {
         limit: q.limit,
         ..Select::default()
     };
+    let compose = ComposeSpec::Reaggregate {
+        group_cols: group_aliases.len(),
+        folds,
+    };
     Ok(Decomposition {
         partial_items,
         composition,
         output_columns,
+        compose,
     })
 }
 
@@ -555,6 +632,7 @@ fn transform_expr(
     group_aliases: &[(Expr, String)],
     slots: &mut Vec<AggSlot>,
     partial_items: &mut Vec<(String, Expr)>,
+    folds: &mut Vec<FoldFn>,
 ) -> Result<Expr, String> {
     // Grouped expression? Any shape is fine if it structurally matches.
     if let Some((_, alias)) = group_aliases.iter().find(|(g, _)| g == e) {
@@ -577,7 +655,7 @@ fn transform_expr(
                 "sum" => {
                     let alias = format!("svp_agg{k}");
                     (
-                        vec![(alias.clone(), e.clone())],
+                        vec![(alias.clone(), e.clone(), FoldFn::Sum)],
                         agg_over_column("sum", &alias),
                     )
                 }
@@ -586,14 +664,19 @@ fn transform_expr(
                 "count" => {
                     let alias = format!("svp_agg{k}");
                     (
-                        vec![(alias.clone(), e.clone())],
+                        vec![(alias.clone(), e.clone(), FoldFn::Sum)],
                         agg_over_column("sum", &alias),
                     )
                 }
                 "min" | "max" => {
                     let alias = format!("svp_agg{k}");
+                    let fold = if name == "min" {
+                        FoldFn::Min
+                    } else {
+                        FoldFn::Max
+                    };
                     (
-                        vec![(alias.clone(), e.clone())],
+                        vec![(alias.clone(), e.clone(), fold)],
                         agg_over_column(name, &alias),
                     )
                 }
@@ -630,14 +713,20 @@ fn transform_expr(
                         agg_over_column("sum", &cnt_alias),
                     );
                     (
-                        vec![(sum_alias, sum_part), (cnt_alias, cnt_part)],
+                        vec![
+                            (sum_alias, sum_part, FoldFn::Sum),
+                            (cnt_alias, cnt_part, FoldFn::Sum),
+                        ],
                         replacement,
                     )
                 }
                 other => return Err(format!("aggregate {other}() is not decomposable")),
             };
             let _ = star;
-            partial_items.extend(partials.iter().cloned());
+            for (alias, expr, fold) in partials {
+                partial_items.push((alias, expr));
+                folds.push(fold);
+            }
             slots.push(AggSlot {
                 key,
                 replacement: replacement.clone(),
@@ -649,13 +738,31 @@ fn transform_expr(
             "non-grouped column '{e}' in an aggregated clause cannot be recomposed"
         )),
         Expr::Binary { left, op, right } => Ok(Expr::Binary {
-            left: Box::new(transform_expr(left, group_aliases, slots, partial_items)?),
+            left: Box::new(transform_expr(
+                left,
+                group_aliases,
+                slots,
+                partial_items,
+                folds,
+            )?),
             op: *op,
-            right: Box::new(transform_expr(right, group_aliases, slots, partial_items)?),
+            right: Box::new(transform_expr(
+                right,
+                group_aliases,
+                slots,
+                partial_items,
+                folds,
+            )?),
         }),
         Expr::Unary { op, expr } => Ok(Expr::Unary {
             op: *op,
-            expr: Box::new(transform_expr(expr, group_aliases, slots, partial_items)?),
+            expr: Box::new(transform_expr(
+                expr,
+                group_aliases,
+                slots,
+                partial_items,
+                folds,
+            )?),
         }),
         Expr::Case {
             branches,
@@ -664,8 +771,8 @@ fn transform_expr(
             let mut new_branches = Vec::with_capacity(branches.len());
             for (c, r) in branches {
                 new_branches.push((
-                    transform_expr(c, group_aliases, slots, partial_items)?,
-                    transform_expr(r, group_aliases, slots, partial_items)?,
+                    transform_expr(c, group_aliases, slots, partial_items, folds)?,
+                    transform_expr(r, group_aliases, slots, partial_items, folds)?,
                 ));
             }
             let new_else = match else_expr {
@@ -674,6 +781,7 @@ fn transform_expr(
                     group_aliases,
                     slots,
                     partial_items,
+                    folds,
                 )?)),
                 None => None,
             };
@@ -758,7 +866,10 @@ mod tests {
 
     #[test]
     fn min_max_stay_min_max() {
-        let plan = svp("select min(o_totalprice) as lo, max(o_totalprice) as hi from orders", 2);
+        let plan = svp(
+            "select min(o_totalprice) as lo, max(o_totalprice) as hi from orders",
+            2,
+        );
         assert!(plan.composition_sql.contains("min(svp_agg0) as lo"));
         assert!(plan.composition_sql.contains("max(svp_agg1) as hi"));
     }
@@ -877,7 +988,10 @@ mod tests {
         for (sql, why) in [
             ("select c_name from customer", "partitionable"),
             ("select distinct l_orderkey from lineitem", "DISTINCT"),
-            ("select count(distinct l_suppkey) from lineitem", "DISTINCT aggregates"),
+            (
+                "select count(distinct l_suppkey) from lineitem",
+                "DISTINCT aggregates",
+            ),
             ("select * from lineitem", "stable partial schema"),
         ] {
             match r.rewrite(sql, 4).unwrap() {
@@ -891,7 +1005,10 @@ mod tests {
 
     #[test]
     fn non_select_is_passthrough() {
-        match rewriter().rewrite("insert into lineitem values (1)", 2).unwrap() {
+        match rewriter()
+            .rewrite("insert into lineitem values (1)", 2)
+            .unwrap()
+        {
             Rewritten::Passthrough { reason } => assert!(reason.contains("not a SELECT")),
             _ => panic!(),
         }

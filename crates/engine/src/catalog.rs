@@ -160,7 +160,10 @@ mod tests {
         let s = TableSchema::from_ddl(
             0,
             "orders",
-            &[col("o_orderkey", DataType::Int), col("o_comment", DataType::Text)],
+            &[
+                col("o_orderkey", DataType::Int),
+                col("o_comment", DataType::Text),
+            ],
             &["o_orderkey".into()],
             None,
         )

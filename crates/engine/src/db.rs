@@ -60,9 +60,19 @@ impl Default for Settings {
 /// Undo-log entry for transaction rollback.
 #[derive(Debug)]
 enum Undo {
-    Insert { table: TableId, rid: RowId },
-    Delete { table: TableId, row: Row },
-    Update { table: TableId, rid: RowId, old: Row },
+    Insert {
+        table: TableId,
+        rid: RowId,
+    },
+    Delete {
+        table: TableId,
+        row: Row,
+    },
+    Update {
+        table: TableId,
+        rid: RowId,
+        old: Row,
+    },
 }
 
 /// A single-node database instance.
@@ -109,9 +119,7 @@ impl Database {
 
     /// Looks a table up by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.catalog
-            .get(name)
-            .map(|s| &self.tables[s.id as usize])
+        self.catalog.get(name).map(|s| &self.tables[s.id as usize])
     }
 
     fn table_mut(&mut self, id: TableId) -> &mut Table {
@@ -506,7 +514,7 @@ impl Database {
             let table = &self.tables[id as usize];
             if table.tombstone_ratio() > 0.34 && table.heap.slots() > 128 {
                 let reclaimed = self.table_mut(id).vacuum();
-                let _ = self.pool_invalidate(id);
+                self.pool_invalidate(id);
                 stats.cpu_tuple_ops += reclaimed;
             }
         }
@@ -725,9 +733,7 @@ mod tests {
         let mut d = db();
         d.execute("insert into t values (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'c')")
             .unwrap();
-        let res = d
-            .query("select k from t order by k desc limit 2")
-            .unwrap();
+        let res = d.query("select k from t order by k desc limit 2").unwrap();
         assert_eq!(res.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
     }
 
@@ -789,10 +795,11 @@ mod tests {
             .unwrap();
         d.execute("insert into u values (1, 'one'), (3, 'three')")
             .unwrap();
-        let res = d
-            .query("select t.k, w from t, u where t.k = u.k")
-            .unwrap();
-        assert_eq!(res.rows, vec![vec![Value::Int(1), Value::Str("one".into())]]);
+        let res = d.query("select t.k, w from t, u where t.k = u.k").unwrap();
+        assert_eq!(
+            res.rows,
+            vec![vec![Value::Int(1), Value::Str("one".into())]]
+        );
     }
 
     #[test]
@@ -844,9 +851,7 @@ mod tests {
         d.execute("insert into t values (1, 10.0, 'a'), (2, 20.0, 'b'), (3, 30.0, 'a')")
             .unwrap();
         let res = d
-            .query(
-                "select sum(case when s = 'a' then v else 0.0 end) as a_total from t",
-            )
+            .query("select sum(case when s = 'a' then v else 0.0 end) as a_total from t")
             .unwrap();
         assert_eq!(res.rows, vec![vec![Value::Float(40.0)]]);
     }
@@ -866,7 +871,8 @@ mod tests {
         d.execute("create table t (k int not null, v float, primary key (k))")
             .unwrap();
         for i in 0..100 {
-            d.execute(&format!("insert into t values ({i}, {i}.0)")).unwrap();
+            d.execute(&format!("insert into t values ({i}, {i}.0)"))
+                .unwrap();
         }
         let out = d.query("select sum(v) from t").unwrap();
         assert_eq!(out.stats.rows_scanned, 100);
@@ -957,7 +963,10 @@ mod explain_tests {
             &d,
             "explain select o_totalprice from orders where o_orderkey >= 10 and o_orderkey < 20",
         );
-        assert!(plan.contains("clustered index range on o_orderkey"), "{plan}");
+        assert!(
+            plan.contains("clustered index range on o_orderkey"),
+            "{plan}"
+        );
         assert!(plan.contains("[10= .. 20)"), "{plan}");
     }
 
@@ -996,7 +1005,8 @@ mod explain_tests {
     fn explain_does_not_execute() {
         let d = db();
         let before = d.pool_stats();
-        d.query("explain select count(*) as n from lineitem").unwrap();
+        d.query("explain select count(*) as n from lineitem")
+            .unwrap();
         let after = d.pool_stats();
         // Planning touches no heap pages.
         assert_eq!(before, after);
@@ -1054,7 +1064,9 @@ mod vacuum_integration_tests {
         assert!(d.table("t").unwrap().tombstone_ratio() > 0.5);
         d.execute("rollback").unwrap();
         assert_eq!(d.table("t").unwrap().row_count(), 500);
-        let out = d.query("select count(*) as n from t where k < 400").unwrap();
+        let out = d
+            .query("select count(*) as n from t where k < 400")
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(400));
     }
 }

@@ -29,16 +29,11 @@ pub struct Frame<'a> {
 }
 
 /// Resolves a column reference against a frame stack (innermost first).
-pub fn resolve_in_frames(
-    frames: &[Frame<'_>],
-    col: &ColumnRef,
-) -> EngineResult<(usize, usize)> {
+pub fn resolve_in_frames(frames: &[Frame<'_>], col: &ColumnRef) -> EngineResult<(usize, usize)> {
     for (fi, frame) in frames.iter().enumerate() {
         match exec::resolve_column(frame.bindings, col) {
             Ok(ci) => return Ok((fi, ci)),
-            Err(EngineError::AmbiguousColumn(c)) => {
-                return Err(EngineError::AmbiguousColumn(c))
-            }
+            Err(EngineError::AmbiguousColumn(c)) => return Err(EngineError::AmbiguousColumn(c)),
             Err(_) => continue,
         }
     }
@@ -46,11 +41,7 @@ pub fn resolve_in_frames(
 }
 
 /// Evaluates an expression. `frames[0]` is the innermost scope.
-pub fn eval_expr(
-    expr: &Expr,
-    frames: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<Value> {
+pub fn eval_expr(expr: &Expr, frames: &[Frame<'_>], ctx: &ExecContext<'_>) -> EngineResult<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(c) => {
@@ -454,11 +445,7 @@ fn subquery_value_set(
 /// Fast path: single-table subquery with an equality conjunct
 /// `inner_indexed_col = outer_expr` — probe the index, check the residual
 /// predicate per candidate. Slow path: sequential scan with the predicate.
-fn eval_exists(
-    query: &Select,
-    frames: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<bool> {
+fn eval_exists(query: &Select, frames: &[Frame<'_>], ctx: &ExecContext<'_>) -> EngineResult<bool> {
     // General shapes (joins, grouping) fall back to full execution.
     let single_table = match query.from.as_slice() {
         [TableRef::Table { name, alias }] => Some((name.clone(), alias.clone())),
@@ -540,7 +527,11 @@ fn eval_exists(
     for (rid, row) in table.heap.iter() {
         let page = table.heap.geometry().page_of(rid);
         if page != last_page {
-            ctx.charge_page(table.schema.id, page, apuama_storage::AccessKind::Sequential);
+            ctx.charge_page(
+                table.schema.id,
+                page,
+                apuama_storage::AccessKind::Sequential,
+            );
             last_page = page;
         }
         ctx.bump_rows_scanned(1);

@@ -235,14 +235,7 @@ pub fn run_select(
                     .filter(|(ci, _)| !choice.consumed.contains(ci))
                     .map(|(_, c)| c.clone())
                     .collect();
-                scan_table(
-                    ctx,
-                    table,
-                    alias.as_deref(),
-                    &choice.path,
-                    &residual,
-                    outer,
-                )?
+                scan_table(ctx, table, alias.as_deref(), &choice.path, &residual, outer)?
             }
             TableRef::Subquery { query, alias } => {
                 let mut rel = run_select(query, outer, ctx)?;
@@ -619,8 +612,7 @@ fn pick_next_input(
         edges
             .iter()
             .filter(|e| {
-                (e.left == scopes[i].name
-                    && bound.iter().any(|&b| scopes[b].name == e.right))
+                (e.left == scopes[i].name && bound.iter().any(|&b| scopes[b].name == e.right))
                     || (e.right == scopes[i].name
                         && bound.iter().any(|&b| scopes[b].name == e.left))
             })
@@ -635,8 +627,8 @@ fn pick_next_input(
         if my_edges.is_empty() {
             continue;
         }
-        let distinct = distinct_join_keys(&inputs[i], &my_edges, &scopes[i].name, outer, ctx)
-            .max(1);
+        let distinct =
+            distinct_join_keys(&inputs[i], &my_edges, &scopes[i].name, outer, ctx).max(1);
         let est = current_rows as f64 * inputs[i].rows.len() as f64 / distinct as f64;
         if best.is_none_or(|(_, b)| est < b) {
             best = Some((i, est));
@@ -851,8 +843,7 @@ fn plain_project(
                 SelectItem::Expr { expr, .. } => out_row.push(eval_expr(expr, &frames, ctx)?),
             }
         }
-        let key =
-            sort_key_for_row(&q.order_by, &out_names, &out_row, &frames, ctx, None)?;
+        let key = sort_key_for_row(&q.order_by, &out_names, &out_row, &frames, ctx, None)?;
         rows.push(out_row);
         keys.push(key);
     }
@@ -1028,9 +1019,7 @@ impl Acc {
                             *any_float = true;
                             *float += x;
                         }
-                        other => {
-                            return Err(EngineError::TypeError(format!("sum() over {other}")))
-                        }
+                        other => return Err(EngineError::TypeError(format!("sum() over {other}"))),
                     }
                     *n += 1;
                 }
@@ -1338,9 +1327,7 @@ fn aggregate_and_project(
         for item in &q.items {
             match item {
                 SelectItem::Wildcard => {
-                    return Err(EngineError::Unsupported(
-                        "SELECT * with aggregation".into(),
-                    ))
+                    return Err(EngineError::Unsupported("SELECT * with aggregation".into()))
                 }
                 SelectItem::Expr { expr, .. } => {
                     let replaced = substitute_aggregates(expr, &agg_values);

@@ -38,5 +38,5 @@ pub mod table;
 pub use catalog::{Catalog, ColumnMeta, TableSchema};
 pub use db::{Database, QueryOutput, Settings};
 pub use error::{EngineError, EngineResult};
-pub use stats::ExecStats;
+pub use stats::{ExecStats, PhaseTiming};
 pub use table::Table;

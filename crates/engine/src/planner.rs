@@ -122,10 +122,7 @@ pub fn choose_access_path(
     let pages = table.pages() as f64;
 
     // Residual selectivity heuristics for conjuncts the index can't consume.
-    let residual_selectivity: f64 = conjuncts
-        .iter()
-        .map(default_selectivity)
-        .product();
+    let residual_selectivity: f64 = conjuncts.iter().map(default_selectivity).product();
 
     let mut seq_cost = pages * SEQ_PAGE_COST + rows * CPU_TUPLE_COST;
     if !enable_seqscan {
@@ -379,16 +376,12 @@ fn collect_refs(
                 out.insert(name);
             }
         }
-        Expr::Exists { query, .. } => {
-            descend_subquery(query, inner_scopes, top, catalog, out)
-        }
+        Expr::Exists { query, .. } => descend_subquery(query, inner_scopes, top, catalog, out),
         Expr::InSubquery { expr, query, .. } => {
             collect_refs(expr, inner_scopes, top, catalog, out);
             descend_subquery(query, inner_scopes, top, catalog, out);
         }
-        Expr::ScalarSubquery(query) => {
-            descend_subquery(query, inner_scopes, top, catalog, out)
-        }
+        Expr::ScalarSubquery(query) => descend_subquery(query, inner_scopes, top, catalog, out),
         Expr::Literal(_) => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
             collect_refs(expr, inner_scopes, top, catalog, out)
@@ -472,7 +465,9 @@ fn descend_subquery(
 fn resolves_in(scope: &[BindingScope], c: &apuama_sql::ColumnRef) -> bool {
     match &c.table {
         Some(q) => scope.iter().any(|b| &b.name == q),
-        None => scope.iter().any(|b| b.columns.iter().any(|n| n == &c.column)),
+        None => scope
+            .iter()
+            .any(|b| b.columns.iter().any(|n| n == &c.column)),
     }
 }
 
@@ -498,11 +493,7 @@ pub struct JoinEdge {
 
 /// Tries to interpret a conjunct as an equi-join between two different
 /// bindings.
-pub fn as_join_edge(
-    conjunct: &Expr,
-    top: &[BindingScope],
-    catalog: &Catalog,
-) -> Option<JoinEdge> {
+pub fn as_join_edge(conjunct: &Expr, top: &[BindingScope], catalog: &Catalog) -> Option<JoinEdge> {
     let Expr::Binary {
         left,
         op: BinOp::Eq,
@@ -693,7 +684,9 @@ mod tests {
              (select 1 from lineitem where l_orderkey = o_orderkey)",
         )
         .unwrap();
-        let apuama_sql::Statement::Select(sel) = q else { panic!() };
+        let apuama_sql::Statement::Select(sel) = q else {
+            panic!()
+        };
         let scopes = scopes_for_from(&sel.from, &catalog);
         let refs = conjunct_bindings(sel.selection.as_ref().unwrap(), &scopes, &catalog);
         // l_orderkey resolves inside the subquery; o_orderkey escapes to the
@@ -723,7 +716,9 @@ mod tests {
                 .unwrap();
         }
         let q = apuama_sql::parse_statement("select 1 from a, b where x = y").unwrap();
-        let apuama_sql::Statement::Select(sel) = q else { panic!() };
+        let apuama_sql::Statement::Select(sel) = q else {
+            panic!()
+        };
         let scopes = scopes_for_from(&sel.from, &catalog);
         let edge = as_join_edge(sel.selection.as_ref().unwrap(), &scopes, &catalog).unwrap();
         assert_eq!(edge.left, "a");

@@ -149,7 +149,10 @@ impl Table {
                 .map(|&c| (c, row_ref[c].clone()))
                 .collect();
             for (c, key) in keys {
-                self.indexes.get_mut(&c).expect("key from map").insert(key, rid);
+                self.indexes
+                    .get_mut(&c)
+                    .expect("key from map")
+                    .insert(key, rid);
             }
         }
         Ok(())
@@ -265,7 +268,9 @@ mod tests {
     #[test]
     fn not_null_enforced() {
         let mut t = Table::new(schema());
-        let err = t.insert(vec![Value::Null, Value::Str("x".into())]).unwrap_err();
+        let err = t
+            .insert(vec![Value::Null, Value::Str("x".into())])
+            .unwrap_err();
         assert!(matches!(err, EngineError::Constraint(_)));
     }
 
@@ -278,12 +283,9 @@ mod tests {
     #[test]
     fn bulk_load_sorts_by_cluster_key() {
         let mut t = Table::new(schema());
-        t.bulk_load(vec![row(5, "c"), row(1, "a"), row(3, "b")]).unwrap();
-        let keys: Vec<i64> = t
-            .heap
-            .iter()
-            .map(|(_, r)| r[0].as_i64().unwrap())
-            .collect();
+        t.bulk_load(vec![row(5, "c"), row(1, "a"), row(3, "b")])
+            .unwrap();
+        let keys: Vec<i64> = t.heap.iter().map(|(_, r)| r[0].as_i64().unwrap()).collect();
         assert_eq!(keys, vec![1, 3, 5]);
         // Clustered property: index range maps to contiguous row ids.
         let rids: Vec<RowId> = t
@@ -332,7 +334,8 @@ mod vacuum_tests {
         )
         .unwrap();
         let mut t = Table::new(schema);
-        t.bulk_load((0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        t.bulk_load((0..n).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
         t
     }
 
@@ -354,7 +357,10 @@ mod vacuum_tests {
         let keys: Vec<i64> = t
             .index_on(0)
             .unwrap()
-            .range(Bound::Included(&Value::Int(0)), Bound::Excluded(&Value::Int(10)))
+            .range(
+                Bound::Included(&Value::Int(0)),
+                Bound::Excluded(&Value::Int(10)),
+            )
             .map(|(k, _)| k.as_i64().unwrap())
             .collect();
         assert_eq!(keys, vec![1, 3, 5, 7, 9]);

@@ -66,7 +66,9 @@ fn aliases_shadow_table_names() {
         .unwrap();
     assert_eq!(out.rows, vec![vec![Value::Float(95.5)]]);
     // The original name is no longer a valid qualifier once aliased.
-    assert!(d.query("select emp.salary from emp e where e.id = 3").is_err());
+    assert!(d
+        .query("select emp.salary from emp e where e.id = 3")
+        .is_err());
 }
 
 #[test]
@@ -79,7 +81,10 @@ fn self_join_with_two_aliases() {
              where a.dept = b.dept and a.id < b.id",
         )
         .unwrap();
-    assert_eq!(out.rows, vec![vec![Value::Str("ada".into()), Value::Str("bob".into())]]);
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::Str("ada".into()), Value::Str("bob".into())]]
+    );
 }
 
 #[test]
@@ -172,7 +177,10 @@ fn correlated_exists_over_dimension() {
         .unwrap();
     assert_eq!(
         out.rows,
-        vec![vec![Value::Str("eng".into())], vec![Value::Str("ops".into())]]
+        vec![
+            vec![Value::Str("eng".into())],
+            vec![Value::Str("ops".into())]
+        ]
     );
 }
 
@@ -180,9 +188,7 @@ fn correlated_exists_over_dimension() {
 fn group_by_expression() {
     let d = db();
     let out = d
-        .query(
-            "select year(hired) as y, count(*) as n from emp group by year(hired) order by y",
-        )
+        .query("select year(hired) as y, count(*) as n from emp group by year(hired) order by y")
         .unwrap();
     assert_eq!(out.rows.len(), 4);
     assert_eq!(out.rows[0], vec![Value::Int(1994), Value::Int(1)]);
@@ -191,7 +197,9 @@ fn group_by_expression() {
 #[test]
 fn order_by_expression_not_in_output() {
     let d = db();
-    let out = d.query("select name from emp order by salary desc").unwrap();
+    let out = d
+        .query("select name from emp order by salary desc")
+        .unwrap();
     let names: Vec<&str> = out.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(names, vec!["ada", "cy", "bob", "dee"]);
 }
@@ -200,13 +208,18 @@ fn order_by_expression_not_in_output() {
 fn limit_zero_and_overlarge() {
     let d = db();
     assert_eq!(d.query("select id from emp limit 0").unwrap().rows.len(), 0);
-    assert_eq!(d.query("select id from emp limit 99").unwrap().rows.len(), 4);
+    assert_eq!(
+        d.query("select id from emp limit 99").unwrap().rows.len(),
+        4
+    );
 }
 
 #[test]
 fn division_by_zero_yields_null() {
     let d = db();
-    let out = d.query("select 1 / 0 as a, 1.0 / 0.0 as b from emp limit 1").unwrap();
+    let out = d
+        .query("select 1 / 0 as a, 1.0 / 0.0 as b from emp limit 1")
+        .unwrap();
     assert!(out.rows[0][0].is_null());
     assert!(out.rows[0][1].is_null());
 }
@@ -227,8 +240,13 @@ fn date_comparisons_and_arithmetic() {
 #[test]
 fn string_ordering_is_lexicographic() {
     let d = db();
-    let out = d.query("select min(name) as lo, max(name) as hi from emp").unwrap();
-    assert_eq!(out.rows[0], vec![Value::Str("ada".into()), Value::Str("dee".into())]);
+    let out = d
+        .query("select min(name) as lo, max(name) as hi from emp")
+        .unwrap();
+    assert_eq!(
+        out.rows[0],
+        vec![Value::Str("ada".into()), Value::Str("dee".into())]
+    );
 }
 
 #[test]
@@ -265,10 +283,7 @@ fn delete_everything_then_aggregate() {
     let out = d
         .query("select count(*) as n, sum(salary) as s, min(hired) as h from emp")
         .unwrap();
-    assert_eq!(
-        out.rows[0],
-        vec![Value::Int(0), Value::Null, Value::Null]
-    );
+    assert_eq!(out.rows[0], vec![Value::Int(0), Value::Null, Value::Null]);
 }
 
 #[test]
@@ -279,7 +294,11 @@ fn distinct_on_expressions() {
         .unwrap();
     assert_eq!(
         out.rows,
-        vec![vec![Value::Int(0)], vec![Value::Int(10)], vec![Value::Int(20)]]
+        vec![
+            vec![Value::Int(0)],
+            vec![Value::Int(10)],
+            vec![Value::Int(20)]
+        ]
     );
 }
 
@@ -312,7 +331,9 @@ fn sum_distinct_executes_single_node() {
     let mut d = Database::in_memory();
     d.execute("create table s (x int)").unwrap();
     d.execute("insert into s values (5), (5), (7)").unwrap();
-    let out = d.query("select sum(distinct x) as t, sum(x) as all_t from s").unwrap();
+    let out = d
+        .query("select sum(distinct x) as t, sum(x) as all_t from s")
+        .unwrap();
     assert_eq!(out.rows[0], vec![Value::Int(12), Value::Int(17)]);
 }
 
@@ -384,7 +405,9 @@ fn secondary_index_point_lookup_beats_seq_scan() {
     d.load_table("li", rows).unwrap();
     d.execute("create index idx_part on li (part)").unwrap();
 
-    let with_index = d.query("select count(*) as n from li where part = 42").unwrap();
+    let with_index = d
+        .query("select count(*) as n from li where part = 42")
+        .unwrap();
     assert_eq!(with_index.rows[0][0], Value::Int(60));
     // The secondary path touches only the matching rows.
     assert!(
@@ -397,7 +420,9 @@ fn secondary_index_point_lookup_beats_seq_scan() {
     assert_eq!(with_index.stats.buffer.misses_seq, 0);
 
     // EXPLAIN agrees.
-    let plan = d.query("explain select count(*) as n from li where part = 42").unwrap();
+    let plan = d
+        .query("explain select count(*) as n from li where part = 42")
+        .unwrap();
     let text: String = plan
         .rows
         .iter()

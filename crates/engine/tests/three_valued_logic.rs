@@ -22,8 +22,10 @@ fn db_with(a: Option<bool>, b: Option<bool>) -> Database {
 /// Evaluates a boolean SQL expression over the row, returning the 3VL result.
 fn eval3(d: &Database, expr: &str) -> Option<bool> {
     let out = d
-        .query(&format!("select case when {expr} then 1 else 0 end as r, \
-                         case when not ({expr}) then 1 else 0 end as nr from t"))
+        .query(&format!(
+            "select case when {expr} then 1 else 0 end as r, \
+                         case when not ({expr}) then 1 else 0 end as nr from t"
+        ))
         .unwrap();
     let r = out.rows[0][0].as_i64().unwrap();
     let nr = out.rows[0][1].as_i64().unwrap();

@@ -1,7 +1,7 @@
 //! The simulated cluster: N real replicas plus the Apuama machinery,
 //! driven single-threaded by the event loop.
 
-use apuama::{DataCatalog, Rewritten, SvpPlan, SvpRewriter};
+use apuama::{ComposerStrategy, DataCatalog, Rewritten, SvpPlan, SvpRewriter};
 use apuama_engine::{Database, EngineResult, ExecStats, QueryOutput};
 use apuama_tpch::{load_into, TpchData};
 
@@ -31,6 +31,11 @@ pub struct SimClusterConfig {
     /// Read load-balancing policy for pass-through queries in workload
     /// runs (the paper configures least-pending).
     pub balancer: SimBalancer,
+    /// How partial results are composed: `Staged` re-creates the paper's
+    /// HSQLDB staging table (all partials land, then one composition
+    /// statement); `Streaming` folds each partial as it arrives, so
+    /// composition work overlaps the still-running sub-queries.
+    pub composer: ComposerStrategy,
     /// The pricing model.
     pub cost: CostModel,
 }
@@ -53,6 +58,7 @@ impl SimClusterConfig {
             servers_per_node: 2,
             avp: None,
             balancer: SimBalancer::LeastPending,
+            composer: ComposerStrategy::Streaming,
             cost: CostModel::paper_2006(),
         }
     }
@@ -82,12 +88,34 @@ pub struct SimQueryResult {
     pub makespan_ms: f64,
     /// Per-node sub-query durations (the DES enqueues these as tasks).
     pub node_task_ms: Vec<f64>,
-    /// Composition-step duration (0 for pass-through queries).
+    /// Total composition work (0 for pass-through queries).
     pub composition_ms: f64,
     /// Network time: partials in, final result out.
     pub transfer_ms: f64,
+    /// Composition work that ran while sub-queries were still executing
+    /// (always 0 under the staged strategy and for pass-through queries).
+    pub compose_overlap_ms: f64,
     /// The real query answer.
     pub output: QueryOutput,
+}
+
+/// Priced composition of one SVP/AVP query, given when each partial lands.
+#[derive(Debug, Clone)]
+pub struct ComposedTiming {
+    /// The real composed answer (stats cleared — already priced).
+    pub output: QueryOutput,
+    /// Virtual time at which the final result reaches the client, with
+    /// partial `i` finishing its node-local execution at `finish_ms[i]`.
+    pub done_ms: f64,
+    /// Work left after the last sub-query finishes — the serialized part
+    /// of composition that a DES charges as the job's tail.
+    pub tail_ms: f64,
+    /// Composition work absorbed while sub-queries were still running.
+    pub overlap_ms: f64,
+    /// Total composition work (per-partial folds + final statement).
+    pub compose_ms: f64,
+    /// Total network time: partials in plus final result out.
+    pub transfer_ms: f64,
 }
 
 /// N full replicas plus rewriter and cost model.
@@ -199,7 +227,8 @@ impl SimCluster {
     /// plus result transfer).
     pub fn exec_read(&self, node: usize, sql: &str) -> EngineResult<(QueryOutput, f64)> {
         let out = self.nodes[node].query(sql)?;
-        let ms = self.config.cost.statement_ms(&out.stats) + self.config.cost.transfer_ms(&out.stats);
+        let ms =
+            self.config.cost.statement_ms(&out.stats) + self.config.cost.transfer_ms(&out.stats);
         Ok((out, ms))
     }
 
@@ -210,27 +239,79 @@ impl SimCluster {
         Ok(self.config.cost.statement_ms(&out.stats))
     }
 
-    /// Composes partial results and prices composition + network.
-    pub fn compose(
+    /// Composes partial results and prices composition + network against
+    /// the arrival schedule: partial `i` leaves its node at `finish_ms[i]`.
+    ///
+    /// Under [`ComposerStrategy::Staged`] every partial converges on the
+    /// controller after the last node finishes, then one composition
+    /// statement runs — the paper's HSQLDB staging-table timeline. Under
+    /// [`ComposerStrategy::Streaming`] each partial ships as soon as its
+    /// node finishes (the controller NIC serializes transfers) and the
+    /// composer folds it on arrival, so only the residual statement over
+    /// the folded rows — priced from the streaming composer's real
+    /// execution stats — remains after the last node.
+    pub fn compose_timed(
         &self,
         plan: &SvpPlan,
         partials: &[QueryOutput],
-    ) -> EngineResult<(QueryOutput, f64, f64)> {
-        let composed = apuama::compose(plan, partials)?;
-        let comp_ms = self.config.cost.statement_ms(&composed.composition_stats);
-        // Partials converge on the controller NIC (serialized), then the
-        // final result ships to the client.
-        let mut transfer = 0.0;
-        for p in partials {
-            transfer += self.config.cost.transfer_ms(&p.stats);
-        }
-        transfer += self
-            .config
-            .cost
-            .transfer_ms(&composed.output.stats.clone());
+        finish_ms: &[f64],
+    ) -> EngineResult<ComposedTiming> {
+        let cost = &self.config.cost;
+        let composed = apuama::compose_with(self.config.composer, plan, partials)?;
+        let statement_ms = cost.statement_ms(&composed.composition_stats);
+        let final_transfer = cost.transfer_ms(&composed.output.stats);
+        let last = finish_ms.iter().cloned().fold(0.0, f64::max);
+        let (done, overlap, compose_ms, transfer) = match self.config.composer {
+            ComposerStrategy::Staged => {
+                let mut transfer = 0.0;
+                for p in partials {
+                    transfer += cost.transfer_ms(&p.stats);
+                }
+                let done = last + transfer + statement_ms + final_transfer;
+                (done, 0.0, statement_ms, transfer + final_transfer)
+            }
+            ComposerStrategy::Streaming => {
+                let mut order: Vec<usize> = (0..partials.len()).collect();
+                order.sort_by(|&a, &b| finish_ms[a].total_cmp(&finish_ms[b]).then(a.cmp(&b)));
+                let mut nic_free = 0.0;
+                let mut busy = 0.0;
+                let mut overlap = 0.0;
+                let mut transfer = 0.0;
+                let mut accept_total = 0.0;
+                for &i in &order {
+                    let t = cost.transfer_ms(&partials[i].stats);
+                    transfer += t;
+                    let arrive = finish_ms[i].max(nic_free) + t;
+                    nic_free = arrive;
+                    // Folding a partial costs roughly one tuple op per
+                    // cell: hash-probe the group key, fold each aggregate.
+                    let accept = partials[i].rows.len() as f64
+                        * partials[i].columns.len() as f64
+                        * cost.cpu_tuple_ms;
+                    accept_total += accept;
+                    let start = arrive.max(busy);
+                    busy = start + accept;
+                    overlap += (busy.min(last) - start.min(last)).max(0.0);
+                }
+                let done = busy.max(last) + statement_ms + final_transfer;
+                (
+                    done,
+                    overlap,
+                    accept_total + statement_ms,
+                    transfer + final_transfer,
+                )
+            }
+        };
         let mut output = composed.output;
         output.stats = ExecStats::default();
-        Ok((output, comp_ms, transfer))
+        Ok(ComposedTiming {
+            output,
+            done_ms: done,
+            tail_ms: done - last,
+            overlap_ms: overlap,
+            compose_ms,
+            transfer_ms: transfer,
+        })
     }
 
     /// Runs a whole query in isolation (no competing load): SVP sub-queries
@@ -253,14 +334,14 @@ impl SimCluster {
                     node_task_ms.push(ms);
                     partials.push(out);
                 }
-                let (output, comp_ms, transfer_ms) = self.compose(&plan, &partials)?;
-                let slowest = node_task_ms.iter().cloned().fold(0.0, f64::max);
+                let timed = self.compose_timed(&plan, &partials, &node_task_ms)?;
                 Ok(SimQueryResult {
-                    makespan_ms: slowest + comp_ms + transfer_ms,
+                    makespan_ms: timed.done_ms,
                     node_task_ms,
-                    composition_ms: comp_ms,
-                    transfer_ms,
-                    output,
+                    composition_ms: timed.compose_ms,
+                    transfer_ms: timed.transfer_ms,
+                    compose_overlap_ms: timed.overlap_ms,
+                    output: timed.output,
                 })
             }
             Rewritten::Passthrough { .. } => {
@@ -270,6 +351,7 @@ impl SimCluster {
                     node_task_ms: vec![ms],
                     composition_ms: 0.0,
                     transfer_ms: 0.0,
+                    compose_overlap_ms: 0.0,
                     output,
                 })
             }
@@ -277,24 +359,45 @@ impl SimCluster {
     }
 
     /// AVP execution of an eligible query: chunked sub-queries with work
-    /// stealing, priced per chunk; composition over all chunk partials.
+    /// stealing, priced per chunk. Each chunk's partial is timestamped
+    /// with its node's virtual clock at completion, so the streaming
+    /// composer's overlap is priced against the real chunk schedule.
     fn run_query_avp(
         &self,
         template: &apuama::QueryTemplate,
         avp_cfg: apuama::AvpConfig,
     ) -> EngineResult<SimQueryResult> {
-        let outcome = apuama::execute_avp(template, self.nodes.len(), avp_cfg, |node, sub| {
-            self.exec_subquery(node, sub)
-        })?;
-        let plan = template.svp_plan(self.nodes.len());
-        let (output, comp_ms, transfer_ms) = self.compose(&plan, &outcome.partials)?;
-        let node_task_ms: Vec<f64> = outcome.per_node.iter().map(|t| t.cost).collect();
+        let n = self.nodes.len();
+        let clocks = std::cell::RefCell::new(vec![0.0f64; n]);
+        let mut partials = Vec::new();
+        let mut finish_ms = Vec::new();
+        let run = apuama::execute_avp_streaming(
+            template,
+            n,
+            avp_cfg,
+            |node, sub| {
+                let (out, ms) = self.exec_subquery(node, sub)?;
+                clocks.borrow_mut()[node] += ms;
+                Ok((out, ms))
+            },
+            |node, out| {
+                finish_ms.push(clocks.borrow()[node]);
+                partials.push(out);
+                Ok(())
+            },
+        )?;
+        let plan = template.svp_plan(n);
+        // The last chunk of the slowest node lands at `makespan_cost`, so
+        // `done_ms` is the end-to-end latency.
+        let timed = self.compose_timed(&plan, &partials, &finish_ms)?;
+        let node_task_ms: Vec<f64> = run.per_node.iter().map(|t| t.cost).collect();
         Ok(SimQueryResult {
-            makespan_ms: outcome.makespan_cost + comp_ms + transfer_ms,
+            makespan_ms: timed.done_ms,
             node_task_ms,
-            composition_ms: comp_ms,
-            transfer_ms,
-            output,
+            composition_ms: timed.compose_ms,
+            transfer_ms: timed.transfer_ms,
+            compose_overlap_ms: timed.overlap_ms,
+            output: timed.output,
         })
     }
 
@@ -400,6 +503,122 @@ mod tests {
             .unwrap();
         assert_eq!(res.node_task_ms.len(), 1);
         assert_eq!(res.composition_ms, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod composer_strategy_tests {
+    use super::*;
+    use apuama_tpch::{generate, QueryParams, TpchConfig, TpchQuery};
+
+    fn cluster_with(strategy: ComposerStrategy, nodes: usize) -> SimCluster {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+        });
+        let mut cfg = SimClusterConfig::paper(nodes);
+        cfg.composer = strategy;
+        SimCluster::new(&data, cfg).unwrap()
+    }
+
+    #[test]
+    fn strategies_produce_identical_answers() {
+        let staged = cluster_with(ComposerStrategy::Staged, 4);
+        let streaming = cluster_with(ComposerStrategy::Streaming, 4);
+        for q in [TpchQuery::Q1, TpchQuery::Q6, TpchQuery::Q12] {
+            let sql = q.sql(&QueryParams::default());
+            let a = staged.run_query_isolated(&sql).unwrap();
+            let b = streaming.run_query_isolated(&sql).unwrap();
+            assert_eq!(a.output.rows, b.output.rows, "{}", q.label());
+        }
+    }
+
+    #[test]
+    fn streaming_composition_is_never_slower() {
+        let staged = cluster_with(ComposerStrategy::Staged, 4);
+        let streaming = cluster_with(ComposerStrategy::Streaming, 4);
+        let sql = TpchQuery::Q1.sql(&QueryParams::default());
+        let a = staged.run_query_isolated(&sql).unwrap();
+        let b = streaming.run_query_isolated(&sql).unwrap();
+        assert!(
+            b.makespan_ms <= a.makespan_ms,
+            "staged {} ms vs streaming {} ms",
+            a.makespan_ms,
+            b.makespan_ms
+        );
+        assert_eq!(a.compose_overlap_ms, 0.0, "staged never overlaps");
+        assert!(b.compose_overlap_ms >= 0.0);
+    }
+
+    #[test]
+    fn staged_timing_matches_the_serial_decomposition() {
+        // Under Staged the timed model must reduce to the classic
+        // slowest + composition + transfer formula.
+        let c = cluster_with(ComposerStrategy::Staged, 3);
+        let sql = TpchQuery::Q6.sql(&QueryParams::default());
+        let r = c.run_query_isolated(&sql).unwrap();
+        let slowest = r.node_task_ms.iter().cloned().fold(0.0, f64::max);
+        let expect = slowest + r.composition_ms + r.transfer_ms;
+        assert!(
+            (r.makespan_ms - expect).abs() < 1e-9,
+            "{} vs {}",
+            r.makespan_ms,
+            expect
+        );
+    }
+
+    #[test]
+    fn streaming_overlap_appears_under_a_straggler_schedule() {
+        // Feed compose_timed a skewed schedule directly: three partials
+        // land early, the fourth is a straggler — the early folds must be
+        // priced inside the straggler's window.
+        let c = cluster_with(ComposerStrategy::Streaming, 4);
+        let sql = TpchQuery::Q1.sql(&QueryParams::default());
+        let Rewritten::Svp(plan) = c.rewrite(&sql).unwrap() else {
+            panic!("Q1 is SVP-eligible");
+        };
+        let partials: Vec<_> = plan
+            .subqueries
+            .iter()
+            .enumerate()
+            .map(|(i, sub)| c.exec_subquery(i, sub).unwrap().0)
+            .collect();
+        let timed = c
+            .compose_timed(&plan, &partials, &[1.0, 2.0, 3.0, 10_000.0])
+            .unwrap();
+        assert!(
+            timed.overlap_ms > 0.0,
+            "early partials should fold inside the straggler window"
+        );
+        assert!(timed.tail_ms < timed.compose_ms + timed.transfer_ms);
+        assert!((timed.done_ms - (10_000.0 + timed.tail_ms)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_strategies_agree_on_results_and_streaming_is_not_slower() {
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+        });
+        let spec = crate::workload::WorkloadSpec {
+            read_streams: 2,
+            rounds: 1,
+            update_txns: 0,
+            seed: 9,
+        };
+        let mut staged_cfg = SimClusterConfig::paper(2);
+        staged_cfg.composer = ComposerStrategy::Staged;
+        let mut staged = SimCluster::new(&data, staged_cfg).unwrap();
+        let r_staged = crate::workload::run_workload(&mut staged, spec).unwrap();
+        let mut streaming = SimCluster::new(&data, SimClusterConfig::paper(2)).unwrap();
+        let r_streaming = crate::workload::run_workload(&mut streaming, spec).unwrap();
+        assert_eq!(r_staged.read_queries_done, r_streaming.read_queries_done);
+        assert!(
+            r_streaming.read_span_ms() <= r_staged.read_span_ms(),
+            "staged {} ms vs streaming {} ms",
+            r_staged.read_span_ms(),
+            r_streaming.read_span_ms()
+        );
     }
 }
 

@@ -65,12 +65,8 @@ mod tests {
             seed: 5,
         });
         let cluster = SimCluster::new(&data, SimClusterConfig::paper(4)).unwrap();
-        let report = run_isolated(
-            &cluster,
-            &TpchQuery::Q6.sql(&QueryParams::default()),
-            5,
-        )
-        .unwrap();
+        let report =
+            run_isolated(&cluster, &TpchQuery::Q6.sql(&QueryParams::default()), 5).unwrap();
         assert_eq!(report.rep_ms.len(), 5);
         assert!(report.warm_mean_ms() <= report.cold_ms());
     }

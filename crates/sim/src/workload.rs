@@ -18,8 +18,8 @@ use std::collections::VecDeque;
 
 use apuama::{Rewritten, SvpPlan};
 use apuama_engine::EngineResult;
-use rand::{RngExt, SeedableRng};
 use apuama_tpch::{query_sequence, refresh_stream, QueryParams};
+use rand::{RngExt, SeedableRng};
 
 use crate::cluster::{SimBalancer, SimCluster};
 use crate::des::{EventQueue, NodeQueue};
@@ -65,10 +65,7 @@ impl SimReport {
     /// throughput is measured over the query streams; the update stream may
     /// keep draining afterwards (its tail is visible in `makespan_ms`).
     pub fn read_span_ms(&self) -> f64 {
-        self.records
-            .iter()
-            .map(|r| r.end_ms)
-            .fold(0.0, f64::max)
+        self.records.iter().map(|r| r.end_ms).fold(0.0, f64::max)
     }
 
     /// Read-query throughput in queries per minute — the paper's Fig. 3(a)
@@ -152,10 +149,15 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
         .collect();
     let mut updates: VecDeque<String> = if spec.update_txns > 0 {
         let start_key = cluster.reserve_refresh_keys(spec.update_txns.div_ceil(2) as i64);
-        refresh_stream(&cluster.tpch_config(), spec.update_txns, start_key, spec.seed)
-            .into_iter()
-            .map(|t| t.script())
-            .collect()
+        refresh_stream(
+            &cluster.tpch_config(),
+            spec.update_txns,
+            start_key,
+            spec.seed,
+        )
+        .into_iter()
+        .map(|t| t.script())
+        .collect()
     } else {
         VecDeque::new()
     };
@@ -205,12 +207,12 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
     // happen now (the dispatch-time snapshot); the DES then models server
     // occupancy for the measured durations.
     let dispatch_svp = |cluster: &SimCluster,
-                            queue: &mut EventQueue<Ev>,
-                            nodes: &mut [NodeQueue<Task>],
-                            jobs: &mut Vec<Job>,
-                            stream: usize,
-                            label: String,
-                            plan: &SvpPlan|
+                        queue: &mut EventQueue<Ev>,
+                        nodes: &mut [NodeQueue<Task>],
+                        jobs: &mut Vec<Job>,
+                        stream: usize,
+                        label: String,
+                        plan: &SvpPlan|
      -> EngineResult<()> {
         let mut partials = Vec::with_capacity(plan.subqueries.len());
         let mut durs = Vec::with_capacity(plan.subqueries.len());
@@ -219,16 +221,29 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
             partials.push(out);
             durs.push(ms);
         }
-        let (_, comp_ms, transfer_ms) = cluster.compose(plan, &partials)?;
+        // Price composition against the sub-query durations as relative
+        // finish offsets (the dispatch-time snapshot): under the streaming
+        // composer the folds for fast nodes overlap the stragglers, and
+        // only `tail_ms` is charged after the last task completes.
+        let timed = cluster.compose_timed(plan, &partials, &durs)?;
         let job_id = jobs.len();
         jobs.push(Job {
             kind: JobKind::Read { stream, label },
             remaining: durs.len(),
-            tail_ms: comp_ms + transfer_ms,
+            tail_ms: timed.tail_ms,
             start_ms: queue.now(),
         });
         for (node, dur) in durs.into_iter().enumerate() {
-            start_if_free(queue, nodes, node, Task { job: job_id, dur_ms: dur }, true);
+            start_if_free(
+                queue,
+                nodes,
+                node,
+                Task {
+                    job: job_id,
+                    dur_ms: dur,
+                },
+                true,
+            );
         }
         Ok(())
     };
@@ -246,16 +261,15 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
                             waiting_svp.push_back((stream, label, plan));
                         } else {
                             dispatch_svp(
-                                cluster, &mut queue, &mut nodes, &mut jobs, stream, label,
-                                &plan,
+                                cluster, &mut queue, &mut nodes, &mut jobs, stream, label, &plan,
                             )?;
                         }
                     }
                     Rewritten::Passthrough { .. } => {
                         let node = match balancer {
-                            SimBalancer::LeastPending => (0..n)
-                                .min_by_key(|&i| nodes[i].load())
-                                .expect("n > 0"),
+                            SimBalancer::LeastPending => {
+                                (0..n).min_by_key(|&i| nodes[i].load()).expect("n > 0")
+                            }
                             SimBalancer::RoundRobin => {
                                 rr_next = (rr_next + 1) % n;
                                 rr_next
@@ -311,7 +325,13 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
             }
             Ev::TaskDone { node, job } => {
                 if let Some(next) = nodes[node].complete() {
-                    queue.schedule_in(next.dur_ms, Ev::TaskDone { node, job: next.job });
+                    queue.schedule_in(
+                        next.dur_ms,
+                        Ev::TaskDone {
+                            node,
+                            job: next.job,
+                        },
+                    );
                 }
                 let j = &mut jobs[job];
                 j.remaining -= 1;
@@ -325,9 +345,7 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
                     let j = &jobs[job];
                     (
                         match &j.kind {
-                            JobKind::Read { stream, label } => {
-                                Some((*stream, label.clone()))
-                            }
+                            JobKind::Read { stream, label } => Some((*stream, label.clone())),
                             JobKind::Update => None,
                         },
                         j.start_ms,
@@ -351,8 +369,7 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
                         // were waiting on the gate.
                         while let Some((stream, label, plan)) = waiting_svp.pop_front() {
                             dispatch_svp(
-                                cluster, &mut queue, &mut nodes, &mut jobs, stream, label,
-                                &plan,
+                                cluster, &mut queue, &mut nodes, &mut jobs, stream, label, &plan,
                             )?;
                         }
                         queue.schedule(now, Ev::SubmitUpdate);

@@ -205,9 +205,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -242,9 +240,7 @@ impl SelectItem {
     /// a positional name supplied by the caller.
     pub fn output_name(&self, position: usize) -> String {
         match self {
-            SelectItem::Expr {
-                alias: Some(a), ..
-            } => a.clone(),
+            SelectItem::Expr { alias: Some(a), .. } => a.clone(),
             SelectItem::Expr {
                 expr: Expr::Column(c),
                 ..
@@ -374,7 +370,10 @@ pub enum Statement {
     },
     /// Session setting (`SET enable_seqscan = off`). The value is kept as a
     /// raw token: engines interpret it.
-    Set { name: String, value: String },
+    Set {
+        name: String,
+        value: String,
+    },
     Begin,
     Commit,
     Rollback,
@@ -489,7 +488,11 @@ impl fmt::Display for Expr {
                 if *negated { "not " } else { "" }
             ),
             Expr::Exists { negated, query } => {
-                write!(f, "({}exists ({query}))", if *negated { "not " } else { "" })
+                write!(
+                    f,
+                    "({}exists ({query}))",
+                    if *negated { "not " } else { "" }
+                )
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
             Expr::Like {

@@ -33,7 +33,7 @@ pub use ast::{
 };
 pub use lexer::{Lexer, Token};
 pub use parser::{parse_expression, parse_statement, parse_statements, Parser};
-pub use value::{Date, Interval, Value};
+pub use value::{Date, HashableValue, Interval, Value};
 
 /// Errors produced while lexing or parsing SQL text.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -880,10 +880,7 @@ mod tests {
     #[test]
     fn date_and_interval_literals() {
         let e = parse_expression("date '1994-01-01' + interval '1' year").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "(date '1994-01-01' + interval '1' year)"
-        );
+        assert_eq!(e.to_string(), "(date '1994-01-01' + interval '1' year)");
     }
 
     #[test]
@@ -963,7 +960,13 @@ mod tests {
     #[test]
     fn delete_with_predicate() {
         let s = parse_statement("delete from orders where o_orderkey >= 100").unwrap();
-        assert!(matches!(s, Statement::Delete { selection: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                selection: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -313,8 +313,9 @@ impl Value {
                             _ => Ordering::Equal,
                         }
                     }
-                    (Value::Interval(a), Value::Interval(b)) => (a.months, a.days)
-                        .cmp(&(b.months, b.days)),
+                    (Value::Interval(a), Value::Interval(b)) => {
+                        (a.months, a.days).cmp(&(b.months, b.days))
+                    }
                     _ => Ordering::Equal,
                 })
             }),
@@ -476,9 +477,15 @@ mod tests {
     #[test]
     fn interval_month_clamps_day() {
         let d = Date::parse("2000-01-31").unwrap();
-        assert_eq!(d.add_interval(Interval::months(1)).to_string(), "2000-02-29");
+        assert_eq!(
+            d.add_interval(Interval::months(1)).to_string(),
+            "2000-02-29"
+        );
         let d = Date::parse("1999-01-31").unwrap();
-        assert_eq!(d.add_interval(Interval::months(1)).to_string(), "1999-02-28");
+        assert_eq!(
+            d.add_interval(Interval::months(1)).to_string(),
+            "1999-02-28"
+        );
     }
 
     #[test]

@@ -113,9 +113,7 @@ fn collect_tables(select: &Select, push: &mut dyn FnMut(&str)) {
         }
     }
     let mut visit = |e: &Expr| match e {
-        Expr::Exists { query, .. } | Expr::InSubquery { query, .. } => {
-            collect_tables(query, push)
-        }
+        Expr::Exists { query, .. } | Expr::InSubquery { query, .. } => collect_tables(query, push),
         Expr::ScalarSubquery(q) => collect_tables(q, push),
         _ => {}
     };
@@ -313,7 +311,9 @@ mod tests {
             "select sum(x) from t where exists (select sum(y) from u where u.k = t.k)",
         )
         .unwrap();
-        let Statement::Select(mut s) = stmt else { panic!() };
+        let Statement::Select(mut s) = stmt else {
+            panic!()
+        };
         let mut touched = 0;
         rewrite_top_level_exprs(&mut s, &mut |_| touched += 1);
         // One select item and one where predicate.

@@ -120,28 +120,30 @@ fn arb_select() -> impl Strategy<Value = Select> {
         proptest::collection::vec((arb_expr(), any::<bool>()), 0..2),
         proptest::option::of(0u64..100),
     )
-        .prop_map(|(items, table, selection, group_by, order_by, limit)| Select {
-            items: items
-                .into_iter()
-                .map(|(expr, alias)| SelectItem::Expr {
-                    expr,
-                    alias: alias.map(|a| a.to_string()),
-                })
-                .collect(),
-            from: vec![TableRef::Table {
-                name: table.to_string(),
-                alias: None,
-            }],
-            selection,
-            group_by,
-            having: None,
-            order_by: order_by
-                .into_iter()
-                .map(|(expr, desc)| OrderByItem { expr, desc })
-                .collect(),
-            limit,
-            ..Select::default()
-        })
+        .prop_map(
+            |(items, table, selection, group_by, order_by, limit)| Select {
+                items: items
+                    .into_iter()
+                    .map(|(expr, alias)| SelectItem::Expr {
+                        expr,
+                        alias: alias.map(|a| a.to_string()),
+                    })
+                    .collect(),
+                from: vec![TableRef::Table {
+                    name: table.to_string(),
+                    alias: None,
+                }],
+                selection,
+                group_by,
+                having: None,
+                order_by: order_by
+                    .into_iter()
+                    .map(|(expr, desc)| OrderByItem { expr, desc })
+                    .collect(),
+                limit,
+                ..Select::default()
+            },
+        )
 }
 
 proptest! {

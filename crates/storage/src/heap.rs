@@ -138,11 +138,7 @@ impl Heap {
 
     /// Iterates live rows within a slot range (clustered-index range scans
     /// land here: the index resolves the key range to a slot range).
-    pub fn iter_range(
-        &self,
-        start: RowId,
-        end: RowId,
-    ) -> impl Iterator<Item = (RowId, &Row)> {
+    pub fn iter_range(&self, start: RowId, end: RowId) -> impl Iterator<Item = (RowId, &Row)> {
         let lo = (start as usize).min(self.rows.len());
         let hi = (end as usize).min(self.rows.len());
         self.rows[lo..hi]

@@ -92,10 +92,7 @@ impl OrderedIndex {
         // disjoint virtual-partition range) must yield nothing rather than
         // panic inside BTreeMap::range.
         let empty = match (&low, &high) {
-            (
-                Bound::Included(l) | Bound::Excluded(l),
-                Bound::Included(h) | Bound::Excluded(h),
-            ) => {
+            (Bound::Included(l) | Bound::Excluded(l), Bound::Included(h) | Bound::Excluded(h)) => {
                 let cmp = l.sort_cmp(h);
                 cmp == std::cmp::Ordering::Greater
                     || (cmp == std::cmp::Ordering::Equal
@@ -277,17 +274,20 @@ mod tests {
         }
         // lo > hi
         assert_eq!(
-            idx.range(Bound::Included(&iv(8)), Bound::Excluded(&iv(3))).count(),
+            idx.range(Bound::Included(&iv(8)), Bound::Excluded(&iv(3)))
+                .count(),
             0
         );
         // lo == hi but half-open
         assert_eq!(
-            idx.range(Bound::Included(&iv(5)), Bound::Excluded(&iv(5))).count(),
+            idx.range(Bound::Included(&iv(5)), Bound::Excluded(&iv(5)))
+                .count(),
             0
         );
         // lo == hi, both inclusive: the point itself
         assert_eq!(
-            idx.range(Bound::Included(&iv(5)), Bound::Included(&iv(5))).count(),
+            idx.range(Bound::Included(&iv(5)), Bound::Included(&iv(5)))
+                .count(),
             1
         );
     }

@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use apuama_storage::{AccessKind, BufferPool, IndexKey, OrderedIndex, PageKey};
 use apuama_sql::Value;
+use apuama_storage::{AccessKind, BufferPool, IndexKey, OrderedIndex, PageKey};
 
 /// Naive LRU: a Vec ordered most-recent-first.
 struct NaiveLru {

@@ -119,14 +119,18 @@ pub(crate) const NATIONS: [(&str, i64); 25] = [
     ("UNITED STATES", 1),
 ];
 
-pub(crate) const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub(crate) const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 pub(crate) const PRIORITIES: [&str; 5] =
     ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
-pub(crate) const SHIP_MODES: [&str; 7] =
-    ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub(crate) const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 const SHIP_INSTRUCT: [&str; 4] = [
     "DELIVER IN PERSON",
@@ -164,8 +168,18 @@ fn retail_price(partkey: i64) -> i64 {
 
 fn comment(rng: &mut StdRng, len: usize) -> Value {
     const WORDS: [&str; 12] = [
-        "carefully", "quickly", "furiously", "deposits", "requests", "accounts", "packages",
-        "special", "pending", "ironic", "express", "regular",
+        "carefully",
+        "quickly",
+        "furiously",
+        "deposits",
+        "requests",
+        "accounts",
+        "packages",
+        "special",
+        "pending",
+        "ironic",
+        "express",
+        "regular",
     ];
     let n = (len / 8).max(1);
     let mut out = String::new();

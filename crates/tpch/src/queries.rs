@@ -113,7 +113,9 @@ impl QueryParams {
             q12_year: rng.random_range(1993..=1997),
             q14_year: rng.random_range(1993..=1997),
             q14_month: rng.random_range(1..=10),
-            q21_nation: crate::gen::NATIONS[rng.random_range(0..25)].0.into(),
+            q21_nation: crate::gen::NATIONS[rng.random_range(0..crate::gen::NATIONS.len())]
+                .0
+                .into(),
         }
     }
 }
@@ -275,9 +277,7 @@ impl TpchQuery {
             TpchQuery::Q6 => "lineitem only; one aggregate; ~1.5% of tuples pass; IO-bound",
             TpchQuery::Q12 => "joins lineitem and orders; two aggregations",
             TpchQuery::Q14 => "joins lineitem and a dimension table",
-            TpchQuery::Q21 => {
-                "three lineitem references (two in subqueries); CPU-bound"
-            }
+            TpchQuery::Q21 => "three lineitem references (two in subqueries); CPU-bound",
         }
     }
 }

@@ -143,7 +143,11 @@ mod tests {
         for (t, vpa) in fact_tables() {
             let table = db.table(t).unwrap();
             let ci = table.schema.column_index(vpa).unwrap();
-            assert_eq!(table.schema.clustered_by, Some(ci), "{t} not clustered by {vpa}");
+            assert_eq!(
+                table.schema.clustered_by,
+                Some(ci),
+                "{t} not clustered by {vpa}"
+            );
             assert!(table.index_on(ci).is_some());
         }
     }

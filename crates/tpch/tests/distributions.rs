@@ -69,7 +69,10 @@ fn order_dates_span_the_tpch_window() {
         "select count(*) as n from orders where o_orderdate < date '1995-05-01'",
         "select count(*) as n from orders",
     );
-    assert!((0.35..=0.65).contains(&early), "early half holds {early:.2}");
+    assert!(
+        (0.35..=0.65).contains(&early),
+        "early half holds {early:.2}"
+    );
 }
 
 #[test]
@@ -172,5 +175,8 @@ fn q21_nation_has_suppliers() {
              where s_nationkey = n_nationkey and n_name = 'SAUDI ARABIA'",
         )
         .unwrap();
-    assert!(n.rows[0][0].as_i64().unwrap() > 0, "Q21 needs Saudi suppliers");
+    assert!(
+        n.rows[0][0].as_i64().unwrap() > 0,
+        "Q21 needs Saudi suppliers"
+    );
 }

@@ -6,7 +6,10 @@ use apuama_tpch::{generate, load_into, QueryParams, TpchConfig, ALL_QUERIES};
 #[test]
 fn all_eight_queries_execute() {
     let mut db = Database::in_memory();
-    let data = generate(TpchConfig { scale_factor: 0.002, seed: 1 });
+    let data = generate(TpchConfig {
+        scale_factor: 0.002,
+        seed: 1,
+    });
     load_into(&mut db, &data).unwrap();
     let p = QueryParams::default();
     for q in ALL_QUERIES {
@@ -14,7 +17,13 @@ fn all_eight_queries_execute() {
         let out = db
             .query(&sql)
             .unwrap_or_else(|e| panic!("{} failed: {e}\n{sql}", q.label()));
-        eprintln!("{}: {} rows, {} scanned, {} pages", q.label(), out.rows.len(), out.stats.rows_scanned, out.stats.buffer.accesses());
+        eprintln!(
+            "{}: {} rows, {} scanned, {} pages",
+            q.label(),
+            out.rows.len(),
+            out.stats.rows_scanned,
+            out.stats.buffer.accesses()
+        );
         // Q1 always produces the 4 flag/status groups at any reasonable SF.
         if q.label() == "Q1" {
             assert_eq!(out.rows.len(), 4);

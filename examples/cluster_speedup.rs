@@ -22,19 +22,16 @@ fn main() {
     println!("query: {} — {}", query.label(), query.description());
 
     let mut base = None;
-    println!("{:>6} {:>12} {:>10} {:>8}", "nodes", "latency", "speedup", "linear");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8}",
+        "nodes", "latency", "speedup", "linear"
+    );
     for n in [1usize, 2, 4, 8] {
-        let cluster =
-            SimCluster::new(&data, SimClusterConfig::paper(n)).expect("cluster builds");
+        let cluster = SimCluster::new(&data, SimClusterConfig::paper(n)).expect("cluster builds");
         let report = run_isolated(&cluster, &sql, 5).expect("query runs");
         let ms = report.warm_mean_ms();
         let base = *base.get_or_insert(ms);
-        println!(
-            "{n:>6} {:>10.1}ms {:>9.2}x {:>7}x",
-            ms,
-            base / ms,
-            n
-        );
+        println!("{n:>6} {:>10.1}ms {:>9.2}x {:>7}x", ms, base / ms, n);
     }
     println!("\nspeedup beyond the linear column = the paper's super-linear\nmemory-fit effect (the virtual partition fits in node RAM).");
 }

@@ -45,7 +45,9 @@ fn main() {
     ));
 
     let baseline = {
-        let (out, _) = controller.execute("select count(*) as n from orders").unwrap();
+        let (out, _) = controller
+            .execute("select count(*) as n from orders")
+            .unwrap();
         out.rows[0][0].as_i64().unwrap()
     };
     println!("baseline orders: {baseline}");
@@ -58,7 +60,8 @@ fn main() {
             let c = Arc::clone(&controller);
             s.spawn(move || {
                 for t in &txns {
-                    c.execute_write_transaction(&t.statements).expect("refresh txn");
+                    c.execute_write_transaction(&t.statements)
+                        .expect("refresh txn");
                 }
             })
         };
@@ -71,7 +74,10 @@ fn main() {
                         .execute("select count(*) as n, max(o_orderkey) as k from orders")
                         .expect("OLAP count");
                     let n = out.rows[0][0].as_i64().unwrap();
-                    println!("reader {reader_id} observation {i}: {n} orders (max key {})", out.rows[0][1]);
+                    println!(
+                        "reader {reader_id} observation {i}: {n} orders (max key {})",
+                        out.rows[0][1]
+                    );
                     // Every observation is a consistent snapshot.
                     assert!(n >= baseline.min(last), "snapshot went inconsistent");
                     last = n;
@@ -81,9 +87,14 @@ fn main() {
         writer.join().unwrap();
     });
 
-    let (out, _) = controller.execute("select count(*) as n from orders").unwrap();
+    let (out, _) = controller
+        .execute("select count(*) as n from orders")
+        .unwrap();
     let finally = out.rows[0][0].as_i64().unwrap();
     println!("after full refresh stream: {finally} orders (baseline {baseline})");
     assert_eq!(finally, baseline, "deletes must restore the baseline");
-    println!("replica txn counters: {:?} (all equal = converged)", apuama.txn_counters());
+    println!(
+        "replica txn counters: {:?} (all equal = converged)",
+        apuama.txn_counters()
+    );
 }

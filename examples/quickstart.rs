@@ -58,7 +58,12 @@ fn main() {
         .expect("OLAP query");
     println!("revenue by return flag:");
     for row in &out.rows {
-        println!("  {} {:>14.2} ({} lineitems)", row[0], row[1].as_f64().unwrap(), row[2]);
+        println!(
+            "  {} {:>14.2} ({} lineitems)",
+            row[0],
+            row[1].as_f64().unwrap(),
+            row[2]
+        );
     }
 
     // 5. OLTP: writes broadcast to every replica; the per-node transaction

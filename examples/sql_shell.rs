@@ -127,7 +127,11 @@ fn print_result(out: &mut impl Write, result: &QueryOutput) {
     };
     let header: Vec<String> = result.columns.clone();
     let _ = writeln!(out, "{}", line(&header));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len()));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len())
+    );
     for row in &rendered {
         let _ = writeln!(out, "{}", line(row));
     }

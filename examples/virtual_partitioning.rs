@@ -42,7 +42,10 @@ fn show(rewriter: &SvpRewriter, name: &str, sql: &str, n: usize) {
             println!("partitioned tables: {:?}", plan.partitioned_tables);
             println!("sub-query for node 2 of {n}:");
             println!("  {}", plan.subqueries[1]);
-            println!("composition over {} partial columns:", plan.partial_columns.len());
+            println!(
+                "composition over {} partial columns:",
+                plan.partial_columns.len()
+            );
             println!("  {}", plan.composition_sql);
         }
         Rewritten::Passthrough { reason } => {

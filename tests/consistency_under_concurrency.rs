@@ -74,15 +74,9 @@ fn snapshot_counts_never_tear() {
             s.spawn(move || {
                 for _ in 0..10 {
                     // One SVP query returning both counts in one snapshot.
-                    let (out, _) = c
-                        .execute(
-                            "select count(*) as n from orders",
-                        )
-                        .unwrap();
+                    let (out, _) = c.execute("select count(*) as n from orders").unwrap();
                     let orders_now = out.rows[0][0].as_i64().unwrap();
-                    let (out, _) = c
-                        .execute("select count(*) as n from lineitem")
-                        .unwrap();
+                    let (out, _) = c.execute("select count(*) as n from lineitem").unwrap();
                     let lineitems_now = out.rows[0][0].as_i64().unwrap();
                     // Within each single snapshot the invariant holds; the
                     // two queries are separate snapshots, so lineitems can
@@ -90,8 +84,7 @@ fn snapshot_counts_never_tear() {
                     let orders_added = orders_now - base_orders;
                     let lineitems_added = lineitems_now - base_lineitems;
                     assert!(
-                        lineitems_added >= 2 * orders_added - 2 * 30
-                            && lineitems_added >= 0,
+                        lineitems_added >= 2 * orders_added - 2 * 30 && lineitems_added >= 0,
                         "torn counts: +{orders_added} orders, +{lineitems_added} lineitems"
                     );
                 }
@@ -101,7 +94,9 @@ fn snapshot_counts_never_tear() {
     });
     // Converged at the end.
     assert_eq!(engine.txn_counters(), vec![30, 30, 30]);
-    let (o, _) = controller.execute("select count(*) as n from orders").unwrap();
+    let (o, _) = controller
+        .execute("select count(*) as n from orders")
+        .unwrap();
     assert_eq!(o.rows[0][0].as_i64().unwrap(), base_orders + 30);
 }
 
@@ -184,7 +179,8 @@ fn many_writers_one_svp_reader_no_deadlock() {
         let c = Arc::clone(&controller);
         s.spawn(move || {
             for _ in 0..15 {
-                c.execute("select max(o_orderkey) as k from orders").unwrap();
+                c.execute("select max(o_orderkey) as k from orders")
+                    .unwrap();
             }
         });
     });

@@ -14,4 +14,9 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== fault injection: retry/reassignment/breaker suite =="
+cargo test -q --test fault_tolerance
+cargo test -q -p apuama --lib fault
+cargo test -q -p apuama-cjdbc --lib -- "fault::" "health::"
+
 echo "ci: all green"

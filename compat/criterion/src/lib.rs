@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn bench_function_runs_routine() {
-        let mut c = Criterion::default();
+        let mut c = Criterion;
         let mut runs = 0u64;
         c.bench_function("counts", |b| b.iter(|| runs += 1));
         assert!(runs >= WARMUP_ITERS + SAMPLE_ITERS);
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn groups_and_batched_iteration() {
-        let mut c = Criterion::default();
+        let mut c = Criterion;
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
         group.bench_function("batched", |b| {

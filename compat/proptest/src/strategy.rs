@@ -353,6 +353,7 @@ mod tests {
     fn recursive_strategies_terminate() {
         #[derive(Debug)]
         enum Tree {
+            #[allow(dead_code)]
             Leaf(i64),
             Node(Vec<Tree>),
         }

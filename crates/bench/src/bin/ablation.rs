@@ -9,11 +9,16 @@
 //! 5. **Load-balancer policy** — pass-through read balancing arms.
 //! 6. **Composer strategy** — staged (HSQLDB-style staging table) vs the
 //!    streaming composer that folds partials as they arrive.
+//! 7. **Fault tolerance** — one node failing all of its SVP sub-queries;
+//!    the failed range is detected, retried, and reassigned to a survivor.
+//!    Answers must stay byte-identical; the table prices the slowdown.
 //!
 //! Run with the same `APUAMA_*` environment knobs as the figure binaries.
 
 use apuama_bench::{fmt_ms, fmt_ratio, FigureTable, HarnessConfig};
-use apuama_sim::{run_isolated, run_workload, SimCluster, SimClusterConfig, WorkloadSpec};
+use apuama_sim::{
+    run_isolated, run_workload, SimCluster, SimClusterConfig, SimFault, WorkloadSpec,
+};
 use apuama_tpch::{QueryParams, TpchQuery};
 
 fn main() {
@@ -148,6 +153,7 @@ fn main() {
     svp_vs_avp(&cfg, &data, n);
     balancer_policies(&cfg, &data, n);
     composer_strategies(&cfg, &data, n);
+    fault_tolerance(&cfg, &data, n);
 }
 
 /// Ablation 4 — SVP's static partitions vs AVP's adaptive chunks with work
@@ -328,5 +334,55 @@ fn composer_strategies(_cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: us
     }
     t6.print();
     t6.write_csv("ablation_composer_strategy")
+        .expect("csv writable");
+}
+
+/// Ablation 7 — degraded-mode SVP: node 0 fails every sub-query it is
+/// handed, the failure is detected after the configured retries, and the
+/// orphaned VPA range is re-executed on the least-loaded survivor. The
+/// answer must not change — only the makespan may. The ratio column is the
+/// price of losing one node mid-query.
+fn fault_tolerance(_cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
+    let mut t7 = FigureTable::new(
+        format!("Ablation 7 — fault tolerance: node 0 dead mid-query, {n} nodes"),
+        &["query", "healthy", "degraded", "degraded/healthy"],
+    );
+    let params = QueryParams::default();
+    let healthy = SimCluster::new(data, SimClusterConfig::paper(n)).expect("cluster builds");
+    let mut degraded_cfg = SimClusterConfig::paper(n);
+    degraded_cfg.fault = Some(SimFault {
+        node: 0,
+        detect_ms: 50.0,
+        retries: 1,
+    });
+    let degraded = SimCluster::new(data, degraded_cfg).expect("cluster builds");
+    for q in apuama_tpch::ALL_QUERIES {
+        let sql = q.sql(&params);
+        healthy.drop_caches();
+        degraded.drop_caches();
+        let h = healthy.run_query_isolated(&sql).expect("healthy run");
+        let d = degraded.run_query_isolated(&sql).expect("degraded run");
+        assert_eq!(
+            h.output.rows,
+            d.output.rows,
+            "{}: degraded mode must stay byte-identical",
+            q.label()
+        );
+        assert!(
+            d.makespan_ms >= h.makespan_ms,
+            "{}: reassignment cannot be free (healthy {}ms, degraded {}ms)",
+            q.label(),
+            h.makespan_ms,
+            d.makespan_ms
+        );
+        t7.push_row(vec![
+            q.label(),
+            fmt_ms(h.makespan_ms),
+            fmt_ms(d.makespan_ms),
+            fmt_ratio(d.makespan_ms / h.makespan_ms),
+        ]);
+    }
+    t7.print();
+    t7.write_csv("ablation_fault_tolerance")
         .expect("csv writable");
 }

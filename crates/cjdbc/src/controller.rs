@@ -14,6 +14,7 @@ use apuama_engine::{EngineError, EngineResult, QueryOutput};
 
 use crate::balancer::{LeastPendingBalancer, LoadBalancer};
 use crate::connection::{classify, Connection, StatementKind};
+use crate::health::{BreakerPolicy, HealthTracker};
 use crate::scheduler::WriteScheduler;
 
 /// One registered backend and its in-flight request counter.
@@ -40,6 +41,11 @@ pub struct ControllerConfig {
     /// log, which is out of scope here; see DESIGN.md §7). When false, a
     /// failing write surfaces the error and all backends stay enabled.
     pub disable_failed_backends: bool,
+    /// Circuit-breaker tuning for the per-backend health tracker. Unlike
+    /// `disable_failed_backends` (permanent until `enable_backend`), the
+    /// breaker is transient: it opens after consecutive failures and
+    /// recovers on its own through a timed probe.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for ControllerConfig {
@@ -47,6 +53,7 @@ impl Default for ControllerConfig {
         ControllerConfig {
             balancer: Box::new(LeastPendingBalancer),
             disable_failed_backends: false,
+            breaker: BreakerPolicy::default(),
         }
     }
 }
@@ -57,12 +64,30 @@ pub struct Controller {
     scheduler: WriteScheduler,
     balancer: Box<dyn LoadBalancer>,
     disable_failed: bool,
+    health: Arc<HealthTracker>,
 }
 
 impl Controller {
     /// Builds a controller over the given backend connections.
     pub fn new(conns: Vec<Arc<dyn Connection>>, config: ControllerConfig) -> Controller {
+        let health = Arc::new(HealthTracker::new(conns.len().max(1), config.breaker));
+        Controller::with_health(conns, config, health)
+    }
+
+    /// Like [`Controller::new`], but sharing an existing health tracker —
+    /// so the read balancer and an external dispatcher (Apuama's SVP
+    /// executor) consult the same per-node circuits.
+    pub fn with_health(
+        conns: Vec<Arc<dyn Connection>>,
+        config: ControllerConfig,
+        health: Arc<HealthTracker>,
+    ) -> Controller {
         assert!(!conns.is_empty(), "a cluster needs at least one backend");
+        assert_eq!(
+            health.node_count(),
+            conns.len(),
+            "health tracker sized for a different cluster"
+        );
         Controller {
             backends: conns
                 .into_iter()
@@ -77,7 +102,15 @@ impl Controller {
             scheduler: WriteScheduler::new(),
             balancer: config.balancer,
             disable_failed: config.disable_failed_backends,
+            health,
         }
+    }
+
+    /// The shared per-backend health tracker. Hand a clone to whatever
+    /// dispatches work outside the controller (Apuama's SVP executor uses
+    /// it to route sub-queries around open circuits).
+    pub fn health(&self) -> Arc<HealthTracker> {
+        Arc::clone(&self.health)
     }
 
     /// Indices of the backends currently in rotation.
@@ -142,7 +175,10 @@ impl Controller {
         }
     }
 
-    /// Load-balanced read over the enabled backends.
+    /// Load-balanced read over the enabled backends whose circuits admit
+    /// traffic. If every enabled backend's circuit is open, fall back to
+    /// the full enabled set — serving a request into a tripped backend
+    /// beats refusing the query outright (the attempt doubles as a probe).
     pub fn execute_read(&self, sql: &str) -> EngineResult<(QueryOutput, usize)> {
         let enabled = self.enabled_backends();
         if enabled.is_empty() {
@@ -150,19 +186,31 @@ impl Controller {
                 "no enabled backends remain".into(),
             ));
         }
-        let pending: Vec<usize> = enabled
+        let mut candidates: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&i| self.health.is_available(i))
+            .collect();
+        if candidates.is_empty() {
+            candidates = enabled;
+        }
+        let pending: Vec<usize> = candidates
             .iter()
             .map(|&i| self.backends[i].pending.load(Ordering::SeqCst))
             .collect();
-        let chosen = enabled[self.balancer.choose(&pending)];
+        let chosen = candidates[self.balancer.choose(&pending)];
         let backend = &self.backends[chosen];
         backend.pending.fetch_add(1, Ordering::SeqCst);
         let result = backend.conn.execute(sql);
         backend.pending.fetch_sub(1, Ordering::SeqCst);
         if result.is_ok() {
             backend.reads_served.fetch_add(1, Ordering::SeqCst);
-        } else if self.disable_failed {
-            backend.enabled.store(false, Ordering::SeqCst);
+            self.health.record_success(chosen);
+        } else {
+            self.health.record_failure(chosen);
+            if self.disable_failed {
+                backend.enabled.store(false, Ordering::SeqCst);
+            }
         }
         result.map(|o| (o, chosen))
     }
@@ -179,18 +227,24 @@ impl Controller {
         let _ticket = self.scheduler.begin_write();
         let mut first: Option<QueryOutput> = None;
         let mut failure: Option<EngineError> = None;
-        for backend in &self.backends {
+        for (i, backend) in self.backends.iter().enumerate() {
             if !backend.enabled.load(Ordering::SeqCst) {
                 continue;
             }
+            // Writes are broadcast to every enabled backend regardless of
+            // circuit state: skipping one would silently de-sync a replica
+            // that the breaker expects to recover. The outcome still feeds
+            // the tracker.
             match backend.conn.execute(sql) {
                 Ok(out) => {
                     backend.writes_applied.fetch_add(1, Ordering::SeqCst);
+                    self.health.record_success(i);
                     if first.is_none() {
                         first = Some(out);
                     }
                 }
                 Err(e) => {
+                    self.health.record_failure(i);
                     if self.disable_failed {
                         backend.enabled.store(false, Ordering::SeqCst);
                     }
@@ -444,6 +498,80 @@ mod failure_tests {
         assert!(c.enabled_backends().is_empty());
         assert!(c.execute("select count(*) as n from t").is_err());
         assert!(c.execute("insert into t values (2)").is_err());
+    }
+
+    #[test]
+    fn circuit_breaker_routes_reads_around_a_flapping_backend() {
+        use crate::health::CircuitState;
+        use std::time::Duration;
+        // disable_failed = false: only the breaker protects the cluster.
+        let (_, flakies, _) = flaky_cluster(3, false);
+        let c = Controller::new(
+            flakies
+                .iter()
+                .map(|f| f.clone() as Arc<dyn Connection>)
+                .collect(),
+            ControllerConfig {
+                disable_failed_backends: false,
+                breaker: crate::health::BreakerPolicy {
+                    threshold: 2,
+                    probe_after: Duration::ZERO,
+                },
+                ..ControllerConfig::default()
+            },
+        );
+        c.execute("insert into t values (1)").unwrap();
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        // Least-pending ties pick backend 0; two consecutive failures open
+        // its circuit.
+        assert!(c.execute("select a from t").is_err());
+        assert!(c.execute("select a from t").is_err());
+        assert_eq!(c.health().state(0), CircuitState::Open);
+        // With probe_after = 0 the next read admits backend 0 as a probe —
+        // but it is still failing, so the probe re-opens the circuit and
+        // the error surfaces once more.
+        assert!(c.execute("select a from t").is_err());
+        assert_eq!(c.health().state(0), CircuitState::Open);
+        // Heal the backend: the next probe succeeds and closes the circuit.
+        flakies[0].failing.store(false, Ordering::SeqCst);
+        assert!(c.execute("select a from t").is_ok());
+        assert_eq!(c.health().state(0), CircuitState::Closed);
+        assert_eq!(
+            c.enabled_backends(),
+            vec![0, 1, 2],
+            "breaker never disables"
+        );
+    }
+
+    #[test]
+    fn open_circuit_with_long_probe_window_sheds_reads_to_survivors() {
+        use crate::health::CircuitState;
+        use std::time::Duration;
+        let (_, flakies, _) = flaky_cluster(3, false);
+        let c = Controller::new(
+            flakies
+                .iter()
+                .map(|f| f.clone() as Arc<dyn Connection>)
+                .collect(),
+            ControllerConfig {
+                disable_failed_backends: false,
+                breaker: crate::health::BreakerPolicy {
+                    threshold: 1,
+                    probe_after: Duration::from_secs(60),
+                },
+                ..ControllerConfig::default()
+            },
+        );
+        c.execute("insert into t values (1)").unwrap();
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        assert!(c.execute("select a from t").is_err());
+        assert_eq!(c.health().state(0), CircuitState::Open);
+        // All subsequent reads avoid backend 0 until the probe window
+        // expires — so they all succeed even though node 0 is still down.
+        for _ in 0..5 {
+            let (_, served_by) = c.execute("select a from t").unwrap();
+            assert_ne!(served_by, 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Fault injection at the `Connection` seam.
+//!
+//! [`FaultyConnection`] wraps any backend connection and injects
+//! deterministic, seeded faults — errors, fixed delays, and stalls — so
+//! unit tests, property tests, and the ablation bench can exercise the
+//! retry/reassignment machinery without a real flaky network. Everything is
+//! reproducible: the error coin-flips come from a seeded [`StdRng`] and the
+//! stall cadence is a fixed modulus over the per-connection call counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use apuama_engine::{EngineError, EngineResult, QueryOutput};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::connection::{classify, Connection, StatementKind};
+
+/// Which statements a fault plan applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultTarget {
+    /// Every statement (reads, writes, SETs).
+    #[default]
+    All,
+    /// Reads only (SELECT and SET) — writes still replicate, which keeps
+    /// the consistency protocol's transaction counters converging.
+    Reads,
+    /// Writes only.
+    Writes,
+}
+
+/// A deterministic fault schedule for one wrapped connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a matching statement fails with an
+    /// injected error (before touching the backend). `1.0` fails every
+    /// matching call.
+    pub error_rate: f64,
+    /// Fixed latency added to every matching statement.
+    pub delay: Duration,
+    /// Every `stall_every`-th matching statement (1-based) additionally
+    /// sleeps `stall` before executing — the "slow node" a per-sub-query
+    /// timeout is meant to catch. `stall_every = 0` disables stalls.
+    pub stall_every: u64,
+    /// Stall duration.
+    pub stall: Duration,
+    /// Restrict injection to a statement class.
+    pub target: FaultTarget,
+    /// Only statements containing this fragment are targeted (e.g.
+    /// `"enable_seqscan"` to fail just the optimizer-interference SETs).
+    pub only_matching: Option<String>,
+    /// Seed for the error coin-flips.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            error_rate: 0.0,
+            delay: Duration::ZERO,
+            stall_every: 0,
+            stall: Duration::ZERO,
+            target: FaultTarget::All,
+            only_matching: None,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that fails every matching statement.
+    pub fn fail_all() -> Self {
+        FaultPlan {
+            error_rate: 1.0,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// A [`Connection`] decorator injecting the faults described by its
+/// [`FaultPlan`]. The plan can be swapped at runtime (`set_plan` / `heal`)
+/// to script failure-then-recovery sequences.
+pub struct FaultyConnection {
+    inner: Arc<dyn Connection>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<StdRng>,
+    calls: AtomicU64,
+    matching_calls: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_stalls: AtomicU64,
+}
+
+impl FaultyConnection {
+    pub fn new(inner: Arc<dyn Connection>, plan: FaultPlan) -> Arc<Self> {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Arc::new(FaultyConnection {
+            inner,
+            plan: Mutex::new(plan),
+            rng: Mutex::new(rng),
+            calls: AtomicU64::new(0),
+            matching_calls: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+        })
+    }
+
+    /// Replaces the fault plan (and reseeds the error stream from it).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.rng.lock() = StdRng::seed_from_u64(plan.seed);
+        *self.plan.lock() = plan;
+    }
+
+    /// Stops injecting anything; the connection behaves like the inner one.
+    pub fn heal(&self) {
+        self.set_plan(FaultPlan::default());
+    }
+
+    /// Statements seen (matching or not).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Statements the active plan targeted.
+    pub fn matching_calls(&self) -> u64 {
+        self.matching_calls.load(Ordering::SeqCst)
+    }
+
+    /// Errors injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors.load(Ordering::SeqCst)
+    }
+
+    /// Stalls injected so far.
+    pub fn injected_stalls(&self) -> u64 {
+        self.injected_stalls.load(Ordering::SeqCst)
+    }
+
+    fn matches(&self, plan: &FaultPlan, sql: &str) -> bool {
+        if let Some(frag) = &plan.only_matching {
+            if !sql.contains(frag.as_str()) {
+                return false;
+            }
+        }
+        match plan.target {
+            FaultTarget::All => true,
+            // If the statement does not even classify, let the backend
+            // produce its own (real) parse error.
+            FaultTarget::Reads => matches!(classify(sql), Ok(StatementKind::Read)),
+            FaultTarget::Writes => matches!(classify(sql), Ok(StatementKind::Write)),
+        }
+    }
+}
+
+impl Connection for FaultyConnection {
+    fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let plan = self.plan.lock().clone();
+        if self.matches(&plan, sql) {
+            let matching = self.matching_calls.fetch_add(1, Ordering::SeqCst) + 1;
+            if !plan.delay.is_zero() {
+                std::thread::sleep(plan.delay);
+            }
+            if plan.stall_every > 0 && matching.is_multiple_of(plan.stall_every) {
+                self.injected_stalls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(plan.stall);
+            }
+            if plan.error_rate > 0.0 {
+                let hit = plan.error_rate >= 1.0 || self.rng.lock().random_bool(plan.error_rate);
+                if hit {
+                    self.injected_errors.fetch_add(1, Ordering::SeqCst);
+                    return Err(EngineError::Unsupported(format!(
+                        "injected fault on {}",
+                        self.inner.name()
+                    )));
+                }
+            }
+        }
+        self.inner.execute(sql)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::{EngineNode, NodeConnection};
+    use apuama_engine::Database;
+    use apuama_sql::Value;
+
+    fn backend() -> Arc<dyn Connection> {
+        let mut db = Database::in_memory();
+        db.execute("create table t (a int)").unwrap();
+        db.execute("insert into t values (1)").unwrap();
+        Arc::new(NodeConnection::new(EngineNode::new("n0", db)))
+    }
+
+    #[test]
+    fn fail_all_fails_everything_until_healed() {
+        let c = FaultyConnection::new(backend(), FaultPlan::fail_all());
+        assert!(c.execute("select a from t").is_err());
+        assert!(c.execute("insert into t values (2)").is_err());
+        assert_eq!(c.injected_errors(), 2);
+        c.heal();
+        let out = c.execute("select count(*) as n from t").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn reads_target_lets_writes_through() {
+        let c = FaultyConnection::new(
+            backend(),
+            FaultPlan {
+                target: FaultTarget::Reads,
+                ..FaultPlan::fail_all()
+            },
+        );
+        c.execute("insert into t values (2)").unwrap();
+        assert!(c.execute("select a from t").is_err());
+        assert!(c.execute("set enable_seqscan = off").is_err());
+        assert_eq!(c.injected_errors(), 2);
+    }
+
+    #[test]
+    fn only_matching_narrows_injection_to_a_fragment() {
+        let c = FaultyConnection::new(
+            backend(),
+            FaultPlan {
+                only_matching: Some("enable_seqscan".into()),
+                ..FaultPlan::fail_all()
+            },
+        );
+        assert!(c.execute("set enable_seqscan = off").is_err());
+        c.execute("select a from t").unwrap();
+        assert_eq!(c.injected_errors(), 1);
+    }
+
+    #[test]
+    fn error_rate_is_seeded_and_deterministic() {
+        let plan = FaultPlan {
+            error_rate: 0.5,
+            seed: 42,
+            ..FaultPlan::default()
+        };
+        let run = |plan: FaultPlan| -> Vec<bool> {
+            let c = FaultyConnection::new(backend(), plan);
+            (0..32)
+                .map(|_| c.execute("select a from t").is_err())
+                .collect()
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(a.iter().any(|&e| e) && a.iter().any(|&e| !e));
+    }
+
+    #[test]
+    fn stall_cadence_counts_matching_statements() {
+        let c = FaultyConnection::new(
+            backend(),
+            FaultPlan {
+                stall_every: 2,
+                stall: Duration::from_millis(1),
+                ..FaultPlan::default()
+            },
+        );
+        for _ in 0..4 {
+            c.execute("select a from t").unwrap();
+        }
+        assert_eq!(c.injected_stalls(), 2);
+    }
+}

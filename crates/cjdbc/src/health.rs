@@ -1,0 +1,283 @@
+//! Node health tracking: a consecutive-failure circuit breaker per backend.
+//!
+//! C-JDBC's production answer to a sick backend is binary — disable it and
+//! replay the recovery log later. The paper never discusses what happens
+//! when a PostgreSQL node starts timing out mid-benchmark, so we borrow the
+//! standard middleware pattern: each node carries a circuit that is
+//! *Closed* (healthy) until `threshold` consecutive failures open it,
+//! *Open* (skipped by the read balancer and the SVP dispatcher) until
+//! `probe_after` has elapsed, then *HalfOpen* — the next request is a
+//! probe whose outcome either closes the circuit again or re-opens it.
+//!
+//! The tracker is shared: the controller's load balancer consults it when
+//! routing pass-through reads, and the Apuama engine consults the same
+//! instance when assigning SVP ranges, so a node that fails OLTP traffic is
+//! also routed around for OLAP sub-queries and vice versa.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that open the circuit (min 1).
+    pub threshold: u32,
+    /// How long an open circuit waits before admitting a probe request.
+    pub probe_after: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            threshold: 3,
+            probe_after: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One node's circuit state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are routed around this node.
+    Open,
+    /// Probing: one request is allowed through to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct NodeHealth {
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    successes: u64,
+    failures: u64,
+    /// `SET enable_seqscan = on` restores that failed after a successful
+    /// sub-query — the result was kept, but the node's session state is
+    /// suspect (see `NodeProcessor`'s seqscan guard).
+    restore_failures: u64,
+}
+
+impl NodeHealth {
+    fn new() -> Self {
+        NodeHealth {
+            state: CircuitState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            successes: 0,
+            failures: 0,
+            restore_failures: 0,
+        }
+    }
+}
+
+/// Shared health tracker for a fixed-size cluster.
+#[derive(Debug)]
+pub struct HealthTracker {
+    policy: BreakerPolicy,
+    nodes: Mutex<Vec<NodeHealth>>,
+}
+
+impl HealthTracker {
+    pub fn new(nodes: usize, policy: BreakerPolicy) -> Self {
+        assert!(nodes > 0, "a tracker needs at least one node");
+        let policy = BreakerPolicy {
+            threshold: policy.threshold.max(1),
+            ..policy
+        };
+        HealthTracker {
+            policy,
+            nodes: Mutex::new((0..nodes).map(|_| NodeHealth::new()).collect()),
+        }
+    }
+
+    /// Number of tracked nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Records a successful request: resets the failure streak and closes
+    /// the circuit (a HalfOpen probe that succeeds recovers the node).
+    pub fn record_success(&self, node: usize) {
+        let mut nodes = self.nodes.lock();
+        let h = &mut nodes[node];
+        h.successes += 1;
+        h.consecutive_failures = 0;
+        h.state = CircuitState::Closed;
+        h.opened_at = None;
+    }
+
+    /// Records a failed request; opens the circuit after `threshold`
+    /// consecutive failures, and re-opens it immediately on a failed probe.
+    pub fn record_failure(&self, node: usize) {
+        let mut nodes = self.nodes.lock();
+        let h = &mut nodes[node];
+        h.failures += 1;
+        h.consecutive_failures += 1;
+        match h.state {
+            CircuitState::HalfOpen => {
+                // Failed probe: back to Open, restart the probe timer.
+                h.state = CircuitState::Open;
+                h.opened_at = Some(Instant::now());
+            }
+            CircuitState::Closed if h.consecutive_failures >= self.policy.threshold => {
+                h.state = CircuitState::Open;
+                h.opened_at = Some(Instant::now());
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a session-restore failure (e.g. `SET enable_seqscan = on`
+    /// failing after a successful sub-query). Counted separately for
+    /// diagnostics but treated as a failure by the breaker: the node
+    /// answered the query, yet its session state can no longer be trusted.
+    pub fn record_restore_failure(&self, node: usize) {
+        {
+            let mut nodes = self.nodes.lock();
+            nodes[node].restore_failures += 1;
+        }
+        self.record_failure(node);
+    }
+
+    /// Whether requests may be sent to `node` right now. Transitions an
+    /// expired Open circuit to HalfOpen (admitting the probe).
+    pub fn is_available(&self, node: usize) -> bool {
+        let mut nodes = self.nodes.lock();
+        let h = &mut nodes[node];
+        match h.state {
+            CircuitState::Closed | CircuitState::HalfOpen => true,
+            CircuitState::Open => {
+                let expired = h
+                    .opened_at
+                    .is_none_or(|t| t.elapsed() >= self.policy.probe_after);
+                if expired {
+                    h.state = CircuitState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Current circuit state of `node` (no probe transition).
+    pub fn state(&self, node: usize) -> CircuitState {
+        self.nodes.lock()[node].state
+    }
+
+    /// Indices of nodes currently accepting requests (probe transitions
+    /// apply, so at most one call sees a given node flip Open → HalfOpen).
+    pub fn available_nodes(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&i| self.is_available(i))
+            .collect()
+    }
+
+    /// Total failed requests recorded for `node`.
+    pub fn failures(&self, node: usize) -> u64 {
+        self.nodes.lock()[node].failures
+    }
+
+    /// Total successful requests recorded for `node`.
+    pub fn successes(&self, node: usize) -> u64 {
+        self.nodes.lock()[node].successes
+    }
+
+    /// Session-restore failures recorded for `node`.
+    pub fn restore_failures(&self, node: usize) -> u64 {
+        self.nodes.lock()[node].restore_failures
+    }
+
+    /// Current consecutive-failure streak for `node`.
+    pub fn consecutive_failures(&self, node: usize) -> u32 {
+        self.nodes.lock()[node].consecutive_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold: u32, probe_ms: u64) -> HealthTracker {
+        HealthTracker::new(
+            3,
+            BreakerPolicy {
+                threshold,
+                probe_after: Duration::from_millis(probe_ms),
+            },
+        )
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_consecutive_failures() {
+        let t = tracker(3, 60_000);
+        t.record_failure(0);
+        t.record_failure(0);
+        assert_eq!(t.state(0), CircuitState::Closed);
+        assert!(t.is_available(0));
+        t.record_failure(0);
+        assert_eq!(t.state(0), CircuitState::Open);
+        assert!(!t.is_available(0));
+        // Other nodes unaffected.
+        assert!(t.is_available(1));
+        assert_eq!(t.available_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let t = tracker(3, 60_000);
+        t.record_failure(0);
+        t.record_failure(0);
+        t.record_success(0);
+        t.record_failure(0);
+        t.record_failure(0);
+        assert_eq!(t.state(0), CircuitState::Closed);
+        assert_eq!(t.consecutive_failures(0), 2);
+    }
+
+    #[test]
+    fn probe_recovers_the_node() {
+        let t = tracker(1, 0);
+        t.record_failure(2);
+        assert_eq!(t.state(2), CircuitState::Open);
+        // probe_after = 0: the next availability check admits a probe.
+        assert!(t.is_available(2));
+        assert_eq!(t.state(2), CircuitState::HalfOpen);
+        t.record_success(2);
+        assert_eq!(t.state(2), CircuitState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_circuit() {
+        let t = tracker(1, 0);
+        t.record_failure(0);
+        assert!(t.is_available(0)); // Open → HalfOpen
+        t.record_failure(0); // probe failed
+        assert_eq!(t.state(0), CircuitState::Open);
+    }
+
+    #[test]
+    fn open_circuit_stays_closed_to_traffic_until_probe_timer_expires() {
+        let t = tracker(1, 60_000);
+        t.record_failure(0);
+        assert!(!t.is_available(0));
+        assert_eq!(t.state(0), CircuitState::Open);
+    }
+
+    #[test]
+    fn restore_failures_count_toward_the_breaker() {
+        let t = tracker(2, 60_000);
+        t.record_restore_failure(1);
+        t.record_restore_failure(1);
+        assert_eq!(t.restore_failures(1), 2);
+        assert_eq!(t.state(1), CircuitState::Open);
+    }
+}

@@ -20,15 +20,24 @@
 //! * [`controller::Controller`] — the virtual-database façade gluing the
 //!   above together.
 //!
+//! * [`health::HealthTracker`] — per-node consecutive-failure circuit
+//!   breaker shared between the read balancer and Apuama's SVP dispatcher.
+//! * [`fault::FaultyConnection`] — deterministic fault injection at the
+//!   `Connection` seam for tests and the ablation bench.
+//!
 //! Out of scope (documented in DESIGN.md): C-JDBC's recovery log and
 //! controller replication.
 
 pub mod balancer;
 pub mod connection;
 pub mod controller;
+pub mod fault;
+pub mod health;
 pub mod scheduler;
 
 pub use balancer::{LeastPendingBalancer, LoadBalancer, RandomBalancer, RoundRobinBalancer};
 pub use connection::{classify, Connection, EngineNode, NodeConnection, StatementKind};
 pub use controller::{Controller, ControllerConfig};
+pub use fault::{FaultPlan, FaultTarget, FaultyConnection};
+pub use health::{BreakerPolicy, CircuitState, HealthTracker};
 pub use scheduler::WriteScheduler;

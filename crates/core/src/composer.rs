@@ -381,6 +381,13 @@ pub trait Composer {
     fn accept(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()>;
     /// Completes the composition and returns the final result.
     fn finish(&mut self) -> EngineResult<Composed>;
+    /// Abandons the in-progress composition, discarding staged partials.
+    /// Pooled composers live across queries, so every error path between
+    /// `begin()` and `finish()` must call this — otherwise the next query's
+    /// `begin()` is the only thing standing between it and stale state.
+    /// Must be callable at any point (idempotent, including before
+    /// `begin()`).
+    fn abort(&mut self);
 }
 
 /// Runs a full begin/accept/finish cycle over per-node partials (partial
@@ -457,6 +464,11 @@ impl Composer for StagedComposer {
             .flatten()
             .collect();
         self.pool.compose(&plan, &flat)
+    }
+
+    fn abort(&mut self) {
+        self.plan = None;
+        self.nodes.clear();
     }
 }
 
@@ -852,6 +864,12 @@ impl Composer for StreamingComposer {
         composed.partial_rows = self.accepted_rows;
         Ok(composed)
     }
+
+    fn abort(&mut self) {
+        self.plan = None;
+        self.state = StreamState::Idle;
+        self.accepted_rows = 0;
+    }
 }
 
 #[cfg(test)]
@@ -1064,6 +1082,44 @@ mod reusable_tests {
             columns: plan.partial_columns.clone(),
             rows,
             ..QueryOutput::default()
+        }
+    }
+
+    #[test]
+    fn abort_discards_staged_partials_for_both_strategies() {
+        let plan = plan_for(
+            "select count(*) as n, sum(o_totalprice) as s from orders",
+            2,
+        );
+        for strategy in [ComposerStrategy::Staged, ComposerStrategy::Streaming] {
+            let mut composer = strategy.new_composer();
+            // Abort before begin is a no-op.
+            composer.abort();
+            // Stage poison partials, then abort mid-composition.
+            composer.begin(&plan).unwrap();
+            composer
+                .accept(
+                    0,
+                    partial(&plan, vec![vec![Value::Int(999), Value::Float(999.0)]]),
+                )
+                .unwrap();
+            composer.abort();
+            // A fresh composition after the abort sees none of it.
+            let good = [
+                partial(&plan, vec![vec![Value::Int(2), Value::Float(5.0)]]),
+                partial(&plan, vec![vec![Value::Int(3), Value::Float(7.0)]]),
+            ];
+            let mut fresh = strategy.new_composer();
+            fresh.begin(&plan).unwrap();
+            composer.begin(&plan).unwrap();
+            for (node, p) in good.iter().enumerate() {
+                fresh.accept(node, p.clone()).unwrap();
+                composer.accept(node, p.clone()).unwrap();
+            }
+            let want = fresh.finish().unwrap();
+            let got = composer.finish().unwrap();
+            assert_eq!(got.output.rows, want.output.rows, "{strategy:?}");
+            assert_eq!(got.partial_rows, want.partial_rows, "{strategy:?}");
         }
     }
 

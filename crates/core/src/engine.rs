@@ -12,12 +12,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use apuama_cjdbc::{classify, Connection, StatementKind};
-use apuama_engine::{EngineResult, ExecStats, PhaseTiming, QueryOutput};
+use apuama_cjdbc::{classify, Connection, HealthTracker, StatementKind};
+use apuama_engine::{EngineError, EngineResult, ExecStats, PhaseTiming, QueryOutput};
 
 use crate::catalog::DataCatalog;
 use crate::composer::{Composer, ComposerStrategy};
 use crate::consistency::{ConsistencyMode, UpdateGate};
+use crate::fault::{FaultPolicy, RecoveryReport};
 use crate::node::NodeProcessor;
 use crate::rewrite::{Rewritten, SvpPlan, SvpRewriter};
 use parking_lot::Mutex;
@@ -37,6 +38,9 @@ pub struct ApuamaConfig {
     /// Result-composition strategy (staged staging table vs streaming
     /// fold).
     pub composer: ComposerStrategy,
+    /// What to do when a sub-query fails: timeout, retries, reassignment,
+    /// circuit breaker (see [`FaultPolicy`]).
+    pub fault: FaultPolicy,
 }
 
 impl Default for ApuamaConfig {
@@ -47,6 +51,7 @@ impl Default for ApuamaConfig {
             consistency: ConsistencyMode::Blocking,
             pool_size: 8,
             composer: ComposerStrategy::default(),
+            fault: FaultPolicy::default(),
         }
     }
 }
@@ -66,6 +71,8 @@ pub struct SvpExecution {
     pub partial_rows: u64,
     /// Wall-clock phase breakdown of the pipelined execution.
     pub timing: PhaseTiming,
+    /// What fault handling had to do (empty/zero on a healthy run).
+    pub recovery: RecoveryReport,
 }
 
 /// The engine: Cluster Administrator + Node Processors (paper Fig. 1b).
@@ -78,6 +85,10 @@ pub struct ApuamaEngine {
     /// across queries so the staging engine survives between same-template
     /// compositions.
     composer: Mutex<Box<dyn Composer + Send>>,
+    /// Cluster-wide circuit breaker: fed by every node processor, consulted
+    /// by the SVP dispatcher (and shareable with the C-JDBC read balancer
+    /// via [`apuama_cjdbc::Controller::with_health`]).
+    health: Arc<HealthTracker>,
 }
 
 impl ApuamaEngine {
@@ -89,16 +100,32 @@ impl ApuamaEngine {
     ) -> Arc<ApuamaEngine> {
         assert!(!conns.is_empty(), "a cluster needs at least one node");
         let n = conns.len();
+        let health = Arc::new(HealthTracker::new(n, config.fault.breaker()));
         Arc::new(ApuamaEngine {
             nodes: conns
                 .into_iter()
-                .map(|c| NodeProcessor::new(c, config.pool_size, config.force_index))
+                .enumerate()
+                .map(|(i, c)| {
+                    NodeProcessor::with_health(
+                        c,
+                        config.pool_size,
+                        config.force_index,
+                        Arc::clone(&health),
+                        i,
+                    )
+                })
                 .collect(),
             rewriter: SvpRewriter::new(catalog),
             gate: UpdateGate::new(n, config.consistency),
             config,
             composer: Mutex::new(config.composer.new_composer()),
+            health,
         })
+    }
+
+    /// The cluster health tracker (circuit breaker per node).
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        &self.health
     }
 
     /// Number of nodes.
@@ -161,13 +188,30 @@ impl ApuamaEngine {
     }
 
     /// The Intra-Query Executor: consistency wait → parallel dispatch →
-    /// early update release → pipelined composition.
+    /// early update release → pipelined composition, with fault recovery.
     ///
     /// Sub-query results are not join-all'ed: each node thread sends its
     /// partial through a channel the moment it completes, and the composer
     /// folds it in while the remaining sub-queries are still running. The
     /// update gate still releases at "dispatched and started" — composition
     /// happens strictly after the release point.
+    ///
+    /// Fault handling (see DESIGN.md §8, driven by [`FaultPolicy`]):
+    ///
+    /// * Ranges owned by a node whose circuit is open are routed to
+    ///   available replicas at dispatch time.
+    /// * Each sub-query runs under an optional deadline and bounded
+    ///   same-node retries with exponential backoff.
+    /// * A range whose node exhausted its retries is re-rendered through
+    ///   the rewriter ([`crate::rewrite::QueryTemplate::subquery_for_range`]
+    ///   on the residual range) and handed whole to one surviving replica,
+    ///   with the partial attributed to the *original* range index — so the
+    ///   composed result is byte-identical to the healthy run (splitting
+    ///   the residual across survivors would change float-fold order).
+    /// * Reassigned sub-queries take fresh snapshot tickets after the gate
+    ///   released, so they may observe a slightly later snapshot than the
+    ///   original dispatch wave (documented relaxation; the paper does not
+    ///   specify failure behaviour).
     pub fn execute_svp(&self, plan: &SvpPlan) -> EngineResult<SvpExecution> {
         assert_eq!(
             plan.subqueries.len(),
@@ -177,86 +221,237 @@ impl ApuamaEngine {
         // 1. Wait for replica convergence; hold new updates.
         self.gate.block_updates_and_wait();
 
-        // 2. Dispatch all sub-queries; release updates once every node has
-        //    its snapshot ticket ("sent and started").
         let n = self.nodes.len();
-        let barrier = std::sync::Barrier::new(n + 1);
+        let policy = self.config.fault;
+        let mut recovery = RecoveryReport::default();
+
+        // 2. Assign ranges: node i owns range i unless its circuit is open,
+        //    in which case the range is spread round-robin over available
+        //    nodes. If every circuit is open, dispatch as planned — the
+        //    attempts double as probes.
+        let assignment: Vec<usize> = {
+            let available: Vec<bool> = (0..n).map(|i| self.health.is_available(i)).collect();
+            if available.iter().all(|&a| !a) {
+                (0..n).collect()
+            } else {
+                let targets: Vec<usize> = (0..n).filter(|&i| available[i]).collect();
+                let mut rr = 0usize;
+                (0..n)
+                    .map(|range| {
+                        if available[range] {
+                            range
+                        } else {
+                            let t = targets[rr % targets.len()];
+                            rr += 1;
+                            t
+                        }
+                    })
+                    .collect()
+            }
+        };
+        for (range, &node) in assignment.iter().enumerate() {
+            if node != range {
+                recovery.reassigned.push((range, node));
+            }
+        }
+        let mut units: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (range, &node) in assignment.iter().enumerate() {
+            units[node].push(range);
+        }
+        let workers: Vec<usize> = (0..n).filter(|&i| !units[i].is_empty()).collect();
+
+        // 3. Dispatch; release updates once every worker has its snapshot
+        //    ticket ("sent and started").
+        let barrier = std::sync::Barrier::new(workers.len() + 1);
         let (tx, rx) = crossbeam::channel::unbounded();
         std::thread::scope(|s| {
-            for (i, (node, sql)) in self.nodes.iter().zip(&plan.subqueries).enumerate() {
+            for &i in &workers {
+                let node = &self.nodes[i];
+                let my_ranges = units[i].clone();
                 let barrier = &barrier;
                 let tx = tx.clone();
+                let policy = &policy;
                 s.spawn(move || {
                     let ticket = node.begin_subquery();
                     barrier.wait();
-                    // The receiver drains all n messages, but ignore send
-                    // errors anyway so a panicking main can't wedge a node.
-                    let _ = tx.send((i, ticket.run(sql)));
+                    for range in my_ranges {
+                        let (attempts, result) =
+                            run_with_retries(node, &plan.subqueries[range], policy);
+                        // The receiver drains every message, but ignore send
+                        // errors anyway so a panicking main can't wedge a
+                        // node.
+                        let _ = tx.send((range, i, attempts, result));
+                    }
+                    drop(ticket);
                 });
             }
             drop(tx);
             barrier.wait();
-            // 3. All sub-queries dispatched and snapshot-ordered: updates
-            //    may flow again (paper §3).
+            // All sub-queries dispatched and snapshot-ordered: updates may
+            // flow again (paper §3).
             self.gate.release_updates();
             let dispatched = Instant::now();
 
             // 4. Pipelined composition: consume partials as they complete.
             let mut composer = self.composer.lock();
-            composer.begin(plan)?;
+            if let Err(e) = composer.begin(plan) {
+                composer.abort();
+                return Err(e);
+            }
             let mut per_node: Vec<Option<ExecStats>> = vec![None; n];
-            let mut first_error: Option<(usize, apuama_engine::EngineError)> = None;
-            let mut accept_error: Option<apuama_engine::EngineError> = None;
+            let mut failed: Vec<(usize, EngineError)> = Vec::new();
+            let mut tried: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut accept_error: Option<EngineError> = None;
             let mut timing = PhaseTiming::default();
-            let mut received = 0usize;
-            for (i, result) in rx.iter() {
-                received += 1;
-                if received == 1 {
-                    timing.first_partial_ms = dispatched.elapsed().as_secs_f64() * 1e3;
-                }
-                let last = received == n;
+            let mut first_composed = false;
+            let mut outstanding = n;
+            for (range, node_idx, attempts, result) in rx.iter() {
+                outstanding -= 1;
+                recovery.retries += attempts.saturating_sub(1);
                 match result {
                     Ok(out) => {
-                        per_node[i] = Some(out.stats);
-                        if first_error.is_none() && accept_error.is_none() {
+                        recovery.failed_attempts += attempts - 1;
+                        per_node[range] = Some(out.stats);
+                        if accept_error.is_none() {
                             let t = Instant::now();
-                            if let Err(e) = composer.accept(i, out) {
-                                accept_error = Some(e);
-                            }
+                            let ok = match composer.accept(range, out) {
+                                Ok(()) => true,
+                                Err(e) => {
+                                    accept_error = Some(e);
+                                    false
+                                }
+                            };
                             let spent = t.elapsed().as_secs_f64() * 1e3;
-                            if last {
+                            if outstanding == 0 {
                                 timing.compose_tail_ms += spent;
                             } else {
                                 timing.compose_overlap_ms += spent;
                             }
+                            if ok && !first_composed {
+                                // Stamped only by a successfully composed
+                                // partial — errored partials used to skew
+                                // this under fault injection.
+                                first_composed = true;
+                                timing.first_partial_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                            }
                         }
                     }
                     Err(e) => {
-                        // Keep draining so every node thread finishes, but
-                        // remember the lowest-node error (the order the old
-                        // join-all reported).
-                        if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
-                            first_error = Some((i, e));
-                        }
+                        recovery.failed_attempts += attempts;
+                        tried[range].push(node_idx);
+                        failed.push((range, e));
                     }
                 }
             }
-            if let Some((_, e)) = first_error {
+
+            // 5. Reassignment rounds: every still-missing range goes whole
+            //    to a surviving replica it has not been tried on, until all
+            //    ranges composed or some range has nowhere left to go.
+            while policy.reassign && !failed.is_empty() && accept_error.is_none() {
+                let mut batch: Vec<(usize, usize)> = Vec::with_capacity(failed.len());
+                let mut stuck = false;
+                for (rr, (range, _)) in failed.iter().enumerate() {
+                    let candidates: Vec<usize> = (0..n)
+                        .filter(|j| !tried[*range].contains(j))
+                        .filter(|&j| self.health.is_available(j))
+                        .collect();
+                    if candidates.is_empty() {
+                        stuck = true;
+                        break;
+                    }
+                    batch.push((*range, candidates[rr % candidates.len()]));
+                }
+                if stuck {
+                    break;
+                }
+                let (rtx, rrx) = crossbeam::channel::unbounded();
+                for &(range, target) in &batch {
+                    let node = &self.nodes[target];
+                    let rtx = rtx.clone();
+                    let policy = &policy;
+                    // Re-invoke the rewriter on the residual range. A whole
+                    // failed node's residual is its entire original range,
+                    // so the rendered SQL — and therefore the composed
+                    // result — is byte-identical to the planned sub-query.
+                    let (lo, hi) = plan.ranges[range];
+                    let sql = plan.template.subquery_for_range(lo, hi);
+                    s.spawn(move || {
+                        let ticket = node.begin_subquery();
+                        let (attempts, result) = run_with_retries(node, &sql, policy);
+                        drop(ticket);
+                        let _ = rtx.send((range, target, attempts, result));
+                    });
+                }
+                drop(rtx);
+                let mut outstanding = batch.len();
+                let mut still_failed: Vec<(usize, EngineError)> = Vec::new();
+                for (range, target, attempts, result) in rrx.iter() {
+                    outstanding -= 1;
+                    recovery.retries += attempts.saturating_sub(1);
+                    match result {
+                        Ok(out) => {
+                            recovery.failed_attempts += attempts - 1;
+                            recovery.reassigned.push((range, target));
+                            per_node[range] = Some(out.stats);
+                            if accept_error.is_none() {
+                                let t = Instant::now();
+                                let ok = match composer.accept(range, out) {
+                                    Ok(()) => true,
+                                    Err(e) => {
+                                        accept_error = Some(e);
+                                        false
+                                    }
+                                };
+                                let spent = t.elapsed().as_secs_f64() * 1e3;
+                                if outstanding == 0 {
+                                    timing.compose_tail_ms += spent;
+                                } else {
+                                    timing.compose_overlap_ms += spent;
+                                }
+                                if ok && !first_composed {
+                                    first_composed = true;
+                                    timing.first_partial_ms =
+                                        dispatched.elapsed().as_secs_f64() * 1e3;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            recovery.failed_attempts += attempts;
+                            tried[range].push(target);
+                            still_failed.push((range, e));
+                        }
+                    }
+                }
+                failed = still_failed;
+            }
+
+            // 6. Error out cleanly — the pooled composer must never be left
+            //    mid-composition (the seed corrupted the next same-template
+            //    query here).
+            if let Some(e) = accept_error {
+                composer.abort();
                 return Err(e);
             }
-            if let Some(e) = accept_error {
+            if let Some((_, e)) = failed.into_iter().min_by_key(|(range, _)| *range) {
+                composer.abort();
                 return Err(e);
             }
 
-            // 5. Finish the composition (serial tail).
+            // 7. Finish the composition (serial tail).
             let t = Instant::now();
-            let composed = composer.finish()?;
+            let composed = match composer.finish() {
+                Ok(c) => c,
+                Err(e) => {
+                    composer.abort();
+                    return Err(e);
+                }
+            };
             timing.compose_tail_ms += t.elapsed().as_secs_f64() * 1e3;
             timing.total_ms = dispatched.elapsed().as_secs_f64() * 1e3;
 
             let per_node: Vec<ExecStats> = per_node
                 .into_iter()
-                .map(|s| s.expect("every node reported"))
+                .map(|s| s.expect("every range composed"))
                 .collect();
             let mut merged = ExecStats::default();
             for s in &per_node {
@@ -271,8 +466,67 @@ impl ApuamaEngine {
                 composition_stats: composed.composition_stats,
                 partial_rows: composed.partial_rows,
                 timing,
+                recovery,
             })
         })
+    }
+}
+
+/// Runs `sql` on `node` with the policy's deadline and bounded same-node
+/// retries; returns `(attempts made, final outcome)`.
+fn run_with_retries(
+    node: &Arc<NodeProcessor>,
+    sql: &str,
+    policy: &FaultPolicy,
+) -> (u32, EngineResult<QueryOutput>) {
+    let max_attempts = policy.max_retries.saturating_add(1);
+    let mut last = None;
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            let backoff = policy.backoff(attempt - 1);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+        match run_attempt(node, sql, policy.subquery_timeout_ms) {
+            Ok(out) => return (attempt, Ok(out)),
+            Err(e) => last = Some(e),
+        }
+    }
+    (max_attempts, Err(last.expect("at least one attempt ran")))
+}
+
+/// One attempt, under a deadline when the policy sets one.
+///
+/// The snapshot ticket guard is not `Send`, so the deadline cannot simply
+/// join the statement thread: the statement runs on a detached thread over
+/// a cloned `Arc<NodeProcessor>` (the *caller* keeps holding the ticket)
+/// and the attempt gives up after the deadline. An abandoned statement
+/// keeps running to completion on its thread; it holds one pool slot and
+/// nothing else — sub-queries are read-only.
+fn run_attempt(
+    node: &Arc<NodeProcessor>,
+    sql: &str,
+    timeout_ms: Option<u64>,
+) -> EngineResult<QueryOutput> {
+    let Some(ms) = timeout_ms else {
+        return node.run_subquery_statement(sql);
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker_node = Arc::clone(node);
+    let statement = sql.to_string();
+    std::thread::spawn(move || {
+        let _ = tx.send(worker_node.run_subquery_statement(&statement));
+    });
+    match rx.recv_timeout(std::time::Duration::from_millis(ms)) {
+        Ok(result) => result,
+        Err(_) => {
+            node.record_timeout();
+            Err(EngineError::Timeout(format!(
+                "sub-query exceeded {ms} ms on {}",
+                node.name()
+            )))
+        }
     }
 }
 
@@ -480,5 +734,201 @@ mod tests {
             .execute("select count(*) as n from orders")
             .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(61));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::FaultPolicy;
+    use apuama_cjdbc::{EngineNode, FaultPlan, FaultTarget, FaultyConnection, NodeConnection};
+    use apuama_engine::Database;
+    use apuama_sql::Value;
+    use std::sync::Arc;
+
+    /// A cluster whose every connection is wrapped in a (initially inert)
+    /// fault injector.
+    fn faulty_cluster(
+        n: usize,
+        config: ApuamaConfig,
+    ) -> (Arc<ApuamaEngine>, Vec<Arc<FaultyConnection>>) {
+        let mut faulties = Vec::new();
+        let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+        for i in 0..n {
+            let mut db = Database::in_memory();
+            db.execute(
+                "create table orders (o_orderkey int not null, o_totalprice float, \
+                 primary key (o_orderkey)) clustered by (o_orderkey)",
+            )
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (1..=60i64)
+                .map(|k| vec![Value::Int(k), Value::Float(k as f64 * 1.37)])
+                .collect();
+            db.load_table("orders", rows).unwrap();
+            let node = EngineNode::new(format!("n{i}"), db);
+            let faulty =
+                FaultyConnection::new(Arc::new(NodeConnection::new(node)), FaultPlan::default());
+            conns.push(faulty.clone() as Arc<dyn Connection>);
+            faulties.push(faulty);
+        }
+        let engine = ApuamaEngine::new(conns, DataCatalog::tpch(60), config);
+        (engine, faulties)
+    }
+
+    const SQL: &str = "select count(*) as n, sum(o_totalprice) as t, avg(o_totalprice) as a \
+                       from orders";
+
+    #[test]
+    fn dead_node_subqueries_are_reassigned_byte_identically() {
+        let (healthy, _) = faulty_cluster(4, ApuamaConfig::default());
+        let (engine, faulties) = faulty_cluster(4, ApuamaConfig::default());
+        faulties[1].set_plan(FaultPlan {
+            target: FaultTarget::Reads,
+            ..FaultPlan::fail_all()
+        });
+        let want = healthy.execute_read(0, SQL).unwrap();
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 4).unwrap() else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        // Byte-identical to the healthy cluster, including float bits.
+        assert_eq!(exec.output.rows, want.rows);
+        // Range 1 was produced by some surviving node.
+        assert!(exec
+            .recovery
+            .reassigned
+            .iter()
+            .any(|&(range, node)| range == 1 && node != 1));
+        assert!(exec.recovery.failed_attempts > 0);
+    }
+
+    #[test]
+    fn failed_svp_leaves_pooled_composer_clean_for_same_template() {
+        // Satellite regression: a failed SVP followed by a successful
+        // same-template SVP must be byte-identical to a fresh engine.
+        let (engine, faulties) = faulty_cluster(
+            3,
+            ApuamaConfig {
+                fault: FaultPolicy::fail_fast(),
+                ..ApuamaConfig::default()
+            },
+        );
+        faulties[2].set_plan(FaultPlan {
+            target: FaultTarget::Reads,
+            ..FaultPlan::fail_all()
+        });
+        assert!(engine.execute_read(0, SQL).is_err());
+        faulties[2].heal();
+        let replay = engine.execute_read(0, SQL).unwrap();
+        let (fresh, _) = faulty_cluster(3, ApuamaConfig::default());
+        let want = fresh.execute_read(0, SQL).unwrap();
+        assert_eq!(replay.rows, want.rows);
+    }
+
+    #[test]
+    fn first_partial_ms_ignores_errored_partials() {
+        // Node 0 fails instantly; nodes 1 and 2 are delayed. The stamp must
+        // come from a *composed* partial, i.e. after the delay — the seed
+        // stamped it at the errored partial's arrival (~0 ms).
+        let (engine, faulties) = faulty_cluster(3, ApuamaConfig::default());
+        faulties[0].set_plan(FaultPlan {
+            target: FaultTarget::Reads,
+            ..FaultPlan::fail_all()
+        });
+        for f in &faulties[1..] {
+            f.set_plan(FaultPlan {
+                delay: std::time::Duration::from_millis(30),
+                only_matching: Some("from orders".into()),
+                ..FaultPlan::default()
+            });
+        }
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        assert!(
+            exec.timing.first_partial_ms >= 25.0,
+            "first_partial_ms = {} stamped by an errored partial",
+            exec.timing.first_partial_ms
+        );
+    }
+
+    #[test]
+    fn stalled_subquery_times_out_and_is_reassigned() {
+        let (healthy, _) = faulty_cluster(3, ApuamaConfig::default());
+        let (engine, faulties) = faulty_cluster(
+            3,
+            ApuamaConfig {
+                fault: FaultPolicy {
+                    subquery_timeout_ms: Some(25),
+                    max_retries: 0,
+                    ..FaultPolicy::default()
+                },
+                ..ApuamaConfig::default()
+            },
+        );
+        faulties[0].set_plan(FaultPlan {
+            stall_every: 1,
+            stall: std::time::Duration::from_millis(300),
+            only_matching: Some("from orders".into()),
+            ..FaultPlan::default()
+        });
+        let want = healthy.execute_read(0, SQL).unwrap();
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        assert_eq!(exec.output.rows, want.rows);
+        assert!(exec
+            .recovery
+            .reassigned
+            .iter()
+            .any(|&(range, _)| range == 0));
+        assert!(engine.health().failures(0) > 0, "timeout recorded");
+    }
+
+    #[test]
+    fn open_circuit_routes_ranges_around_the_node_at_dispatch() {
+        let (engine, faulties) = faulty_cluster(
+            3,
+            ApuamaConfig {
+                fault: FaultPolicy {
+                    breaker_threshold: 2,
+                    probe_after_ms: 60_000,
+                    ..FaultPolicy::default()
+                },
+                ..ApuamaConfig::default()
+            },
+        );
+        faulties[1].set_plan(FaultPlan {
+            target: FaultTarget::Reads,
+            ..FaultPlan::fail_all()
+        });
+        // First query trips node 1's breaker (2 attempts fail), recovers by
+        // reassignment.
+        engine.execute_read(0, SQL).unwrap();
+        assert_eq!(engine.health().state(1), apuama_cjdbc::CircuitState::Open);
+        let calls_before = faulties[1].calls();
+        // Second query never touches node 1: its range is pre-routed.
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        assert_eq!(faulties[1].calls(), calls_before);
+        assert!(exec
+            .recovery
+            .reassigned
+            .iter()
+            .any(|&(range, node)| range == 1 && node != 1));
+    }
+
+    #[test]
+    fn healthy_run_reports_clean_recovery() {
+        let (engine, _) = faulty_cluster(3, ApuamaConfig::default());
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        assert!(exec.recovery.clean(), "{:?}", exec.recovery);
     }
 }

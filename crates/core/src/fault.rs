@@ -1,0 +1,143 @@
+//! Fault-handling policy for SVP execution.
+//!
+//! The paper assumes every node answers every sub-query; this module is the
+//! knob set that decides what happens when one does not. Full replication
+//! makes recovery cheap: any surviving replica can re-run a failed node's
+//! range predicate, so a dead backend degrades throughput instead of
+//! failing the query. See DESIGN.md §8 for the protocol.
+
+use std::time::Duration;
+
+use apuama_cjdbc::BreakerPolicy;
+
+/// What the Intra-Query Executor does when a sub-query fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Per-sub-query deadline. `None` waits forever (the seed behaviour).
+    /// A timed-out statement counts as a failure for retry/reassignment;
+    /// the abandoned statement keeps running on its detached worker and
+    /// holds one pool slot until it completes (read-only, so harmless).
+    pub subquery_timeout_ms: Option<u64>,
+    /// Same-node retries after the first failed attempt.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based): `retry_backoff_ms << (k - 1)`.
+    pub retry_backoff_ms: u64,
+    /// After same-node retries are exhausted, re-render the failed VPA
+    /// range through the rewriter and run it on a surviving replica,
+    /// attributing the partial to the original range index so composition
+    /// is byte-identical to the healthy run.
+    pub reassign: bool,
+    /// Consecutive failures that open a node's circuit (SVP dispatch and
+    /// the C-JDBC read balancer both skip open circuits).
+    pub breaker_threshold: u32,
+    /// How long an open circuit waits before admitting a probe.
+    pub probe_after_ms: u64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            subquery_timeout_ms: None,
+            max_retries: 1,
+            retry_backoff_ms: 1,
+            reassign: true,
+            breaker_threshold: 3,
+            probe_after_ms: 100,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// The pre-fault-tolerance behaviour: no timeout, no retries, no
+    /// reassignment — the first sub-query error fails the whole SVP query.
+    pub fn fail_fast() -> Self {
+        FaultPolicy {
+            subquery_timeout_ms: None,
+            max_retries: 0,
+            retry_backoff_ms: 0,
+            reassign: false,
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// The circuit-breaker slice of this policy.
+    pub fn breaker(&self) -> BreakerPolicy {
+        BreakerPolicy {
+            threshold: self.breaker_threshold.max(1),
+            probe_after: Duration::from_millis(self.probe_after_ms),
+        }
+    }
+
+    /// Backoff before the `attempt`-th retry (1-based), exponential with
+    /// base `retry_backoff_ms`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.retry_backoff_ms == 0 || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(16);
+        Duration::from_millis(self.retry_backoff_ms.saturating_mul(1 << shift))
+    }
+}
+
+/// What fault handling did during one SVP execution (diagnostics; all
+/// zeros/empty on a healthy run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Same-node retry attempts beyond each first attempt, summed.
+    pub retries: u32,
+    /// Failed attempts observed (including exhausted retries).
+    pub failed_attempts: u32,
+    /// Ranges that ended up on a different node than planned, as
+    /// `(range index, node that produced the partial)` — covers both
+    /// up-front routing around open circuits and post-failure reassignment.
+    pub reassigned: Vec<(usize, usize)>,
+}
+
+impl RecoveryReport {
+    /// True when the execution needed no fault handling at all.
+    pub fn clean(&self) -> bool {
+        self.retries == 0 && self.failed_attempts == 0 && self.reassigned.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_recovering_but_gentle() {
+        let p = FaultPolicy::default();
+        assert_eq!(p.subquery_timeout_ms, None);
+        assert!(p.reassign);
+        assert_eq!(p.max_retries, 1);
+    }
+
+    #[test]
+    fn fail_fast_disables_recovery() {
+        let p = FaultPolicy::fail_fast();
+        assert_eq!(p.max_retries, 0);
+        assert!(!p.reassign);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = FaultPolicy {
+            retry_backoff_ms: 2,
+            ..FaultPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        // Never overflows even for absurd attempt numbers.
+        assert!(p.backoff(u32::MAX) >= p.backoff(17));
+    }
+
+    #[test]
+    fn breaker_slice_clamps_threshold() {
+        let p = FaultPolicy {
+            breaker_threshold: 0,
+            ..FaultPolicy::default()
+        };
+        assert_eq!(p.breaker().threshold, 1);
+    }
+}

@@ -34,6 +34,7 @@ pub mod catalog;
 pub mod composer;
 pub mod consistency;
 pub mod engine;
+pub mod fault;
 pub mod node;
 pub mod rewrite;
 
@@ -45,5 +46,6 @@ pub use composer::{
 };
 pub use consistency::{ConsistencyMode, UpdateGate};
 pub use engine::{ApuamaConfig, ApuamaConnection, ApuamaEngine, SvpExecution};
+pub use fault::{FaultPolicy, RecoveryReport};
 pub use node::NodeProcessor;
 pub use rewrite::{ComposeSpec, FoldFn, QueryTemplate, Rewritten, SvpPlan, SvpRewriter};

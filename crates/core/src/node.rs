@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use apuama_cjdbc::Connection;
+use apuama_cjdbc::{BreakerPolicy, Connection, HealthTracker};
 use apuama_engine::{EngineResult, QueryOutput};
 
 /// A counting semaphore bounding concurrent statements per node — the
@@ -89,10 +89,29 @@ pub struct NodeProcessor {
     /// Whether to force index usage during SVP sub-queries (ablation knob;
     /// the paper always does).
     force_index: bool,
+    /// Shared cluster health tracker this processor reports into.
+    health: Arc<HealthTracker>,
+    /// This node's index in the tracker.
+    index: usize,
 }
 
 impl NodeProcessor {
     pub fn new(conn: Arc<dyn Connection>, pool_size: usize, force_index: bool) -> Arc<Self> {
+        let health = Arc::new(HealthTracker::new(1, BreakerPolicy::default()));
+        Self::with_health(conn, pool_size, force_index, health, 0)
+    }
+
+    /// Builds a processor that reports request outcomes into a shared
+    /// [`HealthTracker`] as node `index` — how the engine wires all
+    /// processors to one cluster-wide breaker.
+    pub fn with_health(
+        conn: Arc<dyn Connection>,
+        pool_size: usize,
+        force_index: bool,
+        health: Arc<HealthTracker>,
+        index: usize,
+    ) -> Arc<Self> {
+        assert!(index < health.node_count());
         Arc::new(NodeProcessor {
             conn,
             pool: ConnectionPool::new(pool_size),
@@ -100,7 +119,19 @@ impl NodeProcessor {
             txn_counter: AtomicU64::new(0),
             snapshot: RwLock::new(()),
             force_index,
+            health,
+            index,
         })
+    }
+
+    /// The health tracker this processor reports into.
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        &self.health
+    }
+
+    /// SVP sub-queries currently holding the seqscan interference.
+    pub fn svp_active(&self) -> u64 {
+        *self.svp.active.lock()
     }
 
     /// Node name (from the wrapped connection).
@@ -147,6 +178,86 @@ impl NodeProcessor {
             _shared: self.snapshot.read(),
         }
     }
+
+    /// Runs one SVP sub-query statement — pool slot, optimizer
+    /// interference, execution — *without* touching the snapshot lock.
+    /// Snapshot ordering is the ticket's job; splitting the statement out
+    /// lets the engine run it on a detached thread under a deadline (the
+    /// ticket guard is not `Send`) while the worker keeps holding the
+    /// ticket. Outcomes are reported to the health tracker.
+    pub fn run_subquery_statement(&self, sql: &str) -> EngineResult<QueryOutput> {
+        self.pool.acquire();
+        let _slot = PoolSlot(&self.pool);
+        let guard = if self.force_index {
+            match SeqscanGuard::engage(self) {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    // The interference SET itself failed: the sub-query
+                    // never ran. Plain failure, refcount untouched.
+                    self.health.record_failure(self.index);
+                    return Err(e);
+                }
+            }
+        } else {
+            None
+        };
+        let result = self.conn.execute(sql);
+        match &result {
+            Ok(_) => self.health.record_success(self.index),
+            Err(_) => self.health.record_failure(self.index),
+        }
+        // Dropping the guard *after* recording lets a failed
+        // `enable_seqscan = on` restore stand as the node's latest health
+        // event without clobbering a successful result.
+        drop(guard);
+        result
+    }
+
+    /// Marks an externally detected failure (the engine's sub-query
+    /// deadline firing) against this node.
+    pub fn record_timeout(&self) {
+        self.health.record_failure(self.index);
+    }
+}
+
+/// RAII for the `enable_seqscan` interference refcount.
+///
+/// The count is bumped only after `set enable_seqscan = off` succeeds, and
+/// the drop handler always decrements — so a failed SET can no longer leak
+/// the refcount and permanently disable the interference (the seed's bug).
+/// A failed restore (`set enable_seqscan = on`) is *reported*, not
+/// propagated: the sub-query's result stands, and the node's suspect
+/// session state is surfaced through the health tracker.
+struct SeqscanGuard<'a> {
+    node: &'a NodeProcessor,
+}
+
+impl<'a> SeqscanGuard<'a> {
+    fn engage(node: &'a NodeProcessor) -> EngineResult<Self> {
+        let mut active = node.svp.active.lock();
+        if *active == 0 {
+            // Fallible part first: only a successful SET owns a count.
+            node.conn.execute("set enable_seqscan = off")?;
+        }
+        *active += 1;
+        Ok(SeqscanGuard { node })
+    }
+}
+
+impl Drop for SeqscanGuard<'_> {
+    fn drop(&mut self) {
+        let node = self.node;
+        let mut active = node.svp.active.lock();
+        *active -= 1;
+        if *active == 0 {
+            // Restore the original setting even if the query failed; if the
+            // restore itself fails, surface it through the health tracker —
+            // never clobber the sub-query result from a drop handler.
+            if node.conn.execute("set enable_seqscan = on").is_err() {
+                node.health.record_restore_failure(node.index);
+            }
+        }
+    }
 }
 
 /// The dispatch ticket: holding it keeps this node's updates ordered after
@@ -159,26 +270,7 @@ pub struct SubqueryTicket<'a> {
 impl SubqueryTicket<'_> {
     /// Runs the SVP sub-query, applying the optimizer interference.
     pub fn run(&self, sql: &str) -> EngineResult<QueryOutput> {
-        let node = self.node;
-        node.pool.acquire();
-        let _slot = PoolSlot(&node.pool);
-        if node.force_index {
-            let mut active = node.svp.active.lock();
-            *active += 1;
-            if *active == 1 {
-                node.conn.execute("set enable_seqscan = off")?;
-            }
-        }
-        let result = node.conn.execute(sql);
-        if node.force_index {
-            let mut active = node.svp.active.lock();
-            *active -= 1;
-            if *active == 0 {
-                // Restore the original setting even if the query failed.
-                node.conn.execute("set enable_seqscan = on")?;
-            }
-        }
-        result
+        self.node.run_subquery_statement(sql)
     }
 }
 
@@ -268,6 +360,77 @@ mod tests {
         drop(ticket);
         writer.join().unwrap();
         assert_eq!(np.txn_count(), 1);
+    }
+
+    #[test]
+    fn failed_seqscan_set_does_not_leak_the_refcount() {
+        use apuama_cjdbc::{FaultPlan, FaultyConnection};
+        let (np, engine_node) = node(true);
+        let faulty = FaultyConnection::new(
+            Arc::new(NodeConnection::new(engine_node.clone())),
+            FaultPlan {
+                only_matching: Some("enable_seqscan = off".into()),
+                ..FaultPlan::fail_all()
+            },
+        );
+        drop(np);
+        let np = NodeProcessor::new(faulty.clone() as Arc<dyn Connection>, 4, true);
+        // The interference SET fails; the sub-query surfaces the error…
+        let ticket = np.begin_subquery();
+        assert!(ticket.run("select count(*) as n from t").is_err());
+        drop(ticket);
+        // …but the refcount did not leak (the seed bug left it at 1,
+        // permanently suppressing the restore).
+        assert_eq!(np.svp_active(), 0);
+        // After the fault clears, the toggle works end to end again.
+        faulty.heal();
+        let ticket = np.begin_subquery();
+        ticket.run("select count(*) as n from t").unwrap();
+        drop(ticket);
+        assert!(engine_node.with_db(|db| db.seqscan_enabled()));
+    }
+
+    #[test]
+    fn failed_restore_keeps_the_result_and_reports_health() {
+        use apuama_cjdbc::{FaultPlan, FaultyConnection};
+        let (np, engine_node) = node(true);
+        let faulty = FaultyConnection::new(
+            Arc::new(NodeConnection::new(engine_node.clone())),
+            FaultPlan {
+                only_matching: Some("enable_seqscan = on".into()),
+                ..FaultPlan::fail_all()
+            },
+        );
+        drop(np);
+        let np = NodeProcessor::new(faulty.clone() as Arc<dyn Connection>, 4, true);
+        let ticket = np.begin_subquery();
+        // The sub-query succeeds; the restore SET fails. The seed discarded
+        // the successful result here — it must survive.
+        let out = ticket.run("select count(*) as n from t").unwrap();
+        assert_eq!(out.rows[0][0], apuama_sql::Value::Int(100));
+        drop(ticket);
+        assert_eq!(np.svp_active(), 0);
+        // The failure is surfaced through the health tracker instead.
+        assert_eq!(np.health().restore_failures(0), 1);
+        // Seqscan is genuinely still off (the restore failed)…
+        assert!(!engine_node.with_db(|db| db.seqscan_enabled()));
+        // …and the next successful round trip restores it.
+        faulty.heal();
+        let ticket = np.begin_subquery();
+        ticket.run("select count(*) as n from t").unwrap();
+        drop(ticket);
+        assert!(engine_node.with_db(|db| db.seqscan_enabled()));
+    }
+
+    #[test]
+    fn statement_outcomes_feed_the_health_tracker() {
+        let (np, _) = node(true);
+        let ticket = np.begin_subquery();
+        ticket.run("select count(*) as n from t").unwrap();
+        assert!(ticket.run("select nope from missing").is_err());
+        drop(ticket);
+        assert_eq!(np.health().successes(0), 1);
+        assert_eq!(np.health().failures(0), 1);
     }
 
     #[test]

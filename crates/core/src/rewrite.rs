@@ -37,6 +37,9 @@ use crate::catalog::DataCatalog;
 pub const PARTIALS_TABLE: &str = "svp_partials";
 
 /// Outcome of a rewrite attempt.
+// The Svp variant embeds the full template for range re-rendering; plans
+// are built once per query, so the size gap to Passthrough is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Rewritten {
     /// The query cannot (or need not) use SVP; run it on one node as-is.
@@ -53,6 +56,11 @@ pub enum Rewritten {
 pub struct SvpPlan {
     /// One sub-query per partition, in partition order.
     pub subqueries: Vec<String>,
+    /// The VPA bounds behind each sub-query, `(lo, hi)` half-open with
+    /// `None` = unbounded — what fault recovery feeds back into
+    /// [`QueryTemplate::subquery_for_range`] to re-render a failed node's
+    /// residual range for a surviving replica.
+    pub ranges: Vec<(Option<i64>, Option<i64>)>,
     /// Column names of the partial results (the staging table's schema).
     pub partial_columns: Vec<String>,
     /// Composition query over [`PARTIALS_TABLE`].
@@ -65,6 +73,9 @@ pub struct SvpPlan {
     /// fold partials incrementally instead of replaying `composition_sql`
     /// over a full staging table.
     pub compose: ComposeSpec,
+    /// The template this plan was instantiated from, kept so the executor
+    /// can re-invoke the rewriter on a residual range during reassignment.
+    pub template: QueryTemplate,
 }
 
 /// How partial rows combine into the final result — derived during
@@ -182,17 +193,21 @@ impl QueryTemplate {
         assert!(n > 0);
         let vp = &self.partitioned[0].1;
         let mut subqueries = Vec::with_capacity(n);
+        let mut ranges = Vec::with_capacity(n);
         for i in 0..n {
             let (lo, hi) = vp.partition_bounds(i, n);
             subqueries.push(self.subquery_for_range(lo, hi));
+            ranges.push((lo, hi));
         }
         SvpPlan {
             subqueries,
+            ranges,
             partial_columns: self.partial_columns.clone(),
             composition_sql: self.composition_sql.clone(),
             output_columns: self.output_columns.clone(),
             partitioned_tables: self.partitioned_tables(),
             compose: self.compose.clone(),
+            template: self.clone(),
         }
     }
 }

@@ -23,6 +23,9 @@ pub enum EngineError {
     Transaction(String),
     /// Constraint violation (NOT NULL, arity mismatch on INSERT, ...).
     Constraint(String),
+    /// A statement exceeded its deadline (per-sub-query timeout in the
+    /// cluster layer; the engine itself never times out).
+    Timeout(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -37,6 +40,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Transaction(m) => write!(f, "transaction error: {m}"),
             EngineError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            EngineError::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }

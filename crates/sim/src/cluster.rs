@@ -38,6 +38,28 @@ pub struct SimClusterConfig {
     pub composer: ComposerStrategy,
     /// The pricing model.
     pub cost: CostModel,
+    /// Failure arm: when set, isolated SVP queries price the degraded-mode
+    /// timeline — the failed node's range is detected dead, then reassigned
+    /// to a surviving replica (see [`SimFault`]). `None` = healthy cluster.
+    pub fault: Option<SimFault>,
+}
+
+/// A failure scenario for isolated SVP runs: one node fails 100% of its
+/// sub-queries. Mirrors `apuama::FaultPolicy`'s recovery protocol in
+/// virtual time: each attempt burns `detect_ms` (error round trip or
+/// timeout), `retries` same-node retries are exhausted, and the range then
+/// runs whole on the least-loaded survivor — serialized after that
+/// survivor's own range, exactly like the engine's reassignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimFault {
+    /// The failing node.
+    pub node: usize,
+    /// Virtual ms burned per failed attempt before the failure is
+    /// detected (calibrate to the fault policy's timeout, or to an error
+    /// round trip for fail-fast errors).
+    pub detect_ms: f64,
+    /// Same-node retries before reassignment (the policy's `max_retries`).
+    pub retries: u32,
 }
 
 impl SimClusterConfig {
@@ -60,6 +82,7 @@ impl SimClusterConfig {
             balancer: SimBalancer::LeastPending,
             composer: ComposerStrategy::Streaming,
             cost: CostModel::paper_2006(),
+            fault: None,
         }
     }
 }
@@ -327,6 +350,11 @@ impl SimCluster {
         }
         match self.rewrite(sql)? {
             Rewritten::Svp(plan) => {
+                if let Some(fault) = self.config.fault {
+                    if fault.node < self.nodes.len() && self.nodes.len() > 1 {
+                        return self.run_query_svp_degraded(&plan, fault);
+                    }
+                }
                 let mut partials = Vec::with_capacity(self.nodes.len());
                 let mut node_task_ms = Vec::with_capacity(self.nodes.len());
                 for (i, sub) in plan.subqueries.iter().enumerate() {
@@ -356,6 +384,58 @@ impl SimCluster {
                 })
             }
         }
+    }
+
+    /// SVP execution with one node down, priced against the recovery
+    /// protocol: survivors run their ranges normally; the failed range
+    /// burns `detect_ms × (retries + 1)` of virtual time being detected,
+    /// then runs *whole* (re-rendered through the rewriter, so the SQL is
+    /// byte-identical to the planned sub-query) on the least-loaded
+    /// survivor, serialized after that survivor's own range. The partial
+    /// keeps its original range index, so composition — and the answer —
+    /// match the healthy cluster exactly; only the arrival schedule the
+    /// composer is priced against degrades.
+    fn run_query_svp_degraded(
+        &self,
+        plan: &SvpPlan,
+        fault: SimFault,
+    ) -> EngineResult<SimQueryResult> {
+        let n = self.nodes.len();
+        let mut partials: Vec<Option<QueryOutput>> = vec![None; n];
+        let mut finish_ms = vec![0.0f64; n];
+        for (i, sub) in plan.subqueries.iter().enumerate() {
+            if i == fault.node {
+                continue;
+            }
+            let (out, ms) = self.exec_subquery(i, sub)?;
+            finish_ms[i] = ms;
+            partials[i] = Some(out);
+        }
+        // Failure detection: every attempt on the dead node costs one
+        // detection interval (timeout or error round trip).
+        let detected_at = fault.detect_ms * (fault.retries + 1) as f64;
+        // Reassign to the least-loaded survivor; it serializes the extra
+        // range after its own, and cannot start before detection.
+        let survivor = (0..n)
+            .filter(|&j| j != fault.node)
+            .min_by(|&a, &b| finish_ms[a].total_cmp(&finish_ms[b]).then(a.cmp(&b)))
+            .expect("at least one survivor");
+        let (lo, hi) = plan.ranges[fault.node];
+        let residual_sql = plan.template.subquery_for_range(lo, hi);
+        debug_assert_eq!(residual_sql, plan.subqueries[fault.node]);
+        let (out, ms) = self.exec_subquery(survivor, &residual_sql)?;
+        finish_ms[fault.node] = finish_ms[survivor].max(detected_at) + ms;
+        partials[fault.node] = Some(out);
+        let partials: Vec<QueryOutput> = partials.into_iter().map(Option::unwrap).collect();
+        let timed = self.compose_timed(plan, &partials, &finish_ms)?;
+        Ok(SimQueryResult {
+            makespan_ms: timed.done_ms,
+            node_task_ms: finish_ms,
+            composition_ms: timed.compose_ms,
+            transfer_ms: timed.transfer_ms,
+            compose_overlap_ms: timed.overlap_ms,
+            output: timed.output,
+        })
     }
 
     /// AVP execution of an eligible query: chunked sub-queries with work
@@ -503,6 +583,76 @@ mod tests {
             .unwrap();
         assert_eq!(res.node_task_ms.len(), 1);
         assert_eq!(res.composition_ms, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_arm_tests {
+    use super::*;
+    use apuama_tpch::{generate, QueryParams, TpchConfig, TpchQuery};
+
+    fn data() -> apuama_tpch::TpchData {
+        generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn degraded_run_matches_healthy_answers_and_costs_more() {
+        let healthy = SimCluster::new(&data(), SimClusterConfig::paper(4)).unwrap();
+        let mut cfg = SimClusterConfig::paper(4);
+        cfg.fault = Some(SimFault {
+            node: 0,
+            detect_ms: 50.0,
+            retries: 1,
+        });
+        let degraded = SimCluster::new(&data(), cfg).unwrap();
+        for q in [TpchQuery::Q1, TpchQuery::Q6, TpchQuery::Q12] {
+            let sql = q.sql(&QueryParams::default());
+            let h = healthy.run_query_isolated(&sql).unwrap();
+            let d = degraded.run_query_isolated(&sql).unwrap();
+            assert_eq!(d.output.rows, h.output.rows, "{}", q.label());
+            assert!(
+                d.makespan_ms > h.makespan_ms,
+                "{}: degraded {} ms vs healthy {} ms",
+                q.label(),
+                d.makespan_ms,
+                h.makespan_ms
+            );
+        }
+    }
+
+    #[test]
+    fn failed_range_lands_after_detection_on_a_survivor() {
+        let mut cfg = SimClusterConfig::paper(3);
+        cfg.fault = Some(SimFault {
+            node: 1,
+            detect_ms: 100.0,
+            retries: 2,
+        });
+        let c = SimCluster::new(&data(), cfg).unwrap();
+        let r = c
+            .run_query_isolated(&TpchQuery::Q6.sql(&QueryParams::default()))
+            .unwrap();
+        // 3 attempts × 100 ms of detection precede the reassigned range.
+        assert!(r.node_task_ms[1] > 300.0, "{:?}", r.node_task_ms);
+        // The makespan is bounded below by the recovered range's finish.
+        assert!(r.makespan_ms >= r.node_task_ms[1]);
+    }
+
+    #[test]
+    fn fault_on_a_single_node_cluster_is_ignored() {
+        let mut cfg = SimClusterConfig::paper(1);
+        cfg.fault = Some(SimFault {
+            node: 0,
+            detect_ms: 50.0,
+            retries: 0,
+        });
+        let c = SimCluster::new(&data(), cfg).unwrap();
+        // No survivor exists; the arm is skipped rather than panicking.
+        c.run_query_isolated(&TpchQuery::Q6.sql(&QueryParams::default()))
+            .unwrap();
     }
 }
 

@@ -31,7 +31,9 @@ pub mod des;
 pub mod isolated;
 pub mod workload;
 
-pub use cluster::{ComposedTiming, SimBalancer, SimCluster, SimClusterConfig, SimQueryResult};
+pub use cluster::{
+    ComposedTiming, SimBalancer, SimCluster, SimClusterConfig, SimFault, SimQueryResult,
+};
 pub use cost::CostModel;
 pub use isolated::{run_isolated, IsolatedReport};
 pub use workload::{run_workload, SimReport, WorkloadSpec};

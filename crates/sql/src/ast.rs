@@ -742,7 +742,7 @@ mod tests {
 
     #[test]
     fn statement_write_classification() {
-        assert!(Statement::Begin.is_write() == false);
+        assert!(!Statement::Begin.is_write());
         assert!(Statement::Delete {
             table: "t".into(),
             selection: None

@@ -510,7 +510,7 @@ mod tests {
 
     #[test]
     fn sort_cmp_total_order_nulls_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.sort_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(1));

@@ -192,7 +192,7 @@ mod svp_failure {
     }
 
     #[test]
-    fn failed_subquery_surfaces_error_and_gate_recovers() {
+    fn failed_subqueries_reassign_or_surface_and_gate_recovers() {
         let data = generate(TpchConfig {
             scale_factor: 0.001,
             seed: 23,
@@ -216,9 +216,23 @@ mod svp_failure {
         );
         let controller = Controller::new(engine.connections(), ControllerConfig::default());
 
-        // Break node 1's reads: the SVP query must fail loudly, not hang or
-        // return a partial answer.
+        let (want, _) = controller
+            .execute("select count(*) as n from lineitem")
+            .unwrap();
+
+        // Break node 1's reads: its range is reassigned to a survivor and
+        // the SVP query still returns the full answer.
         flakies[1].failing.store(true, Ordering::SeqCst);
+        let (out, _) = controller
+            .execute("select count(*) as n from lineitem")
+            .unwrap();
+        assert_eq!(out.rows, want.rows);
+
+        // Break every node: with nowhere left to reassign, the query must
+        // fail loudly, not hang or return a partial answer.
+        for f in &flakies {
+            f.failing.store(true, Ordering::SeqCst);
+        }
         assert!(controller
             .execute("select count(*) as n from lineitem")
             .is_err());
@@ -231,7 +245,9 @@ mod svp_failure {
                  '5-LOW', 'c', 0, 'post-failure')",
             )
             .expect("updates must not deadlock after a failed SVP query");
-        flakies[1].failing.store(false, Ordering::SeqCst);
+        for f in &flakies {
+            f.failing.store(false, Ordering::SeqCst);
+        }
         let (out, _) = controller
             .execute("select count(*) as n from orders")
             .unwrap();

@@ -1,0 +1,216 @@
+//! Fault-tolerance integration tests: the cluster must answer correctly —
+//! byte-identically to a healthy cluster — while nodes fail, stall, or
+//! recover, and the consistency protocol must neither deadlock nor skew
+//! its transaction counters when failures overlap concurrent updates.
+
+use std::sync::Arc;
+
+use apuama::{ApuamaConfig, ApuamaEngine, DataCatalog, FaultPolicy};
+use apuama_cjdbc::{
+    CircuitState, Connection, Controller, ControllerConfig, EngineNode, FaultPlan, FaultTarget,
+    FaultyConnection, NodeConnection,
+};
+use apuama_engine::Database;
+use apuama_tpch::{generate, load_into, QueryParams, TpchConfig, TpchData};
+
+fn dataset() -> TpchData {
+    generate(TpchConfig {
+        scale_factor: 0.001,
+        seed: 17,
+    })
+}
+
+/// A TPC-H cluster whose every backend sits behind an (initially inert)
+/// fault injector, plus a C-JDBC controller over the engine's connections.
+fn faulty_cluster(
+    data: &TpchData,
+    nodes: usize,
+    config: ApuamaConfig,
+) -> (
+    Arc<ApuamaEngine>,
+    Arc<Controller>,
+    Vec<Arc<FaultyConnection>>,
+) {
+    let mut faulties = Vec::new();
+    let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+    for i in 0..nodes {
+        let mut db = Database::in_memory();
+        load_into(&mut db, data).expect("replica loads");
+        let faulty = FaultyConnection::new(
+            Arc::new(NodeConnection::new(EngineNode::new(
+                format!("node-{i}"),
+                db,
+            ))),
+            FaultPlan::default(),
+        );
+        conns.push(faulty.clone() as Arc<dyn Connection>);
+        faulties.push(faulty);
+    }
+    let orders = data.config.orders() as i64;
+    let engine = ApuamaEngine::new(conns, DataCatalog::tpch(orders), config);
+    let controller = Arc::new(Controller::new(
+        engine.connections(),
+        ControllerConfig::default(),
+    ));
+    (engine, controller, faulties)
+}
+
+fn fail_reads() -> FaultPlan {
+    FaultPlan {
+        target: FaultTarget::Reads,
+        ..FaultPlan::fail_all()
+    }
+}
+
+/// Acceptance criterion: with one node failing 100% of its sub-queries,
+/// every evaluation query still returns byte-for-byte the healthy answer —
+/// the failed VPA range is re-executed on a survivor and folded at its
+/// original position.
+#[test]
+fn dead_node_cluster_answers_every_eval_query_byte_identically() {
+    let data = dataset();
+    let (healthy, _, _) = faulty_cluster(&data, 4, ApuamaConfig::default());
+    let (engine, _, faulties) = faulty_cluster(&data, 4, ApuamaConfig::default());
+    faulties[1].set_plan(fail_reads());
+
+    let params = QueryParams::default();
+    for q in apuama_tpch::ALL_QUERIES {
+        let sql = q.sql(&params);
+        let want = healthy.execute_read(0, &sql).expect("healthy run");
+        let got = engine.execute_read(0, &sql).expect("degraded run");
+        assert_eq!(got.columns, want.columns, "{}", q.label());
+        assert_eq!(
+            got.rows,
+            want.rows,
+            "{}: degraded answer diverged",
+            q.label()
+        );
+    }
+    assert!(
+        faulties[1].injected_errors() > 0,
+        "the dead node was never even asked"
+    );
+    // The repeated failures tripped the breaker.
+    assert_eq!(engine.health().state(1), CircuitState::Open);
+}
+
+/// Satellite: a fault-injected SVP stream running against concurrent
+/// update transactions must not deadlock the update gate, must only ever
+/// observe consistent (monotonically growing) snapshots, and must leave
+/// the per-node transaction counters converged.
+#[test]
+fn faulted_svp_under_concurrent_writes_neither_deadlocks_nor_skews_counters() {
+    let data = dataset();
+    let (engine, controller, faulties) = faulty_cluster(&data, 3, ApuamaConfig::default());
+    // Reads fail on node 2; writes still replicate everywhere, which is
+    // what keeps the counters converging.
+    faulties[2].set_plan(fail_reads());
+    let base_orders = data.config.orders() as i64;
+
+    std::thread::scope(|s| {
+        let writer = {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                for k in 0..25i64 {
+                    let key = base_orders + 1 + k;
+                    c.execute(&format!(
+                        "insert into orders values ({key}, 1, 'O', 1.0, \
+                         date '1997-01-01', '5-LOW', 'c', 0, 'w')"
+                    ))
+                    .unwrap();
+                }
+            })
+        };
+        let reader = {
+            let c = Arc::clone(&controller);
+            s.spawn(move || {
+                let mut last = 0i64;
+                for _ in 0..12 {
+                    // SVP count; node 2's range is reassigned every time.
+                    let (out, _) = c.execute("select count(*) as n from orders").unwrap();
+                    let now = out.rows[0][0].as_i64().unwrap();
+                    assert!(now >= last, "count went backwards: {last} -> {now}");
+                    last = now;
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+    assert_eq!(engine.txn_counters(), vec![25, 25, 25]);
+    let (out, _) = controller
+        .execute("select count(*) as n from orders")
+        .unwrap();
+    assert_eq!(out.rows[0][0].as_i64().unwrap(), base_orders + 25);
+}
+
+/// Satellite: when every replica is down, retries and reassignment must
+/// exhaust cleanly — an error, not a hang — and the same engine must serve
+/// correct answers again once the nodes heal.
+#[test]
+fn retry_exhaustion_yields_clean_error_and_engine_stays_usable() {
+    let data = dataset();
+    let (engine, controller, faulties) = faulty_cluster(&data, 3, ApuamaConfig::default());
+    let (reference, _, _) = faulty_cluster(&data, 3, ApuamaConfig::default());
+    const SQL: &str = "select count(*) as n, sum(o_totalprice) as t from orders";
+    let want = reference.execute_read(0, SQL).unwrap();
+
+    for f in &faulties {
+        f.set_plan(fail_reads());
+    }
+    let err = engine.execute_read(0, SQL).expect_err("all replicas down");
+    assert!(
+        !err.to_string().is_empty(),
+        "exhaustion must surface a real error"
+    );
+
+    // The gate must have been released: a write still goes through.
+    let base_orders = data.config.orders() as i64;
+    controller
+        .execute(&format!(
+            "insert into orders values ({}, 1, 'O', 1.0, \
+             date '1997-01-01', '5-LOW', 'c', 0, 'x')",
+            base_orders + 1
+        ))
+        .expect("write after failed SVP");
+
+    // Heal; the open circuits half-open on the next dispatch and the probe
+    // succeeds, so the very same engine is usable again.
+    for f in &faulties {
+        f.heal();
+    }
+    let got = engine.execute_read(0, SQL).expect("healed run");
+    let n = got.rows[0][0].as_i64().unwrap();
+    assert_eq!(n, want.rows[0][0].as_i64().unwrap() + 1);
+    assert_eq!(engine.txn_counters(), vec![1, 1, 1]);
+}
+
+/// Stalls (not errors) on one node: the per-sub-query timeout detects the
+/// hang and reassignment produces the healthy answer.
+#[test]
+fn stalling_node_is_timed_out_and_worked_around() {
+    let data = dataset();
+    let config = ApuamaConfig {
+        fault: FaultPolicy {
+            subquery_timeout_ms: Some(40),
+            max_retries: 0,
+            ..FaultPolicy::default()
+        },
+        ..ApuamaConfig::default()
+    };
+    let (reference, _, _) = faulty_cluster(&data, 3, ApuamaConfig::default());
+    let (engine, _, faulties) = faulty_cluster(&data, 3, config);
+    faulties[0].set_plan(FaultPlan {
+        stall_every: 1,
+        stall: std::time::Duration::from_millis(400),
+        only_matching: Some("from orders".into()),
+        ..FaultPlan::default()
+    });
+    const SQL: &str = "select count(*) as n, avg(o_totalprice) as a from orders";
+    let want = reference.execute_read(0, SQL).unwrap();
+    let got = engine
+        .execute_read(0, SQL)
+        .expect("timed-out range reassigned");
+    assert_eq!(got.rows, want.rows);
+    assert!(faulties[0].injected_stalls() > 0);
+}

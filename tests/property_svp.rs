@@ -10,12 +10,21 @@
 //! 4. **Composer equivalence** — the incremental [`StreamingComposer`]
 //!    produces byte-identical rows to the staging-table path, for every
 //!    query in the family, every node count, and every arrival order.
+//! 5. **Fault equivalence** — injecting a fault at any stage of the SVP
+//!    pipeline (sub-query execution, the optimizer-interference `SET`,
+//!    pure latency, or a stall caught by the timeout) must not change a
+//!    byte of the answer relative to the same cluster running healthy.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use apuama::{
-    compose, compose_with, Composer, ComposerStrategy, DataCatalog, Rewritten, StreamingComposer,
-    SvpRewriter, VirtualPartitioning,
+    compose, compose_with, ApuamaConfig, ApuamaEngine, Composer, ComposerStrategy, DataCatalog,
+    FaultPolicy, Rewritten, StreamingComposer, SvpRewriter, VirtualPartitioning,
+};
+use apuama_cjdbc::{
+    Connection, EngineNode, FaultPlan, FaultTarget, FaultyConnection, NodeConnection,
 };
 use apuama_engine::{Database, QueryOutput};
 use apuama_sql::{parse_statement, Value};
@@ -238,6 +247,93 @@ proptest! {
         let shuffled = composer.finish().unwrap();
         prop_assert_eq!(&shuffled.output.rows, &staged.output.rows,
             "{} on {} nodes, seed {}", sql, nodes, shuffle_seed);
+    }
+}
+
+/// A full engine over replicas of `rows`, each behind a fault injector.
+fn engine_over(
+    rows: &[(i64, i64, f64, u8)],
+    nodes: usize,
+    config: ApuamaConfig,
+) -> (Arc<ApuamaEngine>, Vec<Arc<FaultyConnection>>) {
+    let mut faulties = Vec::new();
+    let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+    for i in 0..nodes {
+        let faulty = FaultyConnection::new(
+            Arc::new(NodeConnection::new(EngineNode::new(
+                format!("node-{i}"),
+                db_with_orders(rows),
+            ))),
+            FaultPlan::default(),
+        );
+        conns.push(faulty.clone() as Arc<dyn Connection>);
+        faulties.push(faulty);
+    }
+    (
+        ApuamaEngine::new(conns, DataCatalog::tpch(500), config),
+        faulties,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fault equivalence: whatever stage of the pipeline the fault hits on
+    /// whichever node, the recovered answer is byte-identical to the same
+    /// cluster running with injection disabled.
+    #[test]
+    fn faulted_svp_equals_healthy_svp(
+        rows in orders_strategy(),
+        nodes in 2usize..6,
+        query_idx in 0usize..QUERIES.len(),
+        fault_node in 0usize..6,
+        stage in 0usize..4,
+    ) {
+        let sql = QUERIES[query_idx];
+        let f = fault_node % nodes;
+        // Stage 3 (stall) needs the per-sub-query timeout armed.
+        let config = if stage == 3 {
+            ApuamaConfig {
+                fault: FaultPolicy {
+                    subquery_timeout_ms: Some(30),
+                    max_retries: 0,
+                    ..FaultPolicy::default()
+                },
+                ..ApuamaConfig::default()
+            }
+        } else {
+            ApuamaConfig::default()
+        };
+        let (healthy, _) = engine_over(&rows, nodes, ApuamaConfig::default());
+        let (engine, faulties) = engine_over(&rows, nodes, config);
+        let plan = match stage {
+            // Sub-query execution fails outright on node f.
+            0 => FaultPlan { target: FaultTarget::Reads, ..FaultPlan::fail_all() },
+            // Only the optimizer-interference SET fails (ticket engage).
+            1 => FaultPlan {
+                only_matching: Some("enable_seqscan".into()),
+                ..FaultPlan::fail_all()
+            },
+            // Pure latency: slow but correct.
+            2 => FaultPlan {
+                delay: std::time::Duration::from_millis(15),
+                ..FaultPlan::default()
+            },
+            // A stall the timeout must detect; survivors are untouched.
+            _ => FaultPlan {
+                stall_every: 1,
+                stall: std::time::Duration::from_millis(200),
+                only_matching: Some("from orders".into()),
+                ..FaultPlan::default()
+            },
+        };
+        faulties[f].set_plan(plan);
+
+        let want = healthy.execute_read(0, sql).unwrap();
+        let got = engine.execute_read(0, sql).unwrap();
+        prop_assert_eq!(&got.columns, &want.columns);
+        prop_assert_eq!(&got.rows, &want.rows,
+            "{} on {} nodes, fault stage {} at node {}", sql, nodes, stage, f);
     }
 }
 

@@ -7,8 +7,8 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy (workspace, warnings are errors) =="
-cargo clippy --workspace -- -D warnings
+echo "== cargo clippy (workspace, all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
@@ -18,5 +18,10 @@ echo "== fault injection: retry/reassignment/breaker suite =="
 cargo test -q --test fault_tolerance
 cargo test -q -p apuama --lib fault
 cargo test -q -p apuama-cjdbc --lib -- "fault::" "health::"
+
+echo "== recovery: log/rejoin/re-clone suite =="
+cargo test -q --test recovery_rejoin
+cargo test -q -p apuama-cjdbc --lib -- "recovery::"
+cargo test -q -p apuama-sim --lib -- "recovery::"
 
 echo "ci: all green"

@@ -12,12 +12,17 @@
 //! 7. **Fault tolerance** — one node failing all of its SVP sub-queries;
 //!    the failed range is detected, retried, and reassigned to a survivor.
 //!    Answers must stay byte-identical; the table prices the slowdown.
+//! 8. **Recovery & rejoin** — a node misses a write burst while down, the
+//!    cluster runs degraded, then the recovery log replays the missed
+//!    suffix (live rounds + a final drain under the write pause) and the
+//!    node re-enters rotation. The table compares healthy, degraded, and
+//!    post-rejoin makespans and prices the rejoin itself.
 //!
 //! Run with the same `APUAMA_*` environment knobs as the figure binaries.
 
 use apuama_bench::{fmt_ms, fmt_ratio, FigureTable, HarnessConfig};
 use apuama_sim::{
-    run_isolated, run_workload, SimCluster, SimClusterConfig, SimFault, WorkloadSpec,
+    price_rejoin, run_isolated, run_workload, SimCluster, SimClusterConfig, SimFault, WorkloadSpec,
 };
 use apuama_tpch::{QueryParams, TpchQuery};
 
@@ -154,6 +159,7 @@ fn main() {
     balancer_policies(&cfg, &data, n);
     composer_strategies(&cfg, &data, n);
     fault_tolerance(&cfg, &data, n);
+    recovery_rejoin(&cfg, &data, n);
 }
 
 /// Ablation 4 — SVP's static partitions vs AVP's adaptive chunks with work
@@ -384,5 +390,112 @@ fn fault_tolerance(_cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize)
     }
     t7.print();
     t7.write_csv("ablation_fault_tolerance")
+        .expect("csv writable");
+}
+
+/// Ablation 8 — recovery & rejoin: node 0 is down while a refresh burst
+/// lands on the survivors, the cluster answers queries degraded (node 0's
+/// ranges reassigned), then the missed suffix is replayed — live rounds
+/// first, the tail under the write pause — and node 0 re-enters rotation.
+/// Answers must stay byte-identical through all three arms; the makespan
+/// columns price running one node short, and the replay cost line prices
+/// the rejoin itself.
+fn recovery_rejoin(_cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
+    let mut t8 = FigureTable::new(
+        format!("Ablation 8 — recovery & rejoin: node 0 down for a write burst, {n} nodes"),
+        &[
+            "query",
+            "healthy",
+            "degraded",
+            "rejoined",
+            "degraded/healthy",
+        ],
+    );
+    let params = QueryParams::default();
+    let mut healthy = SimCluster::new(data, SimClusterConfig::paper(n)).expect("cluster builds");
+    let mut degraded = SimCluster::new(data, SimClusterConfig::paper(n)).expect("cluster builds");
+
+    // The same refresh burst lands on both clusters — on every healthy
+    // replica, but only on the survivors of the degraded one. These are the
+    // scripts the recovery log would retain for node 0.
+    let burst = 16i64;
+    let key = healthy.reserve_refresh_keys(burst);
+    degraded.reserve_refresh_keys(burst);
+    let scripts: Vec<String> = (0..burst)
+        .map(|i| {
+            format!(
+                "insert into orders values ({}, 1, 'O', 1.0, date '1995-01-01', \
+                 '1-URGENT', 'c', 0, 'x')",
+                key + i
+            )
+        })
+        .collect();
+    for s in &scripts {
+        healthy.broadcast_write(s).expect("healthy broadcast");
+        for node in 1..n {
+            degraded.exec_write(node, s).expect("survivor write");
+        }
+    }
+    degraded.set_fault(Some(SimFault {
+        node: 0,
+        detect_ms: 50.0,
+        retries: 1,
+    }));
+
+    let mut degraded_runs = Vec::new();
+    for q in apuama_tpch::ALL_QUERIES {
+        let sql = q.sql(&params);
+        healthy.drop_caches();
+        degraded.drop_caches();
+        let h = healthy.run_query_isolated(&sql).expect("healthy run");
+        let d = degraded.run_query_isolated(&sql).expect("degraded run");
+        assert_eq!(
+            h.output.rows,
+            d.output.rows,
+            "{}: degraded answers must stay byte-identical",
+            q.label()
+        );
+        degraded_runs.push((q, h, d));
+    }
+
+    // Rejoin: replay the whole missed suffix onto node 0, charging the
+    // final catch-up batch to the write pause, then lift the fault.
+    let cost = price_rejoin(&mut degraded, 0, &scripts, 4).expect("rejoin replays");
+    degraded.set_fault(None);
+
+    for (q, h, d) in degraded_runs {
+        let sql = q.sql(&params);
+        degraded.drop_caches();
+        let r = degraded.run_query_isolated(&sql).expect("rejoined run");
+        assert_eq!(
+            h.output.rows,
+            r.output.rows,
+            "{}: post-rejoin answers must stay byte-identical",
+            q.label()
+        );
+        assert!(
+            r.makespan_ms <= d.makespan_ms,
+            "{}: rejoining cannot be slower than degraded ({}ms vs {}ms)",
+            q.label(),
+            r.makespan_ms,
+            d.makespan_ms
+        );
+        t8.push_row(vec![
+            q.label(),
+            fmt_ms(h.makespan_ms),
+            fmt_ms(d.makespan_ms),
+            fmt_ms(r.makespan_ms),
+            fmt_ratio(d.makespan_ms / h.makespan_ms),
+        ]);
+    }
+    t8.print();
+    println!(
+        "rejoin replay: {} scripts, live {} + pause {} = {} total",
+        cost.replayed,
+        fmt_ms(cost.live_ms),
+        fmt_ms(cost.pause_ms),
+        fmt_ms(cost.total_ms())
+    );
+    t8.write_csv("ablation_recovery_rejoin")
         .expect("csv writable");
 }

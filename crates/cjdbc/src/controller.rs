@@ -7,14 +7,18 @@
 //! any read can go to any node — and the exact layer Apuama slots beneath
 //! without modification.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use apuama_engine::{EngineError, EngineResult, QueryOutput};
+use parking_lot::Mutex;
 
 use crate::balancer::{LeastPendingBalancer, LoadBalancer};
 use crate::connection::{classify, Connection, StatementKind};
 use crate::health::{BreakerPolicy, HealthTracker};
+use crate::recovery::{
+    NoRejoinHooks, RecoveryConfig, RecoveryLog, RejoinHooks, RejoinOutcome, RejoinState,
+};
 use crate::scheduler::WriteScheduler;
 
 /// One registered backend and its in-flight request counter.
@@ -24,10 +28,12 @@ struct Backend {
     /// Writes successfully applied to this backend (replica freshness
     /// diagnostic; Apuama keeps its own counters at the driver seam).
     writes_applied: AtomicUsize,
-    /// False once the backend failed a request and was taken out of
-    /// rotation (C-JDBC's backend-disable; re-enable after external
-    /// recovery with [`Controller::enable_backend`]).
-    enabled: AtomicBool,
+    /// Rejoin state machine position ([`RejoinState`] as u8). Only
+    /// `Enabled` backends receive routed traffic; a backend that failed a
+    /// request moves to `Disabled` (C-JDBC's backend-disable) and comes
+    /// back through [`Controller::rejoin_backend`]'s
+    /// `CatchingUp → Probing → Enabled` path.
+    state: AtomicU8,
     /// Reads this backend has served (balancer diagnostics).
     reads_served: AtomicUsize,
 }
@@ -37,15 +43,22 @@ pub struct ControllerConfig {
     /// Read load-balancing policy; the paper uses least-pending.
     pub balancer: Box<dyn LoadBalancer>,
     /// On a backend failure, disable that backend and keep serving from
-    /// the rest (C-JDBC's behaviour — it would then replay the recovery
-    /// log, which is out of scope here; see DESIGN.md §7). When false, a
-    /// failing write surfaces the error and all backends stay enabled.
+    /// the rest (C-JDBC's behaviour); the recovery log keeps tracking what
+    /// the disabled backend misses so [`Controller::rejoin_backend`] can
+    /// catch it up later. When false, a failing write surfaces the error
+    /// and all backends stay enabled.
     pub disable_failed_backends: bool,
     /// Circuit-breaker tuning for the per-backend health tracker. Unlike
-    /// `disable_failed_backends` (permanent until `enable_backend`), the
-    /// breaker is transient: it opens after consecutive failures and
-    /// recovers on its own through a timed probe.
+    /// `disable_failed_backends` (permanent until rejoin), the breaker is
+    /// transient: it opens after consecutive failures and recovers on its
+    /// own through a timed probe.
     pub breaker: BreakerPolicy,
+    /// Recovery-log retention and rejoin-protocol tuning.
+    pub recovery: RecoveryConfig,
+    /// Callbacks fired at rejoin state transitions, so an interposing
+    /// engine (Apuama's `UpdateGate`) can mirror the controller's view of
+    /// the cluster. Defaults to no-ops.
+    pub rejoin_hooks: Arc<dyn RejoinHooks>,
 }
 
 impl Default for ControllerConfig {
@@ -54,6 +67,8 @@ impl Default for ControllerConfig {
             balancer: Box::new(LeastPendingBalancer),
             disable_failed_backends: false,
             breaker: BreakerPolicy::default(),
+            recovery: RecoveryConfig::default(),
+            rejoin_hooks: Arc::new(NoRejoinHooks),
         }
     }
 }
@@ -65,6 +80,11 @@ pub struct Controller {
     balancer: Box<dyn LoadBalancer>,
     disable_failed: bool,
     health: Arc<HealthTracker>,
+    log: Arc<RecoveryLog>,
+    recovery: RecoveryConfig,
+    hooks: Arc<dyn RejoinHooks>,
+    /// Serializes rejoin/enable attempts: one backend recovers at a time.
+    rejoin_token: Mutex<()>,
 }
 
 impl Controller {
@@ -88,6 +108,11 @@ impl Controller {
             conns.len(),
             "health tracker sized for a different cluster"
         );
+        let log = Arc::new(RecoveryLog::new(
+            conns.len(),
+            config.recovery.max_entries,
+            config.recovery.retention,
+        ));
         Controller {
             backends: conns
                 .into_iter()
@@ -95,7 +120,7 @@ impl Controller {
                     conn,
                     pending: AtomicUsize::new(0),
                     writes_applied: AtomicUsize::new(0),
-                    enabled: AtomicBool::new(true),
+                    state: AtomicU8::new(RejoinState::Enabled.as_u8()),
                     reads_served: AtomicUsize::new(0),
                 })
                 .collect(),
@@ -103,6 +128,10 @@ impl Controller {
             balancer: config.balancer,
             disable_failed: config.disable_failed_backends,
             health,
+            log,
+            recovery: config.recovery,
+            hooks: config.rejoin_hooks,
+            rejoin_token: Mutex::new(()),
         }
     }
 
@@ -113,22 +142,215 @@ impl Controller {
         Arc::clone(&self.health)
     }
 
+    /// The write recovery log (rejoin observability, tests, tooling).
+    pub fn recovery_log(&self) -> Arc<RecoveryLog> {
+        Arc::clone(&self.log)
+    }
+
+    /// Where backend `i` stands in the rejoin state machine.
+    pub fn backend_state(&self, i: usize) -> RejoinState {
+        RejoinState::from_u8(self.backends[i].state.load(Ordering::SeqCst))
+    }
+
+    fn set_state(&self, i: usize, s: RejoinState) {
+        self.backends[i].state.store(s.as_u8(), Ordering::SeqCst);
+    }
+
     /// Indices of the backends currently in rotation.
     pub fn enabled_backends(&self) -> Vec<usize> {
         self.backends
             .iter()
             .enumerate()
-            .filter(|(_, b)| b.enabled.load(Ordering::SeqCst))
+            .filter(|(_, b)| b.state.load(Ordering::SeqCst) == RejoinState::Enabled.as_u8())
             .map(|(i, _)| i)
             .collect()
     }
 
-    /// Puts a backend back into rotation after external recovery. Note
-    /// that without a recovery log the replica must have been re-synced
-    /// out of band; re-enabling a stale replica silently serves stale
-    /// reads.
-    pub fn enable_backend(&self, i: usize) {
-        self.backends[i].enabled.store(true, Ordering::SeqCst);
+    /// Administratively removes backend `i` from rotation: it stops
+    /// receiving routed traffic (reads, writes, and — via quarantine — any
+    /// external dispatcher sharing the health tracker), the recovery log
+    /// starts its retention deadline, and the rejoin hooks take it out of
+    /// the consistency protocol. Idempotent.
+    pub fn disable_backend(&self, i: usize) {
+        self.set_state(i, RejoinState::Disabled);
+        self.log.mark_disabled(i);
+        self.health.set_quarantined(i, true);
+        self.hooks.on_disable(i);
+    }
+
+    /// Puts a backend back into rotation — but only if it is consistent:
+    /// if its applied sequence lags the recovery log's head, the call is
+    /// refused (re-enabling a stale replica would silently serve stale
+    /// reads and corrupt SVP results). Catch a lagging replica up with
+    /// [`Controller::rejoin_backend`], or override with
+    /// [`Controller::force_enable_backend`].
+    pub fn enable_backend(&self, i: usize) -> EngineResult<()> {
+        let _rejoin = self.rejoin_token.lock();
+        let _pause = self.scheduler.pause_writes();
+        if self.backend_state(i) == RejoinState::Enabled {
+            return Ok(());
+        }
+        let applied = self.log.applied_seq(i);
+        let head = self.log.head();
+        if applied < head {
+            return Err(EngineError::Unsupported(format!(
+                "backend {i} lags the recovery log (applied {applied} < head {head}); \
+                 use rejoin_backend to catch it up or force_enable_backend to override"
+            )));
+        }
+        self.admit(i);
+        Ok(())
+    }
+
+    /// The escape hatch: re-enters backend `i` unconditionally, marking it
+    /// consistent in the log even if it is not. This is the pre-recovery-log
+    /// behaviour, made explicit for tests and operators who re-synced the
+    /// replica out of band.
+    pub fn force_enable_backend(&self, i: usize) {
+        let _rejoin = self.rejoin_token.lock();
+        let _pause = self.scheduler.pause_writes();
+        self.log.force_set_applied(i, self.log.head());
+        self.admit(i);
+    }
+
+    /// Readmission (call with writes paused): log bookkeeping, quarantine
+    /// lift, engine hook, state flip — in that order, so by the time the
+    /// backend is `Enabled` every layer agrees it is consistent.
+    fn admit(&self, i: usize) {
+        let applied = self.log.applied_seq(i);
+        self.log.mark_enabled(i);
+        self.health.set_quarantined(i, false);
+        self.hooks.on_enable(i, applied);
+        self.set_state(i, RejoinState::Enabled);
+    }
+
+    fn abort_rejoin(&self, i: usize) {
+        self.set_state(i, RejoinState::Disabled);
+        self.log.mark_disabled(i); // refresh the retention deadline
+    }
+
+    /// Brings a disabled backend back through the full rejoin protocol:
+    ///
+    /// 1. **CatchingUp** — replay the missed suffix from the recovery log
+    ///    in batches while new writes keep flowing (each round shrinks the
+    ///    lag; `max_live_rounds` bounds a write rate that outruns replay).
+    /// 2. Once the lag is small (or the round budget is spent), drain the
+    ///    rest under a **write pause** — the paper's update-blocking gate
+    ///    applied to recovery — so the backend reaches the exact log head.
+    ///    If truncation already ate the suffix (retention expired), fall
+    ///    back to a full re-clone from a healthy peer (`clone_via`).
+    /// 3. **Probing** — run the configured probe statement against the
+    ///    backend; a failure aborts the rejoin and records with the
+    ///    breaker.
+    /// 4. **Enabled** — still under the pause: seed the engine's counters
+    ///    via the rejoin hooks and re-enter rotation.
+    ///
+    /// Any replay/clone/probe error aborts back to `Disabled` (with a
+    /// fresh retention deadline) and surfaces the error. Rejoins are
+    /// serialized; rejoining an already-enabled backend is a no-op.
+    pub fn rejoin_backend(&self, i: usize) -> EngineResult<RejoinOutcome> {
+        let _rejoin = self.rejoin_token.lock();
+        if self.backend_state(i) == RejoinState::Enabled {
+            return Ok(RejoinOutcome::default());
+        }
+        let mut out = RejoinOutcome::default();
+        // Enter catch-up: quarantined for routing, excluded from the
+        // consistency protocol, but receiving replay writes.
+        self.health.set_quarantined(i, true);
+        self.hooks.on_disable(i);
+        self.set_state(i, RejoinState::CatchingUp);
+
+        // Phase 1: live replay, writes still flowing.
+        let batch_size = self.recovery.catchup_batch.max(1);
+        let mut rounds = 0;
+        while self.log.has_suffix_for(i)
+            && self.log.lag(i) > self.recovery.pause_threshold
+            && rounds < self.recovery.max_live_rounds
+        {
+            for entry in self.log.suffix_for(i, batch_size) {
+                if let Err(e) = self.backends[i].conn.execute(&entry.sql) {
+                    self.abort_rejoin(i);
+                    return Err(e);
+                }
+                self.backends[i]
+                    .writes_applied
+                    .fetch_add(1, Ordering::SeqCst);
+                self.log.mark_applied(i, entry.seq);
+                out.live_replayed += 1;
+            }
+            self.log.checkpoint();
+            rounds += 1;
+        }
+
+        // Phase 2: final drain (or re-clone) under the write pause. The
+        // log is frozen while we hold the pause, so reaching the head here
+        // means the replica is exactly consistent when it re-enters.
+        let pause = self.scheduler.pause_writes();
+        if !self.log.has_suffix_for(i) {
+            // Truncation outran this backend: replay cannot reconstruct
+            // it. Re-provision wholesale from a healthy peer.
+            let Some(clone) = self.recovery.clone_via.clone() else {
+                self.abort_rejoin(i);
+                return Err(EngineError::Unsupported(format!(
+                    "backend {i}'s recovery-log suffix was truncated and no \
+                     clone_via is configured: cannot rejoin"
+                )));
+            };
+            let Some(source) = (0..self.backends.len())
+                .find(|&j| j != i && self.backend_state(j) == RejoinState::Enabled)
+            else {
+                self.abort_rejoin(i);
+                return Err(EngineError::Unsupported(
+                    "no healthy peer remains to re-clone from".into(),
+                ));
+            };
+            if let Err(e) = clone(source, i) {
+                self.abort_rejoin(i);
+                return Err(e);
+            }
+            self.log.force_set_applied(i, self.log.head());
+            self.backends[i].writes_applied.store(
+                self.backends[source].writes_applied.load(Ordering::SeqCst),
+                Ordering::SeqCst,
+            );
+            out.recloned = true;
+        } else {
+            for entry in self.log.suffix_for(i, 0) {
+                if let Err(e) = self.backends[i].conn.execute(&entry.sql) {
+                    self.abort_rejoin(i);
+                    return Err(e);
+                }
+                self.backends[i]
+                    .writes_applied
+                    .fetch_add(1, Ordering::SeqCst);
+                self.log.mark_applied(i, entry.seq);
+                out.pause_replayed += 1;
+            }
+        }
+        self.log.checkpoint();
+
+        // Phase 3: health probe. Must be a pass-through read so an
+        // interposing engine actually sends it to this one node.
+        self.set_state(i, RejoinState::Probing);
+        if let Some(probe) = &self.recovery.probe_sql {
+            match self.backends[i].conn.execute(probe) {
+                Ok(_) => {
+                    self.health.record_success(i);
+                    out.probed = true;
+                }
+                Err(e) => {
+                    self.health.record_failure(i);
+                    self.abort_rejoin(i);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Phase 4: admit while still holding the pause — the engine's
+        // counter seeding happens with nothing in flight.
+        self.admit(i);
+        drop(pause);
+        Ok(out)
     }
 
     /// Number of backends.
@@ -157,6 +379,15 @@ impl Controller {
         self.backends
             .iter()
             .map(|b| b.writes_applied.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Per-backend recovery-log positions (highest applied write
+    /// sequence). Equal values mean every replica has applied the same
+    /// write history — the convergence property the rejoin tests assert.
+    pub fn write_counters(&self) -> Vec<u64> {
+        (0..self.backends.len())
+            .map(|i| self.log.applied_seq(i))
             .collect()
     }
 
@@ -209,7 +440,7 @@ impl Controller {
         } else {
             self.health.record_failure(chosen);
             if self.disable_failed {
-                backend.enabled.store(false, Ordering::SeqCst);
+                self.disable_backend(chosen);
             }
         }
         result.map(|o| (o, chosen))
@@ -224,11 +455,12 @@ impl Controller {
     /// first error is surfaced after the remaining backends were still
     /// given the write, keeping replicas maximally aligned.
     pub fn execute_write(&self, sql: &str) -> EngineResult<QueryOutput> {
-        let _ticket = self.scheduler.begin_write();
+        let ticket = self.scheduler.begin_write();
         let mut first: Option<QueryOutput> = None;
         let mut failure: Option<EngineError> = None;
+        let mut applied_on: Vec<usize> = Vec::new();
         for (i, backend) in self.backends.iter().enumerate() {
-            if !backend.enabled.load(Ordering::SeqCst) {
+            if self.backend_state(i) != RejoinState::Enabled {
                 continue;
             }
             // Writes are broadcast to every enabled backend regardless of
@@ -239,6 +471,7 @@ impl Controller {
                 Ok(out) => {
                     backend.writes_applied.fetch_add(1, Ordering::SeqCst);
                     self.health.record_success(i);
+                    applied_on.push(i);
                     if first.is_none() {
                         first = Some(out);
                     }
@@ -246,7 +479,7 @@ impl Controller {
                 Err(e) => {
                     self.health.record_failure(i);
                     if self.disable_failed {
-                        backend.enabled.store(false, Ordering::SeqCst);
+                        self.disable_backend(i);
                     }
                     if failure.is_none() {
                         failure = Some(e);
@@ -254,6 +487,14 @@ impl Controller {
                 }
             }
         }
+        // A write that failed everywhere is never logged: its sequence
+        // number becomes a permanent gap (the log's truncation floor, not
+        // front-entry arithmetic, detects unreplayable backends).
+        if !applied_on.is_empty() {
+            self.log.record(ticket.sequence(), sql, &applied_on);
+            self.log.checkpoint();
+        }
+        drop(ticket);
         match (first, failure) {
             (Some(out), None) => Ok(out),
             (Some(out), Some(_)) if self.disable_failed => Ok(out),
@@ -479,13 +720,84 @@ mod failure_tests {
 
     #[test]
     fn reenabling_a_backend_restores_rotation() {
-        let (c, flakies, _) = flaky_cluster(2, true);
+        let (c, flakies, nodes) = flaky_cluster(2, true);
         flakies[0].failing.store(true, Ordering::SeqCst);
         let _ = c.execute("insert into t values (1)");
         assert_eq!(c.enabled_backends(), vec![1]);
+        assert_eq!(c.backend_state(0), RejoinState::Disabled);
         flakies[0].failing.store(false, Ordering::SeqCst);
-        c.enable_backend(0);
+        // The replica is stale: a bare enable must refuse it.
+        assert!(c.enable_backend(0).is_err());
+        assert_eq!(c.enabled_backends(), vec![1]);
+        // Rejoin replays the missed write and restores rotation.
+        let out = c.rejoin_backend(0).unwrap();
+        assert_eq!(out.live_replayed + out.pause_replayed, 1);
+        assert!(!out.recloned);
         assert_eq!(c.enabled_backends(), vec![0, 1]);
+        assert_eq!(c.backend_state(0), RejoinState::Enabled);
+        assert_eq!(c.write_counters()[0], c.write_counters()[1]);
+        assert_eq!(nodes[0].with_db(|db| db.table("t").unwrap().row_count()), 1);
+        // Now consistent: a bare enable is a no-op that succeeds.
+        c.enable_backend(0).unwrap();
+    }
+
+    #[test]
+    fn force_enable_overrides_the_staleness_check() {
+        let (c, flakies, _) = flaky_cluster(2, true);
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        let _ = c.execute("insert into t values (1)");
+        assert!(c.enable_backend(0).is_err());
+        c.force_enable_backend(0);
+        assert_eq!(c.enabled_backends(), vec![0, 1]);
+        // Force marks the backend consistent in the log (explicitly
+        // accepting staleness), so checkpointing is not held back.
+        assert_eq!(c.write_counters()[0], c.write_counters()[1]);
+    }
+
+    #[test]
+    fn rejoin_replays_a_write_burst_missed_while_down() {
+        let (c, flakies, nodes) = flaky_cluster(3, true);
+        c.execute("insert into t values (0)").unwrap();
+        flakies[1].failing.store(true, Ordering::SeqCst);
+        let _ = c.execute("insert into t values (1)"); // disables node 1
+        for i in 2..20 {
+            c.execute(&format!("insert into t values ({i})")).unwrap();
+        }
+        flakies[1].failing.store(false, Ordering::SeqCst);
+        let out = c.rejoin_backend(1).unwrap();
+        assert_eq!(out.live_replayed + out.pause_replayed, 19);
+        assert_eq!(c.write_counters(), vec![20, 20, 20]);
+        let reference = nodes[0].with_db(|db| db.query("select a from t order by a").unwrap().rows);
+        for node in &nodes[1..] {
+            let rows = node.with_db(|db| db.query("select a from t order by a").unwrap().rows);
+            assert_eq!(rows, reference);
+        }
+    }
+
+    #[test]
+    fn rejoin_against_a_still_failing_backend_aborts_to_disabled() {
+        let (c, flakies, _) = flaky_cluster(2, true);
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        let _ = c.execute("insert into t values (1)");
+        // Node 0 is still down: replay fails and the backend stays out.
+        assert!(c.rejoin_backend(0).is_err());
+        assert_eq!(c.backend_state(0), RejoinState::Disabled);
+        assert_eq!(c.enabled_backends(), vec![1]);
+        // Heal and retry: now it comes back.
+        flakies[0].failing.store(false, Ordering::SeqCst);
+        c.rejoin_backend(0).unwrap();
+        assert_eq!(c.enabled_backends(), vec![0, 1]);
+    }
+
+    #[test]
+    fn disabled_backend_is_quarantined_for_external_dispatchers() {
+        let (c, flakies, _) = flaky_cluster(2, true);
+        flakies[0].failing.store(true, Ordering::SeqCst);
+        let _ = c.execute("insert into t values (1)");
+        assert!(c.health().is_quarantined(0), "SVP must route around it");
+        flakies[0].failing.store(false, Ordering::SeqCst);
+        c.rejoin_backend(0).unwrap();
+        assert!(!c.health().is_quarantined(0));
     }
 
     #[test]

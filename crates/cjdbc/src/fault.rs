@@ -51,6 +51,15 @@ pub struct FaultPlan {
     /// Only statements containing this fragment are targeted (e.g.
     /// `"enable_seqscan"` to fail just the optimizer-interference SETs).
     pub only_matching: Option<String>,
+    /// Scripted fail-at-call-N / recover-at-call-M windows: half-open
+    /// `[from, to)` ranges over the 1-based *lifetime* call counter (all
+    /// statements, matching or not — so a window means "the node is dead
+    /// between its Nth and Mth request" regardless of statement mix).
+    /// A matching statement whose call number falls inside any window
+    /// fails deterministically, independent of `error_rate`. Note that
+    /// `set_plan` does not reset the call counter, so windows compose with
+    /// mid-test plan swaps.
+    pub fail_windows: Vec<(u64, u64)>,
     /// Seed for the error coin-flips.
     pub seed: u64,
 }
@@ -64,6 +73,7 @@ impl Default for FaultPlan {
             stall: Duration::ZERO,
             target: FaultTarget::All,
             only_matching: None,
+            fail_windows: Vec::new(),
             seed: 0,
         }
     }
@@ -74,6 +84,16 @@ impl FaultPlan {
     pub fn fail_all() -> Self {
         FaultPlan {
             error_rate: 1.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fails every statement whose lifetime call number lies in
+    /// `[from, to)` — "the node dies at its `from`-th request and heals at
+    /// its `to`-th". Deterministic: no coin-flips involved.
+    pub fn fail_between(from: u64, to: u64) -> Self {
+        FaultPlan {
+            fail_windows: vec![(from, to)],
             ..FaultPlan::default()
         }
     }
@@ -155,7 +175,7 @@ impl FaultyConnection {
 
 impl Connection for FaultyConnection {
     fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
-        self.calls.fetch_add(1, Ordering::SeqCst);
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
         let plan = self.plan.lock().clone();
         if self.matches(&plan, sql) {
             let matching = self.matching_calls.fetch_add(1, Ordering::SeqCst) + 1;
@@ -165,6 +185,17 @@ impl Connection for FaultyConnection {
             if plan.stall_every > 0 && matching.is_multiple_of(plan.stall_every) {
                 self.injected_stalls.fetch_add(1, Ordering::SeqCst);
                 std::thread::sleep(plan.stall);
+            }
+            if plan
+                .fail_windows
+                .iter()
+                .any(|&(from, to)| call >= from && call < to)
+            {
+                self.injected_errors.fetch_add(1, Ordering::SeqCst);
+                return Err(EngineError::Unsupported(format!(
+                    "injected fault (scheduled outage) on {}",
+                    self.inner.name()
+                )));
             }
             if plan.error_rate > 0.0 {
                 let hit = plan.error_rate >= 1.0 || self.rng.lock().random_bool(plan.error_rate);
@@ -256,6 +287,47 @@ mod tests {
         let b = run(plan);
         assert_eq!(a, b, "same seed, same fault sequence");
         assert!(a.iter().any(|&e| e) && a.iter().any(|&e| !e));
+    }
+
+    #[test]
+    fn fail_window_scripts_a_die_then_heal_outage() {
+        // Dies at call 2, heals at call 4: ok, err, err, ok, ok...
+        let c = FaultyConnection::new(backend(), FaultPlan::fail_between(2, 4));
+        let outcomes: Vec<bool> = (0..5)
+            .map(|_| c.execute("select a from t").is_ok())
+            .collect();
+        assert_eq!(outcomes, vec![true, false, false, true, true]);
+        assert_eq!(c.injected_errors(), 2);
+    }
+
+    #[test]
+    fn fail_windows_respect_the_target_filter_but_count_all_calls() {
+        // Window spans calls 1..=3 of the *lifetime* counter, yet only
+        // writes are targeted: the read at call 2 sails through while the
+        // writes at calls 1 and 3 die.
+        let c = FaultyConnection::new(
+            backend(),
+            FaultPlan {
+                target: FaultTarget::Writes,
+                ..FaultPlan::fail_between(1, 4)
+            },
+        );
+        assert!(c.execute("insert into t values (2)").is_err()); // call 1
+        c.execute("select a from t").unwrap(); // call 2: read, not targeted
+        assert!(c.execute("insert into t values (3)").is_err()); // call 3
+        c.execute("insert into t values (4)").unwrap(); // call 4: healed
+        assert_eq!(c.injected_errors(), 2);
+    }
+
+    #[test]
+    fn set_plan_keeps_the_call_counter_so_windows_compose() {
+        let c = FaultyConnection::new(backend(), FaultPlan::default());
+        c.execute("select a from t").unwrap(); // call 1
+        c.execute("select a from t").unwrap(); // call 2
+        c.set_plan(FaultPlan::fail_between(3, 4));
+        assert!(c.execute("select a from t").is_err()); // call 3: in window
+        c.execute("select a from t").unwrap(); // call 4: recovered
+        assert_eq!(c.injected_errors(), 1);
     }
 
     #[test]

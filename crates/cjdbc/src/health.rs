@@ -58,6 +58,11 @@ struct NodeHealth {
     /// sub-query — the result was kept, but the node's session state is
     /// suspect (see `NodeProcessor`'s seqscan guard).
     restore_failures: u64,
+    /// Administratively fenced off (recovery-log catch-up in progress):
+    /// unlike the breaker, quarantine never lifts on its own — the rejoin
+    /// protocol clears it once the replica is consistent again. A
+    /// quarantined node is unavailable regardless of circuit state.
+    quarantined: bool,
 }
 
 impl NodeHealth {
@@ -69,6 +74,7 @@ impl NodeHealth {
             successes: 0,
             failures: 0,
             restore_failures: 0,
+            quarantined: false,
         }
     }
 }
@@ -147,11 +153,29 @@ impl HealthTracker {
         self.record_failure(node);
     }
 
+    /// Fences `node` off (or readmits it). Quarantine is the rejoin
+    /// protocol's hard exclusion: while set, the node is unavailable to the
+    /// read balancer and the SVP dispatcher no matter what the circuit
+    /// says, and no probe transition occurs. Successes recorded during
+    /// quarantine (catch-up replay) do *not* lift it.
+    pub fn set_quarantined(&self, node: usize, quarantined: bool) {
+        self.nodes.lock()[node].quarantined = quarantined;
+    }
+
+    /// Whether `node` is currently quarantined.
+    pub fn is_quarantined(&self, node: usize) -> bool {
+        self.nodes.lock()[node].quarantined
+    }
+
     /// Whether requests may be sent to `node` right now. Transitions an
-    /// expired Open circuit to HalfOpen (admitting the probe).
+    /// expired Open circuit to HalfOpen (admitting the probe). Quarantined
+    /// nodes are never available.
     pub fn is_available(&self, node: usize) -> bool {
         let mut nodes = self.nodes.lock();
         let h = &mut nodes[node];
+        if h.quarantined {
+            return false;
+        }
         match h.state {
             CircuitState::Closed | CircuitState::HalfOpen => true,
             CircuitState::Open => {
@@ -270,6 +294,21 @@ mod tests {
         t.record_failure(0);
         assert!(!t.is_available(0));
         assert_eq!(t.state(0), CircuitState::Open);
+    }
+
+    #[test]
+    fn quarantine_overrides_the_circuit_and_survives_successes() {
+        let t = tracker(1, 0);
+        t.set_quarantined(1, true);
+        assert!(!t.is_available(1));
+        assert_eq!(t.state(1), CircuitState::Closed, "circuit untouched");
+        // Catch-up replay records successes; the fence must hold.
+        t.record_success(1);
+        assert!(t.is_quarantined(1));
+        assert!(!t.is_available(1));
+        assert_eq!(t.available_nodes(), vec![0, 2]);
+        t.set_quarantined(1, false);
+        assert!(t.is_available(1));
     }
 
     #[test]

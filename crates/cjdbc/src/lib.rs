@@ -24,15 +24,22 @@
 //!   breaker shared between the read balancer and Apuama's SVP dispatcher.
 //! * [`fault::FaultyConnection`] — deterministic fault injection at the
 //!   `Connection` seam for tests and the ablation bench.
+//! * [`recovery::RecoveryLog`] — C-JDBC's recovery log: every committed
+//!   write is recorded (statement + scheduler sequence) so a failed
+//!   backend can replay the suffix it missed and rejoin the cluster
+//!   consistently. The rejoin state machine (`Disabled → CatchingUp →
+//!   Probing → Enabled`) lives in [`Controller::rejoin_backend`]; see
+//!   DESIGN.md §8 "Recovery & rejoin semantics" for the protocol.
 //!
-//! Out of scope (documented in DESIGN.md): C-JDBC's recovery log and
-//! controller replication.
+//! Out of scope (documented in DESIGN.md): controller replication — a
+//! controller crash still loses the virtual database.
 
 pub mod balancer;
 pub mod connection;
 pub mod controller;
 pub mod fault;
 pub mod health;
+pub mod recovery;
 pub mod scheduler;
 
 pub use balancer::{LeastPendingBalancer, LoadBalancer, RandomBalancer, RoundRobinBalancer};
@@ -40,4 +47,8 @@ pub use connection::{classify, Connection, EngineNode, NodeConnection, Statement
 pub use controller::{Controller, ControllerConfig};
 pub use fault::{FaultPlan, FaultTarget, FaultyConnection};
 pub use health::{BreakerPolicy, CircuitState, HealthTracker};
+pub use recovery::{
+    engine_node_clone_fn, CloneFn, LogEntry, NoRejoinHooks, RecoveryConfig, RecoveryLog,
+    RejoinHooks, RejoinOutcome, RejoinState,
+};
 pub use scheduler::WriteScheduler;

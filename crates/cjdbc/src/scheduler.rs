@@ -32,6 +32,22 @@ impl WriteTicket<'_> {
     }
 }
 
+/// A write pause: holds the global order token *without* consuming a
+/// sequence number. While held, no write can be broadcast — the rejoin
+/// protocol drains a recovering backend's final catch-up suffix under
+/// this pause (the paper's update-blocking gate, applied to recovery), so
+/// the recovery log is frozen exactly while the replica crosses into
+/// `Enabled`.
+pub struct WritePause<'a> {
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl std::fmt::Debug for WritePause<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WritePause")
+    }
+}
+
 impl WriteScheduler {
     pub fn new() -> Self {
         WriteScheduler::default()
@@ -43,6 +59,15 @@ impl WriteScheduler {
         let guard = self.token.lock();
         let seq = self.sequence.fetch_add(1, Ordering::SeqCst) + 1;
         WriteTicket { _guard: guard, seq }
+    }
+
+    /// Blocks until no write is being broadcast, then holds writes paused
+    /// until the returned guard drops. Unlike [`WriteScheduler::begin_write`]
+    /// this allocates no sequence number: a pause is not a write.
+    pub fn pause_writes(&self) -> WritePause<'_> {
+        WritePause {
+            _guard: self.token.lock(),
+        }
     }
 
     /// Number of writes scheduled so far.
@@ -88,5 +113,19 @@ mod tests {
         drop(t1);
         let t2 = s.begin_write();
         assert_eq!(t2.sequence(), 2);
+    }
+
+    #[test]
+    fn pause_excludes_writers_without_consuming_a_sequence() {
+        let s = Arc::new(WriteScheduler::new());
+        s.begin_write();
+        let pause = s.pause_writes();
+        let s2 = Arc::clone(&s);
+        let writer = std::thread::spawn(move || s2.begin_write().sequence());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!writer.is_finished(), "pause must hold writers out");
+        drop(pause);
+        assert_eq!(writer.join().unwrap(), 2, "the pause took no sequence");
+        assert_eq!(s.writes_scheduled(), 2);
     }
 }

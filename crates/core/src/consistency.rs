@@ -52,6 +52,53 @@ struct GateState {
     inflight: Option<(String, HashSet<usize>)>,
     /// Per-node committed write-transaction counters.
     counters: Vec<u64>,
+    /// Nodes excluded from the protocol (disabled / catching up after a
+    /// failure). An excluded node neither holds up convergence nor keeps a
+    /// broadcast in flight — without this, one disabled replica would
+    /// wedge every Blocking-mode write forever, since its begin/end calls
+    /// never come. Its counter still tracks (catch-up replay bumps it) but
+    /// carries no weight until the node is readmitted.
+    excluded: Vec<bool>,
+}
+
+impl GateState {
+    fn active_counters(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counters
+            .iter()
+            .zip(&self.excluded)
+            .filter(|(_, &e)| !e)
+            .map(|(&c, _)| c)
+    }
+
+    /// Equal counters over the non-excluded nodes (vacuously true when
+    /// every node is excluded).
+    fn converged(&self) -> bool {
+        let mut it = self.active_counters();
+        match it.next() {
+            Some(first) => it.all(|c| c == first),
+            None => true,
+        }
+    }
+
+    /// Counter spread over the non-excluded nodes within `max_lag`.
+    fn within_lag(&self, max_lag: u64) -> bool {
+        let min = self.active_counters().min().unwrap_or(0);
+        let max = self.active_counters().max().unwrap_or(0);
+        max - min <= max_lag
+    }
+
+    /// Whether the in-flight broadcast has reached every non-excluded node.
+    fn inflight_drained(&self) -> bool {
+        match &self.inflight {
+            Some((_, done)) => self
+                .excluded
+                .iter()
+                .enumerate()
+                .filter(|(_, &e)| !e)
+                .all(|(i, _)| done.contains(&i)),
+            None => true,
+        }
+    }
 }
 
 /// The update-blocking gate plus transaction counters.
@@ -60,7 +107,6 @@ pub struct UpdateGate {
     state: Mutex<GateState>,
     changed: Condvar,
     mode: ConsistencyMode,
-    nodes: usize,
 }
 
 impl UpdateGate {
@@ -71,10 +117,10 @@ impl UpdateGate {
                 blocks: 0,
                 inflight: None,
                 counters: vec![0; nodes],
+                excluded: vec![false; nodes],
             }),
             changed: Condvar::new(),
             mode,
-            nodes,
         }
     }
 
@@ -88,12 +134,57 @@ impl UpdateGate {
         self.state.lock().counters.clone()
     }
 
+    /// Excludes `node` from (or readmits it to) the consistency protocol.
+    /// Excluding a node mid-broadcast re-evaluates the drain condition —
+    /// the broadcast must not wait for a node that will never answer — and
+    /// wakes every waiter, since convergence may hold now.
+    pub fn set_excluded(&self, node: usize, excluded: bool) {
+        let mut st = self.state.lock();
+        st.excluded[node] = excluded;
+        if st.inflight.is_some() && st.inflight_drained() {
+            st.inflight = None;
+        }
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// Whether `node` is currently excluded from the protocol.
+    pub fn is_excluded(&self, node: usize) -> bool {
+        self.state.lock().excluded[node]
+    }
+
+    /// Overwrites `node`'s counter — the rejoin protocol seeds a caught-up
+    /// replica to the cluster's value (see [`UpdateGate::active_max_counter`])
+    /// before readmitting it, so convergence holds the moment it re-enters.
+    pub fn seed_counter(&self, node: usize, value: u64) {
+        let mut st = self.state.lock();
+        st.counters[node] = value;
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// Highest counter among the non-excluded nodes — the seed value for a
+    /// rejoining replica. Call it with no broadcast in flight (e.g. under
+    /// the write scheduler's token) for an exact value.
+    pub fn active_max_counter(&self) -> u64 {
+        self.state.lock().active_counters().max().unwrap_or(0)
+    }
+
     /// Called before executing a write on `node`. Blocks while SVP holds
     /// the gate (Blocking mode only) — unless this call *continues* the
     /// broadcast already in flight, which must be allowed to finish.
+    ///
+    /// Writes on an excluded node bypass the gate entirely: they are
+    /// catch-up replay traffic, invisible to SVP (which never reads from an
+    /// excluded replica) and deliberately kept out of the in-flight
+    /// tracking — an excluded node's single-replica write could otherwise
+    /// never drain.
     pub fn begin_node_write(&self, node: usize, script: &str) {
         let mut st = self.state.lock();
         loop {
+            if st.excluded[node] {
+                return;
+            }
             match &st.inflight {
                 Some((s, done)) if s == script && !done.contains(&node) => {
                     // Continuation of the in-flight broadcast: admit.
@@ -116,28 +207,23 @@ impl UpdateGate {
         }
     }
 
-    /// True when the counter spread satisfies the staleness bound.
-    fn within_lag(counters: &[u64], max_lag: u64) -> bool {
-        let min = counters.iter().copied().min().unwrap_or(0);
-        let max = counters.iter().copied().max().unwrap_or(0);
-        max - min <= max_lag
-    }
-
-    /// Called after a write completed (successfully or not) on `node`.
+    /// Called after a write completed (successfully or not) on `node`. On
+    /// an excluded node only the counter moves (replay progress); the
+    /// in-flight bookkeeping belongs to the active nodes.
     pub fn end_node_write(&self, node: usize, script: &str, committed: bool) {
         let mut st = self.state.lock();
         if committed {
             st.counters[node] += 1;
         }
-        let drained = match &mut st.inflight {
-            Some((s, done)) if s == script => {
-                done.insert(node);
-                done.len() >= self.nodes
+        if !st.excluded[node] {
+            if let Some((s, done)) = &mut st.inflight {
+                if s == script {
+                    done.insert(node);
+                }
             }
-            _ => false,
-        };
-        if drained {
-            st.inflight = None;
+            if st.inflight.is_some() && st.inflight_drained() {
+                st.inflight = None;
+            }
         }
         drop(st);
         self.changed.notify_all();
@@ -153,14 +239,14 @@ impl UpdateGate {
             ConsistencyMode::Relaxed => {}
             ConsistencyMode::BoundedStaleness { max_lag } => {
                 let mut st = self.state.lock();
-                while !Self::within_lag(&st.counters, max_lag) {
+                while !st.within_lag(max_lag) {
                     self.changed.wait(&mut st);
                 }
             }
             ConsistencyMode::Blocking => {
                 let mut st = self.state.lock();
                 st.blocks += 1;
-                while st.inflight.is_some() || !all_equal(&st.counters) {
+                while st.inflight.is_some() || !st.converged() {
                     self.changed.wait(&mut st);
                 }
             }
@@ -180,16 +266,12 @@ impl UpdateGate {
         self.changed.notify_all();
     }
 
-    /// True when replicas are converged (equal counters, nothing in
-    /// flight).
+    /// True when replicas are converged (equal counters over the
+    /// non-excluded nodes, nothing in flight).
     pub fn is_converged(&self) -> bool {
         let st = self.state.lock();
-        st.inflight.is_none() && all_equal(&st.counters)
+        st.inflight.is_none() && st.converged()
     }
-}
-
-fn all_equal(counters: &[u64]) -> bool {
-    counters.windows(2).all(|w| w[0] == w[1])
 }
 
 #[cfg(test)]
@@ -293,6 +375,64 @@ mod tests {
         g.end_node_write(0, "w", false);
         assert_eq!(g.counters(), vec![0]);
         assert!(g.is_converged());
+    }
+
+    #[test]
+    fn excluded_node_does_not_hold_up_convergence() {
+        let g = UpdateGate::new(3, ConsistencyMode::Blocking);
+        g.set_excluded(2, true);
+        for node in 0..2 {
+            g.begin_node_write(node, "w");
+            g.end_node_write(node, "w", true);
+        }
+        // Node 2 never saw the write, yet the cluster is converged: the
+        // protocol only counts active replicas.
+        assert!(g.is_converged());
+        assert_eq!(g.counters(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn excluding_a_node_mid_broadcast_drains_the_inflight_write() {
+        let g = UpdateGate::new(2, ConsistencyMode::Blocking);
+        g.begin_node_write(0, "w");
+        g.end_node_write(0, "w", true);
+        assert!(!g.is_converged(), "broadcast still in flight on node 1");
+        // Node 1 dies: without exclusion this broadcast would never drain
+        // and every Blocking-mode SVP query would wedge forever.
+        g.set_excluded(1, true);
+        assert!(g.is_converged());
+    }
+
+    #[test]
+    fn excluded_replay_writes_bypass_a_closed_gate() {
+        let g = Arc::new(UpdateGate::new(2, ConsistencyMode::Blocking));
+        g.set_excluded(1, true);
+        g.block_updates_and_wait(); // SVP holds the gate
+                                    // Catch-up replay on the excluded node must not block and must not
+                                    // register an in-flight broadcast.
+        g.begin_node_write(1, "replay");
+        g.end_node_write(1, "replay", true);
+        assert_eq!(g.counters(), vec![0, 1]);
+        g.release_updates();
+        assert!(g.is_converged(), "replay left nothing in flight");
+    }
+
+    #[test]
+    fn seed_and_readmit_restores_convergence() {
+        let g = UpdateGate::new(2, ConsistencyMode::Blocking);
+        g.set_excluded(1, true);
+        for _ in 0..3 {
+            g.begin_node_write(0, "w");
+            g.end_node_write(0, "w", true);
+        }
+        assert_eq!(g.active_max_counter(), 3);
+        // Rejoin: seed the recovered replica to the cluster's counter, then
+        // readmit it — convergence must hold the moment it re-enters.
+        g.seed_counter(1, g.active_max_counter());
+        g.set_excluded(1, false);
+        assert!(g.is_converged());
+        assert_eq!(g.counters(), vec![3, 3]);
+        assert!(!g.is_excluded(1));
     }
 }
 

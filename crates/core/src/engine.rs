@@ -149,6 +149,19 @@ impl ApuamaEngine {
         self.gate.counters()
     }
 
+    /// The update gate (rejoin tests and diagnostics).
+    pub fn gate(&self) -> &UpdateGate {
+        &self.gate
+    }
+
+    /// This engine as controller rejoin hooks — wire into
+    /// [`apuama_cjdbc::ControllerConfig`]'s `rejoin_hooks` so backend
+    /// disable/rejoin transitions keep the update gate's view of the
+    /// cluster in sync (see the [`apuama_cjdbc::RejoinHooks`] impl below).
+    pub fn rejoin_hooks(self: &Arc<Self>) -> Arc<dyn apuama_cjdbc::RejoinHooks> {
+        Arc::clone(self) as Arc<dyn apuama_cjdbc::RejoinHooks>
+    }
+
     /// The per-node connection C-JDBC's backend `node` plugs into.
     pub fn connection(self: &Arc<Self>, node: usize) -> Arc<ApuamaConnection> {
         assert!(node < self.nodes.len());
@@ -225,29 +238,40 @@ impl ApuamaEngine {
         let policy = self.config.fault;
         let mut recovery = RecoveryReport::default();
 
-        // 2. Assign ranges: node i owns range i unless its circuit is open,
+        // 2. Assign ranges: node i owns range i unless its circuit is open
+        //    or it is quarantined (disabled / catching up after a failure),
         //    in which case the range is spread round-robin over available
-        //    nodes. If every circuit is open, dispatch as planned — the
-        //    attempts double as probes.
+        //    nodes. If every circuit is open, dispatch to the non-quarantined
+        //    nodes as planned — those attempts double as probes; quarantine,
+        //    by contrast, is a hard fence (a catching-up replica would
+        //    return stale rows), so a quarantined node never receives a
+        //    range, and an all-quarantined cluster is an error.
+        let quarantined: Vec<bool> = (0..n).map(|i| self.health.is_quarantined(i)).collect();
+        if quarantined.iter().all(|&q| q) {
+            self.gate.release_updates();
+            return Err(EngineError::Unsupported(
+                "every node is quarantined: no replica may serve SVP ranges".into(),
+            ));
+        }
         let assignment: Vec<usize> = {
             let available: Vec<bool> = (0..n).map(|i| self.health.is_available(i)).collect();
-            if available.iter().all(|&a| !a) {
-                (0..n).collect()
+            let targets: Vec<usize> = if available.iter().any(|&a| a) {
+                (0..n).filter(|&i| available[i]).collect()
             } else {
-                let targets: Vec<usize> = (0..n).filter(|&i| available[i]).collect();
-                let mut rr = 0usize;
-                (0..n)
-                    .map(|range| {
-                        if available[range] {
-                            range
-                        } else {
-                            let t = targets[rr % targets.len()];
-                            rr += 1;
-                            t
-                        }
-                    })
-                    .collect()
-            }
+                (0..n).filter(|&i| !quarantined[i]).collect()
+            };
+            let mut rr = 0usize;
+            (0..n)
+                .map(|range| {
+                    if targets.contains(&range) {
+                        range
+                    } else {
+                        let t = targets[rr % targets.len()];
+                        rr += 1;
+                        t
+                    }
+                })
+                .collect()
         };
         for (range, &node) in assignment.iter().enumerate() {
             if node != range {
@@ -469,6 +493,23 @@ impl ApuamaEngine {
                 recovery,
             })
         })
+    }
+}
+
+/// The engine side of the controller's rejoin protocol: a node leaving
+/// rotation is excluded from the consistency protocol (its begin/end calls
+/// stop coming, and without exclusion one dead replica would wedge every
+/// Blocking-mode write); a node re-entering has its transaction counter
+/// seeded to the active maximum — the controller calls `on_enable` under
+/// its write pause, so nothing is in flight and the seed is exact.
+impl apuama_cjdbc::RejoinHooks for ApuamaEngine {
+    fn on_disable(&self, node: usize) {
+        self.gate.set_excluded(node, true);
+    }
+
+    fn on_enable(&self, node: usize, _applied_seq: u64) {
+        self.gate.seed_counter(node, self.gate.active_max_counter());
+        self.gate.set_excluded(node, false);
     }
 }
 

@@ -636,6 +636,31 @@ impl Database {
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
     }
+
+    // -- replica provisioning --------------------------------------------------
+
+    /// Snapshot-clones this database for replica re-provisioning (the
+    /// cluster layer's full-copy recovery path). The clone carries the same
+    /// catalog and the same table contents *in the same heap order* — so
+    /// aggregate fold order, and therefore every float bit of a query
+    /// answer, matches the source replica exactly — behind a fresh, cold
+    /// buffer pool of equal capacity and default session settings. Refuses
+    /// a source with an open transaction: the undo log is not durable
+    /// state a new replica should inherit.
+    pub fn fork(&self) -> EngineResult<Database> {
+        if self.in_transaction() {
+            return Err(EngineError::Transaction(
+                "cannot fork a database while a transaction is open".into(),
+            ));
+        }
+        Ok(Database {
+            catalog: self.catalog.clone(),
+            tables: self.tables.clone(),
+            pool: Mutex::new(BufferPool::new(self.pool_capacity())),
+            settings: Settings::default(),
+            txn: None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1049,6 +1074,43 @@ mod vacuum_integration_tests {
             .query("select count(*) as n from t where k >= 800 and k < 900")
             .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(100));
+    }
+
+    fn db() -> Database {
+        let mut d = Database::in_memory();
+        d.execute(
+            "create table t (k int not null, v float, s text, primary key (k)) clustered by (k)",
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn fork_clones_contents_in_heap_order_with_a_cold_pool() {
+        let mut d = db();
+        d.execute("insert into t values (2, 0.25, 'b'), (1, 1.125, 'a'), (3, 0.5, 'c')")
+            .unwrap();
+        d.query("select sum(v) as s from t").unwrap(); // warm the pool
+        let f = d.fork().unwrap();
+        // Same rows, same heap order, same float bits.
+        let want = d.query("select k, v, s from t").unwrap();
+        let got = f.query("select k, v, s from t").unwrap();
+        assert_eq!(got.rows, want.rows);
+        assert_eq!(f.pool_capacity(), d.pool_capacity());
+        assert_eq!(f.pool_stats().hits, 0, "the clone starts cold");
+        // Independent copies: a write to the source does not leak over.
+        d.execute("insert into t values (4, 0.0, 'd')").unwrap();
+        assert_eq!(f.table("t").unwrap().row_count(), 3);
+    }
+
+    #[test]
+    fn fork_refuses_an_open_transaction() {
+        let mut d = db();
+        d.execute("begin").unwrap();
+        d.execute("insert into t values (1, 0.0, 'a')").unwrap();
+        assert!(d.fork().is_err());
+        d.execute("commit").unwrap();
+        assert!(d.fork().is_ok());
     }
 
     #[test]

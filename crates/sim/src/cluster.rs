@@ -189,6 +189,13 @@ impl SimCluster {
         &self.config
     }
 
+    /// Switches the failure arm on or off mid-experiment — the recovery
+    /// arm prices a fail → degrade → rejoin → healed timeline on one
+    /// cluster instance (see `crate::recovery`).
+    pub fn set_fault(&mut self, fault: Option<SimFault>) {
+        self.config.fault = fault;
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

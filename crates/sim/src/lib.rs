@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod cost;
 pub mod des;
 pub mod isolated;
+pub mod recovery;
 pub mod workload;
 
 pub use cluster::{
@@ -36,4 +37,5 @@ pub use cluster::{
 };
 pub use cost::CostModel;
 pub use isolated::{run_isolated, IsolatedReport};
+pub use recovery::{price_rejoin, RejoinCost};
 pub use workload::{run_workload, SimReport, WorkloadSpec};

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use apuama::{ApuamaConfig, ApuamaEngine, DataCatalog, FaultPolicy};
 use apuama_cjdbc::{
     CircuitState, Connection, Controller, ControllerConfig, EngineNode, FaultPlan, FaultTarget,
-    FaultyConnection, NodeConnection,
+    FaultyConnection, NodeConnection, RecoveryConfig,
 };
 use apuama_engine::Database;
 use apuama_tpch::{generate, load_into, QueryParams, TpchConfig, TpchData};
@@ -183,6 +183,81 @@ fn retry_exhaustion_yields_clean_error_and_engine_stays_usable() {
     let n = got.rows[0][0].as_i64().unwrap();
     assert_eq!(n, want.rows[0][0].as_i64().unwrap() + 1);
     assert_eq!(engine.txn_counters(), vec![1, 1, 1]);
+}
+
+/// Satellite: a node that exhausts the SVP retry budget mid-query is
+/// worked around (correct answer from the survivors), then taken out of
+/// rotation by a failing write — and the recovery log's rejoin path brings
+/// it back consistent, after which SVP dispatches to it again.
+#[test]
+fn retry_exhaustion_then_rejoin_restores_the_node_consistently() {
+    let data = dataset();
+    let (engine, _, faulties) = faulty_cluster(&data, 3, ApuamaConfig::default());
+    // A controller sharing the engine's health tracker (quarantine fences
+    // SVP) and driving its update gate through the rejoin hooks.
+    let controller = Arc::new(Controller::with_health(
+        engine.connections(),
+        ControllerConfig {
+            disable_failed_backends: true,
+            rejoin_hooks: engine.rejoin_hooks(),
+            recovery: RecoveryConfig {
+                // Pass-through (nation is not virtually partitioned), so
+                // the probe really targets the one recovering node.
+                probe_sql: Some("select n_nationkey from nation limit 1".into()),
+                ..RecoveryConfig::default()
+            },
+            ..ControllerConfig::default()
+        },
+        Arc::clone(engine.health()),
+    ));
+    let base = data.config.orders() as i64;
+
+    // Node 1 dies outright. An SVP read exhausts its retries against it,
+    // reassigns the orphaned range, and still answers correctly.
+    faulties[1].set_plan(FaultPlan::fail_all());
+    let (out, _) = controller
+        .execute("select count(*) as n from orders")
+        .unwrap();
+    assert_eq!(out.rows[0][0].as_i64().unwrap(), base);
+    assert!(faulties[1].injected_errors() > 0, "node 1 was never tried");
+
+    // The write burst disables node 1 at its first statement; the rest of
+    // the burst reaches only the survivors, tracked by the recovery log.
+    for k in 0..10 {
+        controller
+            .execute(&format!(
+                "insert into orders values ({}, 1, 'O', 1.0, \
+                 date '1997-01-01', '5-LOW', 'c', 0, 'w')",
+                base + 1 + k
+            ))
+            .unwrap();
+    }
+    assert_eq!(controller.enabled_backends(), vec![0, 2]);
+    assert!(engine.health().is_quarantined(1));
+    let (out, _) = controller
+        .execute("select count(*) as n from orders")
+        .unwrap();
+    assert_eq!(out.rows[0][0].as_i64().unwrap(), base + 10);
+
+    // Heal and rejoin: the missed burst replays, the probe passes, and
+    // every layer converges.
+    faulties[1].heal();
+    let outcome = controller.rejoin_backend(1).unwrap();
+    assert_eq!(outcome.live_replayed + outcome.pause_replayed, 10);
+    assert!(outcome.probed && !outcome.recloned);
+    assert_eq!(controller.enabled_backends(), vec![0, 1, 2]);
+    assert!(!engine.health().is_quarantined(1));
+    assert_eq!(engine.txn_counters(), vec![10, 10, 10]);
+    let wc = controller.write_counters();
+    assert!(wc.iter().all(|&w| w == wc[0]), "log positions diverged");
+
+    // SVP fans out over the rejoined node again and stays correct.
+    let calls_before = faulties[1].calls();
+    let (out, _) = controller
+        .execute("select count(*) as n from orders")
+        .unwrap();
+    assert_eq!(out.rows[0][0].as_i64().unwrap(), base + 10);
+    assert!(faulties[1].calls() > calls_before, "node 1 left out of SVP");
 }
 
 /// Stalls (not errors) on one node: the per-sub-query timeout detects the

@@ -24,4 +24,8 @@ cargo test -q --test recovery_rejoin
 cargo test -q -p apuama-cjdbc --lib -- "recovery::"
 cargo test -q -p apuama-sim --lib -- "recovery::"
 
+echo "== bench_smoke: prepared-plan and fused-kernel micro arms =="
+cargo bench -p apuama-bench --bench prepared -- 100
+cat BENCH_prepared.json
+
 echo "ci: all green"

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use apuama_engine::{Database, EngineResult, QueryOutput};
-use apuama_sql::{parse_statements, Statement};
+use apuama_engine::{Database, EngineError, EngineResult, QueryOutput};
+use apuama_sql::{parse_statements, visit, Statement, Value};
 
 /// What a piece of SQL does, from the cluster's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,41 @@ pub trait Connection: Send + Sync {
 
     /// Human-readable name for diagnostics (`node-3`).
     fn name(&self) -> &str;
+
+    /// Registers a statement for repeated execution and reports how many
+    /// `$N` parameters it takes. The default implementation only counts
+    /// placeholders; backends with a plan cache (like [`NodeConnection`])
+    /// override this to compile and cache the plan.
+    fn prepare(&self, sql: &str) -> EngineResult<usize> {
+        let stmts = parse_statements(sql)?;
+        Ok(match stmts.as_slice() {
+            [Statement::Select(q)] => visit::parameter_count(q),
+            _ => 0,
+        })
+    }
+
+    /// Executes a statement with bound parameter values — the
+    /// `PreparedStatement.execute()` of this JDBC stand-in. The default
+    /// implementation substitutes the values into the statement text and
+    /// calls [`Connection::execute`], so interposing connections (fault
+    /// injection, instrumentation) keep observing plain SQL; engine-backed
+    /// connections override it to execute from the cached plan without
+    /// re-parsing.
+    fn execute_bound(&self, sql: &str, params: &[Value]) -> EngineResult<QueryOutput> {
+        if params.is_empty() {
+            return self.execute(sql);
+        }
+        let mut stmts = parse_statements(sql)?;
+        match stmts.as_mut_slice() {
+            [Statement::Select(q)] => {
+                visit::bind_parameters(q, params).map_err(EngineError::TypeError)?;
+                self.execute(&stmts[0].to_string())
+            }
+            _ => Err(EngineError::Unsupported(
+                "parameters are only supported on single SELECT statements".into(),
+            )),
+        }
+    }
 }
 
 /// One cluster node: a single-node engine behind a reader-writer lock.
@@ -110,6 +145,31 @@ impl Connection for NodeConnection {
     fn name(&self) -> &str {
         &self.node.name
     }
+
+    fn prepare(&self, sql: &str) -> EngineResult<usize> {
+        match classify(sql)? {
+            StatementKind::Read => self.node.db.read().prepare(sql),
+            StatementKind::Write => Ok(0),
+        }
+    }
+
+    /// Reads execute straight from the node's plan cache — parsed and
+    /// planned once per statement text, not once per execution. Writes
+    /// fall back to the text-substitution default.
+    fn execute_bound(&self, sql: &str, params: &[Value]) -> EngineResult<QueryOutput> {
+        match classify(sql)? {
+            StatementKind::Read => self.node.db.read().query_bound(sql, params),
+            StatementKind::Write => {
+                if params.is_empty() {
+                    self.node.db.write().execute_script(sql)
+                } else {
+                    Err(EngineError::Unsupported(
+                        "parameters are only supported on single SELECT statements".into(),
+                    ))
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +207,84 @@ mod tests {
         let out = conn.execute("select count(*) as n from t").unwrap();
         assert_eq!(out.rows[0][0], apuama_sql::Value::Int(2));
         assert_eq!(conn.name(), "n0");
+    }
+
+    #[test]
+    fn prepared_reads_use_the_node_plan_cache() {
+        let mut db = Database::in_memory();
+        db.execute("create table t (a int not null, primary key (a)) clustered by (a)")
+            .unwrap();
+        db.load_table("t", (0..100i64).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
+        let conn = NodeConnection::new(EngineNode::new("n0", db));
+        let sql = "select count(*) as n from t where a >= $1 and a < $2";
+        assert_eq!(conn.prepare(sql).unwrap(), 2);
+        for lo in 0..4 {
+            let out = conn
+                .execute_bound(sql, &[Value::Int(lo), Value::Int(lo + 10)])
+                .unwrap();
+            assert_eq!(out.rows[0][0], Value::Int(10));
+        }
+        let stats = conn.node().with_db(|db| db.plan_cache_stats());
+        assert_eq!(stats.misses, 1, "one parse+plan for four executions");
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn default_execute_bound_renders_text_for_wrapping_connections() {
+        // A connection that implements only execute/name — the shape of the
+        // fault-injection wrappers — still gets bound execution via the
+        // trait default, and the wrapped text contains the substituted
+        // literals so text-matching fault rules keep working.
+        struct Recording {
+            inner: NodeConnection,
+            last: parking_lot::Mutex<String>,
+        }
+        impl Connection for Recording {
+            fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+                *self.last.lock() = sql.to_string();
+                self.inner.execute(sql)
+            }
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+        }
+        let mut db = Database::in_memory();
+        db.execute("create table t (a int)").unwrap();
+        db.execute("insert into t values (1), (2), (3)").unwrap();
+        let rec = Recording {
+            inner: NodeConnection::new(EngineNode::new("n0", db)),
+            last: parking_lot::Mutex::new(String::new()),
+        };
+        assert_eq!(
+            rec.prepare("select count(*) as n from t where a > $1")
+                .unwrap(),
+            1
+        );
+        let out = rec
+            .execute_bound("select count(*) as n from t where a > $1", &[Value::Int(1)])
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(2));
+        let seen = rec.last.lock().clone();
+        assert!(seen.contains("a > 1"), "literal rendered into text: {seen}");
+        assert!(!seen.contains('$'), "no placeholder leaks through: {seen}");
+        // Missing parameters are a type error, not a silent NULL.
+        assert!(rec
+            .execute_bound("select count(*) as n from t where a > $1", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn bound_writes_without_params_pass_through() {
+        let mut db = Database::in_memory();
+        db.execute("create table t (a int)").unwrap();
+        let conn = NodeConnection::new(EngineNode::new("n0", db));
+        conn.execute_bound("insert into t values (7)", &[]).unwrap();
+        let out = conn.execute("select count(*) as n from t").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(1));
+        assert!(conn
+            .execute_bound("insert into t values ($1)", &[Value::Int(9)])
+            .is_err());
     }
 
     #[test]

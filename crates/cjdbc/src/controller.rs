@@ -406,11 +406,43 @@ impl Controller {
         }
     }
 
+    /// Prepares a read statement on every enabled backend so later
+    /// [`Controller::execute_read_bound`] calls find a warm plan cache no
+    /// matter which backend the balancer picks. Returns the statement's
+    /// parameter count.
+    pub fn prepare_read(&self, sql: &str) -> EngineResult<usize> {
+        let mut n = 0;
+        for i in self.enabled_backends() {
+            n = self.backends[i].conn.prepare(sql)?;
+        }
+        Ok(n)
+    }
+
+    /// Load-balanced bound execution: same routing, health accounting, and
+    /// failure policy as [`Controller::execute_read`], but the chosen
+    /// backend executes from its prepared plan instead of re-parsing text.
+    pub fn execute_read_bound(
+        &self,
+        sql: &str,
+        params: &[apuama_sql::Value],
+    ) -> EngineResult<(QueryOutput, usize)> {
+        self.routed_read(|conn| conn.execute_bound(sql, params))
+    }
+
     /// Load-balanced read over the enabled backends whose circuits admit
     /// traffic. If every enabled backend's circuit is open, fall back to
     /// the full enabled set — serving a request into a tripped backend
     /// beats refusing the query outright (the attempt doubles as a probe).
     pub fn execute_read(&self, sql: &str) -> EngineResult<(QueryOutput, usize)> {
+        self.routed_read(|conn| conn.execute(sql))
+    }
+
+    /// The shared read path: balancer choice, pending accounting, health
+    /// recording, and the disable-on-failure policy.
+    fn routed_read(
+        &self,
+        run: impl Fn(&dyn Connection) -> EngineResult<QueryOutput>,
+    ) -> EngineResult<(QueryOutput, usize)> {
         let enabled = self.enabled_backends();
         if enabled.is_empty() {
             return Err(EngineError::Unsupported(
@@ -432,7 +464,7 @@ impl Controller {
         let chosen = candidates[self.balancer.choose(&pending)];
         let backend = &self.backends[chosen];
         backend.pending.fetch_add(1, Ordering::SeqCst);
-        let result = backend.conn.execute(sql);
+        let result = run(backend.conn.as_ref());
         backend.pending.fetch_sub(1, Ordering::SeqCst);
         if result.is_ok() {
             backend.reads_served.fetch_add(1, Ordering::SeqCst);
@@ -633,6 +665,38 @@ mod tests {
     fn failed_write_surfaces_error() {
         let (c, _nodes) = cluster(2);
         assert!(c.execute("insert into missing values (1)").is_err());
+    }
+
+    #[test]
+    fn bound_reads_balance_and_match_text_reads() {
+        let (c, nodes) = cluster(3);
+        for i in 0..20 {
+            c.execute(&format!("insert into t values ({i}, 'x')"))
+                .unwrap();
+        }
+        let sql = "select count(*) as n from t where a >= $1 and a < $2";
+        assert_eq!(c.prepare_read(sql).unwrap(), 2);
+        let (bound, backend) = c
+            .execute_read_bound(sql, &[Value::Int(5), Value::Int(15)])
+            .unwrap();
+        assert!(backend < 3);
+        let (text, _) = c
+            .execute_read("select count(*) as n from t where a >= 5 and a < 15")
+            .unwrap();
+        assert_eq!(bound.rows, text.rows);
+        assert_eq!(bound.rows[0][0], Value::Int(10));
+        // prepare_read warmed every backend: the bound execution was a
+        // cache hit wherever it landed.
+        let stats = nodes[backend].with_db(|db| db.plan_cache_stats());
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn bound_read_failures_follow_the_disable_policy() {
+        let (c, _nodes) = cluster(2);
+        // An unparseable bound read surfaces an error without disabling.
+        assert!(c.execute_read_bound("select nonsense from", &[]).is_err());
+        assert_eq!(c.enabled_backends(), vec![0, 1]);
     }
 }
 

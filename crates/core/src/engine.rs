@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use apuama_cjdbc::{classify, Connection, HealthTracker, StatementKind};
 use apuama_engine::{EngineError, EngineResult, ExecStats, PhaseTiming, QueryOutput};
+use apuama_sql::Value;
 
 use crate::catalog::DataCatalog;
 use crate::composer::{Composer, ComposerStrategy};
@@ -209,6 +210,14 @@ impl ApuamaEngine {
     /// update gate still releases at "dispatched and started" — composition
     /// happens strictly after the release point.
     ///
+    /// Sub-queries are dispatched as *prepared statements*
+    /// ([`SvpPlan::prepared`]): each worker registers its statement text
+    /// with the node's plan cache once, then every execution — including
+    /// retries and repeated runs of the same eval query — binds range
+    /// values into the cached plan instead of re-parsing and re-planning
+    /// the rendered SQL. Connections without a plan cache transparently
+    /// fall back to executing the identically rendered text.
+    ///
     /// Fault handling (see DESIGN.md §8, driven by [`FaultPolicy`]):
     ///
     /// * Ranges owned by a node whose circuit is open are routed to
@@ -216,7 +225,7 @@ impl ApuamaEngine {
     /// * Each sub-query runs under an optional deadline and bounded
     ///   same-node retries with exponential backoff.
     /// * A range whose node exhausted its retries is re-rendered through
-    ///   the rewriter ([`crate::rewrite::QueryTemplate::subquery_for_range`]
+    ///   the rewriter ([`crate::rewrite::QueryTemplate::prepared_for_range`]
     ///   on the residual range) and handed whole to one surviving replica,
     ///   with the partial attributed to the *original* range index — so the
     ///   composed result is byte-identical to the healthy run (splitting
@@ -296,11 +305,19 @@ impl ApuamaEngine {
                 let tx = tx.clone();
                 let policy = &policy;
                 s.spawn(move || {
+                    // Warm the node's plan cache before taking the snapshot
+                    // ticket: interior ranges share one statement text, so
+                    // this is one parse+plan per node per eval query, and
+                    // every execution below re-binds instead of re-planning.
+                    // Errors are ignored — execution reports anything real.
+                    for &range in &my_ranges {
+                        let _ = node.prepare_subquery(&plan.prepared[range].0);
+                    }
                     let ticket = node.begin_subquery();
                     barrier.wait();
                     for range in my_ranges {
-                        let (attempts, result) =
-                            run_with_retries(node, &plan.subqueries[range], policy);
+                        let (sql, params) = &plan.prepared[range];
+                        let (attempts, result) = run_with_retries(node, sql, params, policy);
                         // The receiver drains every message, but ignore send
                         // errors anyway so a panicking main can't wedge a
                         // node.
@@ -395,13 +412,15 @@ impl ApuamaEngine {
                     let policy = &policy;
                     // Re-invoke the rewriter on the residual range. A whole
                     // failed node's residual is its entire original range,
-                    // so the rendered SQL — and therefore the composed
-                    // result — is byte-identical to the planned sub-query.
+                    // so the prepared statement binds the same values — and
+                    // therefore the composed result is byte-identical to the
+                    // planned sub-query.
                     let (lo, hi) = plan.ranges[range];
-                    let sql = plan.template.subquery_for_range(lo, hi);
+                    let (sql, bound) = plan.template.prepared_for_range(lo, hi);
                     s.spawn(move || {
+                        let _ = node.prepare_subquery(&sql);
                         let ticket = node.begin_subquery();
-                        let (attempts, result) = run_with_retries(node, &sql, policy);
+                        let (attempts, result) = run_with_retries(node, &sql, &bound, policy);
                         drop(ticket);
                         let _ = rtx.send((range, target, attempts, result));
                     });
@@ -513,11 +532,12 @@ impl apuama_cjdbc::RejoinHooks for ApuamaEngine {
     }
 }
 
-/// Runs `sql` on `node` with the policy's deadline and bounded same-node
-/// retries; returns `(attempts made, final outcome)`.
+/// Runs the prepared statement on `node` with the policy's deadline and
+/// bounded same-node retries; returns `(attempts made, final outcome)`.
 fn run_with_retries(
     node: &Arc<NodeProcessor>,
     sql: &str,
+    params: &[Value],
     policy: &FaultPolicy,
 ) -> (u32, EngineResult<QueryOutput>) {
     let max_attempts = policy.max_retries.saturating_add(1);
@@ -529,7 +549,7 @@ fn run_with_retries(
                 std::thread::sleep(backoff);
             }
         }
-        match run_attempt(node, sql, policy.subquery_timeout_ms) {
+        match run_attempt(node, sql, params, policy.subquery_timeout_ms) {
             Ok(out) => return (attempt, Ok(out)),
             Err(e) => last = Some(e),
         }
@@ -548,16 +568,18 @@ fn run_with_retries(
 fn run_attempt(
     node: &Arc<NodeProcessor>,
     sql: &str,
+    params: &[Value],
     timeout_ms: Option<u64>,
 ) -> EngineResult<QueryOutput> {
     let Some(ms) = timeout_ms else {
-        return node.run_subquery_statement(sql);
+        return node.run_subquery_bound(sql, params);
     };
     let (tx, rx) = std::sync::mpsc::channel();
     let worker_node = Arc::clone(node);
     let statement = sql.to_string();
+    let bound: Vec<Value> = params.to_vec();
     std::thread::spawn(move || {
-        let _ = tx.send(worker_node.run_subquery_statement(&statement));
+        let _ = tx.send(worker_node.run_subquery_bound(&statement, &bound));
     });
     match rx.recv_timeout(std::time::Duration::from_millis(ms)) {
         Ok(result) => result,
@@ -662,6 +684,25 @@ mod tests {
             assert!(s.rows_scanned <= 30, "scanned {}", s.rows_scanned);
         }
         assert_eq!(exec.partial_rows, 3);
+    }
+
+    #[test]
+    fn repeated_svp_runs_plan_once_per_node() {
+        let (engine, nodes) = cluster(4, ApuamaConfig::default());
+        let sql = "select count(*) as n, sum(o_totalprice) as t from orders";
+        let reference = nodes[0].with_db(|db| db.query(sql).unwrap());
+        for _ in 0..5 {
+            let out = engine.execute_read(0, sql).unwrap();
+            assert_eq!(out.rows, reference.rows);
+        }
+        // Each node saw one statement text five times (interior nodes share
+        // the two-parameter text; outer nodes have their own one-sided
+        // text): one plan-cache miss, the rest hits.
+        for node in &nodes {
+            let stats = node.with_db(|db| db.plan_cache_stats());
+            assert_eq!(stats.misses, 1, "{stats:?}");
+            assert!(stats.hits >= 5, "{stats:?}");
+        }
     }
 
     #[test]

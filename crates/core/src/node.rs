@@ -186,6 +186,34 @@ impl NodeProcessor {
     /// ticket guard is not `Send`) while the worker keeps holding the
     /// ticket. Outcomes are reported to the health tracker.
     pub fn run_subquery_statement(&self, sql: &str) -> EngineResult<QueryOutput> {
+        self.run_guarded(|conn| conn.execute(sql))
+    }
+
+    /// Like [`NodeProcessor::run_subquery_statement`], but executes a
+    /// prepared statement with bound range values. Engine-backed
+    /// connections serve this from their plan cache — the dispatcher's
+    /// "parse and plan once per node" path; interposing connections fall
+    /// back to the trait's text-substitution default, which renders the
+    /// identical SQL the literal path would send.
+    pub fn run_subquery_bound(
+        &self,
+        sql: &str,
+        params: &[apuama_sql::Value],
+    ) -> EngineResult<QueryOutput> {
+        self.run_guarded(|conn| conn.execute_bound(sql, params))
+    }
+
+    /// Registers a sub-query statement with the node's plan cache ahead of
+    /// execution (dispatch warm-up). Failures are the caller's to ignore:
+    /// execution re-reports anything real.
+    pub fn prepare_subquery(&self, sql: &str) -> EngineResult<usize> {
+        self.conn.prepare(sql)
+    }
+
+    fn run_guarded(
+        &self,
+        run: impl FnOnce(&dyn Connection) -> EngineResult<QueryOutput>,
+    ) -> EngineResult<QueryOutput> {
         self.pool.acquire();
         let _slot = PoolSlot(&self.pool);
         let guard = if self.force_index {
@@ -201,7 +229,7 @@ impl NodeProcessor {
         } else {
             None
         };
-        let result = self.conn.execute(sql);
+        let result = run(self.conn.as_ref());
         match &result {
             Ok(_) => self.health.record_success(self.index),
             Err(_) => self.health.record_failure(self.index),
@@ -272,6 +300,12 @@ impl SubqueryTicket<'_> {
     pub fn run(&self, sql: &str) -> EngineResult<QueryOutput> {
         self.node.run_subquery_statement(sql)
     }
+
+    /// Runs the SVP sub-query from a prepared statement with bound range
+    /// values, applying the optimizer interference.
+    pub fn run_bound(&self, sql: &str, params: &[apuama_sql::Value]) -> EngineResult<QueryOutput> {
+        self.node.run_subquery_bound(sql, params)
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +351,30 @@ mod tests {
         drop(ticket);
         // Restored afterwards.
         assert!(engine_node.with_db(|db| db.seqscan_enabled()));
+    }
+
+    #[test]
+    fn bound_subquery_matches_literal_and_uses_the_plan_cache() {
+        use apuama_sql::Value;
+        let (np, engine_node) = node(true);
+        let sql = "select sum(v) as s from t where k >= $1 and k < $2";
+        np.prepare_subquery(sql).unwrap();
+        let ticket = np.begin_subquery();
+        let want = ticket
+            .run("select sum(v) as s from t where k >= 10 and k < 20")
+            .unwrap();
+        for _ in 0..3 {
+            let got = ticket
+                .run_bound(sql, &[Value::Int(10), Value::Int(20)])
+                .unwrap();
+            assert_eq!(got.rows, want.rows);
+        }
+        drop(ticket);
+        // Interference restored, and the three bound runs shared one plan.
+        assert!(engine_node.with_db(|db| db.seqscan_enabled()));
+        let stats = engine_node.with_db(|db| db.plan_cache_stats());
+        assert_eq!(stats.misses, 1, "one parse+plan for the bound statement");
+        assert!(stats.hits >= 2, "{stats:?}");
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub enum Rewritten {
 pub struct SvpPlan {
     /// One sub-query per partition, in partition order.
     pub subqueries: Vec<String>,
+    /// The same sub-queries in prepared form: statement text with `$N`
+    /// placeholders for the range bounds, plus the bound values. All
+    /// interior partitions share one statement text, so a node executing
+    /// several ranges parses and plans once and re-binds per range.
+    pub prepared: Vec<(String, Vec<apuama_sql::Value>)>,
     /// The VPA bounds behind each sub-query, `(lo, hi)` half-open with
     /// `None` = unbounded — what fault recovery feeds back into
     /// [`QueryTemplate::subquery_for_range`] to re-render a failed node's
@@ -187,20 +192,73 @@ impl QueryTemplate {
         sub.to_string()
     }
 
+    /// Renders the sub-query for `[lo, hi)` as a prepared statement:
+    /// `$N` placeholders where [`QueryTemplate::subquery_for_range`] puts
+    /// literals, plus the values to bind. Every partitioned binding shares
+    /// the same one or two parameters, so the statement text depends only
+    /// on *which* sides are bounded — interior SVP partitions all render
+    /// the identical text and a node's plan cache satisfies them with one
+    /// parse+plan. Binding the returned values reproduces the literal
+    /// rendering byte for byte (the composed result cannot tell the paths
+    /// apart).
+    pub fn prepared_for_range(
+        &self,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> (String, Vec<apuama_sql::Value>) {
+        use apuama_sql::{BinOp, Value};
+        let mut sub = self.partial.clone();
+        let mut params = Vec::new();
+        let lo_param = lo.map(|v| {
+            params.push(Value::Int(v));
+            params.len()
+        });
+        let hi_param = hi.map(|v| {
+            params.push(Value::Int(v));
+            params.len()
+        });
+        for (binding, vp) in &self.partitioned {
+            let col = || {
+                Expr::Column(apuama_sql::ColumnRef::qualified(
+                    binding.clone(),
+                    vp.vpa.clone(),
+                ))
+            };
+            let lo_pred = lo_param.map(|n| Expr::binary(col(), BinOp::GtEq, Expr::Parameter(n)));
+            let hi_pred = hi_param.map(|n| Expr::binary(col(), BinOp::Lt, Expr::Parameter(n)));
+            let pred = match (lo_pred, hi_pred) {
+                (Some(a), Some(b)) => Some(a.and(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            if let Some(pred) = pred {
+                sub.selection = Some(match sub.selection.take() {
+                    Some(w) => w.and(pred),
+                    None => pred,
+                });
+            }
+        }
+        (sub.to_string(), params)
+    }
+
     /// Instantiates the paper's static SVP plan: `n` aligned partitions of
     /// the key range, first/last partitions unbounded outward.
     pub fn svp_plan(&self, n: usize) -> SvpPlan {
         assert!(n > 0);
         let vp = &self.partitioned[0].1;
         let mut subqueries = Vec::with_capacity(n);
+        let mut prepared = Vec::with_capacity(n);
         let mut ranges = Vec::with_capacity(n);
         for i in 0..n {
             let (lo, hi) = vp.partition_bounds(i, n);
             subqueries.push(self.subquery_for_range(lo, hi));
+            prepared.push(self.prepared_for_range(lo, hi));
             ranges.push((lo, hi));
         }
         SvpPlan {
             subqueries,
+            prepared,
             ranges,
             partial_columns: self.partial_columns.clone(),
             composition_sql: self.composition_sql.clone(),
@@ -1042,6 +1100,55 @@ mod tests {
         assert!(plan.composition_sql.contains("order by l_orderkey"));
         assert!(plan.composition_sql.contains("limit 5"));
         assert_eq!(plan.partial_columns, vec!["l_orderkey", "l_quantity"]);
+    }
+
+    #[test]
+    fn prepared_subqueries_bind_back_to_the_literal_rendering() {
+        use apuama_sql::{parse_statement, visit, Statement};
+        let plan = svp(
+            "select l_returnflag, sum(l_quantity) as q, count(*) as n \
+             from lineitem group by l_returnflag",
+            4,
+        );
+        assert_eq!(plan.prepared.len(), plan.subqueries.len());
+        for (i, (text, params)) in plan.prepared.iter().enumerate() {
+            let Statement::Select(mut q) = parse_statement(text).unwrap() else {
+                panic!()
+            };
+            assert_eq!(visit::parameter_count(&q), params.len());
+            visit::bind_parameters(&mut q, params).unwrap();
+            assert_eq!(q.to_string(), plan.subqueries[i], "partition {i}");
+        }
+        // Outer partitions carry one bound side each; interior partitions
+        // carry both and share one statement text (one plan per node).
+        assert_eq!(plan.prepared[0].1.len(), 1);
+        assert_eq!(plan.prepared[3].1.len(), 1);
+        assert_eq!(plan.prepared[1].1.len(), 2);
+        assert_eq!(plan.prepared[1].0, plan.prepared[2].0);
+        assert_ne!(plan.prepared[1].1, plan.prepared[2].1);
+    }
+
+    #[test]
+    fn prepared_derived_partitioning_shares_parameters_across_bindings() {
+        let plan = svp(
+            "select count(*) as n from orders, lineitem where l_orderkey = o_orderkey",
+            4,
+        );
+        let (text, params) = &plan.prepared[1];
+        // Both fact references are range-restricted by the *same* two
+        // parameters, not four.
+        assert_eq!(params.len(), 2);
+        assert!(text.contains("orders.o_orderkey >= $1"));
+        assert!(text.contains("lineitem.l_orderkey >= $1"));
+        assert!(text.contains("orders.o_orderkey < $2"));
+        assert!(text.contains("lineitem.l_orderkey < $2"));
+    }
+
+    #[test]
+    fn one_node_prepared_plan_has_no_parameters() {
+        let plan = svp("select count(*) as n from lineitem", 1);
+        assert_eq!(plan.prepared[0].1, vec![]);
+        assert_eq!(plan.prepared[0].0, plan.subqueries[0]);
     }
 
     #[test]

@@ -11,18 +11,21 @@
 //! sub-queries without opening a write transaction.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use apuama_sql::ast::{Expr, Statement};
-use apuama_sql::{parse_statement, parse_statements, Value};
+use apuama_sql::{parse_statement, parse_statements, visit, Value};
 use apuama_storage::{AccessKind, BufferPool, BufferStats, PageKey, Row, RowId, TableId};
 
 use crate::catalog::{Catalog, TableSchema};
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{eval_expr, split_conjuncts};
 use crate::exec::{self, ExecContext};
+use crate::kernel;
+use crate::plan_cache::{self, CachedPlan, PlanCache, PlanCacheStats};
 use crate::planner;
 use crate::stats::ExecStats;
 use crate::table::Table;
@@ -84,6 +87,10 @@ pub struct Database {
     settings: Settings,
     /// `Some` while a transaction is open; holds the undo log.
     txn: Option<Vec<Undo>>,
+    /// Bumped by DDL; cached plans from older versions are discarded.
+    catalog_version: AtomicU64,
+    /// Prepared-statement plan cache (see [`crate::plan_cache`]).
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl Database {
@@ -96,6 +103,8 @@ impl Database {
             pool: Mutex::new(BufferPool::new(pool_pages)),
             settings: Settings::default(),
             txn: None,
+            catalog_version: AtomicU64::new(0),
+            plan_cache: Mutex::new(PlanCache::default()),
         }
     }
 
@@ -108,6 +117,8 @@ impl Database {
             pool: Mutex::new(BufferPool::unbounded()),
             settings: Settings::default(),
             txn: None,
+            catalog_version: AtomicU64::new(0),
+            plan_cache: Mutex::new(PlanCache::default()),
         }
     }
 
@@ -138,6 +149,19 @@ impl Database {
             .misc
             .lock()
             .get("enable_indexscan")
+            .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
+            .unwrap_or(true)
+    }
+
+    /// Whether bound execution may use the fused scan→filter→aggregate
+    /// kernel (`SET enable_kernel`, default on). The knob exists so the
+    /// benches and the property suite can compare the kernel against the
+    /// interpreted pipeline on the same statements.
+    pub fn kernel_enabled(&self) -> bool {
+        self.settings
+            .misc
+            .lock()
+            .get("enable_kernel")
             .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
             .unwrap_or(true)
     }
@@ -255,6 +279,112 @@ impl Database {
         }
     }
 
+    // -- prepared statements ---------------------------------------------------
+
+    /// One `(table, pages, rows)` stats entry; missing tables get sentinel
+    /// values so a plan compiled before a DROP-like change never validates.
+    fn table_stats_entry(&self, name: &str) -> (String, u64, u64) {
+        match self.table(name) {
+            Some(t) => (name.to_string(), t.pages(), t.row_count()),
+            None => (name.to_string(), u64::MAX, u64::MAX),
+        }
+    }
+
+    fn current_stats_token(&self, token: &[(String, u64, u64)]) -> Vec<(String, u64, u64)> {
+        token
+            .iter()
+            .map(|(t, _, _)| self.table_stats_entry(t))
+            .collect()
+    }
+
+    /// Fetches (or compiles and caches) the plan for a SELECT statement.
+    /// `Ok(None)` means the statement parsed but is not a SELECT — those
+    /// are never cached.
+    fn plan_for(&self, sql: &str) -> EngineResult<Option<Arc<CachedPlan>>> {
+        let fp = plan_cache::fingerprint(sql);
+        let version = self.catalog_version.load(Ordering::SeqCst);
+        if let Some(plan) = self
+            .plan_cache
+            .lock()
+            .lookup(fp, version, |token| self.current_stats_token(token))
+        {
+            return Ok(Some(plan));
+        }
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = stmt else {
+            return Ok(None);
+        };
+        let n_params = visit::parameter_count(&q);
+        let kernel = kernel::compile(&q, self);
+        let stats_token = visit::referenced_tables(&q)
+            .iter()
+            .map(|t| self.table_stats_entry(t))
+            .collect();
+        let plan = Arc::new(CachedPlan {
+            select: q,
+            n_params,
+            kernel,
+            catalog_version: version,
+            stats_token,
+        });
+        self.plan_cache
+            .lock()
+            .insert(fp.to_string(), Arc::clone(&plan));
+        Ok(Some(plan))
+    }
+
+    /// Parses, plans, and caches a statement without executing it; returns
+    /// the number of `$N` parameters it takes. Subsequent
+    /// [`Database::query_bound`] calls with the same text skip parsing and
+    /// planning entirely. Non-SELECT statements are accepted (C-JDBC
+    /// prepares writes too) but take no parameters and are not cached.
+    pub fn prepare(&self, sql: &str) -> EngineResult<usize> {
+        Ok(self.plan_for(sql)?.map_or(0, |p| p.n_params))
+    }
+
+    /// Executes a (usually prepared) statement with bound parameter
+    /// values. SELECTs run from the plan cache — parsed and planned once
+    /// per statement text, not once per execution; the fused kernel is
+    /// used when the shape allows and `enable_kernel` is on. Results are
+    /// byte-identical to rendering the literals into the text and calling
+    /// [`Database::query`].
+    pub fn query_bound(&self, sql: &str, params: &[Value]) -> EngineResult<QueryOutput> {
+        let Some(plan) = self.plan_for(sql)? else {
+            if !params.is_empty() {
+                return Err(EngineError::Unsupported(
+                    "parameters are only supported on SELECT statements".into(),
+                ));
+            }
+            // SET / EXPLAIN take the plain read path.
+            return self.query(sql);
+        };
+        if params.len() != plan.n_params {
+            return Err(EngineError::TypeError(format!(
+                "statement takes {} parameter(s), got {}",
+                plan.n_params,
+                params.len()
+            )));
+        }
+        let ctx = ExecContext::with_params(self, params.to_vec());
+        let rel = match (&plan.kernel, self.kernel_enabled()) {
+            (Some(k), true) => kernel::execute(k, &ctx)?,
+            _ => exec::run_select(&plan.select, &[], &ctx)?,
+        };
+        ctx.record_output(&rel);
+        Ok(QueryOutput {
+            columns: rel.column_names(),
+            rows: rel.rows,
+            rows_affected: 0,
+            stats: ctx.take_stats(),
+        })
+    }
+
+    /// Plan-cache counters (hits, misses, evictions, invalidations,
+    /// replans) since this database was created.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.lock().stats()
+    }
+
     /// Executes an already-parsed statement.
     pub fn execute_stmt(&mut self, stmt: &Statement) -> EngineResult<QueryOutput> {
         match stmt {
@@ -285,6 +415,7 @@ impl Database {
                     TableSchema::from_ddl(id, name, columns, primary_key, clustered_by.as_deref())?;
                 self.catalog.add(schema.clone())?;
                 self.tables.push(Table::new(schema));
+                self.catalog_version.fetch_add(1, Ordering::SeqCst);
                 Ok(QueryOutput::default())
             }
             Statement::CreateIndex { table, column, .. } => {
@@ -297,6 +428,7 @@ impl Database {
                     .ok_or_else(|| EngineError::UnknownColumn(column.clone()))?;
                 let id = schema.id;
                 self.table_mut(id).create_index(ci);
+                self.catalog_version.fetch_add(1, Ordering::SeqCst);
                 Ok(QueryOutput::default())
             }
             Statement::Begin => {
@@ -659,6 +791,10 @@ impl Database {
             pool: Mutex::new(BufferPool::new(self.pool_capacity())),
             settings: Settings::default(),
             txn: None,
+            catalog_version: AtomicU64::new(self.catalog_version.load(Ordering::SeqCst)),
+            // The clone starts with an empty cache: cached plans hold no
+            // data, only compiled shapes, and recompiling is cheap.
+            plan_cache: Mutex::new(PlanCache::default()),
         })
     }
 }
@@ -940,6 +1076,188 @@ mod tests {
             )
             .unwrap();
         assert_eq!(res.rows, vec![vec![Value::Int(1)]]);
+    }
+}
+
+#[cfg(test)]
+mod prepared_tests {
+    use super::*;
+
+    fn lineitem_db(n: i64) -> Database {
+        let mut d = Database::new(1_000);
+        d.execute(
+            "create table lineitem (l_orderkey int not null, l_quantity float, \
+             l_returnflag text, primary key (l_orderkey)) clustered by (l_orderkey)",
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Float((i % 7) as f64 + 0.25),
+                    Value::Str(if i % 3 == 0 { "A" } else { "R" }.into()),
+                ]
+            })
+            .collect();
+        d.load_table("lineitem", rows).unwrap();
+        d
+    }
+
+    /// TPC-H Q1-shaped scan→filter→aggregate over a `$1 ≤ key < $2` range —
+    /// the SVP sub-query shape the kernel exists for.
+    const Q1ISH: &str = "select l_returnflag, sum(l_quantity) as s, avg(l_quantity) as a, \
+         count(*) as n from lineitem where l_orderkey >= $1 and l_orderkey < $2 \
+         group by l_returnflag order by l_returnflag";
+
+    fn rendered(lo: i64, hi: i64) -> String {
+        Q1ISH
+            .replace("$1", &lo.to_string())
+            .replace("$2", &hi.to_string())
+    }
+
+    #[test]
+    fn prepare_reports_parameter_count() {
+        let d = lineitem_db(10);
+        assert_eq!(d.prepare(Q1ISH).unwrap(), 2);
+        assert_eq!(d.prepare("select count(*) as n from lineitem").unwrap(), 0);
+        // Non-SELECTs are accepted and take no parameters.
+        assert_eq!(d.prepare("set enable_seqscan = on").unwrap(), 0);
+    }
+
+    #[test]
+    fn bound_execution_matches_text_byte_for_byte() {
+        let d = lineitem_db(3_000);
+        let bound = d
+            .query_bound(Q1ISH, &[Value::Int(100), Value::Int(2_500)])
+            .unwrap();
+        let text = d.query(&rendered(100, 2_500)).unwrap();
+        assert_eq!(bound.columns, text.columns);
+        assert_eq!(bound.rows, text.rows);
+        // Identical work accounting, not just identical answers.
+        assert_eq!(bound.stats.rows_scanned, text.stats.rows_scanned);
+        assert_eq!(bound.stats.cpu_tuple_ops, text.stats.cpu_tuple_ops);
+        assert_eq!(bound.stats.index_probes, text.stats.index_probes);
+        assert_eq!(bound.stats.rows_out, text.stats.rows_out);
+        assert_eq!(bound.stats.bytes_out, text.stats.bytes_out);
+        assert_eq!(bound.stats.buffer.accesses(), text.stats.buffer.accesses());
+    }
+
+    #[test]
+    fn kernel_and_interpreted_agree_exactly() {
+        let d = lineitem_db(3_000);
+        let params = [Value::Int(10), Value::Int(2_900)];
+        assert!(d.kernel_enabled());
+        let on = d.query_bound(Q1ISH, &params).unwrap();
+        d.query("set enable_kernel = off").unwrap();
+        assert!(!d.kernel_enabled());
+        let off = d.query_bound(Q1ISH, &params).unwrap();
+        assert_eq!(on.columns, off.columns);
+        assert_eq!(on.rows, off.rows);
+        assert_eq!(on.stats.rows_scanned, off.stats.rows_scanned);
+        assert_eq!(on.stats.cpu_tuple_ops, off.stats.cpu_tuple_ops);
+        assert_eq!(on.stats.index_probes, off.stats.index_probes);
+        assert_eq!(on.stats.bytes_out, off.stats.bytes_out);
+        assert_eq!(on.stats.buffer.accesses(), off.stats.buffer.accesses());
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back_to_the_interpreter() {
+        let mut d = lineitem_db(100);
+        d.execute("create table seen (k int not null, primary key (k))")
+            .unwrap();
+        d.execute("insert into seen values (3), (4)").unwrap();
+        // Non-aggregated, DISTINCT, and subquery-bearing statements all run
+        // bound (no kernel) and agree with the text path.
+        for (sql, args, text) in [
+            (
+                "select l_orderkey from lineitem where l_orderkey = $1",
+                vec![Value::Int(7)],
+                "select l_orderkey from lineitem where l_orderkey = 7".to_string(),
+            ),
+            (
+                "select distinct l_returnflag from lineitem order by l_returnflag",
+                vec![],
+                "select distinct l_returnflag from lineitem order by l_returnflag".to_string(),
+            ),
+            (
+                "select count(*) as n from lineitem where l_orderkey in (select k from seen)",
+                vec![],
+                "select count(*) as n from lineitem where l_orderkey in (select k from seen)"
+                    .to_string(),
+            ),
+        ] {
+            let bound = d.query_bound(sql, &args).unwrap();
+            let plain = d.query(&text).unwrap();
+            assert_eq!(bound.rows, plain.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn repeated_bound_runs_hit_the_plan_cache() {
+        let d = lineitem_db(500);
+        d.prepare(Q1ISH).unwrap();
+        for i in 0..5 {
+            d.query_bound(Q1ISH, &[Value::Int(0), Value::Int(100 + i)])
+                .unwrap();
+        }
+        let s = d.plan_cache_stats();
+        assert_eq!(s.misses, 1, "parsed and planned once: {s:?}");
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.invalidations + s.replans + s.evictions, 0);
+    }
+
+    #[test]
+    fn ddl_invalidates_cached_plans() {
+        let mut d = lineitem_db(500);
+        d.prepare(Q1ISH).unwrap();
+        d.query_bound(Q1ISH, &[Value::Int(0), Value::Int(10)])
+            .unwrap();
+        d.execute("create index li_qty on lineitem (l_quantity)")
+            .unwrap();
+        // The cached plan predates the index: it must be discarded, and the
+        // recompiled one must still answer identically to the text path.
+        let out = d
+            .query_bound(Q1ISH, &[Value::Int(0), Value::Int(10)])
+            .unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!(s.invalidations, 1, "{s:?}");
+        assert_eq!(out.rows, d.query(&rendered(0, 10)).unwrap().rows);
+    }
+
+    #[test]
+    fn table_growth_forces_replan() {
+        let mut d = lineitem_db(500);
+        d.prepare(Q1ISH).unwrap();
+        d.execute("insert into lineitem values (9000, 1.0, 'A')")
+            .unwrap();
+        d.query_bound(Q1ISH, &[Value::Int(0), Value::Int(10000)])
+            .unwrap();
+        assert_eq!(d.plan_cache_stats().replans, 1);
+    }
+
+    #[test]
+    fn parameter_arity_is_checked() {
+        let d = lineitem_db(10);
+        assert!(matches!(
+            d.query_bound(Q1ISH, &[Value::Int(1)]),
+            Err(EngineError::TypeError(_))
+        ));
+        assert!(d
+            .query_bound("set enable_kernel = off", &[Value::Int(1)])
+            .is_err());
+        // SET without parameters flows through query_bound fine.
+        d.query_bound("set enable_kernel = off", &[]).unwrap();
+    }
+
+    #[test]
+    fn fork_starts_with_an_empty_plan_cache() {
+        let d = lineitem_db(50);
+        d.prepare(Q1ISH).unwrap();
+        let f = d.fork().unwrap();
+        f.query_bound(Q1ISH, &[Value::Int(0), Value::Int(10)])
+            .unwrap();
+        assert_eq!(f.plan_cache_stats().misses, 1);
+        assert_eq!(f.plan_cache_stats().hits, 0);
     }
 }
 

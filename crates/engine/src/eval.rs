@@ -44,6 +44,7 @@ pub fn resolve_in_frames(frames: &[Frame<'_>], col: &ColumnRef) -> EngineResult<
 pub fn eval_expr(expr: &Expr, frames: &[Frame<'_>], ctx: &ExecContext<'_>) -> EngineResult<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Parameter(n) => ctx.param(*n),
         Expr::Column(c) => {
             let (fi, ci) = resolve_in_frames(frames, c)?;
             Ok(frames[fi].row[ci].clone())
@@ -191,25 +192,40 @@ fn eval_binary(
     frames: &[Frame<'_>],
     ctx: &ExecContext<'_>,
 ) -> EngineResult<Value> {
+    eval_binary_with(
+        op,
+        || eval_expr(left, frames, ctx),
+        || eval_expr(right, frames, ctx),
+    )
+}
+
+/// Binary-operator semantics parameterized over operand evaluation, so the
+/// interpreted evaluator and the fused kernel share one implementation
+/// (including AND/OR short-circuiting, which is why operands arrive lazily).
+pub(crate) fn eval_binary_with(
+    op: BinOp,
+    mut left: impl FnMut() -> EngineResult<Value>,
+    mut right: impl FnMut() -> EngineResult<Value>,
+) -> EngineResult<Value> {
     // AND/OR get short-circuit three-valued logic.
     if op == BinOp::And {
-        let l = truthiness(&eval_expr(left, frames, ctx)?);
+        let l = truthiness(&left()?);
         if l == Some(false) {
             return Ok(Value::Bool(false));
         }
-        let r = truthiness(&eval_expr(right, frames, ctx)?);
+        let r = truthiness(&right()?);
         return Ok(bool3(and3(l, r)));
     }
     if op == BinOp::Or {
-        let l = truthiness(&eval_expr(left, frames, ctx)?);
+        let l = truthiness(&left()?);
         if l == Some(true) {
             return Ok(Value::Bool(true));
         }
-        let r = truthiness(&eval_expr(right, frames, ctx)?);
+        let r = truthiness(&right()?);
         return Ok(bool3(or3(l, r)));
     }
-    let l = eval_expr(left, frames, ctx)?;
-    let r = eval_expr(right, frames, ctx)?;
+    let l = left()?;
+    let r = right()?;
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -286,9 +302,20 @@ fn eval_scalar_function(
     frames: &[Frame<'_>],
     ctx: &ExecContext<'_>,
 ) -> EngineResult<Value> {
+    eval_scalar_function_with(name, args.len(), |i| eval_expr(&args[i], frames, ctx))
+}
+
+/// Scalar-function semantics parameterized over argument evaluation (lazy,
+/// so `coalesce` keeps its short-circuit), shared by the interpreted
+/// evaluator and the fused kernel.
+pub(crate) fn eval_scalar_function_with(
+    name: &str,
+    n_args: usize,
+    mut arg: impl FnMut(usize) -> EngineResult<Value>,
+) -> EngineResult<Value> {
     match name {
         "extract_year" | "year" => {
-            let v = eval_expr(&args[0], frames, ctx)?;
+            let v = arg(0)?;
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Date(d) => Ok(Value::Int(d.year() as i64)),
@@ -297,12 +324,12 @@ fn eval_scalar_function(
         }
         "substring" | "substr" => {
             // substring(s, start, len) with 1-based start, SQL style.
-            if args.len() != 3 {
+            if n_args != 3 {
                 return Err(EngineError::TypeError("substring needs 3 args".into()));
             }
-            let s = eval_expr(&args[0], frames, ctx)?;
-            let start = eval_expr(&args[1], frames, ctx)?;
-            let len = eval_expr(&args[2], frames, ctx)?;
+            let s = arg(0)?;
+            let start = arg(1)?;
+            let len = arg(2)?;
             match (s, start, len) {
                 (Value::Null, _, _) => Ok(Value::Null),
                 (Value::Str(s), Value::Int(st), Value::Int(ln)) => {
@@ -314,7 +341,7 @@ fn eval_scalar_function(
             }
         }
         "abs" => {
-            let v = eval_expr(&args[0], frames, ctx)?;
+            let v = arg(0)?;
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.abs())),
@@ -323,8 +350,8 @@ fn eval_scalar_function(
             }
         }
         "coalesce" => {
-            for a in args {
-                let v = eval_expr(a, frames, ctx)?;
+            for i in 0..n_args {
+                let v = arg(i)?;
                 if !v.is_null() {
                     return Ok(v);
                 }
@@ -379,7 +406,7 @@ pub fn truthiness(v: &Value) -> Option<bool> {
     }
 }
 
-fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -395,11 +422,11 @@ fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn not3(a: Option<bool>) -> Option<bool> {
+pub(crate) fn not3(a: Option<bool>) -> Option<bool> {
     a.map(|b| !b)
 }
 
-fn bool3(a: Option<bool>) -> Value {
+pub(crate) fn bool3(a: Option<bool>) -> Value {
     match a {
         None => Value::Null,
         Some(b) => Value::Bool(b),

@@ -14,7 +14,7 @@
 //! bindings are joined in.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use apuama_sql::ast::{is_aggregate_name, Expr, Select, SelectItem, SetQuantifier, TableRef};
 use apuama_sql::value::HashableValue;
@@ -84,19 +84,36 @@ pub fn bindings_for_table(schema: &TableSchema, alias: Option<&str>) -> Vec<Bind
         .collect()
 }
 
-/// Per-statement execution context: the database handle plus the statistics
+/// Per-statement execution context: the database handle, the bound
+/// parameter values (empty for plain text statements), and the statistics
 /// being accumulated for this statement.
 pub struct ExecContext<'a> {
     pub db: &'a Database,
+    params: Vec<Value>,
     stats: RefCell<ExecStats>,
 }
 
 impl<'a> ExecContext<'a> {
     pub fn new(db: &'a Database) -> Self {
+        Self::with_params(db, Vec::new())
+    }
+
+    /// Context for a prepared statement executed with bound values; `$N`
+    /// placeholders resolve to `params[N-1]`.
+    pub fn with_params(db: &'a Database, params: Vec<Value>) -> Self {
         ExecContext {
             db,
+            params,
             stats: RefCell::new(ExecStats::default()),
         }
+    }
+
+    /// Value bound to placeholder `$n` (1-based).
+    pub fn param(&self, n: usize) -> EngineResult<Value> {
+        self.params
+            .get(n.wrapping_sub(1))
+            .cloned()
+            .ok_or_else(|| EngineError::TypeError(format!("parameter ${n} is not bound")))
     }
 
     /// Touches a page in the node's buffer pool, attributing the result to
@@ -308,20 +325,33 @@ pub fn run_select(
 
     // 4. Aggregate or project.
     let aggregated = !q.group_by.is_empty() || select_has_aggregates(q);
-    let (mut out, mut sort_keys) = if aggregated {
+    let (out, sort_keys) = if aggregated {
         aggregate_and_project(q, &current, outer, ctx)?
     } else {
         plain_project(q, &current, outer, ctx)?
     };
 
-    // 5. DISTINCT.
+    // 5–7. DISTINCT, ORDER BY, LIMIT.
+    Ok(finish_select(q, out, sort_keys, ctx))
+}
+
+/// The shared tail of SELECT execution — DISTINCT, ORDER BY, LIMIT — used
+/// by both the interpreted pipeline and the fused kernel so the two paths
+/// finish rows identically.
+pub(crate) fn finish_select(
+    q: &Select,
+    mut out: Relation,
+    mut sort_keys: SortKeys,
+    ctx: &ExecContext<'_>,
+) -> Relation {
+    // DISTINCT.
     if q.quantifier == SetQuantifier::Distinct {
-        let mut seen: HashMap<Vec<HashableValue>, ()> = HashMap::new();
+        let mut seen: HashSet<Vec<HashableValue>> = HashSet::with_capacity(out.rows.len());
         let mut rows = Vec::with_capacity(out.rows.len());
         let mut keys = Vec::with_capacity(sort_keys.len());
         for (row, key) in out.rows.into_iter().zip(sort_keys) {
             let k: Vec<HashableValue> = row.iter().map(Value::hash_key).collect();
-            if seen.insert(k, ()).is_none() {
+            if seen.insert(k) {
                 rows.push(row);
                 keys.push(key);
             }
@@ -330,7 +360,7 @@ pub fn run_select(
         sort_keys = keys;
     }
 
-    // 6. ORDER BY.
+    // ORDER BY.
     if !q.order_by.is_empty() {
         let descs: Vec<bool> = q.order_by.iter().map(|o| o.desc).collect();
         let n = out.rows.len();
@@ -354,12 +384,12 @@ pub fn run_select(
         out.rows = rows;
     }
 
-    // 7. LIMIT.
+    // LIMIT.
     if let Some(l) = q.limit {
         out.rows.truncate(l as usize);
     }
 
-    Ok(out)
+    out
 }
 
 fn contains_subquery(e: &Expr) -> bool {
@@ -375,7 +405,7 @@ fn contains_subquery(e: &Expr) -> bool {
     found
 }
 
-fn expr_has_columns(e: &Expr) -> bool {
+pub(crate) fn expr_has_columns(e: &Expr) -> bool {
     let mut found = false;
     visit::shallow_walk(e, &mut |x| {
         if matches!(x, Expr::Column(_)) {
@@ -385,7 +415,7 @@ fn expr_has_columns(e: &Expr) -> bool {
     found
 }
 
-fn select_has_aggregates(q: &Select) -> bool {
+pub(crate) fn select_has_aggregates(q: &Select) -> bool {
     let item_agg = q.items.iter().any(|i| match i {
         SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
         SelectItem::Wildcard => false,
@@ -398,6 +428,44 @@ fn select_has_aggregates(q: &Select) -> bool {
 // ---------------------------------------------------------------------------
 // Scans
 // ---------------------------------------------------------------------------
+
+/// Rows per batch on the scan path: stats counters are charged once per
+/// batch (identical totals to per-row charging, a fraction of the borrow
+/// traffic). The fused kernel uses the same batch size.
+pub(crate) const SCAN_BATCH_ROWS: u64 = 1024;
+
+/// Accumulates per-row counter increments and flushes them to the context
+/// once per [`SCAN_BATCH_ROWS`] rows (and on drop), so totals are unchanged.
+pub(crate) struct BatchedCounter<'c, 'a> {
+    ctx: &'c ExecContext<'a>,
+    rows: u64,
+}
+
+impl<'c, 'a> BatchedCounter<'c, 'a> {
+    pub(crate) fn new(ctx: &'c ExecContext<'a>) -> Self {
+        BatchedCounter { ctx, rows: 0 }
+    }
+
+    pub(crate) fn row_scanned(&mut self) {
+        self.rows += 1;
+        if self.rows == SCAN_BATCH_ROWS {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.rows > 0 {
+            self.ctx.bump_rows_scanned(self.rows);
+            self.rows = 0;
+        }
+    }
+}
+
+impl Drop for BatchedCounter<'_, '_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
 
 /// Reads a base table through the chosen access path, applying the residual
 /// single-table predicate.
@@ -431,6 +499,7 @@ pub fn scan_table(
         Ok(true)
     };
 
+    let mut scanned = BatchedCounter::new(ctx);
     match path {
         AccessPath::SeqScan => {
             let mut last_page = u64::MAX;
@@ -440,7 +509,7 @@ pub fn scan_table(
                     ctx.charge_page(table.schema.id, page, AccessKind::Sequential);
                     last_page = page;
                 }
-                ctx.bump_rows_scanned(1);
+                scanned.row_scanned();
                 if keep(row, ctx)? {
                     rows.push(row.clone());
                 }
@@ -471,13 +540,14 @@ pub fn scan_table(
                     ctx.charge_page(table.schema.id, page, kind);
                     last_page = page;
                 }
-                ctx.bump_rows_scanned(1);
+                scanned.row_scanned();
                 if keep(row, ctx)? {
                     rows.push(row.clone());
                 }
             }
         }
     }
+    drop(scanned);
     Ok(Relation { bindings, rows })
 }
 
@@ -504,6 +574,7 @@ pub fn scan_rids(
         }
         Ok(true)
     };
+    let mut scanned = BatchedCounter::new(ctx);
     match path {
         AccessPath::SeqScan => {
             let mut last_page = u64::MAX;
@@ -513,7 +584,7 @@ pub fn scan_rids(
                     ctx.charge_page(table.schema.id, page, AccessKind::Sequential);
                     last_page = page;
                 }
-                ctx.bump_rows_scanned(1);
+                scanned.row_scanned();
                 if keep(row, ctx)? {
                     out.push(rid);
                 }
@@ -544,13 +615,14 @@ pub fn scan_rids(
                     ctx.charge_page(table.schema.id, page, kind);
                     last_page = page;
                 }
-                ctx.bump_rows_scanned(1);
+                scanned.row_scanned();
                 if keep(row, ctx)? {
                     out.push(rid);
                 }
             }
         }
     }
+    drop(scanned);
     Ok(out)
 }
 
@@ -692,8 +764,33 @@ fn distinct_join_keys(
     set.len()
 }
 
-/// Hash join: build on `right` (the newly added input), probe with
-/// `current`. NULL keys never match, per SQL semantics.
+/// Computes one side's composite join key for a row; `None` when any key
+/// component is NULL (NULL keys never match, per SQL semantics).
+fn join_key(
+    row: &Row,
+    bindings: &[Binding],
+    keys: &[&Expr],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Option<Vec<HashableValue>>> {
+    let mut frames = Vec::with_capacity(outer.len() + 1);
+    frames.push(Frame { bindings, row });
+    frames.extend_from_slice(outer);
+    let mut key = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = eval_expr(k, &frames, ctx)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        key.push(v.hash_key());
+    }
+    Ok(Some(key))
+}
+
+/// Hash join of `current` with the newly added `right` input. The hash
+/// table is built on whichever side is smaller; output rows are always
+/// `current ++ right` columns, emitted current-major with right matches in
+/// ascending right-row order — identical to always building on `right`.
 fn hash_join(
     current: Relation,
     right: &Relation,
@@ -715,54 +812,64 @@ fn hash_join(
         }
     }
 
-    // Build.
-    let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
-        HashMap::with_capacity(right.rows.len());
-    'build: for (i, row) in right.rows.iter().enumerate() {
-        ctx.bump_cpu(1);
-        let mut key = Vec::with_capacity(right_keys.len());
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &right.bindings,
-            row,
-        });
-        frames.extend_from_slice(outer);
-        for k in &right_keys {
-            let v = eval_expr(k, &frames, ctx)?;
-            if v.is_null() {
-                continue 'build;
-            }
-            key.push(v.hash_key());
-        }
-        built.entry(key).or_default().push(i);
-    }
-
-    // Probe.
     let mut bindings = current.bindings.clone();
     bindings.extend(right.bindings.iter().cloned());
     let mut rows = Vec::new();
-    'probe: for row in &current.rows {
-        ctx.bump_cpu(1);
-        let mut key = Vec::with_capacity(left_keys.len());
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &current.bindings,
-            row,
-        });
-        frames.extend_from_slice(outer);
-        for k in &left_keys {
-            let v = eval_expr(k, &frames, ctx)?;
-            if v.is_null() {
-                continue 'probe;
+
+    if current.rows.len() < right.rows.len() {
+        // Build on `current` (the smaller side), probe with `right`. To
+        // keep the output order current-major, matches are collected per
+        // current row and emitted afterwards; probing in ascending right
+        // order makes each match list ascending for free.
+        let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
+            HashMap::with_capacity(current.rows.len());
+        for (i, row) in current.rows.iter().enumerate() {
+            ctx.bump_cpu(1);
+            if let Some(key) = join_key(row, &current.bindings, &left_keys, outer, ctx)? {
+                built.entry(key).or_default().push(i);
             }
-            key.push(v.hash_key());
         }
-        if let Some(matches) = built.get(&key) {
-            for &ri in matches {
+        let mut matches: Vec<Vec<usize>> = vec![Vec::new(); current.rows.len()];
+        for (ri, row) in right.rows.iter().enumerate() {
+            ctx.bump_cpu(1);
+            if let Some(key) = join_key(row, &right.bindings, &right_keys, outer, ctx)? {
+                if let Some(hits) = built.get(&key) {
+                    for &ci in hits {
+                        matches[ci].push(ri);
+                    }
+                }
+            }
+        }
+        for (row, right_rows) in current.rows.iter().zip(&matches) {
+            for &ri in right_rows {
                 ctx.bump_cpu(1);
                 let mut combined = row.clone();
                 combined.extend(right.rows[ri].iter().cloned());
                 rows.push(combined);
+            }
+        }
+    } else {
+        // Build on `right`, probe with `current`.
+        let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
+            HashMap::with_capacity(right.rows.len());
+        for (i, row) in right.rows.iter().enumerate() {
+            ctx.bump_cpu(1);
+            if let Some(key) = join_key(row, &right.bindings, &right_keys, outer, ctx)? {
+                built.entry(key).or_default().push(i);
+            }
+        }
+        for row in &current.rows {
+            ctx.bump_cpu(1);
+            let Some(key) = join_key(row, &current.bindings, &left_keys, outer, ctx)? else {
+                continue;
+            };
+            if let Some(matches) = built.get(&key) {
+                for &ri in matches {
+                    ctx.bump_cpu(1);
+                    let mut combined = row.clone();
+                    combined.extend(right.rows[ri].iter().cloned());
+                    rows.push(combined);
+                }
             }
         }
     }
@@ -815,7 +922,7 @@ fn apply_ready_post_filters(
 // Projection
 // ---------------------------------------------------------------------------
 
-type SortKeys = Vec<Vec<Value>>;
+pub(crate) type SortKeys = Vec<Vec<Value>>;
 
 /// Projects a non-aggregated SELECT list, also computing ORDER BY keys.
 fn plain_project(
@@ -913,17 +1020,17 @@ fn sort_key_for_row(
 /// One aggregate call discovered in the query, keyed by its rendered SQL so
 /// identical calls share an accumulator.
 #[derive(Debug, Clone)]
-struct AggSpec {
+pub(crate) struct AggSpec {
     key: String,
     name: String,
-    arg: Option<Expr>,
+    pub(crate) arg: Option<Expr>,
     distinct: bool,
-    star: bool,
+    pub(crate) star: bool,
 }
 
 /// Accumulator state for one aggregate within one group.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     CountStar(i64),
     Count {
         n: i64,
@@ -946,7 +1053,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(spec: &AggSpec) -> Acc {
+    pub(crate) fn new(spec: &AggSpec) -> Acc {
         let set = || {
             if spec.distinct {
                 Some(std::collections::HashSet::new())
@@ -978,7 +1085,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<Value>) -> EngineResult<()> {
+    pub(crate) fn update(&mut self, v: Option<Value>) -> EngineResult<()> {
         match self {
             Acc::CountStar(n) => *n += 1,
             Acc::Count { n, distinct } => {
@@ -1106,7 +1213,7 @@ impl Acc {
 
 /// Finds every aggregate call in the query's output clauses (not descending
 /// into subqueries — their aggregates belong to the inner query).
-fn collect_agg_specs(q: &Select) -> Vec<AggSpec> {
+pub(crate) fn collect_agg_specs(q: &Select) -> Vec<AggSpec> {
     let mut specs: Vec<AggSpec> = Vec::new();
     let mut add = |e: &Expr| {
         visit::shallow_walk(e, &mut |x| {
@@ -1238,6 +1345,14 @@ fn substitute_aggregates(e: &Expr, values: &HashMap<String, Value>) -> Expr {
     }
 }
 
+/// Accumulator state for one group: a representative input row (group-by
+/// expressions are re-evaluated against it at projection time) plus one
+/// accumulator per aggregate spec.
+pub(crate) struct GroupState {
+    pub(crate) rep_row: Row,
+    pub(crate) accs: Vec<Acc>,
+}
+
 /// Hash aggregation + group-wise projection, computing ORDER BY keys.
 fn aggregate_and_project(
     q: &Select,
@@ -1246,11 +1361,7 @@ fn aggregate_and_project(
     ctx: &ExecContext<'_>,
 ) -> EngineResult<(Relation, SortKeys)> {
     let specs = collect_agg_specs(q);
-    struct Group {
-        rep_row: Row,
-        accs: Vec<Acc>,
-    }
-    let mut groups: HashMap<Vec<HashableValue>, Group> = HashMap::new();
+    let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
     let mut order: Vec<Vec<HashableValue>> = Vec::new();
 
     for row in &input.rows {
@@ -1269,7 +1380,7 @@ fn aggregate_and_project(
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 order.push(key);
-                e.insert(Group {
+                e.insert(GroupState {
                     rep_row: row.clone(),
                     accs: specs.iter().map(Acc::new).collect(),
                 })
@@ -1284,20 +1395,42 @@ fn aggregate_and_project(
         }
     }
 
+    project_groups(q, &input.bindings, &specs, groups, order, outer, ctx)
+}
+
+/// Finalizes accumulated groups into output rows: the empty-input global
+/// group, HAVING, the select-list projection with aggregates substituted,
+/// and ORDER BY keys. Shared by the interpreted path and the fused kernel
+/// (which supplies its own accumulation loop) so both finish identically.
+pub(crate) fn project_groups(
+    q: &Select,
+    input_bindings: &[Binding],
+    specs: &[AggSpec],
+    mut groups: HashMap<Vec<HashableValue>, GroupState>,
+    mut order: Vec<Vec<HashableValue>>,
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<(Relation, SortKeys)> {
     // Global aggregation over an empty input still yields one group.
     if groups.is_empty() && q.group_by.is_empty() {
         let key: Vec<HashableValue> = Vec::new();
         order.push(key.clone());
         groups.insert(
             key,
-            Group {
-                rep_row: vec![Value::Null; input.bindings.len()],
+            GroupState {
+                rep_row: vec![Value::Null; input_bindings.len()],
                 accs: specs.iter().map(Acc::new).collect(),
             },
         );
     }
 
-    let out_bindings = output_bindings(q, input);
+    let out_bindings = {
+        let probe = Relation {
+            bindings: input_bindings.to_vec(),
+            rows: Vec::new(),
+        };
+        output_bindings(q, &probe)
+    };
     let out_names: Vec<&str> = out_bindings.iter().map(|b| b.name.as_str()).collect();
     let mut rows = Vec::with_capacity(groups.len());
     let mut keys = Vec::with_capacity(groups.len());
@@ -1310,7 +1443,7 @@ fn aggregate_and_project(
         let rep = group.rep_row;
         let mut frames = Vec::with_capacity(outer.len() + 1);
         frames.push(Frame {
-            bindings: &input.bindings,
+            bindings: input_bindings,
             row: &rep,
         });
         frames.extend_from_slice(outer);

@@ -1,0 +1,546 @@
+//! Fused batch-at-a-time scan→filter→aggregate kernel.
+//!
+//! The SVP sub-queries Apuama dispatches are single-table aggregations
+//! over a range of the virtual-partitioning attribute — TPC-H Q1's shape.
+//! The interpreted pipeline executes them row-at-a-time: every surviving
+//! row is cloned into an intermediate relation, every column reference is
+//! re-resolved by name, and every statistics counter is bumped per row.
+//!
+//! This module compiles that shape once: column references are resolved to
+//! positional indices, the predicate becomes a small program evaluated
+//! against borrowed rows (no cloning, no [`Frame`] stacks), the scan emits
+//! fixed-size row batches ([`exec::SCAN_BATCH_ROWS`]) whose statistics are
+//! charged once per batch, and the aggregate accumulators ([`exec::Acc`])
+//! fold each batch directly. Grouped state then flows through the *same*
+//! finishing code as the interpreted path ([`exec::project_groups`] and
+//! [`exec::finish_select`]), and expression semantics are shared through
+//! the closure-parameterized helpers in [`eval`] — which is what makes the
+//! two paths byte-identical, including float fold order (the kernel scans
+//! in the same access-path order the planner picks per execution) and
+//! first-seen group order.
+//!
+//! Any unsupported shape — joins, subqueries, DISTINCT, wildcard
+//! projection, non-aggregated selects — makes [`compile`] return `None`
+//! and the caller falls back to the interpreted path.
+//!
+//! [`Frame`]: crate::eval::Frame
+
+use std::collections::HashMap;
+
+use apuama_sql::ast::{BinOp, Expr, Select, SelectItem, SetQuantifier, TableRef, UnaryOp};
+use apuama_sql::value::HashableValue;
+use apuama_sql::{visit, Value};
+use apuama_storage::{AccessKind, Row};
+
+use crate::db::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{self, compare, like_match, truthiness};
+use crate::exec::{self, Acc, AggSpec, Binding, ExecContext, GroupState, Relation};
+use crate::planner::{self, AccessPath};
+
+/// An expression with every column reference pre-resolved to a positional
+/// index into the scanned table's row. Subquery forms are unrepresentable:
+/// compilation rejects them.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Col(usize),
+    Lit(Value),
+    Param(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<CExpr>,
+    },
+    Binary {
+        left: Box<CExpr>,
+        op: BinOp,
+        right: Box<CExpr>,
+    },
+    Func {
+        name: String,
+        args: Vec<CExpr>,
+    },
+    Case {
+        branches: Vec<(CExpr, CExpr)>,
+        else_expr: Option<Box<CExpr>>,
+    },
+    Between {
+        expr: Box<CExpr>,
+        negated: bool,
+        low: Box<CExpr>,
+        high: Box<CExpr>,
+    },
+    InList {
+        expr: Box<CExpr>,
+        negated: bool,
+        list: Vec<CExpr>,
+    },
+    Like {
+        expr: Box<CExpr>,
+        negated: bool,
+        pattern: Box<CExpr>,
+    },
+    IsNull {
+        expr: Box<CExpr>,
+        negated: bool,
+    },
+}
+
+/// Resolves columns and checks for supported node types; `None` means the
+/// expression cannot run on the fast path.
+fn compile_expr(e: &Expr, bindings: &[Binding]) -> Option<CExpr> {
+    Some(match e {
+        Expr::Column(c) => CExpr::Col(exec::resolve_column(bindings, c).ok()?),
+        Expr::Literal(v) => CExpr::Lit(v.clone()),
+        Expr::Parameter(n) => CExpr::Param(*n),
+        Expr::Unary { op, expr } => CExpr::Unary {
+            op: *op,
+            expr: Box::new(compile_expr(expr, bindings)?),
+        },
+        Expr::Binary { left, op, right } => CExpr::Binary {
+            left: Box::new(compile_expr(left, bindings)?),
+            op: *op,
+            right: Box::new(compile_expr(right, bindings)?),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct: false,
+            star: false,
+        } if !apuama_sql::ast::is_aggregate_name(name) => CExpr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| compile_expr(a, bindings))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => CExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| Some((compile_expr(c, bindings)?, compile_expr(r, bindings)?)))
+                .collect::<Option<Vec<_>>>()?,
+            else_expr: match else_expr {
+                Some(x) => Some(Box::new(compile_expr(x, bindings)?)),
+                None => None,
+            },
+        },
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => CExpr::Between {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+            low: Box::new(compile_expr(low, bindings)?),
+            high: Box::new(compile_expr(high, bindings)?),
+        },
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => CExpr::InList {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+            list: list
+                .iter()
+                .map(|x| compile_expr(x, bindings))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => CExpr::Like {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+            pattern: Box::new(compile_expr(pattern, bindings)?),
+        },
+        Expr::IsNull { expr, negated } => CExpr::IsNull {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+        },
+        // Subqueries, DISTINCT/star aggregates in scalar position, and
+        // anything else falls back to the interpreter.
+        _ => return None,
+    })
+}
+
+/// Evaluates a compiled expression against a borrowed row. Semantics are
+/// shared with the interpreter through [`eval::eval_binary_with`],
+/// [`eval::eval_scalar_function_with`], and the three-valued-logic helpers.
+fn eval_c(e: &CExpr, row: &[Value], ctx: &ExecContext<'_>) -> EngineResult<Value> {
+    match e {
+        CExpr::Col(i) => Ok(row[*i].clone()),
+        CExpr::Lit(v) => Ok(v.clone()),
+        CExpr::Param(n) => ctx.param(*n),
+        CExpr::Unary { op, expr } => {
+            let v = eval_c(expr, row, ctx)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(x) => Ok(Value::Float(-x)),
+                    other => Err(EngineError::TypeError(format!("cannot negate {other}"))),
+                },
+                UnaryOp::Not => match truthiness(&v) {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Bool(!b)),
+                },
+            }
+        }
+        CExpr::Binary { left, op, right } => {
+            eval::eval_binary_with(*op, || eval_c(left, row, ctx), || eval_c(right, row, ctx))
+        }
+        CExpr::Func { name, args } => {
+            eval::eval_scalar_function_with(name, args.len(), |i| eval_c(&args[i], row, ctx))
+        }
+        CExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, result) in branches {
+                if truthiness(&eval_c(cond, row, ctx)?) == Some(true) {
+                    return eval_c(result, row, ctx);
+                }
+            }
+            match else_expr {
+                Some(x) => eval_c(x, row, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        CExpr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_c(expr, row, ctx)?;
+            let lo = eval_c(low, row, ctx)?;
+            let hi = eval_c(high, row, ctx)?;
+            let ge = compare(&v, &lo).map(|o| o != std::cmp::Ordering::Less);
+            let le = compare(&v, &hi).map(|o| o != std::cmp::Ordering::Greater);
+            let within = eval::and3(ge, le);
+            Ok(eval::bool3(if *negated {
+                eval::not3(within)
+            } else {
+                within
+            }))
+        }
+        CExpr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval_c(expr, row, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval_c(item, row, ctx)?;
+                match compare(&v, &w) {
+                    None => saw_null = true,
+                    Some(std::cmp::Ordering::Equal) => {
+                        return Ok(Value::Bool(!negated));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        CExpr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let v = eval_c(expr, row, ctx)?;
+            let p = eval_c(pattern, row, ctx)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    let m = like_match(&s, &pat);
+                    Ok(Value::Bool(m != *negated))
+                }
+                (a, b) => Err(EngineError::TypeError(format!(
+                    "LIKE needs strings, got {a} and {b}"
+                ))),
+            }
+        }
+        CExpr::IsNull { expr, negated } => {
+            let v = eval_c(expr, row, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+/// A compiled single-table aggregation. Built once at prepare time, reused
+/// across executions; the access path is still chosen per execution from
+/// the actual bound values, exactly as the interpreted path does.
+#[derive(Debug, Clone)]
+pub(crate) struct KernelPlan {
+    table: String,
+    binding_name: String,
+    bindings: Vec<Binding>,
+    select: Select,
+    /// Single-table conjuncts in classification order — the planner input.
+    single: Vec<Expr>,
+    compiled_single: Vec<CExpr>,
+    /// Conjuncts the interpreter would defer to post-filters (constant or
+    /// parameter-only predicates), applied after the single-table ones.
+    compiled_post: Vec<CExpr>,
+    specs: Vec<AggSpec>,
+    /// Compiled aggregate arguments, aligned with `specs`; `None` for
+    /// `count(*)` and argument-less specs.
+    agg_args: Vec<Option<CExpr>>,
+    group_by: Vec<CExpr>,
+}
+
+/// Tries to compile a SELECT for the fused path. `None` means the shape is
+/// unsupported and the caller must run the interpreted pipeline.
+pub(crate) fn compile(q: &Select, db: &Database) -> Option<KernelPlan> {
+    if q.quantifier != SetQuantifier::All {
+        return None;
+    }
+    let [TableRef::Table { name, alias }] = q.from.as_slice() else {
+        return None;
+    };
+    // Aggregated single-table shape only; plain scans stay interpreted.
+    if q.group_by.is_empty() && !exec::select_has_aggregates(q) {
+        return None;
+    }
+    if q.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+        return None;
+    }
+    // No subqueries anywhere (selection, items, having, order by, ...).
+    let mut has_subquery = false;
+    visit::walk_select_exprs(q, &mut |e| {
+        if matches!(
+            e,
+            Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_)
+        ) {
+            has_subquery = true;
+        }
+    });
+    if has_subquery {
+        return None;
+    }
+
+    let table = db.table(name)?;
+    let bindings = exec::bindings_for_table(&table.schema, alias.as_deref());
+    let binding_name = alias.clone().unwrap_or_else(|| name.clone());
+
+    // Classify WHERE conjuncts the way run_select does: table-bound ones
+    // feed the access-path choice, binding-free ones become post-filters.
+    let catalog = db.catalog();
+    let scopes = planner::scopes_for_from(&q.from, catalog);
+    let mut single: Vec<Expr> = Vec::new();
+    let mut post: Vec<Expr> = Vec::new();
+    for c in eval::split_conjuncts(q.selection.as_ref()) {
+        let refs = planner::conjunct_bindings(&c, &scopes, catalog);
+        if refs.len() == 1 && refs.contains(&scopes[0].name) {
+            single.push(c);
+        } else if refs.is_empty() {
+            post.push(c);
+        } else {
+            // A conjunct resolving outside the one scope means correlation
+            // or a planner corner the interpreter should handle.
+            return None;
+        }
+    }
+
+    let compiled_single = single
+        .iter()
+        .map(|c| compile_expr(c, &bindings))
+        .collect::<Option<Vec<_>>>()?;
+    let compiled_post = post
+        .iter()
+        .map(|c| compile_expr(c, &bindings))
+        .collect::<Option<Vec<_>>>()?;
+    let group_by = q
+        .group_by
+        .iter()
+        .map(|g| compile_expr(g, &bindings))
+        .collect::<Option<Vec<_>>>()?;
+    let specs = exec::collect_agg_specs(q);
+    let agg_args = specs
+        .iter()
+        .map(|s| match (&s.arg, s.star) {
+            (_, true) | (None, _) => Some(None),
+            (Some(a), false) => compile_expr(a, &bindings).map(Some),
+        })
+        .collect::<Option<Vec<_>>>()?;
+
+    Some(KernelPlan {
+        table: name.clone(),
+        binding_name,
+        bindings,
+        select: q.clone(),
+        single,
+        compiled_single,
+        compiled_post,
+        specs,
+        agg_args,
+        group_by,
+    })
+}
+
+/// Executes a compiled plan. Byte-identical to running
+/// `exec::run_select(&plan.select, &[], ctx)`: same access path, same scan
+/// order, same fold order, same statistics totals — just batched.
+pub(crate) fn execute(plan: &KernelPlan, ctx: &ExecContext<'_>) -> EngineResult<Relation> {
+    let table = ctx
+        .db
+        .table(&plan.table)
+        .ok_or_else(|| EngineError::UnknownTable(plan.table.clone()))?;
+    let eval_const = |e: &Expr| -> Option<Value> {
+        if exec::expr_has_columns(e) {
+            None
+        } else {
+            eval::eval_expr(e, &[], ctx).ok()
+        }
+    };
+    let choice = planner::choose_access_path(
+        table,
+        &plan.binding_name,
+        &plan.single,
+        ctx.db.seqscan_enabled(),
+        ctx.db.indexscan_enabled(),
+        &eval_const,
+    );
+    let residual: Vec<&CExpr> = plan
+        .compiled_single
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !choice.consumed.contains(i))
+        .map(|(_, c)| c)
+        .collect();
+
+    let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
+    let mut order: Vec<Vec<HashableValue>> = Vec::new();
+
+    // Folds one batch of borrowed rows: predicate pass, then accumulator
+    // updates, with the statistics for the whole batch charged in one go.
+    let mut fold_batch = |batch: &[&Row]| -> EngineResult<()> {
+        ctx.bump_rows_scanned(batch.len() as u64);
+        let mut cpu = 0u64;
+        'rows: for row in batch {
+            for pred in &residual {
+                cpu += 1;
+                if truthiness(&eval_c(pred, row, ctx)?) != Some(true) {
+                    continue 'rows;
+                }
+            }
+            for pred in &plan.compiled_post {
+                cpu += 1;
+                if truthiness(&eval_c(pred, row, ctx)?) != Some(true) {
+                    continue 'rows;
+                }
+            }
+            cpu += 1; // the aggregation update the interpreted loop charges
+            let mut key = Vec::with_capacity(plan.group_by.len());
+            for g in &plan.group_by {
+                key.push(eval_c(g, row, ctx)?.hash_key());
+            }
+            let group = match groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(key);
+                    e.insert(GroupState {
+                        rep_row: row.to_vec(),
+                        accs: plan.specs.iter().map(Acc::new).collect(),
+                    })
+                }
+            };
+            for (arg, acc) in plan.agg_args.iter().zip(group.accs.iter_mut()) {
+                let v = match arg {
+                    None => None,
+                    Some(a) => Some(eval_c(a, row, ctx)?),
+                };
+                acc.update(v)?;
+            }
+        }
+        ctx.bump_cpu(cpu);
+        Ok(())
+    };
+
+    let batch_cap = exec::SCAN_BATCH_ROWS as usize;
+    let mut batch: Vec<&Row> = Vec::with_capacity(batch_cap);
+    match &choice.path {
+        AccessPath::SeqScan => {
+            let mut last_page = u64::MAX;
+            for (rid, row) in table.heap.iter() {
+                let page = table.heap.geometry().page_of(rid);
+                if page != last_page {
+                    ctx.charge_page(table.schema.id, page, AccessKind::Sequential);
+                    last_page = page;
+                }
+                batch.push(row);
+                if batch.len() == batch_cap {
+                    fold_batch(&batch)?;
+                    batch.clear();
+                }
+            }
+        }
+        AccessPath::IndexRange {
+            column,
+            low,
+            high,
+            clustered,
+        } => {
+            let idx = table
+                .index_on(*column)
+                .expect("planner only chooses existing indexes");
+            ctx.bump_index_probes(1);
+            let kind = if *clustered {
+                AccessKind::Sequential
+            } else {
+                AccessKind::Random
+            };
+            let mut last_page = u64::MAX;
+            for (_, rid) in idx.range(bound_ref(low), bound_ref(high)) {
+                let Some(row) = table.heap.get(rid) else {
+                    continue;
+                };
+                let page = table.heap.geometry().page_of(rid);
+                if page != last_page {
+                    ctx.charge_page(table.schema.id, page, kind);
+                    last_page = page;
+                }
+                batch.push(row);
+                if batch.len() == batch_cap {
+                    fold_batch(&batch)?;
+                    batch.clear();
+                }
+            }
+        }
+    }
+    if !batch.is_empty() {
+        fold_batch(&batch)?;
+    }
+
+    let (out, keys) = exec::project_groups(
+        &plan.select,
+        &plan.bindings,
+        &plan.specs,
+        groups,
+        order,
+        &[],
+        ctx,
+    )?;
+    Ok(exec::finish_select(&plan.select, out, keys, ctx))
+}
+
+fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+    match b {
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+    }
+}

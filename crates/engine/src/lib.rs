@@ -31,6 +31,8 @@ pub mod db;
 pub mod error;
 pub mod eval;
 pub mod exec;
+mod kernel;
+mod plan_cache;
 pub mod planner;
 pub mod stats;
 pub mod table;
@@ -38,5 +40,6 @@ pub mod table;
 pub use catalog::{Catalog, ColumnMeta, TableSchema};
 pub use db::{Database, QueryOutput, Settings};
 pub use error::{EngineError, EngineResult};
+pub use plan_cache::PlanCacheStats;
 pub use stats::{ExecStats, PhaseTiming};
 pub use table::Table;

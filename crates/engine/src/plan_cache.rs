@@ -1,0 +1,213 @@
+//! LRU plan cache for the prepared-statement path.
+//!
+//! Entries are keyed by the normalized statement fingerprint (the trimmed
+//! SQL text — parameter placeholders like `$1` are already part of the
+//! text, so structurally identical statements share one entry no matter
+//! what values they are later bound with). A cached plan is the parsed
+//! [`Select`], its parameter count, and — when the statement fits the
+//! fused-kernel shape — the compiled [`KernelPlan`].
+//!
+//! Staleness is handled two ways so the planner's access-path choice stays
+//! honest:
+//!
+//! * **DDL invalidation**: every entry records the catalog version it was
+//!   compiled under; `CREATE TABLE` / `CREATE INDEX` bump the database's
+//!   version counter and any entry from an older catalog is discarded on
+//!   lookup.
+//! * **Table-stats invalidation**: every entry records a stats token — the
+//!   `(pages, rows)` of each referenced table at compile time. If a
+//!   table's cardinality has drifted since, the entry is recompiled; this
+//!   matters because index-range extraction is resolved from bound values
+//!   per execution, but the *kernel shape* and column resolution are not.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use apuama_sql::ast::Select;
+
+use crate::kernel::KernelPlan;
+
+/// Maximum number of cached plans per database before LRU eviction.
+const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// A compiled statement, shared between the cache and executing queries.
+#[derive(Debug)]
+pub(crate) struct CachedPlan {
+    pub(crate) select: Select,
+    pub(crate) n_params: usize,
+    pub(crate) kernel: Option<KernelPlan>,
+    /// Catalog version this plan was compiled under.
+    pub(crate) catalog_version: u64,
+    /// `(table, pages, rows)` for every referenced table at compile time.
+    pub(crate) stats_token: Vec<(String, u64, u64)>,
+}
+
+/// Counters surfaced through `Database::plan_cache_stats` for tests and
+/// the benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a still-valid plan.
+    pub hits: u64,
+    /// Lookups that found nothing and compiled fresh.
+    pub misses: u64,
+    /// Entries pushed out by the LRU capacity bound.
+    pub evictions: u64,
+    /// Entries discarded because DDL bumped the catalog version.
+    pub invalidations: u64,
+    /// Entries recompiled because a referenced table's stats drifted.
+    pub replans: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    /// Logical timestamp of the last hit, for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Looks up a plan by fingerprint, validating it against the current
+    /// catalog version and table stats. `current_stats` recomputes the
+    /// stats token for a cached entry's referenced tables; a mismatch
+    /// counts as a replan and the stale entry is dropped.
+    pub(crate) fn lookup(
+        &mut self,
+        fingerprint: &str,
+        catalog_version: u64,
+        current_stats: impl Fn(&[(String, u64, u64)]) -> Vec<(String, u64, u64)>,
+    ) -> Option<Arc<CachedPlan>> {
+        self.tick += 1;
+        let Some(entry) = self.entries.get_mut(fingerprint) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if entry.plan.catalog_version != catalog_version {
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            self.entries.remove(fingerprint);
+            return None;
+        }
+        if current_stats(&entry.plan.stats_token) != entry.plan.stats_token {
+            self.stats.replans += 1;
+            self.stats.misses += 1;
+            self.entries.remove(fingerprint);
+            return None;
+        }
+        entry.last_used = self.tick;
+        self.stats.hits += 1;
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Inserts a freshly compiled plan, evicting the least-recently-used
+    /// entry if the cache is at capacity.
+    pub(crate) fn insert(&mut self, fingerprint: String, plan: Arc<CachedPlan>) {
+        self.tick += 1;
+        if self.entries.len() >= PLAN_CACHE_CAPACITY && !self.entries.contains_key(&fingerprint) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            fingerprint,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Normalizes raw SQL into the cache fingerprint.
+pub(crate) fn fingerprint(sql: &str) -> &str {
+    sql.trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(version: u64) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            select: apuama_sql::parse_statement("select 1")
+                .ok()
+                .and_then(|s| match s {
+                    apuama_sql::ast::Statement::Select(q) => Some(q),
+                    _ => None,
+                })
+                .expect("trivial select parses"),
+            n_params: 0,
+            kernel: None,
+            catalog_version: version,
+            stats_token: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn hit_after_insert_and_miss_when_version_bumps() {
+        let mut cache = PlanCache::default();
+        cache.insert("q".into(), plan(1));
+        assert!(cache.lookup("q", 1, |t| t.to_vec()).is_some());
+        assert!(cache.lookup("q", 2, |t| t.to_vec()).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn stats_drift_forces_replan() {
+        let mut cache = PlanCache::default();
+        let mut p = plan(1);
+        Arc::get_mut(&mut p).unwrap().stats_token = vec![("t".into(), 1, 10)];
+        cache.insert("q".into(), p);
+        // Same catalog, same stats: hit.
+        assert!(cache.lookup("q", 1, |t| t.to_vec()).is_some());
+        // Table grew: replan.
+        assert!(cache
+            .lookup("q", 1, |_| vec![("t".into(), 2, 500)])
+            .is_none());
+        assert_eq!(cache.stats().replans, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = PlanCache::default();
+        for i in 0..PLAN_CACHE_CAPACITY {
+            cache.insert(format!("q{i}"), plan(1));
+        }
+        // Touch q0 so q1 becomes the coldest entry.
+        assert!(cache.lookup("q0", 1, |t| t.to_vec()).is_some());
+        cache.insert("overflow".into(), plan(1));
+        assert_eq!(cache.len(), PLAN_CACHE_CAPACITY);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup("q0", 1, |t| t.to_vec()).is_some());
+        assert!(cache.lookup("q1", 1, |t| t.to_vec()).is_none());
+    }
+
+    #[test]
+    fn fingerprint_trims_whitespace() {
+        assert_eq!(fingerprint("  select 1\n"), "select 1");
+    }
+}

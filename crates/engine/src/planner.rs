@@ -382,7 +382,7 @@ fn collect_refs(
             descend_subquery(query, inner_scopes, top, catalog, out);
         }
         Expr::ScalarSubquery(query) => descend_subquery(query, inner_scopes, top, catalog, out),
-        Expr::Literal(_) => {}
+        Expr::Literal(_) | Expr::Parameter(_) => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
             collect_refs(expr, inner_scopes, top, catalog, out)
         }

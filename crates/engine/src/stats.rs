@@ -110,4 +110,55 @@ mod tests {
         assert_eq!(a.cpu_tuple_ops, 5);
         assert_eq!(a.rows_out, 1);
     }
+
+    /// Scan counters are flushed once per [`crate::exec::SCAN_BATCH_ROWS`]
+    /// batch rather than once per row; totals must be exactly the row
+    /// count, including the final partial batch.
+    #[test]
+    fn batched_scan_charges_are_exact() {
+        use apuama_sql::Value;
+        let mut d = crate::Database::in_memory();
+        d.execute("create table t (k int not null, primary key (k)) clustered by (k)")
+            .unwrap();
+        // 2500 rows = two full 1024-row batches plus a 452-row remainder.
+        let rows: Vec<Vec<Value>> = (0..2500i64).map(|i| vec![Value::Int(i)]).collect();
+        d.load_table("t", rows).unwrap();
+        let out = d.query("select count(*) as n from t").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(2500));
+        assert_eq!(out.stats.rows_scanned, 2500);
+        // An index range scans exactly the rows in range, same batching.
+        d.query("set enable_seqscan = off").unwrap();
+        let out = d
+            .query("select count(*) as n from t where k >= 100 and k < 2100")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(2000));
+        assert_eq!(out.stats.rows_scanned, 2000);
+    }
+
+    /// The fused kernel charges statistics per batch too; its totals must
+    /// equal the interpreted pipeline's per-row totals on the same query.
+    #[test]
+    fn kernel_batch_charges_equal_interpreted_totals() {
+        use apuama_sql::Value;
+        let mut d = crate::Database::in_memory();
+        d.execute("create table t (k int not null, v float, primary key (k)) clustered by (k)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..3000i64)
+            .map(|i| vec![Value::Int(i), Value::Float((i % 5) as f64)])
+            .collect();
+        d.load_table("t", rows).unwrap();
+        let sql = "select sum(v) as s, count(*) as n from t where k >= $1 and k < $2 and v > $3";
+        let params = [Value::Int(50), Value::Int(2950), Value::Float(0.5)];
+        let kernel = d.query_bound(sql, &params).unwrap();
+        d.query("set enable_kernel = off").unwrap();
+        let interpreted = d.query_bound(sql, &params).unwrap();
+        assert_eq!(kernel.rows, interpreted.rows);
+        assert_eq!(kernel.stats.rows_scanned, interpreted.stats.rows_scanned);
+        assert_eq!(kernel.stats.cpu_tuple_ops, interpreted.stats.cpu_tuple_ops);
+        assert_eq!(kernel.stats.index_probes, interpreted.stats.index_probes);
+        assert_eq!(
+            kernel.stats.buffer.accesses(),
+            interpreted.stats.buffer.accesses()
+        );
+    }
 }

@@ -103,6 +103,8 @@ pub enum Expr {
     Column(ColumnRef),
     /// Literal value (including dates and intervals).
     Literal(Value),
+    /// Prepared-statement placeholder `$N` (1-based), bound at execution.
+    Parameter(usize),
     /// Unary operation.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// Binary operation.
@@ -215,7 +217,7 @@ impl Expr {
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
-            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => false,
         }
     }
 }
@@ -412,6 +414,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Parameter(n) => write!(f, "${n}"),
             Expr::Unary { op, expr } => match op {
                 UnaryOp::Neg => write!(f, "(- {expr})"),
                 UnaryOp::Not => write!(f, "(not {expr})"),

@@ -17,6 +17,8 @@ pub enum Token {
     Float(f64),
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
     Str(String),
+    /// Prepared-statement placeholder `$N` (1-based).
+    Param(usize),
     /// Punctuation and operators.
     Symbol(Symbol),
     /// End of input.
@@ -157,6 +159,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             b'\'' => self.string_literal(),
+            b'$' => self.parameter(),
             b'0'..=b'9' => self.number(),
             c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
             other => Err(ParseError::new(
@@ -196,6 +199,25 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
+    }
+
+    fn parameter(&mut self) -> ParseResult<Token> {
+        let start = self.pos;
+        self.pos += 1; // '$'
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(ParseError::new("expected digits after '$'", start));
+        }
+        let n: usize = self.src[digits_start..self.pos]
+            .parse()
+            .map_err(|e| ParseError::new(format!("bad parameter number: {e}"), start))?;
+        if n == 0 {
+            return Err(ParseError::new("parameter numbers are 1-based", start));
+        }
+        Ok(Token::Param(n))
     }
 
     fn number(&mut self) -> ParseResult<Token> {
@@ -327,6 +349,17 @@ mod tests {
     #[test]
     fn unterminated_string_is_error() {
         assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        assert_eq!(
+            lex("$1 $23"),
+            vec![Token::Param(1), Token::Param(23), Token::Eof]
+        );
+        assert!(Lexer::new("$").tokenize().is_err());
+        assert!(Lexer::new("$0").tokenize().is_err());
+        assert!(Lexer::new("$x").tokenize().is_err());
     }
 
     #[test]

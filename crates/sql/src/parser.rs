@@ -692,6 +692,10 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Literal(Value::Str(s)))
             }
+            Token::Param(n) => {
+                self.advance();
+                Ok(Expr::Parameter(n))
+            }
             Token::Symbol(Symbol::LParen) => {
                 self.advance();
                 if self.peek().is_kw("select") {
@@ -875,6 +879,17 @@ mod tests {
         let once = roundtrip(sql);
         let twice = parse_statement(&once).unwrap().to_string();
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parameter_placeholders_parse_and_roundtrip() {
+        let e = parse_expression("k >= $1 and k < $2").unwrap();
+        assert_eq!(e.to_string(), "((k >= $1) and (k < $2))");
+        let sql = "select sum(v) as s from t where k >= $1 and k < $2";
+        assert_eq!(
+            roundtrip(sql),
+            parse_statement(&roundtrip(sql)).unwrap().to_string()
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn walk_select_exprs<'a>(select: &'a Select, f: &mut dyn FnMut(&'a Expr)) {
 pub fn walk_expr<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
     f(expr);
     match expr {
-        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => {}
         Expr::Unary { expr, .. } => walk_expr(expr, f),
         Expr::Binary { left, right, .. } => {
             walk_expr(left, f);
@@ -146,7 +146,7 @@ fn collect_tables(select: &Select, push: &mut dyn FnMut(&str)) {
 pub fn shallow_walk<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
     f(expr);
     match expr {
-        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => {}
         Expr::Unary { expr, .. } => shallow_walk(expr, f),
         Expr::Binary { left, right, .. } => {
             shallow_walk(left, f);
@@ -231,6 +231,124 @@ pub fn rewrite_top_level_exprs(select: &mut Select, f: &mut dyn FnMut(&mut Expr)
     }
 }
 
+/// Post-order mutable walk over one expression tree, descending into
+/// subqueries. The callback may replace whole nodes (parameter binding).
+pub fn rewrite_expr_deep(expr: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => {}
+        Expr::Unary { expr, .. } => rewrite_expr_deep(expr, f),
+        Expr::Binary { left, right, .. } => {
+            rewrite_expr_deep(left, f);
+            rewrite_expr_deep(right, f);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                rewrite_expr_deep(a, f);
+            }
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, r) in branches {
+                rewrite_expr_deep(c, f);
+                rewrite_expr_deep(r, f);
+            }
+            if let Some(e) = else_expr {
+                rewrite_expr_deep(e, f);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            rewrite_expr_deep(expr, f);
+            rewrite_expr_deep(low, f);
+            rewrite_expr_deep(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            rewrite_expr_deep(expr, f);
+            for e in list {
+                rewrite_expr_deep(e, f);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            rewrite_expr_deep(expr, f);
+            rewrite_select_exprs_deep(query, f);
+        }
+        Expr::Exists { query, .. } => rewrite_select_exprs_deep(query, f),
+        Expr::ScalarSubquery(q) => rewrite_select_exprs_deep(q, f),
+        Expr::Like { expr, pattern, .. } => {
+            rewrite_expr_deep(expr, f);
+            rewrite_expr_deep(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => rewrite_expr_deep(expr, f),
+    }
+    f(expr);
+}
+
+/// Applies [`rewrite_expr_deep`] to every expression of the select,
+/// including derived tables and subqueries.
+pub fn rewrite_select_exprs_deep(select: &mut Select, f: &mut dyn FnMut(&mut Expr)) {
+    for item in &mut select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            rewrite_expr_deep(expr, f);
+        }
+    }
+    for t in &mut select.from {
+        if let TableRef::Subquery { query, .. } = t {
+            rewrite_select_exprs_deep(query, f);
+        }
+    }
+    if let Some(e) = &mut select.selection {
+        rewrite_expr_deep(e, f);
+    }
+    for g in &mut select.group_by {
+        rewrite_expr_deep(g, f);
+    }
+    if let Some(h) = &mut select.having {
+        rewrite_expr_deep(h, f);
+    }
+    for o in &mut select.order_by {
+        rewrite_expr_deep(&mut o.expr, f);
+    }
+}
+
+/// Highest `$N` placeholder referenced anywhere in the select (0 when the
+/// statement has no parameters) — the number of values a bind must supply.
+pub fn parameter_count(select: &Select) -> usize {
+    let mut max = 0usize;
+    walk_select_exprs(select, &mut |e| {
+        if let Expr::Parameter(n) = e {
+            max = max.max(*n);
+        }
+    });
+    max
+}
+
+/// Replaces every `$N` placeholder with the corresponding literal from
+/// `params` (1-based). Errors if a placeholder has no matching value. This
+/// is the textual-fallback path for backends without a native bound-execute:
+/// the bound statement renders to plain SQL byte-identical to what the
+/// template would have produced with inlined literals.
+pub fn bind_parameters(select: &mut Select, params: &[crate::Value]) -> Result<(), String> {
+    let mut missing = None;
+    rewrite_select_exprs_deep(select, &mut |e| {
+        if let Expr::Parameter(n) = e {
+            match params.get(*n - 1) {
+                Some(v) => *e = Expr::Literal(v.clone()),
+                None => missing = Some(*n),
+            }
+        }
+    });
+    match missing {
+        Some(n) => Err(format!(
+            "statement references ${n} but only {} parameter(s) were bound",
+            params.len()
+        )),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +421,35 @@ mod tests {
         walk_select_exprs(&s, &mut |_| count += 1);
         // (a+b), a, b, (c>1), c, 1 = 6 nodes
         assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn bind_parameters_replaces_placeholders_everywhere() {
+        let stmt = parse_statement(
+            "select k from t where k >= $1 and k < $2 \
+             and exists (select 1 from u where u.k >= $1)",
+        )
+        .unwrap();
+        let Statement::Select(mut s) = stmt else {
+            panic!()
+        };
+        assert_eq!(parameter_count(&s), 2);
+        bind_parameters(&mut s, &[crate::Value::Int(10), crate::Value::Int(20)]).unwrap();
+        assert_eq!(parameter_count(&s), 0);
+        assert_eq!(
+            s.to_string(),
+            "select k from t where (((k >= 10) and (k < 20)) \
+             and (exists (select 1 from u where (u.k >= 10))))"
+        );
+    }
+
+    #[test]
+    fn bind_parameters_rejects_short_binds() {
+        let stmt = parse_statement("select k from t where k >= $1 and k < $2").unwrap();
+        let Statement::Select(mut s) = stmt else {
+            panic!()
+        };
+        assert!(bind_parameters(&mut s, &[crate::Value::Int(10)]).is_err());
     }
 
     #[test]

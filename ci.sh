@@ -14,6 +14,9 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== operator pipeline: byte-identity property suite =="
+cargo test -q --test property_operators
+
 echo "== fault injection: retry/reassignment/breaker suite =="
 cargo test -q --test fault_tolerance
 cargo test -q -p apuama --lib fault
@@ -27,5 +30,9 @@ cargo test -q -p apuama-sim --lib -- "recovery::"
 echo "== bench_smoke: prepared-plan and fused-kernel micro arms =="
 cargo bench -p apuama-bench --bench prepared -- 100
 cat BENCH_prepared.json
+
+echo "== bench_smoke: operator_pipeline arm =="
+cargo bench -p apuama-bench --bench operators -- 100
+cat BENCH_operators.json
 
 echo "ci: all green"

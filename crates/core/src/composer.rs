@@ -379,6 +379,40 @@ pub trait Composer {
     /// several partials (AVP chunks); their relative order is the node's
     /// own execution order.
     fn accept(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()>;
+    /// Feeds one partial result, re-chunking oversized row sets to the
+    /// engine's scan-batch grain ([`apuama_engine::SCAN_BATCH_ROWS`]) before
+    /// handing them to [`Composer::accept`]. The engine's operator pipeline
+    /// produces rows batch-at-a-time; consuming them at the same grain keeps
+    /// the composer's working set bounded per call. Composers key state on
+    /// the node index and fold partials in arrival order, so splitting one
+    /// partial into consecutive chunks composes the identical result. The
+    /// partial's stats are not forwarded — per-node statement stats are
+    /// recorded by the orchestrator before composition, and no composer
+    /// reads them from an accepted partial.
+    fn accept_batched(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()> {
+        if partial.rows.len() as u64 <= apuama_engine::SCAN_BATCH_ROWS {
+            return self.accept(node, partial);
+        }
+        let QueryOutput { columns, rows, .. } = partial;
+        let mut iter = rows.into_iter();
+        loop {
+            let chunk: Vec<Row> = iter
+                .by_ref()
+                .take(apuama_engine::SCAN_BATCH_ROWS as usize)
+                .collect();
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            self.accept(
+                node,
+                QueryOutput {
+                    columns: columns.clone(),
+                    rows: chunk,
+                    ..Default::default()
+                },
+            )?;
+        }
+    }
     /// Completes the composition and returns the final result.
     fn finish(&mut self) -> EngineResult<Composed>;
     /// Abandons the in-progress composition, discarding staged partials.
@@ -1022,6 +1056,60 @@ mod incremental_tests {
         let (plan, partials) = plan_and_partials("select sum(o_totalprice) as s from orders", 3);
         let got = compose_with(ComposerStrategy::Streaming, &plan, &partials).unwrap();
         assert_eq!(got.partial_rows, 3);
+    }
+
+    /// `accept_batched` re-chunks oversized partials to the engine's
+    /// scan-batch grain; the composed result must not change for either
+    /// strategy, aggregated or union-shaped.
+    #[test]
+    fn accept_batched_rechunks_oversized_partials_identically() {
+        const BATCH: usize = apuama_engine::SCAN_BATCH_ROWS as usize;
+        for sql in [
+            "select o_orderpriority, count(*) as n, sum(o_totalprice) as t from orders \
+             group by o_orderpriority order by o_orderpriority",
+            "select o_orderkey, o_totalprice from orders where o_totalprice > 100.0 \
+             order by o_totalprice desc, o_orderkey limit 7",
+        ] {
+            let (plan, partials) = plan_and_partials(sql, 2);
+            // Inflate each partial well past one batch, to a size that is
+            // not a multiple of it, so re-chunking actually splits.
+            let inflated: Vec<QueryOutput> = partials
+                .iter()
+                .map(|p| {
+                    assert!(!p.rows.is_empty(), "{sql}");
+                    let mut rows = Vec::new();
+                    while rows.len() <= 2 * BATCH {
+                        rows.extend(p.rows.iter().cloned());
+                    }
+                    QueryOutput {
+                        columns: p.columns.clone(),
+                        rows,
+                        ..QueryOutput::default()
+                    }
+                })
+                .collect();
+            for strategy in [ComposerStrategy::Staged, ComposerStrategy::Streaming] {
+                let run = |batched: bool| {
+                    let mut c = strategy.new_composer();
+                    c.begin(&plan).unwrap();
+                    for (i, p) in inflated.iter().enumerate() {
+                        if batched {
+                            c.accept_batched(i, p.clone()).unwrap();
+                        } else {
+                            c.accept(i, p.clone()).unwrap();
+                        }
+                    }
+                    c.finish().unwrap()
+                };
+                let whole = run(false);
+                let chunked = run(true);
+                assert_eq!(chunked.output.rows, whole.output.rows, "{sql} {strategy:?}");
+                assert_eq!(
+                    chunked.partial_rows, whole.partial_rows,
+                    "{sql} {strategy:?}"
+                );
+            }
+        }
     }
 
     #[test]

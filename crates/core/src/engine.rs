@@ -355,7 +355,7 @@ impl ApuamaEngine {
                         per_node[range] = Some(out.stats);
                         if accept_error.is_none() {
                             let t = Instant::now();
-                            let ok = match composer.accept(range, out) {
+                            let ok = match composer.accept_batched(range, out) {
                                 Ok(()) => true,
                                 Err(e) => {
                                     accept_error = Some(e);
@@ -438,7 +438,7 @@ impl ApuamaEngine {
                             per_node[range] = Some(out.stats);
                             if accept_error.is_none() {
                                 let t = Instant::now();
-                                let ok = match composer.accept(range, out) {
+                                let ok = match composer.accept_batched(range, out) {
                                     Ok(()) => true,
                                     Err(e) => {
                                         accept_error = Some(e);

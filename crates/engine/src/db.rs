@@ -24,7 +24,7 @@ use crate::catalog::{Catalog, TableSchema};
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{eval_expr, split_conjuncts};
 use crate::exec::{self, ExecContext};
-use crate::kernel;
+use crate::physical;
 use crate::plan_cache::{self, CachedPlan, PlanCache, PlanCacheStats};
 use crate::planner;
 use crate::stats::ExecStats;
@@ -153,10 +153,11 @@ impl Database {
             .unwrap_or(true)
     }
 
-    /// Whether bound execution may use the fused scan→filter→aggregate
-    /// kernel (`SET enable_kernel`, default on). The knob exists so the
-    /// benches and the property suite can compare the kernel against the
-    /// interpreted pipeline on the same statements.
+    /// Whether lowering may apply the fused scan→filter→aggregate plan
+    /// rewrite (`SET enable_kernel`, default on). The knob toggles a plan
+    /// rewrite, not a second executor; it exists so the benches and the
+    /// property suite can compare the fused and general shapes on the same
+    /// statements.
     pub fn kernel_enabled(&self) -> bool {
         self.settings
             .misc
@@ -261,7 +262,7 @@ impl Database {
             Statement::Explain(inner) => match inner.as_ref() {
                 Statement::Select(q) => {
                     let ctx = ExecContext::new(self);
-                    let lines = exec::explain_select(q, &ctx)?;
+                    let lines = physical::explain(q, &ctx)?;
                     Ok(QueryOutput {
                         columns: vec!["plan".to_string()],
                         rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
@@ -301,12 +302,13 @@ impl Database {
     /// `Ok(None)` means the statement parsed but is not a SELECT — those
     /// are never cached.
     fn plan_for(&self, sql: &str) -> EngineResult<Option<Arc<CachedPlan>>> {
-        let fp = plan_cache::fingerprint(sql);
+        let kernel_on = self.kernel_enabled();
+        let fp = plan_cache::fingerprint(sql, kernel_on);
         let version = self.catalog_version.load(Ordering::SeqCst);
         if let Some(plan) = self
             .plan_cache
             .lock()
-            .lookup(fp, version, |token| self.current_stats_token(token))
+            .lookup(&fp, version, |token| self.current_stats_token(token))
         {
             return Ok(Some(plan));
         }
@@ -315,21 +317,18 @@ impl Database {
             return Ok(None);
         };
         let n_params = visit::parameter_count(&q);
-        let kernel = kernel::compile(&q, self);
+        let physical = physical::lower(&q, self, kernel_on);
         let stats_token = visit::referenced_tables(&q)
             .iter()
             .map(|t| self.table_stats_entry(t))
             .collect();
         let plan = Arc::new(CachedPlan {
-            select: q,
+            physical,
             n_params,
-            kernel,
             catalog_version: version,
             stats_token,
         });
-        self.plan_cache
-            .lock()
-            .insert(fp.to_string(), Arc::clone(&plan));
+        self.plan_cache.lock().insert(fp, Arc::clone(&plan));
         Ok(Some(plan))
     }
 
@@ -343,11 +342,10 @@ impl Database {
     }
 
     /// Executes a (usually prepared) statement with bound parameter
-    /// values. SELECTs run from the plan cache — parsed and planned once
-    /// per statement text, not once per execution; the fused kernel is
-    /// used when the shape allows and `enable_kernel` is on. Results are
-    /// byte-identical to rendering the literals into the text and calling
-    /// [`Database::query`].
+    /// values. SELECTs run from the plan cache — parsed and lowered once
+    /// per statement text (and per `enable_kernel` setting), not once per
+    /// execution. Results are byte-identical to rendering the literals
+    /// into the text and calling [`Database::query`].
     pub fn query_bound(&self, sql: &str, params: &[Value]) -> EngineResult<QueryOutput> {
         let Some(plan) = self.plan_for(sql)? else {
             if !params.is_empty() {
@@ -366,10 +364,7 @@ impl Database {
             )));
         }
         let ctx = ExecContext::with_params(self, params.to_vec());
-        let rel = match (&plan.kernel, self.kernel_enabled()) {
-            (Some(k), true) => kernel::execute(k, &ctx)?,
-            _ => exec::run_select(&plan.select, &[], &ctx)?,
-        };
+        let rel = physical::execute(&plan.physical, &[], &ctx)?;
         ctx.record_output(&rel);
         Ok(QueryOutput {
             columns: rel.column_names(),
@@ -1161,13 +1156,14 @@ mod prepared_tests {
     }
 
     #[test]
-    fn unsupported_shapes_fall_back_to_the_interpreter() {
+    fn general_shapes_lower_to_the_operator_pipeline() {
         let mut d = lineitem_db(100);
         d.execute("create table seen (k int not null, primary key (k))")
             .unwrap();
         d.execute("insert into seen values (3), (4)").unwrap();
-        // Non-aggregated, DISTINCT, and subquery-bearing statements all run
-        // bound (no kernel) and agree with the text path.
+        // Non-aggregated, DISTINCT, and subquery-bearing statements don't
+        // match the fusion rule; they lower to the general operator tree
+        // and agree with the text path.
         for (sql, args, text) in [
             (
                 "select l_orderkey from lineitem where l_orderkey = $1",
@@ -1190,6 +1186,30 @@ mod prepared_tests {
             let plain = d.query(&text).unwrap();
             assert_eq!(bound.rows, plain.rows, "{sql}");
         }
+    }
+
+    /// Toggling `enable_kernel` must never serve a plan compiled under the
+    /// other setting: the fingerprint keys on the knob, so each setting has
+    /// its own coexisting cache entry.
+    #[test]
+    fn kernel_toggle_never_reuses_the_other_settings_plan() {
+        let d = lineitem_db(500);
+        let params = [Value::Int(0), Value::Int(400)];
+        d.query_bound(Q1ISH, &params).unwrap();
+        d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 1), "{s:?}");
+        // Flipping the knob compiles a fresh plan under the new setting...
+        d.query("set enable_kernel = off").unwrap();
+        d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (2, 1), "{s:?}");
+        // ...and flipping back hits the original entry — both coexist.
+        d.query("set enable_kernel = on").unwrap();
+        d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (2, 2), "{s:?}");
+        assert_eq!(s.invalidations + s.replans + s.evictions, 0);
     }
 
     #[test]
@@ -1342,6 +1362,35 @@ mod explain_tests {
         assert!(plan.contains("hash group by o_totalprice"), "{plan}");
         assert!(plan.contains("sort: 1 key(s)"), "{plan}");
         assert!(plan.contains("limit 5"), "{plan}");
+    }
+
+    /// The fused kernel is a lowering rewrite, so EXPLAIN shows it as a
+    /// fusion annotation on the aggregate — present exactly when the knob
+    /// is on and the shape matches the rule.
+    #[test]
+    fn explain_marks_the_fusion_rewrite_only_when_enabled() {
+        let d = db();
+        let sql = "explain select count(*) as n from lineitem \
+                   where l_orderkey >= 10 and l_orderkey < 500";
+        let plan_on = plan_text(&d, sql);
+        assert!(
+            plan_on.contains("[fused scan→filter→aggregate]"),
+            "{plan_on}"
+        );
+        d.query("set enable_kernel = off").unwrap();
+        let plan_off = plan_text(&d, sql);
+        assert!(
+            !plan_off.contains("[fused scan→filter→aggregate]"),
+            "{plan_off}"
+        );
+        d.query("set enable_kernel = on").unwrap();
+        // Shapes outside the fusion rule never carry the marker.
+        let join = plan_text(
+            &d,
+            "explain select count(*) as n from orders, lineitem \
+             where l_orderkey = o_orderkey",
+        );
+        assert!(!join.contains("fused"), "{join}");
     }
 
     #[test]

@@ -596,6 +596,261 @@ pub fn conjoin(conjuncts: Vec<Expr>) -> Option<Expr> {
     conjuncts.into_iter().reduce(Expr::and)
 }
 
+// ---------------------------------------------------------------------------
+// Pre-resolved (compiled) expressions
+// ---------------------------------------------------------------------------
+
+/// An expression with every column reference pre-resolved to a positional
+/// index into one relation's row — the batch-friendly form every physical
+/// operator prefers: no name resolution per row, no [`Frame`] stacks, rows
+/// evaluated by reference. Subquery forms are unrepresentable: compilation
+/// rejects them, and the operator falls back to framed [`eval_expr`].
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledExpr {
+    Col(usize),
+    Lit(Value),
+    Param(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<CompiledExpr>,
+    },
+    Binary {
+        left: Box<CompiledExpr>,
+        op: BinOp,
+        right: Box<CompiledExpr>,
+    },
+    Func {
+        name: String,
+        args: Vec<CompiledExpr>,
+    },
+    Case {
+        branches: Vec<(CompiledExpr, CompiledExpr)>,
+        else_expr: Option<Box<CompiledExpr>>,
+    },
+    Between {
+        expr: Box<CompiledExpr>,
+        negated: bool,
+        low: Box<CompiledExpr>,
+        high: Box<CompiledExpr>,
+    },
+    InList {
+        expr: Box<CompiledExpr>,
+        negated: bool,
+        list: Vec<CompiledExpr>,
+    },
+    Like {
+        expr: Box<CompiledExpr>,
+        negated: bool,
+        pattern: Box<CompiledExpr>,
+    },
+    IsNull {
+        expr: Box<CompiledExpr>,
+        negated: bool,
+    },
+}
+
+/// Resolves columns and checks for supported node types; `None` means the
+/// expression cannot be pre-resolved (subqueries, aggregate calls, columns
+/// not found in `bindings` — e.g. correlated references to outer scopes)
+/// and must be evaluated with frames. Compilation succeeding guarantees
+/// [`eval_compiled`] agrees with [`eval_expr`] bit for bit: every column
+/// resolves in the innermost frame, which is exactly the frame-stack
+/// resolution order.
+pub(crate) fn compile_expr(e: &Expr, bindings: &[Binding]) -> Option<CompiledExpr> {
+    Some(match e {
+        Expr::Column(c) => CompiledExpr::Col(exec::resolve_column(bindings, c).ok()?),
+        Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
+        Expr::Parameter(n) => CompiledExpr::Param(*n),
+        Expr::Unary { op, expr } => CompiledExpr::Unary {
+            op: *op,
+            expr: Box::new(compile_expr(expr, bindings)?),
+        },
+        Expr::Binary { left, op, right } => CompiledExpr::Binary {
+            left: Box::new(compile_expr(left, bindings)?),
+            op: *op,
+            right: Box::new(compile_expr(right, bindings)?),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct: false,
+            star: false,
+        } if !apuama_sql::ast::is_aggregate_name(name) => CompiledExpr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| compile_expr(a, bindings))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => CompiledExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| Some((compile_expr(c, bindings)?, compile_expr(r, bindings)?)))
+                .collect::<Option<Vec<_>>>()?,
+            else_expr: match else_expr {
+                Some(x) => Some(Box::new(compile_expr(x, bindings)?)),
+                None => None,
+            },
+        },
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => CompiledExpr::Between {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+            low: Box::new(compile_expr(low, bindings)?),
+            high: Box::new(compile_expr(high, bindings)?),
+        },
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => CompiledExpr::InList {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+            list: list
+                .iter()
+                .map(|x| compile_expr(x, bindings))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => CompiledExpr::Like {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+            pattern: Box::new(compile_expr(pattern, bindings)?),
+        },
+        Expr::IsNull { expr, negated } => CompiledExpr::IsNull {
+            expr: Box::new(compile_expr(expr, bindings)?),
+            negated: *negated,
+        },
+        // Subqueries, DISTINCT/star aggregates in scalar position, and
+        // anything else falls back to framed evaluation.
+        _ => return None,
+    })
+}
+
+/// Evaluates a compiled expression against a borrowed row. Semantics are
+/// shared with the framed evaluator through [`eval_binary_with`],
+/// [`eval_scalar_function_with`], and the three-valued-logic helpers.
+pub(crate) fn eval_compiled(
+    e: &CompiledExpr,
+    row: &[Value],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Value> {
+    match e {
+        CompiledExpr::Col(i) => Ok(row[*i].clone()),
+        CompiledExpr::Lit(v) => Ok(v.clone()),
+        CompiledExpr::Param(n) => ctx.param(*n),
+        CompiledExpr::Unary { op, expr } => {
+            let v = eval_compiled(expr, row, ctx)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(x) => Ok(Value::Float(-x)),
+                    other => Err(EngineError::TypeError(format!("cannot negate {other}"))),
+                },
+                UnaryOp::Not => match truthiness(&v) {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Bool(!b)),
+                },
+            }
+        }
+        CompiledExpr::Binary { left, op, right } => eval_binary_with(
+            *op,
+            || eval_compiled(left, row, ctx),
+            || eval_compiled(right, row, ctx),
+        ),
+        CompiledExpr::Func { name, args } => {
+            eval_scalar_function_with(name, args.len(), |i| eval_compiled(&args[i], row, ctx))
+        }
+        CompiledExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, result) in branches {
+                if truthiness(&eval_compiled(cond, row, ctx)?) == Some(true) {
+                    return eval_compiled(result, row, ctx);
+                }
+            }
+            match else_expr {
+                Some(x) => eval_compiled(x, row, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        CompiledExpr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_compiled(expr, row, ctx)?;
+            let lo = eval_compiled(low, row, ctx)?;
+            let hi = eval_compiled(high, row, ctx)?;
+            let ge = compare(&v, &lo).map(|o| o != Ordering::Less);
+            let le = compare(&v, &hi).map(|o| o != Ordering::Greater);
+            let within = and3(ge, le);
+            Ok(bool3(if *negated { not3(within) } else { within }))
+        }
+        CompiledExpr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval_compiled(expr, row, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval_compiled(item, row, ctx)?;
+                match compare(&v, &w) {
+                    None => saw_null = true,
+                    Some(Ordering::Equal) => {
+                        return Ok(Value::Bool(!negated));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        CompiledExpr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let v = eval_compiled(expr, row, ctx)?;
+            let p = eval_compiled(pattern, row, ctx)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    let m = like_match(&s, &pat);
+                    Ok(Value::Bool(m != *negated))
+                }
+                (a, b) => Err(EngineError::TypeError(format!(
+                    "LIKE needs strings, got {a} and {b}"
+                ))),
+            }
+        }
+        CompiledExpr::IsNull { expr, negated } => {
+            let v = eval_compiled(expr, row, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,22 +1,19 @@
-//! Query execution: scans, hash joins, aggregation, sorting, projection.
+//! Execution infrastructure shared across the engine: the per-statement
+//! context and statistics, column binding/resolution, the aggregation
+//! machinery, and the row-id scan the DML path mutates through.
 //!
-//! Execution is fully materialized (relations are `Vec<Row>`): the
-//! reproduction runs TPC-H at laptop scale factors, where materialization is
-//! both simpler and faster than an iterator pipeline, and the statistics the
-//! simulator prices (pages touched, tuples processed) are identical either
-//! way.
-//!
-//! Join planning is the classic greedy heuristic: the largest filtered
-//! input drives (for TPC-H that is always the `lineitem` fact table), and
-//! each remaining FROM-item is hash-joined in, smallest-first among those
-//! connected by an equi-join edge. Single-table predicates are pushed into
-//! scans; everything else becomes a post-filter applied as soon as its
-//! bindings are joined in.
+//! SELECT execution itself lives in [`crate::physical`]: the planner lowers
+//! every query to a batch-at-a-time physical operator tree, and
+//! [`run_select`] is now a thin wrapper that lowers and drains that tree.
+//! The pieces here are the parts both that pipeline and the write path
+//! (INSERT/DELETE/UPDATE in `db.rs`) need to agree on — most importantly
+//! the statistics charging contracts, which the simulator prices and which
+//! must not drift between read and write paths.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use apuama_sql::ast::{is_aggregate_name, Expr, Select, SelectItem, SetQuantifier, TableRef};
+use apuama_sql::ast::{is_aggregate_name, Expr, Select, SelectItem};
 use apuama_sql::value::HashableValue;
 use apuama_sql::{visit, Value};
 use apuama_storage::{AccessKind, PageKey, Row, RowId, TableId};
@@ -24,8 +21,9 @@ use apuama_storage::{AccessKind, PageKey, Row, RowId, TableId};
 use crate::catalog::TableSchema;
 use crate::db::Database;
 use crate::error::{EngineError, EngineResult};
-use crate::eval::{self, eval_expr, truthiness, Frame};
-use crate::planner::{self, AccessPath};
+use crate::eval::{eval_expr, truthiness, Frame};
+use crate::physical;
+use crate::planner::AccessPath;
 use crate::stats::ExecStats;
 use crate::table::Table;
 
@@ -152,6 +150,13 @@ impl<'a> ExecContext<'a> {
         self.stats.borrow_mut().index_probes += n;
     }
 
+    /// One scan batch dispatched ([`SCAN_BATCH_ROWS`] rows or the final
+    /// partial batch). The sim's cost model can price per-batch dispatch
+    /// overhead off this without touching the per-tuple counters.
+    pub fn bump_scan_batches(&self, n: u64) {
+        self.stats.borrow_mut().scan_batches += n;
+    }
+
     /// Records the statement's result size.
     pub fn record_output(&self, rel: &Relation) {
         let mut s = self.stats.borrow_mut();
@@ -186,213 +191,20 @@ pub fn row_bytes(row: &Row) -> u64 {
 
 /// Executes a SELECT with the given outer frames (empty for top-level
 /// queries; populated for correlated subqueries and derived tables).
+///
+/// Lowers the statement to its physical operator shape and drains the
+/// tree. Subquery evaluation comes through here too, so nested SELECTs
+/// get the same pipeline (and the same fusion rule) as top-level ones.
 pub fn run_select(
     q: &Select,
     outer: &[Frame<'_>],
     ctx: &ExecContext<'_>,
 ) -> EngineResult<Relation> {
-    let catalog = ctx.db.catalog();
-    let scopes = planner::scopes_for_from(&q.from, catalog);
-
-    // 1. Classify WHERE conjuncts.
-    let conjuncts = eval::split_conjuncts(q.selection.as_ref());
-    let mut single: Vec<Vec<Expr>> = vec![Vec::new(); q.from.len()];
-    let mut edges: Vec<planner::JoinEdge> = Vec::new();
-    // (conjunct, bindings it needs)
-    let mut post: Vec<(Expr, Vec<String>)> = Vec::new();
-    for c in conjuncts {
-        let refs = planner::conjunct_bindings(&c, &scopes, catalog);
-        if refs.len() == 1 {
-            let name = refs.iter().next().expect("len checked");
-            let idx = scopes
-                .iter()
-                .position(|s| &s.name == name)
-                .expect("binding came from scopes");
-            single[idx].push(c);
-        } else if let Some(edge) = planner::as_join_edge(&c, &scopes, catalog) {
-            edges.push(edge);
-        } else {
-            post.push((c, refs.into_iter().collect()));
-        }
-    }
-    // Evaluate subquery-bearing residuals last within each scan.
-    for list in &mut single {
-        list.sort_by_key(contains_subquery);
-    }
-
-    // 2. Materialize each FROM item.
-    let mut inputs: Vec<Relation> = Vec::with_capacity(q.from.len());
-    for (i, item) in q.from.iter().enumerate() {
-        let rel = match item {
-            TableRef::Table { name, alias } => {
-                let table = ctx
-                    .db
-                    .table(name)
-                    .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-                let eval_const = |e: &Expr| -> Option<Value> {
-                    if expr_has_columns(e) {
-                        None
-                    } else {
-                        eval_expr(e, &[], ctx).ok()
-                    }
-                };
-                let choice = planner::choose_access_path(
-                    table,
-                    &scopes[i].name,
-                    &single[i],
-                    ctx.db.seqscan_enabled(),
-                    ctx.db.indexscan_enabled(),
-                    &eval_const,
-                );
-                // Predicates consumed by the index range are implied by the
-                // scan bounds; only the rest are re-checked per row.
-                let residual: Vec<Expr> = single[i]
-                    .iter()
-                    .enumerate()
-                    .filter(|(ci, _)| !choice.consumed.contains(ci))
-                    .map(|(_, c)| c.clone())
-                    .collect();
-                scan_table(ctx, table, alias.as_deref(), &choice.path, &residual, outer)?
-            }
-            TableRef::Subquery { query, alias } => {
-                let mut rel = run_select(query, outer, ctx)?;
-                for b in &mut rel.bindings {
-                    b.qualifier = Some(alias.clone());
-                }
-                // Apply this item's single-binding conjuncts as a filter.
-                if !single[i].is_empty() {
-                    rel = filter_relation(rel, &single[i], outer, ctx)?;
-                }
-                rel
-            }
-        };
-        inputs.push(rel);
-    }
-
-    // 3. Join.
-    let mut current = if inputs.is_empty() {
-        Relation {
-            bindings: vec![],
-            rows: vec![vec![]],
-        }
-    } else {
-        let driving = inputs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, r)| r.rows.len())
-            .map(|(i, _)| i)
-            .expect("inputs nonempty");
-        let mut bound: Vec<usize> = vec![driving];
-        let mut current = inputs[driving].clone();
-        current = apply_ready_post_filters(current, &mut post, &scopes, &bound, outer, ctx)?;
-        while bound.len() < inputs.len() {
-            let next = pick_next_input(
-                current.rows.len(),
-                &inputs,
-                &scopes,
-                &edges,
-                &bound,
-                outer,
-                ctx,
-            );
-            let next_rel = &inputs[next];
-            let my_edges: Vec<&planner::JoinEdge> = edges
-                .iter()
-                .filter(|e| {
-                    let l_bound = bound.iter().any(|&b| scopes[b].name == e.left);
-                    let r_bound = bound.iter().any(|&b| scopes[b].name == e.right);
-                    (l_bound && e.right == scopes[next].name)
-                        || (r_bound && e.left == scopes[next].name)
-                })
-                .collect();
-            current = if my_edges.is_empty() {
-                cross_join(current, next_rel, ctx)
-            } else {
-                hash_join(current, next_rel, &my_edges, &scopes[next].name, outer, ctx)?
-            };
-            bound.push(next);
-            current = apply_ready_post_filters(current, &mut post, &scopes, &bound, outer, ctx)?;
-        }
-        current
-    };
-
-    // Any post filters left reference nothing in FROM (constant or purely
-    // correlated predicates): apply them row-wise now.
-    if !post.is_empty() {
-        let leftovers: Vec<Expr> = post.drain(..).map(|(e, _)| e).collect();
-        current = filter_relation(current, &leftovers, outer, ctx)?;
-    }
-
-    // 4. Aggregate or project.
-    let aggregated = !q.group_by.is_empty() || select_has_aggregates(q);
-    let (out, sort_keys) = if aggregated {
-        aggregate_and_project(q, &current, outer, ctx)?
-    } else {
-        plain_project(q, &current, outer, ctx)?
-    };
-
-    // 5–7. DISTINCT, ORDER BY, LIMIT.
-    Ok(finish_select(q, out, sort_keys, ctx))
+    let shape = physical::lower_shape(q, ctx.db, ctx.db.kernel_enabled());
+    physical::execute_shape(q, &shape, outer, ctx)
 }
 
-/// The shared tail of SELECT execution — DISTINCT, ORDER BY, LIMIT — used
-/// by both the interpreted pipeline and the fused kernel so the two paths
-/// finish rows identically.
-pub(crate) fn finish_select(
-    q: &Select,
-    mut out: Relation,
-    mut sort_keys: SortKeys,
-    ctx: &ExecContext<'_>,
-) -> Relation {
-    // DISTINCT.
-    if q.quantifier == SetQuantifier::Distinct {
-        let mut seen: HashSet<Vec<HashableValue>> = HashSet::with_capacity(out.rows.len());
-        let mut rows = Vec::with_capacity(out.rows.len());
-        let mut keys = Vec::with_capacity(sort_keys.len());
-        for (row, key) in out.rows.into_iter().zip(sort_keys) {
-            let k: Vec<HashableValue> = row.iter().map(Value::hash_key).collect();
-            if seen.insert(k) {
-                rows.push(row);
-                keys.push(key);
-            }
-        }
-        out.rows = rows;
-        sort_keys = keys;
-    }
-
-    // ORDER BY.
-    if !q.order_by.is_empty() {
-        let descs: Vec<bool> = q.order_by.iter().map(|o| o.desc).collect();
-        let n = out.rows.len();
-        ctx.bump_cpu((n as f64 * (n.max(2) as f64).log2()) as u64);
-        let mut idx: Vec<usize> = (0..out.rows.len()).collect();
-        idx.sort_by(|&a, &b| {
-            for (k, desc) in sort_keys[a].iter().zip(sort_keys[b].iter()).zip(&descs) {
-                let ((x, y), desc) = (k, *desc);
-                let ord = x.sort_cmp(y);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        let mut rows = Vec::with_capacity(out.rows.len());
-        for i in idx {
-            rows.push(std::mem::take(&mut out.rows[i]));
-        }
-        out.rows = rows;
-    }
-
-    // LIMIT.
-    if let Some(l) = q.limit {
-        out.rows.truncate(l as usize);
-    }
-
-    out
-}
-
-fn contains_subquery(e: &Expr) -> bool {
+pub(crate) fn contains_subquery(e: &Expr) -> bool {
     let mut found = false;
     visit::shallow_walk(e, &mut |x| {
         if matches!(
@@ -429,10 +241,12 @@ pub(crate) fn select_has_aggregates(q: &Select) -> bool {
 // Scans
 // ---------------------------------------------------------------------------
 
-/// Rows per batch on the scan path: stats counters are charged once per
-/// batch (identical totals to per-row charging, a fraction of the borrow
-/// traffic). The fused kernel uses the same batch size.
-pub(crate) const SCAN_BATCH_ROWS: u64 = 1024;
+/// Rows per batch everywhere in the physical pipeline: operators exchange
+/// [`crate::physical`] batches of this many rows, and stats counters are
+/// charged once per batch (identical totals to per-row charging, a
+/// fraction of the borrow traffic). Public so the cluster layer's
+/// streaming sinks can chunk at the same grain.
+pub const SCAN_BATCH_ROWS: u64 = 1024;
 
 /// Accumulates per-row counter increments and flushes them to the context
 /// once per [`SCAN_BATCH_ROWS`] rows (and on drop), so totals are unchanged.
@@ -456,6 +270,7 @@ impl<'c, 'a> BatchedCounter<'c, 'a> {
     fn flush(&mut self) {
         if self.rows > 0 {
             self.ctx.bump_rows_scanned(self.rows);
+            self.ctx.bump_scan_batches(1);
             self.rows = 0;
         }
     }
@@ -467,92 +282,9 @@ impl Drop for BatchedCounter<'_, '_> {
     }
 }
 
-/// Reads a base table through the chosen access path, applying the residual
-/// single-table predicate.
-pub fn scan_table(
-    ctx: &ExecContext<'_>,
-    table: &Table,
-    alias: Option<&str>,
-    path: &AccessPath,
-    residual: &[Expr],
-    outer: &[Frame<'_>],
-) -> EngineResult<Relation> {
-    let bindings = bindings_for_table(&table.schema, alias);
-    let mut rows = Vec::new();
-
-    let keep = |row: &Row, ctx: &ExecContext<'_>| -> EngineResult<bool> {
-        if residual.is_empty() {
-            return Ok(true);
-        }
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &bindings,
-            row,
-        });
-        frames.extend_from_slice(outer);
-        for pred in residual {
-            ctx.bump_cpu(1);
-            if truthiness(&eval_expr(pred, &frames, ctx)?) != Some(true) {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    };
-
-    let mut scanned = BatchedCounter::new(ctx);
-    match path {
-        AccessPath::SeqScan => {
-            let mut last_page = u64::MAX;
-            for (rid, row) in table.heap.iter() {
-                let page = table.heap.geometry().page_of(rid);
-                if page != last_page {
-                    ctx.charge_page(table.schema.id, page, AccessKind::Sequential);
-                    last_page = page;
-                }
-                scanned.row_scanned();
-                if keep(row, ctx)? {
-                    rows.push(row.clone());
-                }
-            }
-        }
-        AccessPath::IndexRange {
-            column,
-            low,
-            high,
-            clustered,
-        } => {
-            let idx = table
-                .index_on(*column)
-                .expect("planner only chooses existing indexes");
-            ctx.bump_index_probes(1);
-            let kind = if *clustered {
-                AccessKind::Sequential
-            } else {
-                AccessKind::Random
-            };
-            let mut last_page = u64::MAX;
-            for (_, rid) in idx.range(bound_ref(low), bound_ref(high)) {
-                let Some(row) = table.heap.get(rid) else {
-                    continue;
-                };
-                let page = table.heap.geometry().page_of(rid);
-                if page != last_page {
-                    ctx.charge_page(table.schema.id, page, kind);
-                    last_page = page;
-                }
-                scanned.row_scanned();
-                if keep(row, ctx)? {
-                    rows.push(row.clone());
-                }
-            }
-        }
-    }
-    drop(scanned);
-    Ok(Relation { bindings, rows })
-}
-
-/// Like [`scan_table`] but collects matching row ids instead of rows —
-/// the DML path (DELETE/UPDATE) needs ids to mutate through.
+/// Scans a base table through the chosen access path collecting matching
+/// row ids — the DML path (DELETE/UPDATE) needs ids to mutate through.
+/// Charges pages/rows under the same contract as the read pipeline's scan.
 pub fn scan_rids(
     ctx: &ExecContext<'_>,
     table: &Table,
@@ -626,7 +358,7 @@ pub fn scan_rids(
     Ok(out)
 }
 
-fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+pub(crate) fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     match b {
         std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
         std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
@@ -634,340 +366,20 @@ fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     }
 }
 
-/// Keeps only rows satisfying every predicate.
-fn filter_relation(
-    rel: Relation,
-    preds: &[Expr],
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<Relation> {
-    let bindings = rel.bindings;
-    let mut rows = Vec::with_capacity(rel.rows.len());
-    'rows: for row in rel.rows {
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &bindings,
-            row: &row,
-        });
-        frames.extend_from_slice(outer);
-        for p in preds {
-            ctx.bump_cpu(1);
-            if truthiness(&eval_expr(p, &frames, ctx)?) != Some(true) {
-                continue 'rows;
-            }
-        }
-        rows.push(row);
-    }
-    Ok(Relation { bindings, rows })
-}
-
 // ---------------------------------------------------------------------------
-// Joins
+// Projection helpers (shared by the physical pipeline's operators)
 // ---------------------------------------------------------------------------
 
-/// Picks the next FROM-item to join in: among inputs connected to the
-/// current result by an equi-join edge, the one minimizing the classic
-/// output-cardinality estimate `current × candidate / distinct(candidate
-/// join keys)` — which keeps low-distinct edges (TPC-H's nation-key joins)
-/// from exploding the intermediate result.
-fn pick_next_input(
-    current_rows: usize,
-    inputs: &[Relation],
-    scopes: &[planner::BindingScope],
-    edges: &[planner::JoinEdge],
-    bound: &[usize],
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> usize {
-    let is_bound = |i: usize| bound.contains(&i);
-    let candidate_edges = |i: usize| -> Vec<&planner::JoinEdge> {
-        edges
-            .iter()
-            .filter(|e| {
-                (e.left == scopes[i].name && bound.iter().any(|&b| scopes[b].name == e.right))
-                    || (e.right == scopes[i].name
-                        && bound.iter().any(|&b| scopes[b].name == e.left))
-            })
-            .collect()
-    };
-    let mut best: Option<(usize, f64)> = None;
-    for i in 0..inputs.len() {
-        if is_bound(i) {
-            continue;
-        }
-        let my_edges = candidate_edges(i);
-        if my_edges.is_empty() {
-            continue;
-        }
-        let distinct =
-            distinct_join_keys(&inputs[i], &my_edges, &scopes[i].name, outer, ctx).max(1);
-        let est = current_rows as f64 * inputs[i].rows.len() as f64 / distinct as f64;
-        if best.is_none_or(|(_, b)| est < b) {
-            best = Some((i, est));
-        }
-    }
-    if let Some((b, _)) = best {
-        return b;
-    }
-    // No connected input: fall back to the smallest unbound one (cross join).
-    (0..inputs.len())
-        .filter(|&i| !is_bound(i))
-        .min_by_key(|&i| inputs[i].rows.len())
-        .expect("caller ensures an unbound input exists")
-}
-
-/// Number of distinct composite join keys a candidate input exposes over
-/// the given edges (evaluation errors degrade to "all distinct", which
-/// simply keeps the old smallest-input heuristic).
-fn distinct_join_keys(
-    input: &Relation,
-    edges: &[&planner::JoinEdge],
-    my_name: &str,
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> usize {
-    let key_exprs: Vec<&Expr> = edges
-        .iter()
-        .map(|e| {
-            if e.right == my_name {
-                &e.right_expr
-            } else {
-                &e.left_expr
-            }
-        })
-        .collect();
-    let mut set: std::collections::HashSet<Vec<HashableValue>> =
-        std::collections::HashSet::with_capacity(input.rows.len());
-    for row in &input.rows {
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &input.bindings,
-            row,
-        });
-        frames.extend_from_slice(outer);
-        let mut key = Vec::with_capacity(key_exprs.len());
-        let mut ok = true;
-        for k in &key_exprs {
-            match eval_expr(k, &frames, ctx) {
-                Ok(v) => key.push(v.hash_key()),
-                Err(_) => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok {
-            return input.rows.len();
-        }
-        set.insert(key);
-    }
-    set.len()
-}
-
-/// Computes one side's composite join key for a row; `None` when any key
-/// component is NULL (NULL keys never match, per SQL semantics).
-fn join_key(
-    row: &Row,
-    bindings: &[Binding],
-    keys: &[&Expr],
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<Option<Vec<HashableValue>>> {
-    let mut frames = Vec::with_capacity(outer.len() + 1);
-    frames.push(Frame { bindings, row });
-    frames.extend_from_slice(outer);
-    let mut key = Vec::with_capacity(keys.len());
-    for k in keys {
-        let v = eval_expr(k, &frames, ctx)?;
-        if v.is_null() {
-            return Ok(None);
-        }
-        key.push(v.hash_key());
-    }
-    Ok(Some(key))
-}
-
-/// Hash join of `current` with the newly added `right` input. The hash
-/// table is built on whichever side is smaller; output rows are always
-/// `current ++ right` columns, emitted current-major with right matches in
-/// ascending right-row order — identical to always building on `right`.
-fn hash_join(
-    current: Relation,
-    right: &Relation,
-    edges: &[&planner::JoinEdge],
-    right_name: &str,
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<Relation> {
-    // For each edge, which side belongs to the right input?
-    let mut right_keys: Vec<&Expr> = Vec::with_capacity(edges.len());
-    let mut left_keys: Vec<&Expr> = Vec::with_capacity(edges.len());
-    for e in edges {
-        if e.right == right_name {
-            left_keys.push(&e.left_expr);
-            right_keys.push(&e.right_expr);
-        } else {
-            left_keys.push(&e.right_expr);
-            right_keys.push(&e.left_expr);
-        }
-    }
-
-    let mut bindings = current.bindings.clone();
-    bindings.extend(right.bindings.iter().cloned());
-    let mut rows = Vec::new();
-
-    if current.rows.len() < right.rows.len() {
-        // Build on `current` (the smaller side), probe with `right`. To
-        // keep the output order current-major, matches are collected per
-        // current row and emitted afterwards; probing in ascending right
-        // order makes each match list ascending for free.
-        let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
-            HashMap::with_capacity(current.rows.len());
-        for (i, row) in current.rows.iter().enumerate() {
-            ctx.bump_cpu(1);
-            if let Some(key) = join_key(row, &current.bindings, &left_keys, outer, ctx)? {
-                built.entry(key).or_default().push(i);
-            }
-        }
-        let mut matches: Vec<Vec<usize>> = vec![Vec::new(); current.rows.len()];
-        for (ri, row) in right.rows.iter().enumerate() {
-            ctx.bump_cpu(1);
-            if let Some(key) = join_key(row, &right.bindings, &right_keys, outer, ctx)? {
-                if let Some(hits) = built.get(&key) {
-                    for &ci in hits {
-                        matches[ci].push(ri);
-                    }
-                }
-            }
-        }
-        for (row, right_rows) in current.rows.iter().zip(&matches) {
-            for &ri in right_rows {
-                ctx.bump_cpu(1);
-                let mut combined = row.clone();
-                combined.extend(right.rows[ri].iter().cloned());
-                rows.push(combined);
-            }
-        }
-    } else {
-        // Build on `right`, probe with `current`.
-        let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
-            HashMap::with_capacity(right.rows.len());
-        for (i, row) in right.rows.iter().enumerate() {
-            ctx.bump_cpu(1);
-            if let Some(key) = join_key(row, &right.bindings, &right_keys, outer, ctx)? {
-                built.entry(key).or_default().push(i);
-            }
-        }
-        for row in &current.rows {
-            ctx.bump_cpu(1);
-            let Some(key) = join_key(row, &current.bindings, &left_keys, outer, ctx)? else {
-                continue;
-            };
-            if let Some(matches) = built.get(&key) {
-                for &ri in matches {
-                    ctx.bump_cpu(1);
-                    let mut combined = row.clone();
-                    combined.extend(right.rows[ri].iter().cloned());
-                    rows.push(combined);
-                }
-            }
-        }
-    }
-    Ok(Relation { bindings, rows })
-}
-
-/// Cartesian product (only reached for disconnected FROM items, which the
-/// TPC-H workload never produces but the engine stays total for).
-fn cross_join(current: Relation, right: &Relation, ctx: &ExecContext<'_>) -> Relation {
-    let mut bindings = current.bindings.clone();
-    bindings.extend(right.bindings.iter().cloned());
-    let mut rows = Vec::with_capacity(current.rows.len() * right.rows.len());
-    for l in &current.rows {
-        for r in &right.rows {
-            ctx.bump_cpu(1);
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
-            rows.push(combined);
-        }
-    }
-    Relation { bindings, rows }
-}
-
-fn apply_ready_post_filters(
-    current: Relation,
-    post: &mut Vec<(Expr, Vec<String>)>,
-    scopes: &[planner::BindingScope],
-    bound: &[usize],
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<Relation> {
-    let bound_names: Vec<&str> = bound.iter().map(|&b| scopes[b].name.as_str()).collect();
-    let mut ready = Vec::new();
-    post.retain(|(e, needs)| {
-        if needs.iter().all(|n| bound_names.contains(&n.as_str())) {
-            ready.push(e.clone());
-            false
-        } else {
-            true
-        }
-    });
-    if ready.is_empty() {
-        Ok(current)
-    } else {
-        filter_relation(current, &ready, outer, ctx)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Projection
-// ---------------------------------------------------------------------------
-
+/// Row-parallel ORDER BY sort keys, produced by the projection/aggregation
+/// stage and consumed by the sort.
 pub(crate) type SortKeys = Vec<Vec<Value>>;
 
-/// Projects a non-aggregated SELECT list, also computing ORDER BY keys.
-fn plain_project(
-    q: &Select,
-    input: &Relation,
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<(Relation, SortKeys)> {
-    let out_bindings = output_bindings(q, input);
-    let out_names: Vec<&str> = out_bindings.iter().map(|b| b.name.as_str()).collect();
-    let mut rows = Vec::with_capacity(input.rows.len());
-    let mut keys = Vec::with_capacity(input.rows.len());
-    for row in &input.rows {
-        ctx.bump_cpu(1);
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &input.bindings,
-            row,
-        });
-        frames.extend_from_slice(outer);
-        let mut out_row = Vec::with_capacity(out_bindings.len());
-        for item in &q.items {
-            match item {
-                SelectItem::Wildcard => out_row.extend(row.iter().cloned()),
-                SelectItem::Expr { expr, .. } => out_row.push(eval_expr(expr, &frames, ctx)?),
-            }
-        }
-        let key = sort_key_for_row(&q.order_by, &out_names, &out_row, &frames, ctx, None)?;
-        rows.push(out_row);
-        keys.push(key);
-    }
-    Ok((
-        Relation {
-            bindings: out_bindings,
-            rows,
-        },
-        keys,
-    ))
-}
-
-fn output_bindings(q: &Select, input: &Relation) -> Vec<Binding> {
+/// Output bindings of a SELECT list over the given input bindings.
+pub(crate) fn output_bindings(q: &Select, input: &[Binding]) -> Vec<Binding> {
     let mut out = Vec::new();
     for (i, item) in q.items.iter().enumerate() {
         match item {
-            SelectItem::Wildcard => out.extend(input.bindings.iter().map(|b| Binding {
+            SelectItem::Wildcard => out.extend(input.iter().map(|b| Binding {
                 qualifier: None,
                 name: b.name.clone(),
             })),
@@ -983,7 +395,7 @@ fn output_bindings(q: &Select, input: &Relation) -> Vec<Binding> {
 /// Computes ORDER BY sort keys for one output row: a bare column matching an
 /// output name uses the projected value; anything else is evaluated (with
 /// aggregates substituted when `agg_subst` is provided).
-fn sort_key_for_row(
+pub(crate) fn sort_key_for_row(
     order_by: &[apuama_sql::OrderByItem],
     out_names: &[&str],
     out_row: &[Value],
@@ -1353,55 +765,11 @@ pub(crate) struct GroupState {
     pub(crate) accs: Vec<Acc>,
 }
 
-/// Hash aggregation + group-wise projection, computing ORDER BY keys.
-fn aggregate_and_project(
-    q: &Select,
-    input: &Relation,
-    outer: &[Frame<'_>],
-    ctx: &ExecContext<'_>,
-) -> EngineResult<(Relation, SortKeys)> {
-    let specs = collect_agg_specs(q);
-    let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
-    let mut order: Vec<Vec<HashableValue>> = Vec::new();
-
-    for row in &input.rows {
-        ctx.bump_cpu(1);
-        let mut frames = Vec::with_capacity(outer.len() + 1);
-        frames.push(Frame {
-            bindings: &input.bindings,
-            row,
-        });
-        frames.extend_from_slice(outer);
-        let mut key = Vec::with_capacity(q.group_by.len());
-        for g in &q.group_by {
-            key.push(eval_expr(g, &frames, ctx)?.hash_key());
-        }
-        let group = match groups.entry(key.clone()) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                order.push(key);
-                e.insert(GroupState {
-                    rep_row: row.clone(),
-                    accs: specs.iter().map(Acc::new).collect(),
-                })
-            }
-        };
-        for (spec, acc) in specs.iter().zip(group.accs.iter_mut()) {
-            let v = match (&spec.arg, spec.star) {
-                (_, true) | (None, _) => None,
-                (Some(arg), false) => Some(eval_expr(arg, &frames, ctx)?),
-            };
-            acc.update(v)?;
-        }
-    }
-
-    project_groups(q, &input.bindings, &specs, groups, order, outer, ctx)
-}
-
 /// Finalizes accumulated groups into output rows: the empty-input global
 /// group, HAVING, the select-list projection with aggregates substituted,
-/// and ORDER BY keys. Shared by the interpreted path and the fused kernel
-/// (which supplies its own accumulation loop) so both finish identically.
+/// and ORDER BY keys. Shared by the general aggregation operator and the
+/// fused pipeline (which supplies its own accumulation loop) so both
+/// shapes finish identically.
 pub(crate) fn project_groups(
     q: &Select,
     input_bindings: &[Binding],
@@ -1424,13 +792,7 @@ pub(crate) fn project_groups(
         );
     }
 
-    let out_bindings = {
-        let probe = Relation {
-            bindings: input_bindings.to_vec(),
-            rows: Vec::new(),
-        };
-        output_bindings(q, &probe)
-    };
+    let out_bindings = output_bindings(q, input_bindings);
     let out_names: Vec<&str> = out_bindings.iter().map(|b| b.name.as_str()).collect();
     let mut rows = Vec::with_capacity(groups.len());
     let mut keys = Vec::with_capacity(groups.len());
@@ -1486,161 +848,4 @@ pub(crate) fn project_groups(
         },
         keys,
     ))
-}
-
-// ---------------------------------------------------------------------------
-// EXPLAIN
-// ---------------------------------------------------------------------------
-
-/// Renders a human-readable plan for a SELECT without executing it.
-///
-/// Access paths are the planner's real choices; the join order shown is the
-/// *estimated* order (execution refines it with actual cardinalities, so an
-/// `(estimated)` marker is included). One output row per plan line.
-pub fn explain_select(q: &Select, ctx: &ExecContext<'_>) -> EngineResult<Vec<String>> {
-    let catalog = ctx.db.catalog();
-    let scopes = planner::scopes_for_from(&q.from, catalog);
-    let conjuncts = eval::split_conjuncts(q.selection.as_ref());
-    let mut single: Vec<Vec<Expr>> = vec![Vec::new(); q.from.len()];
-    let mut edges: Vec<planner::JoinEdge> = Vec::new();
-    let mut post = 0usize;
-    for c in conjuncts {
-        let refs = planner::conjunct_bindings(&c, &scopes, catalog);
-        if refs.len() == 1 {
-            let name = refs.iter().next().expect("len checked");
-            if let Some(idx) = scopes.iter().position(|s| &s.name == name) {
-                single[idx].push(c);
-                continue;
-            }
-            post += 1;
-        } else if let Some(edge) = planner::as_join_edge(&c, &scopes, catalog) {
-            edges.push(edge);
-        } else {
-            post += 1;
-        }
-    }
-
-    let mut lines = Vec::new();
-    let mut estimates: Vec<f64> = Vec::with_capacity(q.from.len());
-    for (i, item) in q.from.iter().enumerate() {
-        match item {
-            TableRef::Table { name, alias } => {
-                let table = ctx
-                    .db
-                    .table(name)
-                    .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-                let eval_const = |e: &Expr| -> Option<Value> {
-                    if expr_has_columns(e) {
-                        None
-                    } else {
-                        eval_expr(e, &[], ctx).ok()
-                    }
-                };
-                let choice = planner::choose_access_path(
-                    table,
-                    &scopes[i].name,
-                    &single[i],
-                    ctx.db.seqscan_enabled(),
-                    ctx.db.indexscan_enabled(),
-                    &eval_const,
-                );
-                let path = match &choice.path {
-                    AccessPath::SeqScan => "seq scan".to_string(),
-                    AccessPath::IndexRange {
-                        column,
-                        low,
-                        high,
-                        clustered,
-                    } => {
-                        let col = &table.schema.columns[*column].name;
-                        let fmt_bound = |b: &std::ops::Bound<Value>, open: &str| match b {
-                            std::ops::Bound::Unbounded => open.to_string(),
-                            std::ops::Bound::Included(v) => format!("{v}="),
-                            std::ops::Bound::Excluded(v) => format!("{v}"),
-                        };
-                        format!(
-                            "{} index range on {col} [{} .. {})",
-                            if *clustered { "clustered" } else { "secondary" },
-                            fmt_bound(low, "-inf"),
-                            fmt_bound(high, "+inf"),
-                        )
-                    }
-                };
-                let alias_note = alias
-                    .as_deref()
-                    .map(|a| format!(" as {a}"))
-                    .unwrap_or_default();
-                lines.push(format!(
-                    "scan {name}{alias_note}: {path}, {} filter(s), ~{:.0} rows (cost {:.1})",
-                    single[i].len().saturating_sub(choice.consumed.len()),
-                    choice.estimated_rows,
-                    choice.cost,
-                ));
-                estimates.push(choice.estimated_rows);
-            }
-            TableRef::Subquery { alias, .. } => {
-                lines.push(format!("derived table {alias}: subquery materialization"));
-                estimates.push(1000.0);
-            }
-        }
-    }
-    if !q.from.is_empty() {
-        // Estimated greedy join order.
-        let driving = estimates
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| a.total_cmp(b))
-            .map(|(i, _)| i)
-            .expect("from nonempty");
-        lines.push(format!("drive with {} (estimated)", scopes[driving].name));
-        let mut bound = vec![driving];
-        while bound.len() < q.from.len() {
-            let next = (0..q.from.len())
-                .filter(|i| !bound.contains(i))
-                .filter(|&i| {
-                    edges.iter().any(|e| {
-                        (e.left == scopes[i].name
-                            && bound.iter().any(|&b| scopes[b].name == e.right))
-                            || (e.right == scopes[i].name
-                                && bound.iter().any(|&b| scopes[b].name == e.left))
-                    })
-                })
-                .min_by(|&a, &b| estimates[a].total_cmp(&estimates[b]))
-                .or_else(|| (0..q.from.len()).find(|i| !bound.contains(i)));
-            let Some(next) = next else { break };
-            let keys: Vec<String> = edges
-                .iter()
-                .filter(|e| e.left == scopes[next].name || e.right == scopes[next].name)
-                .map(|e| format!("{} = {}", e.left_expr, e.right_expr))
-                .collect();
-            if keys.is_empty() {
-                lines.push(format!("cross join {}", scopes[next].name));
-            } else {
-                lines.push(format!(
-                    "hash join {} on {}",
-                    scopes[next].name,
-                    keys.join(" and ")
-                ));
-            }
-            bound.push(next);
-        }
-    }
-    if post > 0 {
-        lines.push(format!("post-filter: {post} residual predicate(s)"));
-    }
-    if !q.group_by.is_empty() || select_has_aggregates(q) {
-        let groups: Vec<String> = q.group_by.iter().map(|g| g.to_string()).collect();
-        if groups.is_empty() {
-            lines.push("aggregate: global".to_string());
-        } else {
-            lines.push(format!("aggregate: hash group by {}", groups.join(", ")));
-        }
-    }
-    if !q.order_by.is_empty() {
-        lines.push(format!("sort: {} key(s)", q.order_by.len()));
-    }
-    if let Some(l) = q.limit {
-        lines.push(format!("limit {l}"));
-    }
-    Ok(lines)
 }

@@ -31,7 +31,7 @@ pub mod db;
 pub mod error;
 pub mod eval;
 pub mod exec;
-mod kernel;
+mod physical;
 mod plan_cache;
 pub mod planner;
 pub mod stats;
@@ -40,6 +40,7 @@ pub mod table;
 pub use catalog::{Catalog, ColumnMeta, TableSchema};
 pub use db::{Database, QueryOutput, Settings};
 pub use error::{EngineError, EngineResult};
+pub use exec::SCAN_BATCH_ROWS;
 pub use plan_cache::PlanCacheStats;
 pub use stats::{ExecStats, PhaseTiming};
 pub use table::Table;

@@ -1,11 +1,15 @@
 //! LRU plan cache for the prepared-statement path.
 //!
-//! Entries are keyed by the normalized statement fingerprint (the trimmed
+//! Entries are keyed by the normalized statement fingerprint: the trimmed
 //! SQL text — parameter placeholders like `$1` are already part of the
 //! text, so structurally identical statements share one entry no matter
-//! what values they are later bound with). A cached plan is the parsed
-//! [`Select`], its parameter count, and — when the statement fits the
-//! fused-kernel shape — the compiled [`KernelPlan`].
+//! what values they are later bound with — plus the `enable_kernel`
+//! session knob, because the knob changes what lowering produces (the
+//! fused plan vs the general tree). Keying on it means toggling the knob
+//! can never serve a plan compiled under the other setting; both variants
+//! simply coexist in the cache. A cached plan is the lowered
+//! [`PhysicalPlan`] (which carries the parsed `Select`) and its parameter
+//! count.
 //!
 //! Staleness is handled two ways so the planner's access-path choice stays
 //! honest:
@@ -23,9 +27,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use apuama_sql::ast::Select;
-
-use crate::kernel::KernelPlan;
+use crate::physical::PhysicalPlan;
 
 /// Maximum number of cached plans per database before LRU eviction.
 const PLAN_CACHE_CAPACITY: usize = 64;
@@ -33,9 +35,10 @@ const PLAN_CACHE_CAPACITY: usize = 64;
 /// A compiled statement, shared between the cache and executing queries.
 #[derive(Debug)]
 pub(crate) struct CachedPlan {
-    pub(crate) select: Select,
+    /// The lowered operator tree (access paths are still chosen per
+    /// execution from the bound values).
+    pub(crate) physical: PhysicalPlan,
     pub(crate) n_params: usize,
-    pub(crate) kernel: Option<KernelPlan>,
     /// Catalog version this plan was compiled under.
     pub(crate) catalog_version: u64,
     /// `(table, pages, rows)` for every referenced table at compile time.
@@ -139,9 +142,11 @@ impl PlanCache {
     }
 }
 
-/// Normalizes raw SQL into the cache fingerprint.
-pub(crate) fn fingerprint(sql: &str) -> &str {
-    sql.trim()
+/// Normalizes raw SQL plus the session's `enable_kernel` knob into the
+/// cache fingerprint. The knob is part of the key because it selects the
+/// lowered shape (fused vs general).
+pub(crate) fn fingerprint(sql: &str, kernel_on: bool) -> String {
+    format!("{}#k={}", sql.trim(), kernel_on as u8)
 }
 
 #[cfg(test)]
@@ -149,16 +154,17 @@ mod tests {
     use super::*;
 
     fn plan(version: u64) -> Arc<CachedPlan> {
+        let select = apuama_sql::parse_statement("select 1")
+            .ok()
+            .and_then(|s| match s {
+                apuama_sql::ast::Statement::Select(q) => Some(q),
+                _ => None,
+            })
+            .expect("trivial select parses");
+        let db = crate::db::Database::in_memory();
         Arc::new(CachedPlan {
-            select: apuama_sql::parse_statement("select 1")
-                .ok()
-                .and_then(|s| match s {
-                    apuama_sql::ast::Statement::Select(q) => Some(q),
-                    _ => None,
-                })
-                .expect("trivial select parses"),
+            physical: crate::physical::lower(&select, &db, false),
             n_params: 0,
-            kernel: None,
             catalog_version: version,
             stats_token: Vec::new(),
         })
@@ -207,7 +213,12 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_trims_whitespace() {
-        assert_eq!(fingerprint("  select 1\n"), "select 1");
+    fn fingerprint_trims_whitespace_and_keys_on_the_kernel_knob() {
+        assert_eq!(fingerprint("  select 1\n", true), "select 1#k=1");
+        assert_eq!(fingerprint("  select 1\n", false), "select 1#k=0");
+        assert_ne!(
+            fingerprint("select 1", true),
+            fingerprint("select 1", false)
+        );
     }
 }

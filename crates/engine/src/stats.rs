@@ -27,6 +27,11 @@ pub struct ExecStats {
     /// Number of index probes performed (subquery lookups, secondary-index
     /// point reads).
     pub index_probes: u64,
+    /// Scan batches dispatched through the physical pipeline (full
+    /// [`crate::exec::SCAN_BATCH_ROWS`]-row batches plus the final partial
+    /// one per scan). Identical between the fused and general shapes; the
+    /// sim can price per-batch dispatch overhead off it.
+    pub scan_batches: u64,
 }
 
 impl ExecStats {
@@ -42,6 +47,7 @@ impl ExecStats {
         self.rows_out += other.rows_out;
         self.bytes_out += other.bytes_out;
         self.index_probes += other.index_probes;
+        self.scan_batches += other.scan_batches;
     }
 }
 
@@ -126,6 +132,8 @@ mod tests {
         let out = d.query("select count(*) as n from t").unwrap();
         assert_eq!(out.rows[0][0], Value::Int(2500));
         assert_eq!(out.stats.rows_scanned, 2500);
+        // 2 full batches + 1 partial.
+        assert_eq!(out.stats.scan_batches, 3);
         // An index range scans exactly the rows in range, same batching.
         d.query("set enable_seqscan = off").unwrap();
         let out = d
@@ -133,6 +141,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(2000));
         assert_eq!(out.stats.rows_scanned, 2000);
+        assert_eq!(out.stats.scan_batches, 2);
     }
 
     /// The fused kernel charges statistics per batch too; its totals must
@@ -156,6 +165,7 @@ mod tests {
         assert_eq!(kernel.stats.rows_scanned, interpreted.stats.rows_scanned);
         assert_eq!(kernel.stats.cpu_tuple_ops, interpreted.stats.cpu_tuple_ops);
         assert_eq!(kernel.stats.index_probes, interpreted.stats.index_probes);
+        assert_eq!(kernel.stats.scan_batches, interpreted.stats.scan_batches);
         assert_eq!(
             kernel.stats.buffer.accesses(),
             interpreted.stats.buffer.accesses()

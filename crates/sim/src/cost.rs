@@ -37,6 +37,12 @@ pub struct CostModel {
     pub net_request_ms: f64,
     /// Per-node coordination overhead of one write broadcast (ms).
     pub write_coord_ms: f64,
+    /// Per-batch dispatch overhead of the engine's physical operator
+    /// pipeline (ms per `scan_batches` unit). Zero in the 2006
+    /// calibration — the paper's PostgreSQL nodes interpret row-at-a-time
+    /// and per-tuple CPU already covers them — but kept as a knob so
+    /// batch-pipeline experiments can price dispatch explicitly.
+    pub batch_dispatch_ms: f64,
 }
 
 impl CostModel {
@@ -50,6 +56,7 @@ impl CostModel {
             net_byte_ms: 0.000_01,
             net_request_ms: 0.3,
             write_coord_ms: 0.8,
+            batch_dispatch_ms: 0.0,
         }
     }
 
@@ -59,6 +66,7 @@ impl CostModel {
             + s.buffer.misses_rand as f64 * self.rand_page_ms
             + s.buffer.hits as f64 * self.hit_page_ms
             + (s.rows_scanned + s.cpu_tuple_ops) as f64 * self.cpu_tuple_ms
+            + s.scan_batches as f64 * self.batch_dispatch_ms
     }
 
     /// Time to ship a statement's result over the network.
@@ -91,6 +99,7 @@ mod tests {
             rows_out: 1,
             bytes_out: bytes,
             index_probes: 0,
+            scan_batches: 0,
         }
     }
 
@@ -117,6 +126,20 @@ mod tests {
         let big = m.transfer_ms(&stats(0, 0, 0, 0, 10_000_000));
         assert!(big > small);
         assert!(small >= m.net_request_ms);
+    }
+
+    #[test]
+    fn batch_dispatch_priced_off_scan_batches() {
+        // Free in the 2006 calibration, linear once the knob is nonzero.
+        let m = CostModel::paper_2006();
+        let mut s = stats(0, 0, 0, 0, 0);
+        s.scan_batches = 100;
+        assert_eq!(m.statement_ms(&s), 0.0);
+        let tuned = CostModel {
+            batch_dispatch_ms: 0.01,
+            ..m
+        };
+        assert!((tuned.statement_ms(&s) - 1.0).abs() < 1e-12);
     }
 
     #[test]

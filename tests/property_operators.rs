@@ -1,0 +1,216 @@
+//! Property-based tests of the physical operator pipeline:
+//!
+//! 1. **Shape equivalence** — for random data and a family of generated
+//!    filters, joins, aggregates, ORDER BY/LIMIT/DISTINCT, and
+//!    subquery-bearing statements, the general operator tree and the fused
+//!    scan→filter→aggregate rewrite (`enable_kernel` on vs off) produce
+//!    byte-identical rows *and* identical work counters — `rows_scanned`,
+//!    `cpu_tuple_ops`, `index_probes`, `rows_out`, `bytes_out`,
+//!    `scan_batches`, and buffer-pool page touches.
+//! 2. **Path equivalence** — for every family member, the text path and
+//!    the prepared/bound path (cached physical plan) are indistinguishable
+//!    under either knob setting.
+//! 3. **TPC-H sweep** — the full evaluation-query set answers identically
+//!    with the fusion rewrite enabled and disabled.
+
+use proptest::prelude::*;
+
+use apuama_engine::{Database, QueryOutput};
+use apuama_sql::Value;
+use apuama_tpch::{generate, load_into, QueryParams, TpchConfig, ALL_QUERIES};
+
+/// Two joinable tables: an orders-like dimension and a lineitem-like fact,
+/// both clustered on their key so index-range and seq-scan access paths
+/// are each reachable depending on the generated predicate range.
+fn cluster_db(rows: &[(i64, i64, f64, u8)]) -> Database {
+    let mut db = Database::in_memory();
+    db.execute(
+        "create table orders (o_orderkey int not null, o_priority text, \
+         primary key (o_orderkey)) clustered by (o_orderkey)",
+    )
+    .unwrap();
+    db.execute(
+        "create table lineitem (l_orderkey int not null, l_quantity int, \
+         l_extendedprice float, l_returnflag text, primary key (l_orderkey)) \
+         clustered by (l_orderkey)",
+    )
+    .unwrap();
+    // Every third key is an order, so equi-joins hit a real subset.
+    let orders: Vec<Vec<Value>> = rows
+        .iter()
+        .filter(|(k, ..)| k % 3 == 0)
+        .map(|(k, _, _, f)| vec![Value::Int(*k), Value::Str(format!("P{}", f % 2))])
+        .collect();
+    let lineitem: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(k, q, p, f)| {
+            vec![
+                Value::Int(*k),
+                Value::Int(*q),
+                Value::Float(*p),
+                Value::Str(format!("F{}", f % 3)),
+            ]
+        })
+        .collect();
+    db.load_table("orders", orders).unwrap();
+    db.load_table("lineitem", lineitem).unwrap();
+    db
+}
+
+/// Strategy: unique order keys with arbitrary payloads.
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, f64, u8)>> {
+    proptest::collection::btree_map(0i64..500, (0i64..100, 0.0f64..1000.0, any::<u8>()), 1..150)
+        .prop_map(|m| {
+            m.into_iter()
+                .map(|(k, (q, p, f))| (k, q, p, f))
+                .collect::<Vec<_>>()
+        })
+}
+
+/// The query family: `(statement with placeholders, parameter count)`.
+/// Spans every operator the pipeline lowers to: scans with range and
+/// residual filters, projection, hash join, global and grouped
+/// aggregation, HAVING, ORDER BY, LIMIT, DISTINCT, and subqueries (the
+/// pipeline-breaker path).
+const FAMILY: &[(&str, usize)] = &[
+    // Fusion-rule shapes: single table, range + residual, aggregated.
+    (
+        "select sum(l_extendedprice) as s, count(*) as n from lineitem \
+         where l_orderkey >= $1 and l_orderkey < $2",
+        2,
+    ),
+    (
+        "select l_returnflag, sum(l_quantity) as s, avg(l_extendedprice) as a, \
+         count(*) as n from lineitem where l_orderkey >= $1 and l_orderkey < $2 \
+         group by l_returnflag order by l_returnflag",
+        2,
+    ),
+    (
+        "select min(l_extendedprice) as lo, max(l_extendedprice) as hi from lineitem \
+         where l_orderkey >= $1 and l_orderkey < $2 and l_quantity > $3",
+        3,
+    ),
+    // Scan → filter → project with ORDER BY/LIMIT.
+    (
+        "select l_orderkey, l_quantity from lineitem \
+         where l_orderkey >= $1 and l_orderkey < $2 and l_quantity > $3 \
+         order by l_orderkey limit 10",
+        3,
+    ),
+    // DISTINCT.
+    (
+        "select distinct l_returnflag from lineitem \
+         where l_orderkey >= $1 and l_orderkey < $2 order by l_returnflag",
+        2,
+    ),
+    // Hash join → grouped aggregate.
+    (
+        "select o_priority, count(*) as n, sum(l_quantity) as s from orders, lineitem \
+         where l_orderkey = o_orderkey and o_orderkey >= $1 and o_orderkey < $2 \
+         group by o_priority order by o_priority",
+        2,
+    ),
+    // Hash join, non-aggregated, with ORDER BY/LIMIT.
+    (
+        "select o_orderkey, l_quantity from orders, lineitem \
+         where l_orderkey = o_orderkey and l_quantity > $3 \
+         order by o_orderkey limit 10",
+        3,
+    ),
+    // HAVING over grouped aggregation ($1 reused as the count threshold).
+    (
+        "select l_returnflag, count(*) as n from lineitem group by l_returnflag \
+         having count(*) > $1 order by l_returnflag",
+        1,
+    ),
+    // Subquery in the predicate: the pipeline-breaker path.
+    (
+        "select count(*) as n from lineitem \
+         where l_orderkey in (select o_orderkey from orders where o_priority = 'P0') \
+         and l_orderkey >= $1 and l_orderkey < $2",
+        2,
+    ),
+];
+
+/// Renders the placeholder statement as literal text.
+fn render(template: &str, params: &[Value]) -> String {
+    let mut sql = template.to_string();
+    for (i, v) in params.iter().enumerate() {
+        sql = sql.replace(&format!("${}", i + 1), &v.to_string());
+    }
+    sql
+}
+
+fn params_for(n: usize, lo: i64, hi: i64, qty: i64) -> Vec<Value> {
+    [Value::Int(lo), Value::Int(hi), Value::Int(qty)][..n].to_vec()
+}
+
+/// Byte identity: rows (float bits included) and every work counter.
+fn assert_identical(a: &QueryOutput, b: &QueryOutput, what: &str) {
+    assert_eq!(a.columns, b.columns, "{what}");
+    assert_eq!(a.rows, b.rows, "{what}");
+    assert_eq!(a.stats.rows_scanned, b.stats.rows_scanned, "{what}");
+    assert_eq!(a.stats.cpu_tuple_ops, b.stats.cpu_tuple_ops, "{what}");
+    assert_eq!(a.stats.index_probes, b.stats.index_probes, "{what}");
+    assert_eq!(a.stats.rows_out, b.stats.rows_out, "{what}");
+    assert_eq!(a.stats.bytes_out, b.stats.bytes_out, "{what}");
+    assert_eq!(a.stats.scan_batches, b.stats.scan_batches, "{what}");
+    assert_eq!(
+        a.stats.buffer.accesses(),
+        b.stats.buffer.accesses(),
+        "{what}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every generated statement, all four executions — text and
+    /// bound, fusion rewrite on and off — are byte-identical in rows and
+    /// work counters.
+    #[test]
+    fn pipeline_identical_across_kernel_toggle_and_bind_path(
+        rows in rows_strategy(),
+        query_idx in 0usize..FAMILY.len(),
+        lo in 0i64..400,
+        width in 1i64..400,
+        qty in 0i64..100,
+    ) {
+        let (template, n_params) = FAMILY[query_idx];
+        let db = cluster_db(&rows);
+        let params = params_for(n_params, lo, lo + width, qty);
+        let text = render(template, &params);
+
+        let text_on = db.query(&text).unwrap();
+        let bound_on = db.query_bound(template, &params).unwrap();
+        db.query("set enable_kernel = off").unwrap();
+        let text_off = db.query(&text).unwrap();
+        let bound_off = db.query_bound(template, &params).unwrap();
+
+        assert_identical(&bound_on, &text_on, &format!("bound≡text, kernel on: {text}"));
+        assert_identical(&bound_off, &text_off, &format!("bound≡text, kernel off: {text}"));
+        assert_identical(&text_off, &text_on, &format!("kernel off≡on: {text}"));
+    }
+}
+
+/// The full TPC-H evaluation-query set answers byte-identically — rows and
+/// counters — with the fusion rewrite enabled and disabled.
+#[test]
+fn tpch_eval_queries_identical_with_kernel_on_and_off() {
+    let data = generate(TpchConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    });
+    let mut db = Database::in_memory();
+    load_into(&mut db, &data).unwrap();
+    let params = QueryParams::default();
+    for q in ALL_QUERIES {
+        let sql = q.sql(&params);
+        db.query("set enable_kernel = on").unwrap();
+        let on = db.query(&sql).unwrap();
+        db.query("set enable_kernel = off").unwrap();
+        let off = db.query(&sql).unwrap();
+        assert!(!on.columns.is_empty(), "{}", q.label());
+        assert_identical(&on, &off, &q.label());
+    }
+}

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== explain analyze smoke: per-operator timing harness =="
+cargo test -q --test explain_analyze
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
@@ -34,5 +37,14 @@ cat BENCH_prepared.json
 echo "== bench_smoke: operator_pipeline arm =="
 cargo bench -p apuama-bench --bench operators -- 100
 cat BENCH_operators.json
+
+echo "== perf gate: unified pipeline must not regress below the seed =="
+pipeline_speedup=$(sed -n 's/.*"pipeline_speedup_vs_seed": \([0-9.]*\).*/\1/p' BENCH_operators.json)
+if ! awk -v s="$pipeline_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+  echo "FAIL: pipeline_speedup_vs_seed = $pipeline_speedup < 1.0 — the general"
+  echo "      operator pipeline is slower than the seed interpreter again."
+  exit 1
+fi
+echo "perf gate: pipeline_speedup_vs_seed = $pipeline_speedup >= 1.0"
 
 echo "ci: all green"

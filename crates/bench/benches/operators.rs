@@ -6,11 +6,12 @@
 //!
 //! * `interpreter_seed` — the seed's text path: every execution re-lexes,
 //!   re-parses, and re-lowers before running the general operator tree
-//!   (fusion off). This is the historical row-at-a-time interpreter's cost
-//!   profile.
+//!   (fusion off, `enable_batch_exec` off). This is the historical
+//!   row-at-a-time interpreter's cost profile, preserved verbatim behind
+//!   the knob.
 //! * `unified_pipeline` — the same statement prepared once and executed
-//!   through the cached general operator tree (fusion off): the
-//!   batch-at-a-time pipeline alone.
+//!   through the cached general operator tree (fusion off,
+//!   `enable_batch_exec` on): the compiled batch-at-a-time pipeline alone.
 //! * `fused_rule` — the cached plan with `enable_kernel` on, so lowering
 //!   applied the scan→filter→aggregate fusion rewrite.
 //!
@@ -80,13 +81,16 @@ fn main() {
 
     let db = lineitem();
 
-    // -- arm 1: interpreter_seed (text, fusion off) ------------------------
+    // -- arm 1: interpreter_seed (text, fusion off, legacy row-at-a-time
+    //    execution — the seed's cost profile) -------------------------------
     db.query("set enable_kernel = off").unwrap();
+    db.query("set enable_batch_exec = off").unwrap();
     let interpreter_us = time_us(warmup, scan_iters, |_| {
         db.query(&text).unwrap();
     });
 
-    // -- arm 2: unified_pipeline (bound, fusion off) -----------------------
+    // -- arm 2: unified_pipeline (bound, fusion off, compiled batch exec) --
+    db.query("set enable_batch_exec = on").unwrap();
     db.prepare(Q1ISH).unwrap();
     let pipeline_us = time_us(warmup, scan_iters, |_| {
         db.query_bound(Q1ISH, &params).unwrap();

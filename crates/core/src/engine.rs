@@ -697,10 +697,12 @@ mod tests {
         }
         // Each node saw one statement text five times (interior nodes share
         // the two-parameter text; outer nodes have their own one-sided
-        // text): one plan-cache miss, the rest hits.
+        // text). The cache fingerprints on `enable_seqscan`, so the warm-up
+        // prepare (seqscan on) and the force-index sub-query executions
+        // (seqscan off) plan once each; every later run hits.
         for node in &nodes {
             let stats = node.with_db(|db| db.plan_cache_stats());
-            assert_eq!(stats.misses, 1, "{stats:?}");
+            assert_eq!(stats.misses, 2, "{stats:?}");
             assert!(stats.hits >= 5, "{stats:?}");
         }
     }

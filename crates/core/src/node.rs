@@ -371,9 +371,16 @@ mod tests {
         }
         drop(ticket);
         // Interference restored, and the three bound runs shared one plan.
+        // The cache fingerprints on `enable_seqscan`, so the prepare (run
+        // with seqscan on) and the ticketed executions (forced off) are
+        // two entries — a plan chosen under one access-path setting is
+        // never served under the other.
         assert!(engine_node.with_db(|db| db.seqscan_enabled()));
         let stats = engine_node.with_db(|db| db.plan_cache_stats());
-        assert_eq!(stats.misses, 1, "one parse+plan for the bound statement");
+        assert_eq!(
+            stats.misses, 2,
+            "one plan per seqscan setting for the bound statement"
+        );
         assert!(stats.hits >= 2, "{stats:?}");
     }
 

@@ -167,6 +167,23 @@ impl Database {
             .unwrap_or(true)
     }
 
+    /// Whether the general pipeline may use the batch-exec fast paths
+    /// (`SET enable_batch_exec`, default on): borrowed scan batches,
+    /// compiled predicate/projection/aggregation programs with parameters
+    /// folded in, and per-batch statistics flushing. Off preserves the
+    /// seed interpreter's row-at-a-time cost profile verbatim — the
+    /// baseline arm of the operator benches. Results and statistics are
+    /// byte-identical either way, so the knob is not part of the plan
+    /// fingerprint (it is read at operator build time, not lowering time).
+    pub fn batch_exec_enabled(&self) -> bool {
+        self.settings
+            .misc
+            .lock()
+            .get("enable_batch_exec")
+            .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
+            .unwrap_or(true)
+    }
+
     /// Reads back a miscellaneous session setting.
     pub fn setting(&self, name: &str) -> Option<String> {
         if name == "enable_seqscan" {
@@ -259,10 +276,14 @@ impl Database {
                 self.apply_set(name, value);
                 Ok(QueryOutput::default())
             }
-            Statement::Explain(inner) => match inner.as_ref() {
+            Statement::Explain { analyze, inner } => match inner.as_ref() {
                 Statement::Select(q) => {
                     let ctx = ExecContext::new(self);
-                    let lines = physical::explain(q, &ctx)?;
+                    let lines = if *analyze {
+                        physical::explain_analyze(q, &ctx)?
+                    } else {
+                        physical::explain(q, &ctx)?
+                    };
                     Ok(QueryOutput {
                         columns: vec!["plan".to_string()],
                         rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
@@ -303,7 +324,7 @@ impl Database {
     /// are never cached.
     fn plan_for(&self, sql: &str) -> EngineResult<Option<Arc<CachedPlan>>> {
         let kernel_on = self.kernel_enabled();
-        let fp = plan_cache::fingerprint(sql, kernel_on);
+        let fp = plan_cache::fingerprint(sql, kernel_on, self.seqscan_enabled());
         let version = self.catalog_version.load(Ordering::SeqCst);
         if let Some(plan) = self
             .plan_cache
@@ -383,7 +404,7 @@ impl Database {
     /// Executes an already-parsed statement.
     pub fn execute_stmt(&mut self, stmt: &Statement) -> EngineResult<QueryOutput> {
         match stmt {
-            Statement::Select(_) | Statement::Set { .. } | Statement::Explain(_) => {
+            Statement::Select(_) | Statement::Set { .. } | Statement::Explain { .. } => {
                 // Delegate to the read path (it covers all three).
                 self.query(&stmt.to_string())
             }
@@ -1212,6 +1233,51 @@ mod prepared_tests {
         assert_eq!(s.invalidations + s.replans + s.evictions, 0);
     }
 
+    /// Toggling `enable_seqscan` mid-session likewise gets its own cache
+    /// entries — a plan compiled while seq scans were allowed is never
+    /// served after the knob turns them off, and the two variants coexist.
+    /// Results are identical either way (only the access path differs).
+    #[test]
+    fn seqscan_toggle_never_reuses_the_other_settings_plan() {
+        let d = lineitem_db(500);
+        let params = [Value::Int(0), Value::Int(400)];
+        let baseline = d.query_bound(Q1ISH, &params).unwrap();
+        d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 1), "{s:?}");
+        // Flipping the knob compiles a fresh plan under the new setting...
+        d.query("set enable_seqscan = off").unwrap();
+        let no_seq = d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (2, 1), "{s:?}");
+        assert_eq!(no_seq.rows, baseline.rows);
+        // ...and flipping back hits the original entry — both coexist.
+        d.query("set enable_seqscan = on").unwrap();
+        d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (2, 2), "{s:?}");
+        assert_eq!(s.invalidations + s.replans + s.evictions, 0);
+    }
+
+    /// `enable_batch_exec` is an execution-mode knob, not a plan-shaping
+    /// one: toggling it reuses the same cached plan (no extra miss) and
+    /// the outputs stay byte-identical.
+    #[test]
+    fn batch_exec_toggle_shares_the_cached_plan() {
+        let d = lineitem_db(500);
+        let params = [Value::Int(0), Value::Int(400)];
+        let on = d.query_bound(Q1ISH, &params).unwrap();
+        d.query("set enable_batch_exec = off").unwrap();
+        let off = d.query_bound(Q1ISH, &params).unwrap();
+        let s = d.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 1), "{s:?}");
+        assert_eq!(on.columns, off.columns);
+        assert_eq!(on.rows, off.rows);
+        assert_eq!(on.stats.rows_scanned, off.stats.rows_scanned);
+        assert_eq!(on.stats.cpu_tuple_ops, off.stats.cpu_tuple_ops);
+        d.query("set enable_batch_exec = on").unwrap();
+    }
+
     #[test]
     fn repeated_bound_runs_hit_the_plan_cache() {
         let d = lineitem_db(500);
@@ -1417,6 +1483,56 @@ mod explain_tests {
         let stmt = apuama_sql::parse_statement("explain select 1").unwrap();
         assert!(stmt.is_explain());
         assert_eq!(stmt.to_string(), "explain select 1");
+    }
+
+    #[test]
+    fn explain_analyze_roundtrips_through_display() {
+        let stmt = apuama_sql::parse_statement("explain analyze select 1").unwrap();
+        assert!(stmt.is_explain());
+        assert_eq!(stmt.to_string(), "explain analyze select 1");
+    }
+
+    /// `EXPLAIN ANALYZE` actually runs the query (in contrast to plain
+    /// EXPLAIN, covered by `explain_does_not_execute`) and reports actual
+    /// per-operator row counts plus a timing footer.
+    #[test]
+    fn explain_analyze_executes_and_reports_actual_rows() {
+        let d = db();
+        let before = d.pool_stats();
+        let plan = plan_text(
+            &d,
+            "explain analyze select o_totalprice from orders \
+             where o_orderkey >= 10 and o_orderkey < 20 order by o_totalprice",
+        );
+        let after = d.pool_stats();
+        assert_ne!(before, after, "EXPLAIN ANALYZE must touch the heap");
+        assert!(plan.contains("scan orders"), "{plan}");
+        // 10 rows survive the range; the root (sort) reports them.
+        assert!(plan.contains("sort (1 key(s)) (actual rows=10"), "{plan}");
+        assert!(plan.contains("execution time:"), "{plan}");
+        assert!(plan.contains("self_ms="), "{plan}");
+    }
+
+    /// The per-operator counters in EXPLAIN ANALYZE match what the plain
+    /// query returns, in both batch-exec modes.
+    #[test]
+    fn explain_analyze_root_rows_match_query_output() {
+        let d = db();
+        let sql = "select o_totalprice, count(*) as n from orders, lineitem \
+                   where l_orderkey = o_orderkey and o_orderkey < 50 \
+                   group by o_totalprice order by o_totalprice";
+        let expected = d.query(sql).unwrap().rows.len();
+        for mode in ["on", "off"] {
+            d.query(&format!("set enable_batch_exec = {mode}")).unwrap();
+            let plan = plan_text(&d, &format!("explain analyze {sql}"));
+            let root = plan.lines().next().unwrap();
+            assert!(
+                root.contains(&format!("actual rows={expected}")),
+                "mode {mode}: {plan}"
+            );
+            assert!(plan.contains("hash join block"), "{plan}");
+        }
+        d.query("set enable_batch_exec = on").unwrap();
     }
 }
 

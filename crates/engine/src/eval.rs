@@ -737,6 +737,78 @@ pub(crate) fn compile_expr(e: &Expr, bindings: &[Binding]) -> Option<CompiledExp
     })
 }
 
+/// Folds bound parameter references into literals, once per execution, so
+/// per-row evaluation never goes through `ExecContext::param`'s lookup and
+/// clone. Parameters that are *not* bound are left in place: the
+/// unbound-parameter error keeps surfacing lazily, on the first row that
+/// actually evaluates it, exactly like the unprebound program.
+pub(crate) fn prebind_params(e: &CompiledExpr, ctx: &ExecContext<'_>) -> CompiledExpr {
+    let bind = |x: &CompiledExpr| Box::new(prebind_params(x, ctx));
+    match e {
+        CompiledExpr::Param(n) => match ctx.param(*n) {
+            Ok(v) => CompiledExpr::Lit(v),
+            Err(_) => CompiledExpr::Param(*n),
+        },
+        CompiledExpr::Col(_) | CompiledExpr::Lit(_) => e.clone(),
+        CompiledExpr::Unary { op, expr } => CompiledExpr::Unary {
+            op: *op,
+            expr: bind(expr),
+        },
+        CompiledExpr::Binary { left, op, right } => CompiledExpr::Binary {
+            left: bind(left),
+            op: *op,
+            right: bind(right),
+        },
+        CompiledExpr::Func { name, args } => CompiledExpr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| prebind_params(a, ctx)).collect(),
+        },
+        CompiledExpr::Case {
+            branches,
+            else_expr,
+        } => CompiledExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| (prebind_params(c, ctx), prebind_params(r, ctx)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|x| bind(x)),
+        },
+        CompiledExpr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => CompiledExpr::Between {
+            expr: bind(expr),
+            negated: *negated,
+            low: bind(low),
+            high: bind(high),
+        },
+        CompiledExpr::InList {
+            expr,
+            negated,
+            list,
+        } => CompiledExpr::InList {
+            expr: bind(expr),
+            negated: *negated,
+            list: list.iter().map(|x| prebind_params(x, ctx)).collect(),
+        },
+        CompiledExpr::Like {
+            expr,
+            negated,
+            pattern,
+        } => CompiledExpr::Like {
+            expr: bind(expr),
+            negated: *negated,
+            pattern: bind(pattern),
+        },
+        CompiledExpr::IsNull { expr, negated } => CompiledExpr::IsNull {
+            expr: bind(expr),
+            negated: *negated,
+        },
+    }
+}
+
 /// Evaluates a compiled expression against a borrowed row. Semantics are
 /// shared with the framed evaluator through [`eval_binary_with`],
 /// [`eval_scalar_function_with`], and the three-valued-logic helpers.

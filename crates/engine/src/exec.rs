@@ -767,37 +767,32 @@ pub(crate) struct GroupState {
 
 /// Finalizes accumulated groups into output rows: the empty-input global
 /// group, HAVING, the select-list projection with aggregates substituted,
-/// and ORDER BY keys. Shared by the general aggregation operator and the
-/// fused pipeline (which supplies its own accumulation loop) so both
-/// shapes finish identically.
+/// and ORDER BY keys. `groups` arrives in first-seen order (the group keys
+/// themselves are not needed here: group-by expressions are re-evaluated
+/// against each group's representative row). Shared by the general
+/// aggregation operator and the fused pipeline (which supplies its own
+/// accumulation loop) so both shapes finish identically.
 pub(crate) fn project_groups(
     q: &Select,
     input_bindings: &[Binding],
     specs: &[AggSpec],
-    mut groups: HashMap<Vec<HashableValue>, GroupState>,
-    mut order: Vec<Vec<HashableValue>>,
+    mut groups: Vec<GroupState>,
     outer: &[Frame<'_>],
     ctx: &ExecContext<'_>,
 ) -> EngineResult<(Relation, SortKeys)> {
     // Global aggregation over an empty input still yields one group.
     if groups.is_empty() && q.group_by.is_empty() {
-        let key: Vec<HashableValue> = Vec::new();
-        order.push(key.clone());
-        groups.insert(
-            key,
-            GroupState {
-                rep_row: vec![Value::Null; input_bindings.len()],
-                accs: specs.iter().map(Acc::new).collect(),
-            },
-        );
+        groups.push(GroupState {
+            rep_row: vec![Value::Null; input_bindings.len()],
+            accs: specs.iter().map(Acc::new).collect(),
+        });
     }
 
     let out_bindings = output_bindings(q, input_bindings);
     let out_names: Vec<&str> = out_bindings.iter().map(|b| b.name.as_str()).collect();
     let mut rows = Vec::with_capacity(groups.len());
     let mut keys = Vec::with_capacity(groups.len());
-    for gkey in &order {
-        let group = groups.remove(gkey).expect("keys come from the map");
+    for group in groups {
         let mut agg_values: HashMap<String, Value> = HashMap::with_capacity(specs.len());
         for (spec, acc) in specs.iter().zip(group.accs) {
             agg_values.insert(spec.key.clone(), acc.finalize());

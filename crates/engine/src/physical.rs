@@ -38,10 +38,14 @@
 //! scan error first. Which error wins can differ; successful results and
 //! their statistics never do.
 
+use std::cell::RefCell;
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
+use std::hash::Hasher;
+use std::time::Instant;
 
-use apuama_sql::ast::{Expr, Select, SelectItem, SetQuantifier, TableRef};
-use apuama_sql::value::HashableValue;
+use apuama_sql::ast::{BinOp, Expr, Select, SelectItem, SetQuantifier, TableRef};
+use apuama_sql::value::{hash_value, HashableValue};
 use apuama_sql::Value;
 use apuama_storage::{AccessKind, Row, RowId};
 
@@ -300,21 +304,92 @@ fn compile_fused(q: &Select, db: &Database) -> Option<FusedPlan> {
 // Operator contract
 // ---------------------------------------------------------------------------
 
+/// Rows of one batch: owned (a breaker's materialized output, or the
+/// legacy row-at-a-time mode's cloned scan output) or borrowed straight
+/// out of a table heap — the batch-exec fast path's form, which is what
+/// eliminates the seed interpreter's per-row `row.clone()` on the scan
+/// path.
+pub(crate) enum BatchRows<'e> {
+    Owned(Vec<Row>),
+    Borrowed(Vec<&'e Row>),
+}
+
+impl<'e> BatchRows<'e> {
+    fn len(&self) -> usize {
+        match self {
+            BatchRows::Owned(v) => v.len(),
+            BatchRows::Borrowed(v) => v.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn iter(&self) -> BatchRowsIter<'_, 'e> {
+        match self {
+            BatchRows::Owned(v) => BatchRowsIter::Owned(v.iter()),
+            BatchRows::Borrowed(v) => BatchRowsIter::Borrowed(v.iter()),
+        }
+    }
+
+    /// Materializes the batch, cloning only when the rows were borrowed
+    /// (exactly the clone the legacy scan path would have paid up front).
+    fn into_owned(self) -> Vec<Row> {
+        match self {
+            BatchRows::Owned(v) => v,
+            BatchRows::Borrowed(v) => v.into_iter().cloned().collect(),
+        }
+    }
+}
+
+enum BatchRowsIter<'a, 'e> {
+    Owned(std::slice::Iter<'a, Row>),
+    Borrowed(std::slice::Iter<'a, &'e Row>),
+}
+
+impl<'a> Iterator for BatchRowsIter<'a, '_> {
+    type Item = &'a Row;
+    fn next(&mut self) -> Option<&'a Row> {
+        match self {
+            BatchRowsIter::Owned(it) => it.next(),
+            BatchRowsIter::Borrowed(it) => it.next().map(|r| &**r),
+        }
+    }
+}
+
 /// A batch of rows flowing between operators, with the ORDER BY sort keys
 /// computed alongside them. `keys` is row-parallel above the projection
 /// stage and empty below it.
-pub(crate) struct RowBatch {
-    rows: Vec<Row>,
+pub(crate) struct RowBatch<'e> {
+    rows: BatchRows<'e>,
     keys: Vec<Vec<Value>>,
+}
+
+impl<'e> RowBatch<'e> {
+    fn owned(rows: Vec<Row>, keys: Vec<Vec<Value>>) -> Self {
+        RowBatch {
+            rows: BatchRows::Owned(rows),
+            keys,
+        }
+    }
+
+    fn borrowed(rows: Vec<&'e Row>) -> Self {
+        RowBatch {
+            rows: BatchRows::Borrowed(rows),
+            keys: Vec::new(),
+        }
+    }
 }
 
 /// The batch-at-a-time operator contract. `open` is called exactly once,
 /// before the first `next_batch`, and returns the operator's output
 /// bindings; `next_batch` returns a non-empty batch or `None` once the
-/// stream is exhausted.
-trait Operator {
+/// stream is exhausted. The `'e` lifetime lets scans hand rows out of the
+/// table heap by reference instead of cloning them per row.
+trait Operator<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>>;
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>>;
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>>;
 }
 
 /// Executes a lowered plan, draining the operator tree into a materialized
@@ -333,45 +408,104 @@ pub(crate) fn execute_shape<'e>(
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
 ) -> EngineResult<Relation> {
-    let mut root = build_tree(q, shape, outer, ctx);
+    let (mut root, _) = build_tree(q, shape, outer, ctx, None);
     let bindings = root.open()?;
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch()? {
-        rows.extend(batch.rows);
+        rows.extend(batch.rows.into_owned());
     }
     Ok(Relation { bindings, rows })
+}
+
+/// Wraps a freshly built operator in a timing probe when an `EXPLAIN
+/// ANALYZE` collector is active; otherwise passes it through untouched.
+fn instrument<'e>(
+    az: Option<&'e Analyze>,
+    op: Box<dyn Operator<'e> + 'e>,
+    label: String,
+    children: Vec<usize>,
+) -> (Box<dyn Operator<'e> + 'e>, Option<usize>) {
+    match az {
+        None => (op, None),
+        Some(a) => {
+            let idx = a.register(label, children);
+            (
+                Box::new(TimedExec {
+                    inner: op,
+                    az: a,
+                    idx,
+                }),
+                Some(idx),
+            )
+        }
+    }
 }
 
 /// Assembles the operator tree for one shape: the source block (fused
 /// pipeline, streamed single scan, or materializing join), the projection
 /// or aggregation stage, then the uniform DISTINCT → Sort → Limit tail.
+/// With `az` set, every operator is wrapped in a [`TimedExec`] probe and
+/// the returned index identifies the root's probe node.
 fn build_tree<'e>(
     q: &'e Select,
     shape: &'e Shape,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
-) -> Box<dyn Operator + 'e> {
-    let mut op: Box<dyn Operator + 'e> = match shape {
-        Shape::Fused(f) => Box::new(FusedExec::new(q, f, outer, ctx)),
+    az: Option<&'e Analyze>,
+) -> (Box<dyn Operator<'e> + 'e>, Option<usize>) {
+    let batch = ctx.db.batch_exec_enabled();
+    let (mut op, mut idx) = match shape {
+        Shape::Fused(f) => instrument(
+            az,
+            Box::new(FusedExec::new(q, f, outer, ctx)),
+            format!("fused aggregate over {}", f.binding_name),
+            Vec::new(),
+        ),
         Shape::General(g) => {
-            let source = build_source(g, outer, ctx);
+            let (source, sidx) = build_source(g, outer, ctx, batch, az);
+            let children: Vec<usize> = sidx.into_iter().collect();
             if g.aggregated {
-                Box::new(AggregateExec::new(q, source, outer, ctx))
+                instrument(
+                    az,
+                    Box::new(AggregateExec::new(q, source, outer, ctx, batch)),
+                    "aggregate".to_string(),
+                    children,
+                )
             } else {
-                Box::new(ProjectExec::new(q, source, outer, ctx))
+                instrument(
+                    az,
+                    Box::new(ProjectExec::new(q, source, outer, ctx, batch)),
+                    format!("project ({} column(s))", q.items.len()),
+                    children,
+                )
             }
         }
     };
     if q.quantifier == SetQuantifier::Distinct {
-        op = Box::new(DistinctExec::new(op));
+        (op, idx) = instrument(
+            az,
+            Box::new(DistinctExec::new(op)),
+            "distinct".to_string(),
+            idx.into_iter().collect(),
+        );
     }
     if !q.order_by.is_empty() {
-        op = Box::new(SortExec::new(q, op, ctx));
+        (op, idx) = instrument(
+            az,
+            Box::new(SortExec::new(q, op, ctx)),
+            format!("sort ({} key(s))", q.order_by.len()),
+            idx.into_iter().collect(),
+        );
     }
     if let Some(l) = q.limit {
-        op = Box::new(LimitExec::new(l, op));
+        (op, idx) = instrument(
+            az,
+            Box::new(LimitExec::new(l, op)),
+            format!("limit {l}"),
+            idx.into_iter().collect(),
+        );
     }
-    op
+    (op, idx)
 }
 
 /// The source block under projection/aggregation. A single FROM item
@@ -382,19 +516,41 @@ fn build_source<'e>(
     g: &'e GeneralPlan,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
-) -> Box<dyn Operator + 'e> {
+    batch: bool,
+    az: Option<&'e Analyze>,
+) -> (Box<dyn Operator<'e> + 'e>, Option<usize>) {
     if g.inputs.len() == 1 {
-        let base = build_input(&g.inputs[0], outer, ctx);
+        let (base, bidx) = build_input(&g.inputs[0], outer, ctx, batch, az);
         // With one scope every post predicate is scope-free (single-scope
         // conjuncts were pushed into the scan), so all of them apply here.
         if g.post.is_empty() {
-            base
+            (base, bidx)
         } else {
             let preds: Vec<Expr> = g.post.iter().map(|(e, _)| e.clone()).collect();
-            Box::new(FilterExec::new(base, preds, outer, ctx))
+            let n = preds.len();
+            instrument(
+                az,
+                Box::new(FilterExec::new(base, preds, outer, ctx, batch)),
+                format!("filter ({n} predicate(s))"),
+                bidx.into_iter().collect(),
+            )
         }
     } else {
-        Box::new(JoinExec::new(g, outer, ctx))
+        // The join registers its probe node up front so it can attach its
+        // input probes as children when it materializes them in open().
+        let jidx = az.map(|a| a.register("hash join block (greedy order)".to_string(), Vec::new()));
+        let op: Box<dyn Operator<'e> + 'e> = Box::new(JoinExec::new(g, outer, ctx, az, jidx));
+        match (az, jidx) {
+            (Some(a), Some(idx)) => (
+                Box::new(TimedExec {
+                    inner: op,
+                    az: a,
+                    idx,
+                }),
+                Some(idx),
+            ),
+            _ => (op, None),
+        }
     }
 }
 
@@ -402,18 +558,40 @@ fn build_input<'e>(
     node: &'e InputNode,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
-) -> Box<dyn Operator + 'e> {
+    batch: bool,
+    az: Option<&'e Analyze>,
+) -> (Box<dyn Operator<'e> + 'e>, Option<usize>) {
     match node {
         InputNode::Table {
             name,
             alias,
             single,
-        } => Box::new(ScanExec::new(name, alias.as_deref(), single, outer, ctx)),
+        } => instrument(
+            az,
+            Box::new(ScanExec::new(
+                name,
+                alias.as_deref(),
+                single,
+                outer,
+                ctx,
+                batch,
+            )),
+            match alias {
+                Some(a) => format!("scan {name} as {a}"),
+                None => format!("scan {name}"),
+            },
+            Vec::new(),
+        ),
         InputNode::Derived {
             alias,
             plan,
             single,
-        } => Box::new(DerivedExec::new(alias, plan, single, outer, ctx)),
+        } => instrument(
+            az,
+            Box::new(DerivedExec::new(alias, plan, single, outer, ctx)),
+            format!("derived table {alias}"),
+            Vec::new(),
+        ),
     }
 }
 
@@ -440,7 +618,7 @@ impl BatchEmitter {
         Self::new(rows, Vec::new())
     }
 
-    fn next(&mut self) -> Option<RowBatch> {
+    fn next<'e>(&mut self) -> Option<RowBatch<'e>> {
         let rows: Vec<Row> = self
             .rows
             .by_ref()
@@ -450,7 +628,7 @@ impl BatchEmitter {
             return None;
         }
         let keys: Vec<Vec<Value>> = self.keys.by_ref().take(rows.len()).collect();
-        Some(RowBatch { rows, keys })
+        Some(RowBatch::owned(rows, keys))
     }
 }
 
@@ -458,12 +636,78 @@ impl BatchEmitter {
 /// Compilation succeeds exactly when every column resolves uniquely in the
 /// operator's own bindings and no subquery appears — in which case the
 /// compiled program is value- and error-identical to frame evaluation —
-/// so falling back to `Framed` never changes semantics.
+/// so falling back to `Framed` never changes semantics. The batch-exec
+/// mode additionally specializes the hot `col <cmp> literal` shape to a
+/// direct comparison (`FastCmp`), skipping the expression walk and its
+/// per-operand `Value` clones.
 enum ResidualPred {
+    /// `col <op> lit`, normalized so the column is on the left. Semantics
+    /// mirror [`eval::eval_binary_with`] for comparison operators: NULL on
+    /// either side filters the row (three-valued logic), incomparable
+    /// non-null operands are a type error with the same message.
+    FastCmp {
+        col: usize,
+        op: BinOp,
+        lit: Value,
+    },
     Compiled(CompiledExpr),
     Framed(Expr),
 }
 
+impl ResidualPred {
+    /// Re-sinks a compiled predicate into its fastest evaluable form.
+    fn from_compiled(c: CompiledExpr) -> ResidualPred {
+        if let CompiledExpr::Binary { left, op, right } = &c {
+            if op.is_comparison() {
+                match (left.as_ref(), right.as_ref()) {
+                    (CompiledExpr::Col(i), CompiledExpr::Lit(v)) => {
+                        return ResidualPred::FastCmp {
+                            col: *i,
+                            op: *op,
+                            lit: v.clone(),
+                        }
+                    }
+                    (CompiledExpr::Lit(v), CompiledExpr::Col(i)) => {
+                        return ResidualPred::FastCmp {
+                            col: *i,
+                            op: flip_cmp(*op),
+                            lit: v.clone(),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ResidualPred::Compiled(c)
+    }
+}
+
+/// Mirror image of a comparison operator (`lit < col` ⇔ `col > lit`).
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other, // Eq / NotEq are symmetric.
+    }
+}
+
+fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("FastCmp only built for comparison operators"),
+    }
+}
+
+/// Legacy (row-at-a-time) predicate resolution: compiled where possible,
+/// framed otherwise, parameters looked up per row — the seed interpreter's
+/// cost profile.
 fn resolve_preds(preds: &[Expr], bindings: &[Binding]) -> Vec<ResidualPred> {
     preds
         .iter()
@@ -474,21 +718,59 @@ fn resolve_preds(preds: &[Expr], bindings: &[Binding]) -> Vec<ResidualPred> {
         .collect()
 }
 
-/// One row through a conjunctive predicate list: `cpu_tuple_ops` is bumped
-/// before each evaluation and the list short-circuits on the first
-/// non-true, exactly like the interpreter's scan/filter loops.
-fn keep_row(
+/// Batch-exec predicate resolution: bound parameters are folded into the
+/// program once per execution and the `col <cmp> literal` shape is
+/// specialized. Values and errors are identical to [`resolve_preds`]'
+/// output; only the per-row cost differs.
+fn resolve_preds_batch(
+    preds: &[Expr],
+    bindings: &[Binding],
+    ctx: &ExecContext<'_>,
+) -> Vec<ResidualPred> {
+    preds
+        .iter()
+        .map(|e| match eval::compile_expr(e, bindings) {
+            Some(c) => ResidualPred::from_compiled(eval::prebind_params(&c, ctx)),
+            None => ResidualPred::Framed(e.clone()),
+        })
+        .collect()
+}
+
+/// One row through a conjunctive predicate list: `charge` is called before
+/// each evaluation and the list short-circuits on the first non-true,
+/// exactly like the interpreter's scan/filter loops. The caller chooses
+/// whether charges land on the context per row (legacy mode) or in a local
+/// counter flushed per batch (batch-exec mode) — totals are identical.
+fn keep_row_charged(
     row: &Row,
     bindings: &[Binding],
     preds: &[ResidualPred],
     outer: &[Frame<'_>],
     ctx: &ExecContext<'_>,
+    mut charge: impl FnMut(),
 ) -> EngineResult<bool> {
     let mut frames: Option<Vec<Frame<'_>>> = None;
     for pred in preds {
-        ctx.bump_cpu(1);
-        let v = match pred {
-            ResidualPred::Compiled(c) => eval::eval_compiled(c, row, ctx)?,
+        charge();
+        let keep = match pred {
+            ResidualPred::FastCmp { col, op, lit } => {
+                let v = &row[*col];
+                if v.is_null() || lit.is_null() {
+                    false // NULL comparison result is never true.
+                } else {
+                    match v.sql_cmp(lit) {
+                        None => {
+                            return Err(EngineError::TypeError(format!(
+                                "cannot compare {v} with {lit}"
+                            )))
+                        }
+                        Some(ord) => cmp_matches(*op, ord),
+                    }
+                }
+            }
+            ResidualPred::Compiled(c) => {
+                truthiness(&eval::eval_compiled(c, row, ctx)?) == Some(true)
+            }
             ResidualPred::Framed(e) => {
                 let frames = frames.get_or_insert_with(|| {
                     let mut f = Vec::with_capacity(outer.len() + 1);
@@ -496,14 +778,301 @@ fn keep_row(
                     f.extend_from_slice(outer);
                     f
                 });
-                eval_expr(e, frames, ctx)?
+                truthiness(&eval_expr(e, frames, ctx)?) == Some(true)
             }
         };
-        if truthiness(&v) != Some(true) {
+        if !keep {
             return Ok(false);
         }
     }
     Ok(true)
+}
+
+/// Legacy per-row form: `cpu_tuple_ops` bumped on the context before each
+/// predicate evaluation.
+fn keep_row(
+    row: &Row,
+    bindings: &[Binding],
+    preds: &[ResidualPred],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<bool> {
+    keep_row_charged(row, bindings, preds, outer, ctx, || ctx.bump_cpu(1))
+}
+
+// ---------------------------------------------------------------------------
+// Group table
+// ---------------------------------------------------------------------------
+
+/// One group-by key component program: a direct column read (no clone per
+/// row) or a compiled expression evaluated into a per-row scratch slot.
+enum KeyProg {
+    Col(usize),
+    Expr { expr: CompiledExpr, slot: usize },
+}
+
+/// Compiles group-by expressions into [`KeyProg`]s; `None` when any key
+/// needs framed evaluation (the caller falls back to the legacy fold).
+fn compile_key_progs(
+    exprs: &[Expr],
+    bindings: &[Binding],
+    ctx: &ExecContext<'_>,
+) -> Option<Vec<KeyProg>> {
+    let mut progs = Vec::with_capacity(exprs.len());
+    let mut slots = 0usize;
+    for e in exprs {
+        let c = eval::prebind_params(&eval::compile_expr(e, bindings)?, ctx);
+        progs.push(match c {
+            CompiledExpr::Col(i) => KeyProg::Col(i),
+            other => {
+                let slot = slots;
+                slots += 1;
+                KeyProg::Expr { expr: other, slot }
+            }
+        });
+    }
+    Some(progs)
+}
+
+/// Prebound [`KeyProg`]s from already-compiled group-by programs (the
+/// fused plan carries those from lowering).
+fn key_progs_from_compiled(exprs: &[CompiledExpr], ctx: &ExecContext<'_>) -> Vec<KeyProg> {
+    let mut slots = 0usize;
+    exprs
+        .iter()
+        .map(|c| match eval::prebind_params(c, ctx) {
+            CompiledExpr::Col(i) => KeyProg::Col(i),
+            other => {
+                let slot = slots;
+                slots += 1;
+                KeyProg::Expr { expr: other, slot }
+            }
+        })
+        .collect()
+}
+
+/// Evaluates the expression-valued key components into `scratch` (cleared
+/// first); `Col` components are read straight from the row at lookup time.
+fn eval_key_scratch(
+    progs: &[KeyProg],
+    row: &[Value],
+    ctx: &ExecContext<'_>,
+    scratch: &mut Vec<Value>,
+) -> EngineResult<()> {
+    scratch.clear();
+    for p in progs {
+        if let KeyProg::Expr { expr, .. } = p {
+            scratch.push(eval::eval_compiled(expr, row, ctx)?);
+        }
+    }
+    Ok(())
+}
+
+fn key_component<'a>(
+    progs: &[KeyProg],
+    i: usize,
+    row: &'a [Value],
+    scratch: &'a [Value],
+) -> &'a Value {
+    match &progs[i] {
+        KeyProg::Col(c) => &row[*c],
+        KeyProg::Expr { slot, .. } => &scratch[*slot],
+    }
+}
+
+/// Hash-grouping table replacing `HashMap<Vec<HashableValue>, GroupState>`
+/// on the hot aggregation paths: groups are matched by *borrowed* key
+/// components (no per-row key `Vec` or `Value` clones — the key is cloned
+/// exactly once, when its group is first seen) and states come out in
+/// first-seen order, ready for [`exec::project_groups`]. Hashing uses the
+/// same canonicalization as [`HashableValue`] and equality is
+/// `sort_cmp == Equal` per component, so grouping is identical to the
+/// legacy map (NULLs form one group, `1` and `1.0` share a group).
+struct GroupTable {
+    /// Canonical hash → indices into `keys`/`states` (collision list).
+    index: HashMap<u64, Vec<u32>>,
+    keys: Vec<Vec<Value>>,
+    states: Vec<GroupState>,
+}
+
+impl GroupTable {
+    fn new() -> Self {
+        GroupTable {
+            index: HashMap::new(),
+            keys: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    fn find_or_insert(
+        &mut self,
+        progs: &[KeyProg],
+        row: &[Value],
+        scratch: &[Value],
+        new_state: impl FnOnce() -> GroupState,
+    ) -> &mut GroupState {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for i in 0..progs.len() {
+            hash_value(key_component(progs, i, row, scratch), &mut hasher);
+        }
+        let h = hasher.finish();
+        if let Some(bucket) = self.index.get(&h) {
+            for &gi in bucket {
+                let stored = &self.keys[gi as usize];
+                if stored.iter().enumerate().all(|(i, s)| {
+                    s.sort_cmp(key_component(progs, i, row, scratch)) == Ordering::Equal
+                }) {
+                    return &mut self.states[gi as usize];
+                }
+            }
+        }
+        let gi = self.states.len() as u32;
+        self.index.entry(h).or_default().push(gi);
+        self.keys.push(
+            (0..progs.len())
+                .map(|i| key_component(progs, i, row, scratch).clone())
+                .collect(),
+        );
+        self.states.push(new_state());
+        self.states.last_mut().expect("just pushed")
+    }
+
+    /// The accumulated group states, in first-seen order.
+    fn into_states(self) -> Vec<GroupState> {
+        self.states
+    }
+}
+
+/// FNV-1a, the fused kernel's bucketing hash. Only bucket placement
+/// depends on the hash — grouping equality is `sort_cmp` and output order
+/// is first-seen — so the kernel is free to use a cheaper function than
+/// the general table's SipHash.
+struct FnvHasher(u64);
+
+impl FnvHasher {
+    fn new() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// How many groups the fused kernel matches by linear scan before cutting
+/// over to a hashed index.
+const LINEAR_GROUPS_MAX: usize = 16;
+
+/// The fused kernel's group table. Grouping semantics are identical to
+/// [`GroupTable`] (equality is `sort_cmp == Equal` per component, states
+/// come out in first-seen order), but the lookup is specialized for the
+/// kernel's profile: the scan→filter→aggregate shape the fusion rule
+/// accepts almost always has tiny group cardinality (TPC-H Q1 has four),
+/// where a couple of direct comparisons beat hashing the key on every row.
+/// The table runs hash-free until the group count outgrows
+/// [`LINEAR_GROUPS_MAX`], then builds an FNV index once and probes it from
+/// there on.
+struct FusedGroups {
+    keys: Vec<Vec<Value>>,
+    states: Vec<GroupState>,
+    /// FNV hash → group indices (collision list); `None` in the linear
+    /// regime, built exactly once at cut-over.
+    index: Option<HashMap<u64, Vec<u32>>>,
+}
+
+impl FusedGroups {
+    fn new() -> Self {
+        FusedGroups {
+            keys: Vec::new(),
+            states: Vec::new(),
+            index: None,
+        }
+    }
+
+    fn probe_hash(progs: &[KeyProg], row: &[Value], scratch: &[Value]) -> u64 {
+        let mut hasher = FnvHasher::new();
+        for i in 0..progs.len() {
+            hash_value(key_component(progs, i, row, scratch), &mut hasher);
+        }
+        hasher.finish()
+    }
+
+    fn stored_hash(key: &[Value]) -> u64 {
+        let mut hasher = FnvHasher::new();
+        for v in key {
+            hash_value(v, &mut hasher);
+        }
+        hasher.finish()
+    }
+
+    fn matches(stored: &[Value], progs: &[KeyProg], row: &[Value], scratch: &[Value]) -> bool {
+        stored
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.sort_cmp(key_component(progs, i, row, scratch)) == Ordering::Equal)
+    }
+
+    fn find_or_insert(
+        &mut self,
+        progs: &[KeyProg],
+        row: &[Value],
+        scratch: &[Value],
+        new_state: impl FnOnce() -> GroupState,
+    ) -> &mut GroupState {
+        let gi = match &self.index {
+            None => self
+                .keys
+                .iter()
+                .position(|stored| Self::matches(stored, progs, row, scratch)),
+            Some(index) => {
+                let h = Self::probe_hash(progs, row, scratch);
+                index.get(&h).and_then(|bucket| {
+                    bucket
+                        .iter()
+                        .map(|&gi| gi as usize)
+                        .find(|&gi| Self::matches(&self.keys[gi], progs, row, scratch))
+                })
+            }
+        };
+        if let Some(gi) = gi {
+            return &mut self.states[gi];
+        }
+        let gi = self.states.len() as u32;
+        self.keys.push(
+            (0..progs.len())
+                .map(|i| key_component(progs, i, row, scratch).clone())
+                .collect(),
+        );
+        self.states.push(new_state());
+        if let Some(index) = &mut self.index {
+            let h = Self::stored_hash(&self.keys[gi as usize]);
+            index.entry(h).or_default().push(gi);
+        } else if self.keys.len() > LINEAR_GROUPS_MAX {
+            // Cut over: index every group seen so far, once.
+            let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (i, key) in self.keys.iter().enumerate() {
+                index
+                    .entry(Self::stored_hash(key))
+                    .or_default()
+                    .push(i as u32);
+            }
+            self.index = Some(index);
+        }
+        self.states.last_mut().expect("just pushed")
+    }
+
+    /// The accumulated group states, in first-seen order.
+    fn into_states(self) -> Vec<GroupState> {
+        self.states
+    }
 }
 
 /// Keeps only rows satisfying every predicate (materialized form, used by
@@ -563,6 +1132,7 @@ struct ScanExec<'e> {
     single: &'e [Expr],
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
+    batch_mode: bool,
     bindings: Vec<Binding>,
     state: Option<ScanState<'e>>,
 }
@@ -574,6 +1144,7 @@ impl<'e> ScanExec<'e> {
         single: &'e [Expr],
         outer: &'e [Frame<'e>],
         ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
     ) -> Self {
         ScanExec {
             name,
@@ -581,13 +1152,14 @@ impl<'e> ScanExec<'e> {
             single,
             outer,
             ctx,
+            batch_mode,
             bindings: Vec::new(),
             state: None,
         }
     }
 }
 
-impl Operator for ScanExec<'_> {
+impl<'e> Operator<'e> for ScanExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         let ctx = self.ctx;
         let table = ctx
@@ -623,6 +1195,9 @@ impl Operator for ScanExec<'_> {
         let residual = residual_exprs
             .iter()
             .map(|e| match eval::compile_expr(e, &bindings) {
+                Some(c) if self.batch_mode => {
+                    ResidualPred::from_compiled(eval::prebind_params(&c, ctx))
+                }
                 Some(c) => ResidualPred::Compiled(c),
                 None => ResidualPred::Framed((*e).clone()),
             })
@@ -668,7 +1243,7 @@ impl Operator for ScanExec<'_> {
         Ok(self.bindings.clone())
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         let Some(state) = self.state.as_mut() else {
             return Ok(None);
         };
@@ -680,49 +1255,106 @@ impl Operator for ScanExec<'_> {
             residual,
             scanned,
         } = state;
-        let mut rows: Vec<Row> = Vec::new();
-        let mut exhausted = false;
-        loop {
-            let fetched = match iter {
-                ScanIter::Heap(it) => it.next(),
-                ScanIter::Rids(it) => match it.next() {
-                    None => None,
-                    Some(rid) => match table.heap.get(rid) {
-                        // A dead row id costs nothing, as in the interpreter.
-                        None => continue,
-                        Some(row) => Some((rid, row)),
+        if self.batch_mode {
+            // Batch-exec path: survivors are *borrowed* from the heap —
+            // no per-row clone — and cpu charges accumulate locally,
+            // flushed to the context once per batch (totals identical).
+            let mut rows: Vec<&'e Row> = Vec::new();
+            let mut exhausted = false;
+            let mut cpu = 0u64;
+            loop {
+                let fetched = match iter {
+                    ScanIter::Heap(it) => it.next(),
+                    ScanIter::Rids(it) => match it.next() {
+                        None => None,
+                        Some(rid) => match table.heap.get(rid) {
+                            // A dead row id costs nothing, as in the interpreter.
+                            None => continue,
+                            Some(row) => Some((rid, row)),
+                        },
                     },
-                },
-            };
-            let Some((rid, row)) = fetched else {
-                exhausted = true;
-                break;
-            };
-            let page = table.heap.geometry().page_of(rid);
-            if page != *last_page {
-                self.ctx.charge_page(table.schema.id, page, *kind);
-                *last_page = page;
+                };
+                let Some((rid, row)) = fetched else {
+                    exhausted = true;
+                    break;
+                };
+                let page = table.heap.geometry().page_of(rid);
+                if page != *last_page {
+                    self.ctx.charge_page(table.schema.id, page, *kind);
+                    *last_page = page;
+                }
+                scanned.row_scanned();
+                if residual.is_empty()
+                    || keep_row_charged(
+                        row,
+                        &self.bindings,
+                        residual,
+                        self.outer,
+                        self.ctx,
+                        || cpu += 1,
+                    )?
+                {
+                    rows.push(row);
+                }
+                if rows.len() as u64 == exec::SCAN_BATCH_ROWS {
+                    break;
+                }
             }
-            scanned.row_scanned();
-            if residual.is_empty() || keep_row(row, &self.bindings, residual, self.outer, self.ctx)?
-            {
-                rows.push(row.clone());
+            self.ctx.bump_cpu(cpu);
+            if exhausted {
+                // Dropping the state flushes the batched row_scanned counter.
+                self.state = None;
             }
-            if rows.len() as u64 == exec::SCAN_BATCH_ROWS {
-                break;
+            if rows.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(RowBatch::borrowed(rows)))
             }
-        }
-        if exhausted {
-            // Dropping the state flushes the batched row_scanned counter.
-            self.state = None;
-        }
-        if rows.is_empty() {
-            Ok(None)
         } else {
-            Ok(Some(RowBatch {
-                rows,
-                keys: Vec::new(),
-            }))
+            // Legacy (seed-profile) path: rows cloned out of the heap,
+            // cpu bumped on the shared context per predicate evaluation.
+            let mut rows: Vec<Row> = Vec::new();
+            let mut exhausted = false;
+            loop {
+                let fetched = match iter {
+                    ScanIter::Heap(it) => it.next(),
+                    ScanIter::Rids(it) => match it.next() {
+                        None => None,
+                        Some(rid) => match table.heap.get(rid) {
+                            // A dead row id costs nothing, as in the interpreter.
+                            None => continue,
+                            Some(row) => Some((rid, row)),
+                        },
+                    },
+                };
+                let Some((rid, row)) = fetched else {
+                    exhausted = true;
+                    break;
+                };
+                let page = table.heap.geometry().page_of(rid);
+                if page != *last_page {
+                    self.ctx.charge_page(table.schema.id, page, *kind);
+                    *last_page = page;
+                }
+                scanned.row_scanned();
+                if residual.is_empty()
+                    || keep_row(row, &self.bindings, residual, self.outer, self.ctx)?
+                {
+                    rows.push(row.clone());
+                }
+                if rows.len() as u64 == exec::SCAN_BATCH_ROWS {
+                    break;
+                }
+            }
+            if exhausted {
+                // Dropping the state flushes the batched row_scanned counter.
+                self.state = None;
+            }
+            if rows.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(RowBatch::owned(rows, Vec::new())))
+            }
         }
     }
 }
@@ -758,7 +1390,7 @@ impl<'e> DerivedExec<'e> {
     }
 }
 
-impl Operator for DerivedExec<'_> {
+impl<'e> Operator<'e> for DerivedExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         let mut rel = execute(self.plan, self.outer, self.ctx)?;
         for b in &mut rel.bindings {
@@ -767,12 +1399,12 @@ impl Operator for DerivedExec<'_> {
         if !self.single.is_empty() {
             rel = filter_rows(rel, self.single, self.outer, self.ctx)?;
         }
-        let bindings = rel.bindings.clone();
-        self.emitter = Some(BatchEmitter::rows_only(rel.rows));
+        let Relation { bindings, rows } = rel;
+        self.emitter = Some(BatchEmitter::rows_only(rows));
         Ok(bindings)
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         Ok(self.emitter.as_mut().and_then(BatchEmitter::next))
     }
 }
@@ -786,9 +1418,10 @@ impl Operator for DerivedExec<'_> {
 /// so the subqueries' page touches land after the child's — exactly the
 /// interpreter's sequencing.
 struct FilterExec<'e> {
-    child: Box<dyn Operator + 'e>,
+    child: Box<dyn Operator<'e> + 'e>,
     preds: Vec<Expr>,
     breaker: bool,
+    batch_mode: bool,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
     in_bindings: Vec<Binding>,
@@ -798,16 +1431,18 @@ struct FilterExec<'e> {
 
 impl<'e> FilterExec<'e> {
     fn new(
-        child: Box<dyn Operator + 'e>,
+        child: Box<dyn Operator<'e> + 'e>,
         preds: Vec<Expr>,
         outer: &'e [Frame<'e>],
         ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
     ) -> Self {
         let breaker = preds.iter().any(exec::contains_subquery);
         FilterExec {
             child,
             preds,
             breaker,
+            batch_mode,
             outer,
             ctx,
             in_bindings: Vec::new(),
@@ -816,6 +1451,7 @@ impl<'e> FilterExec<'e> {
         }
     }
 
+    /// Legacy per-row filtering over an owned batch.
     fn filter_batch(&self, rows: Vec<Row>) -> EngineResult<Vec<Row>> {
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
@@ -831,21 +1467,67 @@ impl<'e> FilterExec<'e> {
         }
         Ok(out)
     }
+
+    /// Batch-exec filtering: preserves the batch's ownership (borrowed
+    /// rows stay borrowed) and flushes cpu charges once per batch.
+    fn filter_batch_fast(&self, rows: BatchRows<'e>) -> EngineResult<BatchRows<'e>> {
+        let mut cpu = 0u64;
+        let out = match rows {
+            BatchRows::Owned(v) => {
+                let mut out = Vec::with_capacity(v.len());
+                for row in v {
+                    if keep_row_charged(
+                        &row,
+                        &self.in_bindings,
+                        &self.resolved,
+                        self.outer,
+                        self.ctx,
+                        || cpu += 1,
+                    )? {
+                        out.push(row);
+                    }
+                }
+                BatchRows::Owned(out)
+            }
+            BatchRows::Borrowed(v) => {
+                let mut out = Vec::with_capacity(v.len());
+                for row in v {
+                    if keep_row_charged(
+                        row,
+                        &self.in_bindings,
+                        &self.resolved,
+                        self.outer,
+                        self.ctx,
+                        || cpu += 1,
+                    )? {
+                        out.push(row);
+                    }
+                }
+                BatchRows::Borrowed(out)
+            }
+        };
+        self.ctx.bump_cpu(cpu);
+        Ok(out)
+    }
 }
 
-impl Operator for FilterExec<'_> {
+impl<'e> Operator<'e> for FilterExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         self.in_bindings = self.child.open()?;
-        self.resolved = resolve_preds(&self.preds, &self.in_bindings);
+        self.resolved = if self.batch_mode {
+            resolve_preds_batch(&self.preds, &self.in_bindings, self.ctx)
+        } else {
+            resolve_preds(&self.preds, &self.in_bindings)
+        };
         Ok(self.in_bindings.clone())
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.breaker {
             if self.emitter.is_none() {
                 let mut all = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
-                    all.extend(batch.rows);
+                    all.extend(batch.rows.into_owned());
                 }
                 let kept = self.filter_batch(all)?;
                 self.emitter = Some(BatchEmitter::rows_only(kept));
@@ -856,12 +1538,19 @@ impl Operator for FilterExec<'_> {
             let Some(batch) = self.child.next_batch()? else {
                 return Ok(None);
             };
-            let rows = self.filter_batch(batch.rows)?;
-            if !rows.is_empty() {
-                return Ok(Some(RowBatch {
-                    rows,
-                    keys: Vec::new(),
-                }));
+            if self.batch_mode {
+                let rows = self.filter_batch_fast(batch.rows)?;
+                if !rows.is_empty() {
+                    return Ok(Some(RowBatch {
+                        rows,
+                        keys: Vec::new(),
+                    }));
+                }
+            } else {
+                let rows = self.filter_batch(batch.rows.into_owned())?;
+                if !rows.is_empty() {
+                    return Ok(Some(RowBatch::owned(rows, Vec::new())));
+                }
             }
         }
     }
@@ -879,38 +1568,54 @@ struct JoinExec<'e> {
     general: &'e GeneralPlan,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
+    az: Option<&'e Analyze>,
+    idx: Option<usize>,
     emitter: Option<BatchEmitter>,
 }
 
 impl<'e> JoinExec<'e> {
-    fn new(general: &'e GeneralPlan, outer: &'e [Frame<'e>], ctx: &'e ExecContext<'e>) -> Self {
+    fn new(
+        general: &'e GeneralPlan,
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+        az: Option<&'e Analyze>,
+        idx: Option<usize>,
+    ) -> Self {
         JoinExec {
             general,
             outer,
             ctx,
+            az,
+            idx,
             emitter: None,
         }
     }
 }
 
-impl Operator for JoinExec<'_> {
+impl<'e> Operator<'e> for JoinExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         let g = self.general;
         let (outer, ctx) = (self.outer, self.ctx);
+        let batch_mode = ctx.db.batch_exec_enabled();
         let names: Vec<String> = g
             .inputs
             .iter()
             .map(|n| n.scope_name().to_string())
             .collect();
 
-        // Materialize each FROM item, in FROM order.
+        // Materialize each FROM item, in FROM order. (Borrowed scan
+        // batches are cloned here — the same clone the legacy scan path
+        // paid per row, deferred to the materialization boundary.)
         let mut inputs: Vec<Relation> = Vec::with_capacity(g.inputs.len());
         for node in &g.inputs {
-            let mut op = build_input(node, outer, ctx);
+            let (mut op, cidx) = build_input(node, outer, ctx, batch_mode, self.az);
+            if let (Some(a), Some(i), Some(ci)) = (self.az, self.idx, cidx) {
+                a.add_child(i, ci);
+            }
             let bindings = op.open()?;
             let mut rows = Vec::new();
             while let Some(batch) = op.next_batch()? {
-                rows.extend(batch.rows);
+                rows.extend(batch.rows.into_owned());
             }
             inputs.push(Relation { bindings, rows });
         }
@@ -956,7 +1661,15 @@ impl Operator for JoinExec<'_> {
                 current = if my_edges.is_empty() {
                     cross_join(current, next_rel, ctx)
                 } else {
-                    hash_join(current, next_rel, &my_edges, &names[next], outer, ctx)?
+                    hash_join(
+                        current,
+                        next_rel,
+                        &my_edges,
+                        &names[next],
+                        outer,
+                        ctx,
+                        batch_mode,
+                    )?
                 };
                 bound.push(next);
                 current = apply_ready_post_filters(current, &mut post, &names, &bound, outer, ctx)?;
@@ -971,12 +1684,12 @@ impl Operator for JoinExec<'_> {
             current = filter_rows(current, &leftovers, outer, ctx)?;
         }
 
-        let bindings = current.bindings.clone();
-        self.emitter = Some(BatchEmitter::rows_only(current.rows));
+        let Relation { bindings, rows } = current;
+        self.emitter = Some(BatchEmitter::rows_only(rows));
         Ok(bindings)
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         Ok(self.emitter.as_mut().and_then(BatchEmitter::next))
     }
 }
@@ -1110,10 +1823,52 @@ fn splice(left: &Row, right: &Row) -> Row {
     combined
 }
 
+/// One join side's key program: compiled column-resolved programs with
+/// parameters prebound (batch-exec mode, when every key expression
+/// compiles) or the framed expressions (legacy mode and fallback).
+fn compile_join_side(
+    keys: &[&Expr],
+    bindings: &[Binding],
+    ctx: &ExecContext<'_>,
+) -> Option<Vec<CompiledExpr>> {
+    keys.iter()
+        .map(|k| eval::compile_expr(k, bindings).map(|c| eval::prebind_params(&c, ctx)))
+        .collect()
+}
+
+/// Composite join key via whichever program is available; `None` when any
+/// component is NULL, exactly like [`join_key`].
+fn side_key(
+    row: &Row,
+    prog: &Option<Vec<CompiledExpr>>,
+    keys: &[&Expr],
+    bindings: &[Binding],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Option<Vec<HashableValue>>> {
+    match prog {
+        Some(cs) => {
+            let mut key = Vec::with_capacity(cs.len());
+            for c in cs {
+                let v = eval::eval_compiled(c, row, ctx)?;
+                if v.is_null() {
+                    return Ok(None);
+                }
+                key.push(v.hash_key());
+            }
+            Ok(Some(key))
+        }
+        None => join_key(row, bindings, keys, outer, ctx),
+    }
+}
+
 /// Hash join of `current` with the newly added `right` input. The hash
 /// table is built on whichever side is smaller; output rows are always
 /// `current ++ right` columns, emitted current-major with right matches in
 /// ascending right-row order — identical to always building on `right`.
+/// In batch-exec mode the key expressions are compiled once per side and
+/// cpu charges accumulate locally, flushed once at the end — same totals,
+/// no per-row `RefCell` traffic or frame construction.
 fn hash_join(
     current: Relation,
     right: &Relation,
@@ -1121,6 +1876,7 @@ fn hash_join(
     right_name: &str,
     outer: &[Frame<'_>],
     ctx: &ExecContext<'_>,
+    batch_mode: bool,
 ) -> EngineResult<Relation> {
     // For each edge, which side belongs to the right input?
     let mut right_keys: Vec<&Expr> = Vec::with_capacity(edges.len());
@@ -1134,6 +1890,24 @@ fn hash_join(
             right_keys.push(&e.left_expr);
         }
     }
+    let left_prog = if batch_mode {
+        compile_join_side(&left_keys, &current.bindings, ctx)
+    } else {
+        None
+    };
+    let right_prog = if batch_mode {
+        compile_join_side(&right_keys, &right.bindings, ctx)
+    } else {
+        None
+    };
+    let mut cpu = 0u64;
+    let charge = |cpu: &mut u64| {
+        if batch_mode {
+            *cpu += 1;
+        } else {
+            ctx.bump_cpu(1);
+        }
+    };
 
     let mut bindings = current.bindings.clone();
     bindings.extend(right.bindings.iter().cloned());
@@ -1147,15 +1921,17 @@ fn hash_join(
         let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
             HashMap::with_capacity(current.rows.len());
         for (i, row) in current.rows.iter().enumerate() {
-            ctx.bump_cpu(1);
-            if let Some(key) = join_key(row, &current.bindings, &left_keys, outer, ctx)? {
+            charge(&mut cpu);
+            if let Some(key) = side_key(row, &left_prog, &left_keys, &current.bindings, outer, ctx)?
+            {
                 built.entry(key).or_default().push(i);
             }
         }
         let mut matches: Vec<Vec<usize>> = vec![Vec::new(); current.rows.len()];
         for (ri, row) in right.rows.iter().enumerate() {
-            ctx.bump_cpu(1);
-            if let Some(key) = join_key(row, &right.bindings, &right_keys, outer, ctx)? {
+            charge(&mut cpu);
+            if let Some(key) = side_key(row, &right_prog, &right_keys, &right.bindings, outer, ctx)?
+            {
                 if let Some(hits) = built.get(&key) {
                     for &ci in hits {
                         matches[ci].push(ri);
@@ -1165,7 +1941,7 @@ fn hash_join(
         }
         for (row, right_rows) in current.rows.iter().zip(&matches) {
             for &ri in right_rows {
-                ctx.bump_cpu(1);
+                charge(&mut cpu);
                 rows.push(splice(row, &right.rows[ri]));
             }
         }
@@ -1174,24 +1950,27 @@ fn hash_join(
         let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
             HashMap::with_capacity(right.rows.len());
         for (i, row) in right.rows.iter().enumerate() {
-            ctx.bump_cpu(1);
-            if let Some(key) = join_key(row, &right.bindings, &right_keys, outer, ctx)? {
+            charge(&mut cpu);
+            if let Some(key) = side_key(row, &right_prog, &right_keys, &right.bindings, outer, ctx)?
+            {
                 built.entry(key).or_default().push(i);
             }
         }
         for row in &current.rows {
-            ctx.bump_cpu(1);
-            let Some(key) = join_key(row, &current.bindings, &left_keys, outer, ctx)? else {
+            charge(&mut cpu);
+            let Some(key) = side_key(row, &left_prog, &left_keys, &current.bindings, outer, ctx)?
+            else {
                 continue;
             };
             if let Some(matches) = built.get(&key) {
                 for &ri in matches {
-                    ctx.bump_cpu(1);
+                    charge(&mut cpu);
                     rows.push(splice(row, &right.rows[ri]));
                 }
             }
         }
     }
+    ctx.bump_cpu(cpu);
     Ok(Relation { bindings, rows })
 }
 
@@ -1243,25 +2022,45 @@ fn apply_ready_post_filters(
 /// unless an item or ORDER BY expression contains a subquery. A pure
 /// `SELECT *` moves each input row into the output instead of cloning its
 /// values.
+/// One SELECT item, pre-compiled for the batch-exec fast path.
+enum ItemProg {
+    Wildcard,
+    Expr(CompiledExpr),
+}
+
+/// One ORDER BY key, pre-compiled: a position in the output row (the
+/// bare-column-names-the-output rule of [`exec::sort_key_for_row`], which
+/// takes precedence over input-scope resolution) or a compiled expression
+/// over the input row.
+enum OrderKeyProg {
+    Output(usize),
+    Expr(CompiledExpr),
+}
+
 struct ProjectExec<'e> {
     q: &'e Select,
-    child: Box<dyn Operator + 'e>,
+    child: Box<dyn Operator<'e> + 'e>,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
     breaker: bool,
+    batch_mode: bool,
     wildcard_only: bool,
     in_bindings: Vec<Binding>,
     out_bindings: Vec<Binding>,
     out_names: Vec<String>,
+    /// Compiled item + order-key programs; `Some` only in batch-exec mode
+    /// when every expression compiles (else the framed path runs).
+    progs: Option<(Vec<ItemProg>, Vec<OrderKeyProg>)>,
     emitter: Option<BatchEmitter>,
 }
 
 impl<'e> ProjectExec<'e> {
     fn new(
         q: &'e Select,
-        child: Box<dyn Operator + 'e>,
+        child: Box<dyn Operator<'e> + 'e>,
         outer: &'e [Frame<'e>],
         ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
     ) -> Self {
         let item_subquery = q.items.iter().any(|i| match i {
             SelectItem::Expr { expr, .. } => exec::contains_subquery(expr),
@@ -1274,12 +2073,110 @@ impl<'e> ProjectExec<'e> {
             outer,
             ctx,
             breaker: item_subquery || order_subquery,
+            batch_mode,
             wildcard_only: matches!(q.items.as_slice(), [SelectItem::Wildcard]),
             in_bindings: Vec::new(),
             out_bindings: Vec::new(),
             out_names: Vec::new(),
+            progs: None,
             emitter: None,
         }
+    }
+
+    /// Compiles every SELECT item and ORDER BY key into positional
+    /// programs (parameters folded in); `None` when anything needs framed
+    /// evaluation.
+    fn compile_progs(&self) -> Option<(Vec<ItemProg>, Vec<OrderKeyProg>)> {
+        let mut items = Vec::with_capacity(self.q.items.len());
+        for item in &self.q.items {
+            items.push(match item {
+                SelectItem::Wildcard => ItemProg::Wildcard,
+                SelectItem::Expr { expr, .. } => ItemProg::Expr(eval::prebind_params(
+                    &eval::compile_expr(expr, &self.in_bindings)?,
+                    self.ctx,
+                )),
+            });
+        }
+        let mut order = Vec::with_capacity(self.q.order_by.len());
+        for o in &self.q.order_by {
+            if let Expr::Column(c) = &o.expr {
+                if c.table.is_none() {
+                    if let Some(pos) = self.out_names.iter().position(|n| n == &c.column) {
+                        order.push(OrderKeyProg::Output(pos));
+                        continue;
+                    }
+                }
+            }
+            order.push(OrderKeyProg::Expr(eval::prebind_params(
+                &eval::compile_expr(&o.expr, &self.in_bindings)?,
+                self.ctx,
+            )));
+        }
+        Some((items, order))
+    }
+
+    fn order_key(
+        progs: &[OrderKeyProg],
+        in_row: &[Value],
+        out_row: &[Value],
+        ctx: &ExecContext<'_>,
+    ) -> EngineResult<Vec<Value>> {
+        let mut key = Vec::with_capacity(progs.len());
+        for p in progs {
+            match p {
+                OrderKeyProg::Output(pos) => key.push(out_row[*pos].clone()),
+                OrderKeyProg::Expr(c) => key.push(eval::eval_compiled(c, in_row, ctx)?),
+            }
+        }
+        Ok(key)
+    }
+
+    /// Batch-exec projection: one output row built per input row (no
+    /// intermediate frame vectors), cpu flushed once per batch.
+    fn project_batch_fast(
+        &self,
+        rows: BatchRows<'e>,
+        items: &[ItemProg],
+        order: &[OrderKeyProg],
+    ) -> EngineResult<(Vec<Row>, Vec<Vec<Value>>)> {
+        let mut cpu = 0u64;
+        let mut out_rows = Vec::with_capacity(rows.len());
+        let mut keys = Vec::with_capacity(rows.len());
+        if self.wildcard_only {
+            // `SELECT *`: the output row IS the input row — owned rows are
+            // moved, borrowed rows cloned exactly once here.
+            match rows {
+                BatchRows::Owned(v) => {
+                    for row in v {
+                        cpu += 1;
+                        keys.push(Self::order_key(order, &row, &row, self.ctx)?);
+                        out_rows.push(row);
+                    }
+                }
+                BatchRows::Borrowed(v) => {
+                    for row in v {
+                        cpu += 1;
+                        keys.push(Self::order_key(order, row, row, self.ctx)?);
+                        out_rows.push(row.clone());
+                    }
+                }
+            }
+        } else {
+            for row in rows.iter() {
+                cpu += 1;
+                let mut out_row = Vec::with_capacity(self.out_bindings.len());
+                for item in items {
+                    match item {
+                        ItemProg::Wildcard => out_row.extend(row.iter().cloned()),
+                        ItemProg::Expr(c) => out_row.push(eval::eval_compiled(c, row, self.ctx)?),
+                    }
+                }
+                keys.push(Self::order_key(order, row, &out_row, self.ctx)?);
+                out_rows.push(out_row);
+            }
+        }
+        self.ctx.bump_cpu(cpu);
+        Ok((out_rows, keys))
     }
 
     fn project_batch(&self, in_rows: Vec<Row>) -> EngineResult<(Vec<Row>, Vec<Vec<Value>>)> {
@@ -1334,20 +2231,23 @@ impl<'e> ProjectExec<'e> {
     }
 }
 
-impl Operator for ProjectExec<'_> {
+impl<'e> Operator<'e> for ProjectExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         self.in_bindings = self.child.open()?;
         self.out_bindings = exec::output_bindings(self.q, &self.in_bindings);
         self.out_names = self.out_bindings.iter().map(|b| b.name.clone()).collect();
+        if self.batch_mode && !self.breaker {
+            self.progs = self.compile_progs();
+        }
         Ok(self.out_bindings.clone())
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.breaker {
             if self.emitter.is_none() {
                 let mut all = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
-                    all.extend(batch.rows);
+                    all.extend(batch.rows.into_owned());
                 }
                 let (rows, keys) = self.project_batch(all)?;
                 self.emitter = Some(BatchEmitter::new(rows, keys));
@@ -1357,8 +2257,11 @@ impl Operator for ProjectExec<'_> {
         let Some(batch) = self.child.next_batch()? else {
             return Ok(None);
         };
-        let (rows, keys) = self.project_batch(batch.rows)?;
-        Ok(Some(RowBatch { rows, keys }))
+        let (rows, keys) = match &self.progs {
+            Some((items, order)) => self.project_batch_fast(batch.rows, items, order)?,
+            None => self.project_batch(batch.rows.into_owned())?,
+        };
+        Ok(Some(RowBatch::owned(rows, keys)))
     }
 }
 
@@ -1370,22 +2273,35 @@ impl Operator for ProjectExec<'_> {
 /// finalizes through [`exec::project_groups`] (HAVING, the select-list
 /// projection with aggregates substituted, ORDER BY keys). Folding streams
 /// unless a group-by key or aggregate argument contains a subquery.
+/// One aggregate argument, pre-compiled for the batch-exec fast fold:
+/// `None` covers both `count(*)` and zero-argument aggregates.
+enum AggArg {
+    None,
+    Expr(CompiledExpr),
+}
+
 struct AggregateExec<'e> {
     q: &'e Select,
-    child: Box<dyn Operator + 'e>,
+    child: Box<dyn Operator<'e> + 'e>,
     outer: &'e [Frame<'e>],
     ctx: &'e ExecContext<'e>,
     breaker: bool,
+    batch_mode: bool,
+    specs: Vec<AggSpec>,
     in_bindings: Vec<Binding>,
+    /// Compiled group-key + aggregate-argument programs; `Some` only in
+    /// batch-exec mode when everything compiles (else the framed fold runs).
+    progs: Option<(Vec<KeyProg>, Vec<AggArg>)>,
     emitter: Option<BatchEmitter>,
 }
 
 impl<'e> AggregateExec<'e> {
     fn new(
         q: &'e Select,
-        child: Box<dyn Operator + 'e>,
+        child: Box<dyn Operator<'e> + 'e>,
         outer: &'e [Frame<'e>],
         ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
     ) -> Self {
         let specs = exec::collect_agg_specs(q);
         let breaker = q.group_by.iter().any(exec::contains_subquery)
@@ -1398,9 +2314,27 @@ impl<'e> AggregateExec<'e> {
             outer,
             ctx,
             breaker,
+            batch_mode,
+            specs,
             in_bindings: Vec::new(),
+            progs: None,
             emitter: None,
         }
+    }
+
+    fn compile_agg_progs(&self) -> Option<(Vec<KeyProg>, Vec<AggArg>)> {
+        let keys = compile_key_progs(&self.q.group_by, &self.in_bindings, self.ctx)?;
+        let mut args = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            args.push(match (&spec.arg, spec.star) {
+                (_, true) | (None, _) => AggArg::None,
+                (Some(arg), false) => AggArg::Expr(eval::prebind_params(
+                    &eval::compile_expr(arg, &self.in_bindings)?,
+                    self.ctx,
+                )),
+            });
+        }
+        Some((keys, args))
     }
 
     fn fold_row(
@@ -1442,38 +2376,72 @@ impl<'e> AggregateExec<'e> {
     }
 }
 
-impl Operator for AggregateExec<'_> {
+impl<'e> Operator<'e> for AggregateExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         self.in_bindings = self.child.open()?;
+        if self.batch_mode && !self.breaker {
+            self.progs = self.compile_agg_progs();
+        }
         Ok(exec::output_bindings(self.q, &self.in_bindings))
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.emitter.is_none() {
-            let specs = exec::collect_agg_specs(self.q);
-            let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
-            let mut order: Vec<Vec<HashableValue>> = Vec::new();
-            if self.breaker {
-                let mut all = Vec::new();
+            let states: Vec<GroupState> = if let Some((key_progs, arg_progs)) = &self.progs {
+                // Batch-exec fold: positional key/argument programs over
+                // borrowed rows, group lookup without key clones, cpu
+                // flushed once per batch (one op per row, as legacy).
+                let mut table = GroupTable::new();
+                let mut scratch: Vec<Value> = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
-                    all.extend(batch.rows);
+                    let mut cpu = 0u64;
+                    for row in batch.rows.iter() {
+                        cpu += 1;
+                        eval_key_scratch(key_progs, row, self.ctx, &mut scratch)?;
+                        let specs = &self.specs;
+                        let group = table.find_or_insert(key_progs, row, &scratch, || GroupState {
+                            rep_row: row.to_vec(),
+                            accs: specs.iter().map(Acc::new).collect(),
+                        });
+                        for (prog, acc) in arg_progs.iter().zip(group.accs.iter_mut()) {
+                            let v = match prog {
+                                AggArg::None => None,
+                                AggArg::Expr(c) => Some(eval::eval_compiled(c, row, self.ctx)?),
+                            };
+                            acc.update(v)?;
+                        }
+                    }
+                    self.ctx.bump_cpu(cpu);
                 }
-                for row in &all {
-                    self.fold_row(row, &specs, &mut groups, &mut order)?;
-                }
+                table.into_states()
             } else {
-                while let Some(batch) = self.child.next_batch()? {
-                    for row in &batch.rows {
-                        self.fold_row(row, &specs, &mut groups, &mut order)?;
+                let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
+                let mut order: Vec<Vec<HashableValue>> = Vec::new();
+                if self.breaker {
+                    let mut all = Vec::new();
+                    while let Some(batch) = self.child.next_batch()? {
+                        all.extend(batch.rows.into_owned());
+                    }
+                    for row in &all {
+                        self.fold_row(row, &self.specs, &mut groups, &mut order)?;
+                    }
+                } else {
+                    while let Some(batch) = self.child.next_batch()? {
+                        for row in batch.rows.iter() {
+                            self.fold_row(row, &self.specs, &mut groups, &mut order)?;
+                        }
                     }
                 }
-            }
+                order
+                    .into_iter()
+                    .map(|k| groups.remove(&k).expect("order tracks the map's keys"))
+                    .collect()
+            };
             let (rel, keys) = exec::project_groups(
                 self.q,
                 &self.in_bindings,
-                &specs,
-                groups,
-                order,
+                &self.specs,
+                states,
                 self.outer,
                 self.ctx,
             )?;
@@ -1537,16 +2505,41 @@ impl<'e> FusedExec<'e> {
             ctx.db.indexscan_enabled(),
             &eval_const,
         );
-        let residual: Vec<&CompiledExpr> = plan
+        // All four compiled program sets are specialized once per
+        // execution: parameters folded in, `col <cmp> literal` predicates
+        // sunk to direct comparisons, group keys turned into positional
+        // programs. Residual scan predicates run before post predicates,
+        // in plan order, exactly as before.
+        let preds: Vec<ResidualPred> = plan
             .compiled_single
             .iter()
             .enumerate()
             .filter(|(i, _)| !choice.consumed.contains(i))
             .map(|(_, c)| c)
+            .chain(plan.compiled_post.iter())
+            .map(|c| ResidualPred::from_compiled(eval::prebind_params(c, ctx)))
+            .collect();
+        let key_progs = key_progs_from_compiled(&plan.group_by, ctx);
+        /// One aggregate input, pre-resolved: no per-row work for `count(*)`,
+        /// a direct positional read for plain-column arguments (the common
+        /// kernel case), a compiled program otherwise.
+        enum FusedArg {
+            None,
+            Col(usize),
+            Expr(CompiledExpr),
+        }
+        let agg_args: Vec<FusedArg> = plan
+            .agg_args
+            .iter()
+            .map(|a| match a.as_ref().map(|c| eval::prebind_params(c, ctx)) {
+                None => FusedArg::None,
+                Some(CompiledExpr::Col(i)) => FusedArg::Col(i),
+                Some(other) => FusedArg::Expr(other),
+            })
             .collect();
 
-        let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
-        let mut order: Vec<Vec<HashableValue>> = Vec::new();
+        let mut table_groups = FusedGroups::new();
+        let mut scratch: Vec<Value> = Vec::new();
 
         // Folds one batch of borrowed rows: predicate pass, then
         // accumulator updates, with the statistics for the whole batch
@@ -1555,38 +2548,23 @@ impl<'e> FusedExec<'e> {
             ctx.bump_rows_scanned(batch.len() as u64);
             ctx.bump_scan_batches(1);
             let mut cpu = 0u64;
-            'rows: for row in batch {
-                for pred in &residual {
-                    cpu += 1;
-                    if truthiness(&eval::eval_compiled(pred, row, ctx)?) != Some(true) {
-                        continue 'rows;
-                    }
-                }
-                for pred in &plan.compiled_post {
-                    cpu += 1;
-                    if truthiness(&eval::eval_compiled(pred, row, ctx)?) != Some(true) {
-                        continue 'rows;
-                    }
+            for row in batch {
+                if !preds.is_empty()
+                    && !keep_row_charged(row, &plan.bindings, &preds, self.outer, ctx, || cpu += 1)?
+                {
+                    continue;
                 }
                 cpu += 1; // the aggregation update the general loop charges
-                let mut key = Vec::with_capacity(plan.group_by.len());
-                for g in &plan.group_by {
-                    key.push(eval::eval_compiled(g, row, ctx)?.hash_key());
-                }
-                let group = match groups.entry(key.clone()) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        order.push(key);
-                        e.insert(GroupState {
-                            rep_row: row.to_vec(),
-                            accs: plan.specs.iter().map(Acc::new).collect(),
-                        })
-                    }
-                };
-                for (arg, acc) in plan.agg_args.iter().zip(group.accs.iter_mut()) {
+                eval_key_scratch(&key_progs, row, ctx, &mut scratch)?;
+                let group = table_groups.find_or_insert(&key_progs, row, &scratch, || GroupState {
+                    rep_row: row.to_vec(),
+                    accs: plan.specs.iter().map(Acc::new).collect(),
+                });
+                for (arg, acc) in agg_args.iter().zip(group.accs.iter_mut()) {
                     let v = match arg {
-                        None => None,
-                        Some(a) => Some(eval::eval_compiled(a, row, ctx)?),
+                        FusedArg::None => None,
+                        FusedArg::Col(i) => Some(row[*i].clone()),
+                        FusedArg::Expr(a) => Some(eval::eval_compiled(a, row, ctx)?),
                     };
                     acc.update(v)?;
                 }
@@ -1654,8 +2632,7 @@ impl<'e> FusedExec<'e> {
             self.q,
             &plan.bindings,
             &plan.specs,
-            groups,
-            order,
+            table_groups.into_states(),
             self.outer,
             ctx,
         )?;
@@ -1663,12 +2640,12 @@ impl<'e> FusedExec<'e> {
     }
 }
 
-impl Operator for FusedExec<'_> {
+impl<'e> Operator<'e> for FusedExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         Ok(exec::output_bindings(self.q, &self.plan.bindings))
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.emitter.is_none() {
             let (rel, keys) = self.run()?;
             self.emitter = Some(BatchEmitter::new(rel.rows, keys));
@@ -1684,12 +2661,12 @@ impl Operator for FusedExec<'_> {
 /// Streaming DISTINCT over whole output rows, preserving first-seen order
 /// and the row-parallel sort keys. Charges nothing, like the interpreter.
 struct DistinctExec<'e> {
-    child: Box<dyn Operator + 'e>,
+    child: Box<dyn Operator<'e> + 'e>,
     seen: HashSet<Vec<HashableValue>>,
 }
 
 impl<'e> DistinctExec<'e> {
-    fn new(child: Box<dyn Operator + 'e>) -> Self {
+    fn new(child: Box<dyn Operator<'e> + 'e>) -> Self {
         DistinctExec {
             child,
             seen: HashSet::new(),
@@ -1697,19 +2674,20 @@ impl<'e> DistinctExec<'e> {
     }
 }
 
-impl Operator for DistinctExec<'_> {
+impl<'e> Operator<'e> for DistinctExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         self.child.open()
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         loop {
             let Some(batch) = self.child.next_batch()? else {
                 return Ok(None);
             };
-            let mut rows = Vec::with_capacity(batch.rows.len());
+            let in_rows = batch.rows.into_owned();
+            let mut rows = Vec::with_capacity(in_rows.len());
             let mut keys = Vec::with_capacity(batch.keys.len());
-            for (row, key) in batch.rows.into_iter().zip(batch.keys) {
+            for (row, key) in in_rows.into_iter().zip(batch.keys) {
                 let k: Vec<HashableValue> = row.iter().map(Value::hash_key).collect();
                 if self.seen.insert(k) {
                     rows.push(row);
@@ -1717,7 +2695,7 @@ impl Operator for DistinctExec<'_> {
                 }
             }
             if !rows.is_empty() {
-                return Ok(Some(RowBatch { rows, keys }));
+                return Ok(Some(RowBatch::owned(rows, keys)));
             }
         }
     }
@@ -1726,15 +2704,21 @@ impl Operator for DistinctExec<'_> {
 /// Pipeline breaker: drains the child, charges the interpreter's `n·log n`
 /// comparison estimate once, and re-emits rows in key order. The sort keys
 /// were computed by the projection stage; they are consumed here.
+///
+/// The sort is **stable**: rows whose keys compare equal on every ORDER BY
+/// component (per [`Value::sort_cmp`], including its NULL and NaN ranking)
+/// keep their input order — `sort_by` over an index vector never reorders
+/// equal elements, and DESC reverses each key comparison, not the tie
+/// order. Tests rely on this for deterministic output on duplicate keys.
 struct SortExec<'e> {
     q: &'e Select,
-    child: Box<dyn Operator + 'e>,
+    child: Box<dyn Operator<'e> + 'e>,
     ctx: &'e ExecContext<'e>,
     emitter: Option<BatchEmitter>,
 }
 
 impl<'e> SortExec<'e> {
-    fn new(q: &'e Select, child: Box<dyn Operator + 'e>, ctx: &'e ExecContext<'e>) -> Self {
+    fn new(q: &'e Select, child: Box<dyn Operator<'e> + 'e>, ctx: &'e ExecContext<'e>) -> Self {
         SortExec {
             q,
             child,
@@ -1744,17 +2728,17 @@ impl<'e> SortExec<'e> {
     }
 }
 
-impl Operator for SortExec<'_> {
+impl<'e> Operator<'e> for SortExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         self.child.open()
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.emitter.is_none() {
             let mut rows: Vec<Row> = Vec::new();
             let mut sort_keys: Vec<Vec<Value>> = Vec::new();
             while let Some(batch) = self.child.next_batch()? {
-                rows.extend(batch.rows);
+                rows.extend(batch.rows.into_owned());
                 sort_keys.extend(batch.keys);
             }
             let descs: Vec<bool> = self.q.order_by.iter().map(|o| o.desc).collect();
@@ -1788,12 +2772,12 @@ impl Operator for SortExec<'_> {
 /// change, so neither does the pipeline.
 struct LimitExec<'e> {
     limit: u64,
-    child: Box<dyn Operator + 'e>,
+    child: Box<dyn Operator<'e> + 'e>,
     emitter: Option<BatchEmitter>,
 }
 
 impl<'e> LimitExec<'e> {
-    fn new(limit: u64, child: Box<dyn Operator + 'e>) -> Self {
+    fn new(limit: u64, child: Box<dyn Operator<'e> + 'e>) -> Self {
         LimitExec {
             limit,
             child,
@@ -1802,21 +2786,154 @@ impl<'e> LimitExec<'e> {
     }
 }
 
-impl Operator for LimitExec<'_> {
+impl<'e> Operator<'e> for LimitExec<'e> {
     fn open(&mut self) -> EngineResult<Vec<Binding>> {
         self.child.open()
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.emitter.is_none() {
             let mut rows: Vec<Row> = Vec::new();
             while let Some(batch) = self.child.next_batch()? {
-                rows.extend(batch.rows);
+                rows.extend(batch.rows.into_owned());
             }
             rows.truncate(self.limit as usize);
             self.emitter = Some(BatchEmitter::rows_only(rows));
         }
         Ok(self.emitter.as_mut().and_then(BatchEmitter::next))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation
+// ---------------------------------------------------------------------------
+
+/// One operator's runtime probe, filled in by [`TimedExec`].
+struct ProbeNode {
+    label: String,
+    children: Vec<usize>,
+    rows: u64,
+    batches: u64,
+    nanos: u128,
+}
+
+/// The `EXPLAIN ANALYZE` collector: a flat arena of probe nodes built as
+/// the operator tree is assembled. Most parents register after their
+/// children; the join block registers first and attaches its input probes
+/// while it materializes them in `open`.
+struct Analyze {
+    nodes: RefCell<Vec<ProbeNode>>,
+}
+
+impl Analyze {
+    fn new() -> Self {
+        Analyze {
+            nodes: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn register(&self, label: String, children: Vec<usize>) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(ProbeNode {
+            label,
+            children,
+            rows: 0,
+            batches: 0,
+            nanos: 0,
+        });
+        nodes.len() - 1
+    }
+
+    fn add_child(&self, parent: usize, child: usize) {
+        self.nodes.borrow_mut()[parent].children.push(child);
+    }
+
+    fn record(&self, idx: usize, rows: u64, batches: u64, nanos: u128) {
+        let mut nodes = self.nodes.borrow_mut();
+        let n = &mut nodes[idx];
+        n.rows += rows;
+        n.batches += batches;
+        n.nanos += nanos;
+    }
+}
+
+/// Wraps an operator, timing `open` and `next_batch` inclusively and
+/// counting the rows and batches it emits.
+struct TimedExec<'e> {
+    inner: Box<dyn Operator<'e> + 'e>,
+    az: &'e Analyze,
+    idx: usize,
+}
+
+impl<'e> Operator<'e> for TimedExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        let start = Instant::now();
+        let r = self.inner.open();
+        self.az.record(self.idx, 0, 0, start.elapsed().as_nanos());
+        r
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        let start = Instant::now();
+        let r = self.inner.next_batch();
+        let nanos = start.elapsed().as_nanos();
+        let (rows, batches) = match &r {
+            Ok(Some(b)) => (b.rows.len() as u64, 1),
+            _ => (0, 0),
+        };
+        self.az.record(self.idx, rows, batches, nanos);
+        r
+    }
+}
+
+/// `EXPLAIN ANALYZE`: executes the query with every operator wrapped in a
+/// timing probe, then renders the tree with actual row/batch counts and
+/// per-operator times. `self_ms` is the node's inclusive time minus its
+/// children's inclusive time (probe timings nest); `total_ms` is
+/// inclusive. The footer reports wall-clock time for the whole execution,
+/// so the per-operator `self_ms` values sum to at most (roughly) the
+/// footer time.
+pub(crate) fn explain_analyze(q: &Select, ctx: &ExecContext<'_>) -> EngineResult<Vec<String>> {
+    let shape = lower_shape(q, ctx.db, ctx.db.kernel_enabled());
+    let az = Analyze::new();
+    let total = Instant::now();
+    {
+        let (mut root, _) = build_tree(q, &shape, &[], ctx, Some(&az));
+        root.open()?;
+        while root.next_batch()?.is_some() {}
+    }
+    let total_ms = total.elapsed().as_nanos() as f64 / 1e6;
+    let nodes = az.nodes.into_inner();
+    // The root is the highest-numbered node no other node claims as a child.
+    let mut is_child = vec![false; nodes.len()];
+    for n in &nodes {
+        for &c in &n.children {
+            is_child[c] = true;
+        }
+    }
+    let root = (0..nodes.len()).rev().find(|&i| !is_child[i]).unwrap_or(0);
+    let mut out = Vec::new();
+    render_probe(&nodes, root, 0, &mut out);
+    out.push(format!("execution time: {total_ms:.3} ms"));
+    Ok(out)
+}
+
+fn render_probe(nodes: &[ProbeNode], idx: usize, depth: usize, out: &mut Vec<String>) {
+    let n = &nodes[idx];
+    let child_nanos: u128 = n.children.iter().map(|&c| nodes[c].nanos).sum();
+    let total_ms = n.nanos as f64 / 1e6;
+    let self_ms = n.nanos.saturating_sub(child_nanos) as f64 / 1e6;
+    out.push(format!(
+        "{}{} (actual rows={} batches={} self_ms={:.3} total_ms={:.3})",
+        "  ".repeat(depth),
+        n.label,
+        n.rows,
+        n.batches,
+        self_ms,
+        total_ms
+    ));
+    for &c in &n.children {
+        render_probe(nodes, c, depth + 1, out);
     }
 }
 

@@ -171,4 +171,61 @@ mod tests {
             interpreted.stats.buffer.accesses()
         );
     }
+
+    /// The batch-exec fast paths accumulate cpu charges locally and flush
+    /// them per batch; every counter must still equal the legacy row-at-a-
+    /// time totals exactly — on the fused shape, the general aggregate
+    /// shape, and a join — for both text and bound execution.
+    #[test]
+    fn batch_exec_charges_equal_legacy_totals() {
+        use apuama_sql::Value;
+        let mut d = crate::Database::in_memory();
+        d.execute("create table t (k int not null, v float, primary key (k)) clustered by (k)")
+            .unwrap();
+        d.execute("create table u (k int not null, w float, primary key (k)) clustered by (k)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..3000i64)
+            .map(|i| vec![Value::Int(i), Value::Float((i % 5) as f64)])
+            .collect();
+        d.load_table("t", rows).unwrap();
+        let urows: Vec<Vec<Value>> = (0..500i64)
+            .map(|i| vec![Value::Int(i * 3), Value::Float(i as f64)])
+            .collect();
+        d.load_table("u", urows).unwrap();
+        let cases: &[(&str, Vec<Value>)] = &[
+            (
+                "select sum(v) as s, count(*) as n from t where k >= $1 and k < $2 and v > $3",
+                vec![Value::Int(50), Value::Int(2950), Value::Float(0.5)],
+            ),
+            (
+                "select v, count(*) as n from t where k < $1 group by v order by v",
+                vec![Value::Int(2000)],
+            ),
+            (
+                "select t.v, u.w from t, u where t.k = u.k and u.w < $1 order by t.v, u.w",
+                vec![Value::Float(200.0)],
+            ),
+        ];
+        for (sql, params) in cases {
+            d.query("set enable_batch_exec = on").unwrap();
+            let fast = d.query_bound(sql, params).unwrap();
+            d.query("set enable_batch_exec = off").unwrap();
+            let legacy = d.query_bound(sql, params).unwrap();
+            assert_eq!(fast.rows, legacy.rows, "{sql}");
+            assert_eq!(fast.stats.rows_scanned, legacy.stats.rows_scanned, "{sql}");
+            assert_eq!(
+                fast.stats.cpu_tuple_ops, legacy.stats.cpu_tuple_ops,
+                "{sql}"
+            );
+            assert_eq!(fast.stats.index_probes, legacy.stats.index_probes, "{sql}");
+            assert_eq!(fast.stats.scan_batches, legacy.stats.scan_batches, "{sql}");
+            assert_eq!(fast.stats.bytes_out, legacy.stats.bytes_out, "{sql}");
+            assert_eq!(
+                fast.stats.buffer.accesses(),
+                legacy.stats.buffer.accesses(),
+                "{sql}"
+            );
+        }
+        d.query("set enable_batch_exec = on").unwrap();
+    }
 }

@@ -338,9 +338,14 @@ impl fmt::Display for DataType {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(Select),
-    /// `EXPLAIN <statement>` — the engine renders its plan instead of
-    /// executing.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>` — the engine renders the plan.
+    /// Plain `EXPLAIN` never executes; `EXPLAIN ANALYZE` executes the
+    /// inner statement and annotates each operator with actual row counts
+    /// and timings.
+    Explain {
+        analyze: bool,
+        inner: Box<Statement>,
+    },
     Insert {
         table: String,
         columns: Vec<String>,
@@ -394,9 +399,10 @@ impl Statement {
         )
     }
 
-    /// True for EXPLAIN (never executes its inner statement).
+    /// True for EXPLAIN (plain EXPLAIN never executes its inner
+    /// statement; EXPLAIN ANALYZE does, to measure it).
     pub fn is_explain(&self) -> bool {
-        matches!(self, Statement::Explain(_))
+        matches!(self, Statement::Explain { .. })
     }
 
     /// True for plain read queries.
@@ -599,7 +605,13 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(s) => write!(f, "{s}"),
-            Statement::Explain(inner) => write!(f, "explain {inner}"),
+            Statement::Explain { analyze, inner } => {
+                if *analyze {
+                    write!(f, "explain analyze {inner}")
+                } else {
+                    write!(f, "explain {inner}")
+                }
+            }
             Statement::Insert {
                 table,
                 columns,

@@ -165,7 +165,11 @@ impl Parser {
                 "select" => Ok(Statement::Select(self.select()?)),
                 "explain" => {
                     self.advance();
-                    Ok(Statement::Explain(Box::new(self.statement()?)))
+                    let analyze = self.eat_kw("analyze");
+                    Ok(Statement::Explain {
+                        analyze,
+                        inner: Box::new(self.statement()?),
+                    })
                 }
                 "insert" => self.insert(),
                 "delete" => self.delete(),

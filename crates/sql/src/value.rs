@@ -345,34 +345,44 @@ impl Eq for HashableValue {}
 
 impl std::hash::Hash for HashableValue {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        match &self.0 {
-            Value::Null => 0u8.hash(state),
-            Value::Bool(b) => {
-                1u8.hash(state);
-                b.hash(state);
-            }
-            Value::Int(i) => {
-                2u8.hash(state);
-                (*i as f64).to_bits().hash(state);
-            }
-            Value::Float(f) => {
-                2u8.hash(state);
-                let canon = if *f == 0.0 { 0.0 } else { *f };
-                canon.to_bits().hash(state);
-            }
-            Value::Str(s) => {
-                3u8.hash(state);
-                s.hash(state);
-            }
-            Value::Date(d) => {
-                4u8.hash(state);
-                d.0.hash(state);
-            }
-            Value::Interval(iv) => {
-                5u8.hash(state);
-                iv.months.hash(state);
-                iv.days.hash(state);
-            }
+        hash_value(&self.0, state)
+    }
+}
+
+/// Canonical hash of one value, consistent with [`HashableValue`]'s
+/// equality (`sort_cmp == Equal`): `Int` and `Float` hash as the same
+/// `f64` bit pattern and `-0.0` canonicalizes to `0.0`. Exposed so hash
+/// tables keyed on borrowed `&Value`s (the engine's group tables) hash
+/// exactly like a `HashableValue` key without cloning the value first.
+pub fn hash_value<H: std::hash::Hasher>(v: &Value, state: &mut H) {
+    use std::hash::Hash;
+    match v {
+        Value::Null => 0u8.hash(state),
+        Value::Bool(b) => {
+            1u8.hash(state);
+            b.hash(state);
+        }
+        Value::Int(i) => {
+            2u8.hash(state);
+            (*i as f64).to_bits().hash(state);
+        }
+        Value::Float(f) => {
+            2u8.hash(state);
+            let canon = if *f == 0.0 { 0.0 } else { *f };
+            canon.to_bits().hash(state);
+        }
+        Value::Str(s) => {
+            3u8.hash(state);
+            s.hash(state);
+        }
+        Value::Date(d) => {
+            4u8.hash(state);
+            d.0.hash(state);
+        }
+        Value::Interval(iv) => {
+            5u8.hash(state);
+            iv.months.hash(state);
+            iv.days.hash(state);
         }
     }
 }

@@ -196,7 +196,7 @@ pub fn shallow_walk<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
 pub fn statement_tables(stmt: &Statement) -> Vec<String> {
     match stmt {
         Statement::Select(s) => referenced_tables(s),
-        Statement::Explain(inner) => statement_tables(inner),
+        Statement::Explain { inner, .. } => statement_tables(inner),
         Statement::Insert { table, .. }
         | Statement::Delete { table, .. }
         | Statement::Update { table, .. } => vec![table.clone()],

@@ -1,0 +1,119 @@
+//! `EXPLAIN ANALYZE` golden tests over a representative TPC-H query: the
+//! rendered tree must expose per-operator actual row counts that match the
+//! plain query's output, and the per-operator self times must be
+//! internally consistent with the reported total execution time.
+
+use apuama_engine::Database;
+use apuama_tpch::{generate, load_into, QueryParams, TpchConfig, ALL_QUERIES};
+
+fn tpch_db() -> Database {
+    let data = generate(TpchConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    });
+    let mut db = Database::in_memory();
+    load_into(&mut db, &data).unwrap();
+    db
+}
+
+fn plan_lines(db: &Database, sql: &str) -> Vec<String> {
+    let out = db.query(sql).unwrap();
+    assert_eq!(out.columns, vec!["plan"]);
+    out.rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect()
+}
+
+/// Pulls `name=<float>` out of an operator line.
+fn field(line: &str, name: &str) -> f64 {
+    let marker = format!("{name}=");
+    let start = line.find(&marker).unwrap_or_else(|| {
+        panic!("line {line:?} has no {marker}");
+    }) + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap()
+}
+
+#[test]
+fn explain_analyze_tpch_q1ish_reports_consistent_tree() {
+    let db = tpch_db();
+    let q = &ALL_QUERIES[0];
+    let sql = q.sql(&QueryParams::random(7));
+    let expected_rows = db.query(&sql).unwrap().rows.len() as f64;
+
+    // With the fusion kernel on, Q1 collapses to a fused aggregate.
+    let fused = plan_lines(&db, &format!("explain analyze {sql}"));
+    assert!(
+        fused.iter().any(|l| l.contains("fused aggregate over")),
+        "{fused:?}"
+    );
+
+    // With it off, the full general tree is visible: scan → … → aggregate.
+    db.query("set enable_kernel = off").unwrap();
+    let lines = plan_lines(&db, &format!("explain analyze {sql}"));
+    let (footer, ops) = lines.split_last().expect("non-empty plan");
+
+    // Footer: `execution time: X.XXX ms`.
+    assert!(footer.starts_with("execution time: "), "{footer}");
+    let total_ms: f64 = footer
+        .trim_start_matches("execution time: ")
+        .trim_end_matches(" ms")
+        .parse()
+        .unwrap();
+
+    // Every operator line carries the actual-rows annotation.
+    for op in ops {
+        assert!(
+            op.contains("(actual rows=") && op.contains("self_ms="),
+            "{op}"
+        );
+    }
+    // A scan and an aggregate appear, and the root reports exactly the
+    // query's rows.
+    assert!(
+        ops.iter().any(|l| l.trim_start().starts_with("scan ")),
+        "{lines:?}"
+    );
+    assert!(
+        ops.iter().any(|l| l.trim_start().starts_with("aggregate")),
+        "{lines:?}"
+    );
+    let root = &ops[0];
+    assert!(!root.starts_with(' '), "root must be unindented: {root}");
+    assert_eq!(field(root, "rows"), expected_rows, "{root}");
+
+    // Self times are exclusive, so they sum to at most the root's
+    // inclusive time (small slack for float rendering), and the root time
+    // is bounded by the footer's wall-clock total.
+    let self_sum: f64 = ops.iter().map(|l| field(l, "self_ms")).sum();
+    let root_total = field(root, "total_ms");
+    assert!(
+        self_sum <= root_total * 1.01 + 0.1,
+        "self_ms sum {self_sum} exceeds root total {root_total}\n{lines:?}"
+    );
+    assert!(
+        root_total <= total_ms * 1.01 + 0.1,
+        "root total {root_total} exceeds execution time {total_ms}"
+    );
+    // And the accounting is not degenerate: the probes did record time.
+    assert!(total_ms > 0.0, "{footer}");
+}
+
+/// The instrumented execution answers exactly like the plain one for every
+/// evaluation query — instrumentation must not change what runs.
+#[test]
+fn explain_analyze_runs_every_eval_query() {
+    let db = tpch_db();
+    let params = QueryParams::random(7);
+    for q in ALL_QUERIES {
+        let sql = q.sql(&params);
+        let expected = db.query(&sql).unwrap().rows.len() as f64;
+        let lines = plan_lines(&db, &format!("explain analyze {sql}"));
+        let root = &lines[0];
+        assert_eq!(field(root, "rows"), expected, "{}: {root}", q.label());
+    }
+}

@@ -165,9 +165,9 @@ fn assert_identical(a: &QueryOutput, b: &QueryOutput, what: &str) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// For every generated statement, all four executions — text and
-    /// bound, fusion rewrite on and off — are byte-identical in rows and
-    /// work counters.
+    /// For every generated statement, all eight executions — text and
+    /// bound, fusion rewrite on and off, batch-exec fast paths on and off
+    /// — are byte-identical in rows and work counters.
     #[test]
     fn pipeline_identical_across_kernel_toggle_and_bind_path(
         rows in rows_strategy(),
@@ -190,11 +190,70 @@ proptest! {
         assert_identical(&bound_on, &text_on, &format!("bound≡text, kernel on: {text}"));
         assert_identical(&bound_off, &text_off, &format!("bound≡text, kernel off: {text}"));
         assert_identical(&text_off, &text_on, &format!("kernel off≡on: {text}"));
+
+        // The legacy row-at-a-time execution mode must be observationally
+        // identical to the batch-exec fast paths, on both lowered shapes.
+        db.query("set enable_batch_exec = off").unwrap();
+        let legacy_text = db.query(&text).unwrap();
+        let legacy_bound = db.query_bound(template, &params).unwrap();
+        assert_identical(&legacy_text, &text_off, &format!("legacy≡batch, kernel off: {text}"));
+        assert_identical(&legacy_bound, &bound_off, &format!("legacy bound≡batch, kernel off: {text}"));
+        db.query("set enable_kernel = on").unwrap();
+        let legacy_kernel = db.query(&text).unwrap();
+        assert_identical(&legacy_kernel, &text_on, &format!("legacy≡batch, kernel on: {text}"));
     }
 }
 
+/// ORDER BY is stable: rows whose sort keys tie on every component come
+/// out in input (clustered-key) order — across more than one scan batch,
+/// in both batch-exec modes, and on the bound path.
+#[test]
+fn sort_is_stable_for_equal_keys() {
+    let mut db = Database::in_memory();
+    db.execute("create table t (k int not null, g int, primary key (k)) clustered by (k)")
+        .unwrap();
+    // 3000 rows (> 2 full 1024-row batches) with only 7 distinct keys, so
+    // every key group spans many batches and ties dominate the sort.
+    let rows: Vec<Vec<Value>> = (0..3000i64)
+        .map(|k| vec![Value::Int(k), Value::Int(k % 7)])
+        .collect();
+    db.load_table("t", rows).unwrap();
+    let sql = "select k, g from t order by g";
+    let expected: Vec<Vec<Value>> = (0..7i64)
+        .flat_map(|g| {
+            (0..3000i64)
+                .filter(move |k| k % 7 == g)
+                .map(move |k| vec![Value::Int(k), Value::Int(g)])
+        })
+        .collect();
+    for mode in ["on", "off"] {
+        db.query(&format!("set enable_batch_exec = {mode}"))
+            .unwrap();
+        let out = db.query(sql).unwrap();
+        assert_eq!(
+            out.rows, expected,
+            "ties must keep input order (mode {mode})"
+        );
+        let bound = db.query_bound(sql, &[]).unwrap();
+        assert_eq!(bound.rows, expected, "bound path (mode {mode})");
+        // DESC reverses key groups, not the tie order within a group.
+        let desc = db.query("select k, g from t order by g desc").unwrap();
+        let expected_desc: Vec<Vec<Value>> = (0..7i64)
+            .rev()
+            .flat_map(|g| {
+                (0..3000i64)
+                    .filter(move |k| k % 7 == g)
+                    .map(move |k| vec![Value::Int(k), Value::Int(g)])
+            })
+            .collect();
+        assert_eq!(desc.rows, expected_desc, "desc ties (mode {mode})");
+    }
+    db.query("set enable_batch_exec = on").unwrap();
+}
+
 /// The full TPC-H evaluation-query set answers byte-identically — rows and
-/// counters — with the fusion rewrite enabled and disabled.
+/// counters — with the fusion rewrite enabled and disabled, and with the
+/// batch-exec fast paths enabled and disabled.
 #[test]
 fn tpch_eval_queries_identical_with_kernel_on_and_off() {
     let data = generate(TpchConfig {
@@ -212,5 +271,9 @@ fn tpch_eval_queries_identical_with_kernel_on_and_off() {
         let off = db.query(&sql).unwrap();
         assert!(!on.columns.is_empty(), "{}", q.label());
         assert_identical(&on, &off, &q.label());
+        db.query("set enable_batch_exec = off").unwrap();
+        let legacy = db.query(&sql).unwrap();
+        assert_identical(&legacy, &off, &format!("{} (legacy exec)", q.label()));
+        db.query("set enable_batch_exec = on").unwrap();
     }
 }

@@ -4,38 +4,55 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Every suite runs under a hard wall-clock timeout: a hang (a worker that
+# never observes its cancel token, an admission queue that never wakes) is
+# a FAILURE here, not a stuck pipeline. `timeout` exits 124 on expiry,
+# which trips `set -e`.
+SUITE_TIMEOUT=${SUITE_TIMEOUT:-900}
+BUILD_TIMEOUT=${BUILD_TIMEOUT:-1800}
+
 echo "== cargo fmt --check =="
-cargo fmt --check
+timeout "$BUILD_TIMEOUT" cargo fmt --check
 
 echo "== cargo clippy (workspace, all targets, warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+timeout "$BUILD_TIMEOUT" cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== explain analyze smoke: per-operator timing harness =="
-cargo test -q --test explain_analyze
+timeout "$SUITE_TIMEOUT" cargo test -q --test explain_analyze
 
 echo "== tier-1: cargo build --release && cargo test -q =="
-cargo build --release
-cargo test -q
+timeout "$BUILD_TIMEOUT" cargo build --release
+timeout "$BUILD_TIMEOUT" cargo test -q
 
 echo "== operator pipeline: byte-identity property suite =="
-cargo test -q --test property_operators
+timeout "$SUITE_TIMEOUT" cargo test -q --test property_operators
 
 echo "== fault injection: retry/reassignment/breaker suite =="
-cargo test -q --test fault_tolerance
-cargo test -q -p apuama --lib fault
-cargo test -q -p apuama-cjdbc --lib -- "fault::" "health::"
+timeout "$SUITE_TIMEOUT" cargo test -q --test fault_tolerance
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama --lib fault
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-cjdbc --lib -- "fault::" "health::"
 
 echo "== recovery: log/rejoin/re-clone suite =="
-cargo test -q --test recovery_rejoin
-cargo test -q -p apuama-cjdbc --lib -- "recovery::"
-cargo test -q -p apuama-sim --lib -- "recovery::"
+timeout "$SUITE_TIMEOUT" cargo test -q --test recovery_rejoin
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-cjdbc --lib -- "recovery::"
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-sim --lib -- "recovery::"
+
+echo "== governance: cancellation/deadline/budget/admission suite (DESIGN.md §11) =="
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-engine --lib governor
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-engine --test cancellation_identity
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama --lib governance
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-cjdbc --lib -- "admission::" "governance"
+
+echo "== overload_soak: open-loop burst must shed, not hang =="
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-cjdbc --test overload_soak
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-sim --lib -- "overload"
 
 echo "== bench_smoke: prepared-plan and fused-kernel micro arms =="
-cargo bench -p apuama-bench --bench prepared -- 100
+timeout "$SUITE_TIMEOUT" cargo bench -p apuama-bench --bench prepared -- 100
 cat BENCH_prepared.json
 
 echo "== bench_smoke: operator_pipeline arm =="
-cargo bench -p apuama-bench --bench operators -- 100
+timeout "$SUITE_TIMEOUT" cargo bench -p apuama-bench --bench operators -- 100
 cat BENCH_operators.json
 
 echo "== perf gate: unified pipeline must not regress below the seed =="

@@ -6,6 +6,7 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+use std::time::{Duration, Instant};
 
 /// Non-poisoning mutex with `parking_lot`'s `lock() -> MutexGuard` signature.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -86,6 +87,33 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// Waits until `timeout` (an absolute instant) at the latest, matching
+    /// `parking_lot::Condvar::wait_until`. Spurious wakeups are possible;
+    /// callers must re-check their predicate.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Instant,
+    ) -> WaitTimeoutResult {
+        let remaining = timeout.saturating_duration_since(Instant::now());
+        self.wait_for(guard, remaining)
+    }
+
+    /// Waits for at most `timeout`, matching `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     pub fn notify_one(&self) -> bool {
         self.0.notify_one();
         true
@@ -94,6 +122,19 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.0.notify_all();
         0
+    }
+}
+
+/// Result of a timed wait on [`Condvar`], matching
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(self) -> bool {
+        self.0
     }
 }
 

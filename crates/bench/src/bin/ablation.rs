@@ -17,6 +17,12 @@
 //!    suffix (live rounds + a final drain under the write pause) and the
 //!    node re-enters rotation. The table compares healthy, degraded, and
 //!    post-rejoin makespans and prices the rejoin itself.
+//! 9. **Resource governance under overload** — an open-loop arrival storm
+//!    at ~4× the cluster's service rate, with and without admission
+//!    control. Ungoverned, every query completes but the backlog (and the
+//!    tail latency) grows with the storm; governed, excess arrivals are
+//!    shed and the admitted queries keep their latency budget
+//!    (DESIGN.md §11).
 //!
 //! Run with the same `APUAMA_*` environment knobs as the figure binaries.
 
@@ -160,6 +166,7 @@ fn main() {
     composer_strategies(&cfg, &data, n);
     fault_tolerance(&cfg, &data, n);
     recovery_rejoin(&cfg, &data, n);
+    overload_governance(&cfg, &data, n);
 }
 
 /// Ablation 4 — SVP's static partitions vs AVP's adaptive chunks with work
@@ -497,5 +504,84 @@ fn recovery_rejoin(_cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize)
         fmt_ms(cost.total_ms())
     );
     t8.write_csv("ablation_recovery_rejoin")
+        .expect("csv writable");
+}
+
+/// Ablation 9 — admission control under an open-loop arrival storm
+/// (DESIGN.md §11). Arrivals land at ~4× the cluster's isolated service
+/// rate; the governed arm admits at most `2 × servers_per_node` queries
+/// with a short bounded queue and sheds the rest. The claim being priced:
+/// shedding excess load keeps the *admitted* queries' tail latency near
+/// the unloaded baseline, while the ungoverned arm completes everything
+/// only by letting every query's latency absorb the whole backlog.
+fn overload_governance(cfg: &HarnessConfig, data: &apuama_tpch::TpchData, n: usize) {
+    use apuama_sim::{run_overload, OverloadGovernance, OverloadSpec};
+
+    let cluster = cfg.cluster(data, n);
+
+    // Calibrate the storm: mean warm isolated latency over the eight
+    // queries approximates the service time of one SVP query (which
+    // occupies the whole cluster).
+    let params = QueryParams::default();
+    let mut mean_ms = 0.0;
+    for q in apuama_tpch::ALL_QUERIES {
+        cluster.drop_caches();
+        mean_ms += run_isolated(&cluster, &q.sql(&params), 3)
+            .expect("calibration run")
+            .warm_mean_ms();
+    }
+    mean_ms /= apuama_tpch::ALL_QUERIES.len() as f64;
+
+    let mut t9 = FigureTable::new(
+        format!("Ablation 9 — admission control under a 4x open-loop storm, {n} nodes"),
+        &[
+            "arm",
+            "submitted",
+            "completed",
+            "shed",
+            "peak_backlog",
+            "median",
+            "p99",
+            "makespan",
+        ],
+    );
+    let storm = |governance| OverloadSpec {
+        arrivals: 64,
+        interval_ms: mean_ms / 4.0,
+        seed: cfg.seed,
+        governance,
+    };
+    let governance = OverloadGovernance {
+        max_concurrent: 2 * cluster.config().servers_per_node,
+        queue_depth: 8,
+        queue_timeout_ms: mean_ms * 4.0,
+    };
+    let ungoverned = run_overload(&cluster, storm(None)).expect("ungoverned storm");
+    let governed = run_overload(&cluster, storm(Some(governance))).expect("governed storm");
+    for (name, r) in [("ungoverned", &ungoverned), ("governed", &governed)] {
+        t9.push_row(vec![
+            name.into(),
+            r.submitted.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            r.peak_backlog.to_string(),
+            fmt_ms(r.median_ms()),
+            fmt_ms(r.p99_ms()),
+            fmt_ms(r.makespan_ms),
+        ]);
+    }
+    assert_eq!(
+        governed.completed + governed.shed,
+        governed.submitted,
+        "every arrival must be accounted for"
+    );
+    assert!(
+        governed.p99_ms() < ungoverned.p99_ms(),
+        "governed p99 {:.0}ms must beat ungoverned {:.0}ms",
+        governed.p99_ms(),
+        ungoverned.p99_ms()
+    );
+    t9.print();
+    t9.write_csv("ablation_overload_governance")
         .expect("csv writable");
 }

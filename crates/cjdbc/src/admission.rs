@@ -1,0 +1,307 @@
+//! Admission control and load shedding at the controller's front door.
+//!
+//! Under an open-loop arrival storm an unguarded controller queues without
+//! bound: every request eventually completes, but the tail latency — and
+//! the memory pinned by in-flight statements — grows with the backlog.
+//! Admission control bounds both. Each statement class (OLTP writes,
+//! OLAP reads) has a concurrency limit and a bounded wait queue with a
+//! queue-wait deadline; an arrival that finds the queue full, or that
+//! waits past the deadline, is **shed** with
+//! [`EngineError::ResourceExhausted`] instead of being allowed to pile up.
+//! Shedding is deliberate: the client gets a fast, retryable refusal and
+//! the statements already admitted keep their latency budget (DESIGN.md
+//! §11).
+//!
+//! The default policy is fully open (no limits) so an unconfigured
+//! controller behaves exactly as before.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use apuama_engine::{EngineError, EngineResult};
+use parking_lot::{Condvar, Mutex};
+
+use crate::connection::StatementKind;
+
+/// Per-class admission limits. A limit of 0 means "unlimited" for that
+/// knob (and an unlimited class never queues, so the queue knobs are
+/// irrelevant to it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Concurrently admitted OLTP (write) statements. 0 = unlimited.
+    pub max_oltp: usize,
+    /// Concurrently admitted OLAP (read) statements. 0 = unlimited.
+    pub max_olap: usize,
+    /// Statements allowed to *wait* per class once its limit is reached;
+    /// arrivals beyond this are shed immediately.
+    pub queue_depth: usize,
+    /// Longest a statement may wait in the queue before it is shed — the
+    /// outermost tier of the deadline hierarchy (statement < SVP query <
+    /// admission queue).
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_oltp: 0,
+            max_olap: 0,
+            queue_depth: 64,
+            queue_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    fn limit_for(&self, kind: StatementKind) -> usize {
+        match kind {
+            StatementKind::Write => self.max_oltp,
+            StatementKind::Read => self.max_olap,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ClassState {
+    running: usize,
+    waiting: usize,
+}
+
+/// The gatekeeper. One per controller; every client statement passes
+/// through [`AdmissionController::admit`] before it is dispatched and
+/// holds the returned [`AdmissionPermit`] until it completes (success or
+/// error — the release rides the permit's drop).
+#[derive(Debug)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    /// Indexed by [`class_index`]: 0 = writes/OLTP, 1 = reads/OLAP.
+    state: Mutex<[ClassState; 2]>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+fn class_index(kind: StatementKind) -> usize {
+    match kind {
+        StatementKind::Write => 0,
+        StatementKind::Read => 1,
+    }
+}
+
+impl AdmissionController {
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionController {
+            policy,
+            state: Mutex::new([ClassState::default(); 2]),
+            freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Statements admitted so far (lifetime).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Statements shed so far (queue full or queue-wait deadline).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::SeqCst)
+    }
+
+    /// Statements currently admitted and running, per class
+    /// `(oltp, olap)`.
+    pub fn running(&self) -> (usize, usize) {
+        let s = self.state.lock();
+        (s[0].running, s[1].running)
+    }
+
+    /// Admits one statement of `kind`, blocking in the bounded queue while
+    /// the class is at its limit. Sheds — fails with
+    /// [`EngineError::ResourceExhausted`] — when the queue is full on
+    /// arrival or the queue-wait deadline passes first.
+    pub fn admit(&self, kind: StatementKind) -> EngineResult<AdmissionPermit<'_>> {
+        let limit = self.policy.limit_for(kind);
+        let class = class_index(kind);
+        if limit == 0 {
+            self.admitted.fetch_add(1, Ordering::SeqCst);
+            return Ok(AdmissionPermit {
+                ctrl: self,
+                class,
+                counted: false,
+            });
+        }
+        let mut state = self.state.lock();
+        if state[class].running < limit {
+            state[class].running += 1;
+            self.admitted.fetch_add(1, Ordering::SeqCst);
+            return Ok(AdmissionPermit {
+                ctrl: self,
+                class,
+                counted: true,
+            });
+        }
+        if state[class].waiting >= self.policy.queue_depth {
+            drop(state);
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            return Err(EngineError::ResourceExhausted(format!(
+                "admission queue full ({} waiting): statement shed",
+                self.policy.queue_depth
+            )));
+        }
+        state[class].waiting += 1;
+        let deadline = Instant::now() + self.policy.queue_timeout;
+        loop {
+            if self.freed.wait_until(&mut state, deadline).timed_out() {
+                state[class].waiting -= 1;
+                drop(state);
+                self.shed.fetch_add(1, Ordering::SeqCst);
+                return Err(EngineError::ResourceExhausted(format!(
+                    "queued {:?} without admission: statement shed",
+                    self.policy.queue_timeout
+                )));
+            }
+            if state[class].running < limit {
+                state[class].waiting -= 1;
+                state[class].running += 1;
+                self.admitted.fetch_add(1, Ordering::SeqCst);
+                return Ok(AdmissionPermit {
+                    ctrl: self,
+                    class,
+                    counted: true,
+                });
+            }
+        }
+    }
+}
+
+/// RAII admission slot: dropping it frees the class slot and wakes a
+/// queued statement.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    ctrl: &'a AdmissionController,
+    class: usize,
+    /// Whether this permit actually occupies a bounded slot (false for an
+    /// unlimited class — nothing to free).
+    counted: bool,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if !self.counted {
+            return;
+        }
+        let mut state = self.ctrl.state.lock();
+        state[self.class].running -= 1;
+        drop(state);
+        // Waiters of both classes share the condvar; wake everyone and let
+        // each re-check its own class limit.
+        self.ctrl.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn policy(max_olap: usize, queue_depth: usize, timeout_ms: u64) -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_oltp: 0,
+            max_olap,
+            queue_depth,
+            queue_timeout: Duration::from_millis(timeout_ms),
+        }
+    }
+
+    #[test]
+    fn unlimited_class_always_admits() {
+        let a = AdmissionController::new(AdmissionPolicy::default());
+        let permits: Vec<_> = (0..100)
+            .map(|_| a.admit(StatementKind::Read).unwrap())
+            .collect();
+        assert_eq!(a.admitted(), 100);
+        assert_eq!(a.shed(), 0);
+        drop(permits);
+    }
+
+    #[test]
+    fn limit_blocks_then_queue_fills_then_sheds() {
+        let a = AdmissionController::new(policy(2, 0, 10));
+        let p1 = a.admit(StatementKind::Read).unwrap();
+        let _p2 = a.admit(StatementKind::Read).unwrap();
+        // queue_depth = 0: the third arrival is shed immediately.
+        let err = a.admit(StatementKind::Read).unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted(_)));
+        assert_eq!(a.shed(), 1);
+        // Freeing a slot lets the next arrival in.
+        drop(p1);
+        let _p3 = a.admit(StatementKind::Read).unwrap();
+        assert_eq!(a.admitted(), 3);
+    }
+
+    #[test]
+    fn queue_wait_deadline_sheds() {
+        let a = AdmissionController::new(policy(1, 4, 20));
+        let _p = a.admit(StatementKind::Read).unwrap();
+        let t = Instant::now();
+        let err = a.admit(StatementKind::Read).unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted(_)));
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        assert_eq!(a.shed(), 1);
+    }
+
+    #[test]
+    fn queued_statement_admits_when_slot_frees() {
+        let a = Arc::new(AdmissionController::new(policy(1, 4, 5_000)));
+        let p = a.admit(StatementKind::Read).unwrap();
+        let waiter = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || a.admit(StatementKind::Read).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(p);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(a.admitted(), 2);
+        assert_eq!(a.shed(), 0);
+    }
+
+    #[test]
+    fn classes_are_limited_independently() {
+        let a = AdmissionController::new(AdmissionPolicy {
+            max_oltp: 1,
+            max_olap: 1,
+            queue_depth: 0,
+            queue_timeout: Duration::from_millis(10),
+        });
+        let _r = a.admit(StatementKind::Read).unwrap();
+        // The read slot being taken does not block a write.
+        let _w = a.admit(StatementKind::Write).unwrap();
+        assert!(a.admit(StatementKind::Read).is_err());
+        assert!(a.admit(StatementKind::Write).is_err());
+        assert_eq!(a.running(), (1, 1));
+        assert_eq!((a.admitted(), a.shed()), (2, 2));
+    }
+
+    #[test]
+    fn shed_plus_admitted_equals_submitted_under_concurrency() {
+        let a = Arc::new(AdmissionController::new(policy(4, 2, 10)));
+        let submitted = 64u64;
+        std::thread::scope(|s| {
+            for _ in 0..submitted {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    if let Ok(_permit) = a.admit(StatementKind::Read) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(a.admitted() + a.shed(), submitted);
+        assert_eq!(a.running(), (0, 0), "all permits released");
+    }
+}

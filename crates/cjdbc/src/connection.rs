@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use apuama_engine::{Database, EngineError, EngineResult, QueryOutput};
+use apuama_engine::{Database, EngineError, EngineResult, QueryGovernor, QueryOutput};
 use apuama_sql::{parse_statements, visit, Statement, Value};
 
 /// What a piece of SQL does, from the cluster's point of view.
@@ -79,6 +79,34 @@ pub trait Connection: Send + Sync {
                 "parameters are only supported on single SELECT statements".into(),
             )),
         }
+    }
+
+    /// Executes under a [`QueryGovernor`] (cancel token + deadline).
+    /// Engine-backed connections thread the governor into the executor so
+    /// the statement stops within one scan batch of a cancel; the default
+    /// only checks before dispatch, so interposing connections should
+    /// forward this to their inner connection.
+    fn execute_governed(&self, sql: &str, gov: &QueryGovernor) -> EngineResult<QueryOutput> {
+        gov.check()?;
+        self.execute(sql)
+    }
+
+    /// Bound execution under a [`QueryGovernor`]; same contract as
+    /// [`Connection::execute_governed`].
+    fn execute_bound_governed(
+        &self,
+        sql: &str,
+        params: &[Value],
+        gov: &QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        gov.check()?;
+        self.execute_bound(sql, params)
+    }
+
+    /// High-water mark of pipeline-breaker memory on this backend (bytes);
+    /// 0 when the backend does not track it. Governance diagnostics.
+    fn mem_peak_bytes(&self) -> u64 {
+        0
     }
 }
 
@@ -169,6 +197,44 @@ impl Connection for NodeConnection {
                 }
             }
         }
+    }
+
+    /// Reads run under the governor inside the engine (batch-grain cancel
+    /// and deadline); writes stay short OLTP statements, checked once
+    /// before dispatch.
+    fn execute_governed(&self, sql: &str, gov: &QueryGovernor) -> EngineResult<QueryOutput> {
+        match classify(sql)? {
+            StatementKind::Read => self.node.db.read().query_governed(sql, gov),
+            StatementKind::Write => {
+                gov.check()?;
+                self.node.db.write().execute_script(sql)
+            }
+        }
+    }
+
+    fn execute_bound_governed(
+        &self,
+        sql: &str,
+        params: &[Value],
+        gov: &QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        match classify(sql)? {
+            StatementKind::Read => self.node.db.read().query_bound_governed(sql, params, gov),
+            StatementKind::Write => {
+                gov.check()?;
+                if params.is_empty() {
+                    self.node.db.write().execute_script(sql)
+                } else {
+                    Err(EngineError::Unsupported(
+                        "parameters are only supported on single SELECT statements".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn mem_peak_bytes(&self) -> u64 {
+        self.node.db.read().mem_peak_bytes()
     }
 }
 

@@ -7,12 +7,13 @@
 //! any read can go to any node — and the exact layer Apuama slots beneath
 //! without modification.
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use apuama_engine::{EngineError, EngineResult, QueryOutput};
+use apuama_engine::{EngineError, EngineResult, QueryGovernor, QueryOutput};
 use parking_lot::Mutex;
 
+use crate::admission::{AdmissionController, AdmissionPolicy};
 use crate::balancer::{LeastPendingBalancer, LoadBalancer};
 use crate::connection::{classify, Connection, StatementKind};
 use crate::health::{BreakerPolicy, HealthTracker};
@@ -59,6 +60,9 @@ pub struct ControllerConfig {
     /// engine (Apuama's `UpdateGate`) can mirror the controller's view of
     /// the cluster. Defaults to no-ops.
     pub rejoin_hooks: Arc<dyn RejoinHooks>,
+    /// Admission limits and shed policy consulted before every client
+    /// statement is dispatched. Defaults to fully open (no governance).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ControllerConfig {
@@ -69,8 +73,27 @@ impl Default for ControllerConfig {
             breaker: BreakerPolicy::default(),
             recovery: RecoveryConfig::default(),
             rejoin_hooks: Arc::new(NoRejoinHooks),
+            admission: AdmissionPolicy::default(),
         }
     }
+}
+
+/// Governance counters surfaced by [`Controller::governance_counts`]
+/// (DESIGN.md §11): how many statements the admission gate let in or
+/// shed, how many admitted statements ended cancelled or past a deadline,
+/// and the largest pipeline-breaker memory peak any backend reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernanceCounters {
+    /// Statements the admission gate let through.
+    pub admitted: u64,
+    /// Statements shed (queue full or queue-wait deadline).
+    pub shed: u64,
+    /// Admitted statements that ended with `EngineError::Cancelled`.
+    pub cancelled: u64,
+    /// Admitted statements that ended with `EngineError::Timeout`.
+    pub deadline_exceeded: u64,
+    /// Max over the backends' memory-gauge high-water marks, in bytes.
+    pub peak_mem_bytes: u64,
 }
 
 /// The C-JDBC controller: one virtual database over N backends.
@@ -85,6 +108,11 @@ pub struct Controller {
     hooks: Arc<dyn RejoinHooks>,
     /// Serializes rejoin/enable attempts: one backend recovers at a time.
     rejoin_token: Mutex<()>,
+    /// The admission gate every client statement passes through.
+    admission: AdmissionController,
+    /// Admitted statements that ended cancelled / past a deadline.
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 impl Controller {
@@ -132,6 +160,9 @@ impl Controller {
             recovery: config.recovery,
             hooks: config.rejoin_hooks,
             rejoin_token: Mutex::new(()),
+            admission: AdmissionController::new(config.admission),
+            cancelled: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
         }
     }
 
@@ -366,6 +397,38 @@ impl Controller {
             .collect()
     }
 
+    /// Resource-governance diagnostics (see [`GovernanceCounters`]).
+    /// `admitted + shed` equals the number of client statements submitted
+    /// through the controller's execute entry points.
+    pub fn governance_counts(&self) -> GovernanceCounters {
+        GovernanceCounters {
+            admitted: self.admission.admitted(),
+            shed: self.admission.shed(),
+            cancelled: self.cancelled.load(Ordering::SeqCst),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::SeqCst),
+            peak_mem_bytes: self
+                .backends
+                .iter()
+                .map(|b| b.conn.mem_peak_bytes())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Classifies an admitted statement's terminal error for the
+    /// governance counters.
+    fn note_outcome<T>(&self, result: &EngineResult<T>) {
+        match result {
+            Err(EngineError::Cancelled(_)) => {
+                self.cancelled.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(EngineError::Timeout(_)) => {
+                self.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+    }
+
     /// Reads served per backend (load-balance distribution diagnostics).
     pub fn reads_served(&self) -> Vec<usize> {
         self.backends
@@ -437,12 +500,24 @@ impl Controller {
         self.routed_read(|conn| conn.execute(sql))
     }
 
-    /// The shared read path: balancer choice, pending accounting, health
-    /// recording, and the disable-on-failure policy.
+    /// [`Controller::execute_read`] under a caller-supplied
+    /// [`QueryGovernor`] — client cancellation and deadline ride into the
+    /// backend (engine-backed backends stop within one batch).
+    pub fn execute_read_governed(
+        &self,
+        sql: &str,
+        gov: &QueryGovernor,
+    ) -> EngineResult<(QueryOutput, usize)> {
+        self.routed_read(|conn| conn.execute_governed(sql, gov))
+    }
+
+    /// The shared read path: admission, balancer choice, pending
+    /// accounting, health recording, and the disable-on-failure policy.
     fn routed_read(
         &self,
         run: impl Fn(&dyn Connection) -> EngineResult<QueryOutput>,
     ) -> EngineResult<(QueryOutput, usize)> {
+        let _permit = self.admission.admit(StatementKind::Read)?;
         let enabled = self.enabled_backends();
         if enabled.is_empty() {
             return Err(EngineError::Unsupported(
@@ -466,13 +541,20 @@ impl Controller {
         backend.pending.fetch_add(1, Ordering::SeqCst);
         let result = run(backend.conn.as_ref());
         backend.pending.fetch_sub(1, Ordering::SeqCst);
-        if result.is_ok() {
-            backend.reads_served.fetch_add(1, Ordering::SeqCst);
-            self.health.record_success(chosen);
-        } else {
-            self.health.record_failure(chosen);
-            if self.disable_failed {
-                self.disable_backend(chosen);
+        self.note_outcome(&result);
+        match &result {
+            Ok(_) => {
+                backend.reads_served.fetch_add(1, Ordering::SeqCst);
+                self.health.record_success(chosen);
+            }
+            // A cooperative cancel is the client's doing, not the
+            // backend's: health-neutral, never a reason to disable.
+            Err(EngineError::Cancelled(_)) => {}
+            Err(_) => {
+                self.health.record_failure(chosen);
+                if self.disable_failed {
+                    self.disable_backend(chosen);
+                }
             }
         }
         result.map(|o| (o, chosen))
@@ -487,6 +569,7 @@ impl Controller {
     /// first error is surfaced after the remaining backends were still
     /// given the write, keeping replicas maximally aligned.
     pub fn execute_write(&self, sql: &str) -> EngineResult<QueryOutput> {
+        let _permit = self.admission.admit(StatementKind::Write)?;
         let ticket = self.scheduler.begin_write();
         let mut first: Option<QueryOutput> = None;
         let mut failure: Option<EngineError> = None;
@@ -527,14 +610,16 @@ impl Controller {
             self.log.checkpoint();
         }
         drop(ticket);
-        match (first, failure) {
+        let result = match (first, failure) {
             (Some(out), None) => Ok(out),
             (Some(out), Some(_)) if self.disable_failed => Ok(out),
             (_, Some(e)) => Err(e),
             (None, None) => Err(EngineError::Unsupported(
                 "no enabled backends remain".into(),
             )),
-        }
+        };
+        self.note_outcome(&result);
+        result
     }
 
     /// Executes a multi-statement write transaction atomically on every
@@ -1084,5 +1169,161 @@ mod balance_tests {
         let (_, first_served_by) = blocked.join().unwrap();
         assert_eq!(first_served_by, 0);
         assert_eq!(c.reads_served(), vec![1, 1]);
+    }
+}
+
+#[cfg(test)]
+mod governance_tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::connection::{EngineNode, NodeConnection};
+    use crate::fault::{FaultPlan, FaultyConnection};
+    use apuama_engine::Database;
+    use std::time::Duration;
+
+    fn node(i: usize) -> Arc<EngineNode> {
+        let mut db = Database::in_memory();
+        db.execute("create table t (a int, b int)").unwrap();
+        for k in 0..32 {
+            db.execute(&format!("insert into t values ({k}, {})", k % 5))
+                .unwrap();
+        }
+        EngineNode::new(format!("n{i}"), db)
+    }
+
+    fn config(admission: AdmissionPolicy) -> ControllerConfig {
+        ControllerConfig {
+            admission,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Satellite (f): the counters are exact under a deterministic
+    /// sequence — every entry-point call lands in exactly one bucket.
+    #[test]
+    fn governance_counters_are_exact() {
+        let nodes: Vec<Arc<EngineNode>> = (0..2).map(node).collect();
+        let conns: Vec<Arc<dyn Connection>> = nodes
+            .iter()
+            .map(|n| Arc::new(NodeConnection::new(n.clone())) as Arc<dyn Connection>)
+            .collect();
+        let c = Controller::new(conns, ControllerConfig::default());
+
+        for _ in 0..3 {
+            c.execute("select count(*) as n from t").unwrap();
+        }
+        c.execute("insert into t values (99, 0)").unwrap();
+
+        // Abandoned before dispatch: counted cancelled, not a node failure.
+        let cancelled = QueryGovernor::new();
+        cancelled.cancel();
+        let err = c
+            .execute_read_governed("select count(*) as n from t", &cancelled)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled(_)), "{err:?}");
+
+        // Deadline already passed: counted deadline_exceeded.
+        let expired = QueryGovernor::new().with_deadline_in(Duration::ZERO);
+        let err = c
+            .execute_read_governed("select count(*) as n from t", &expired)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Timeout(_)), "{err:?}");
+
+        let expected_peak = nodes
+            .iter()
+            .map(|n| n.with_db(|db| db.mem_peak_bytes()))
+            .max()
+            .unwrap();
+        assert_eq!(
+            c.governance_counts(),
+            GovernanceCounters {
+                admitted: 6,
+                shed: 0,
+                cancelled: 1,
+                deadline_exceeded: 1,
+                peak_mem_bytes: expected_peak,
+            }
+        );
+        // Neither outcome disabled a backend or opened a breaker: the next
+        // plain read still works.
+        c.execute("select count(*) as n from t").unwrap();
+        assert_eq!(c.governance_counts().admitted, 7);
+    }
+
+    /// A statement shed at the front door leaves the controller fully
+    /// usable: the client gets a fast `ResourceExhausted`, and the same
+    /// statement succeeds once the load clears.
+    #[test]
+    fn shed_statement_then_controller_still_serves() {
+        let stalled = FaultyConnection::new(
+            Arc::new(NodeConnection::new(node(0))),
+            FaultPlan {
+                stall_every: 1,
+                stall: Duration::from_millis(150),
+                only_matching: Some("select".into()),
+                ..FaultPlan::default()
+            },
+        );
+        let c = Arc::new(Controller::new(
+            vec![stalled as Arc<dyn Connection>],
+            config(AdmissionPolicy {
+                max_olap: 1,
+                queue_depth: 0,
+                ..AdmissionPolicy::default()
+            }),
+        ));
+
+        let holder = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.execute("select count(*) as n from t").unwrap())
+        };
+        // Wait until the slow read holds the only OLAP slot.
+        while c.pending_counts()[0] == 0 {
+            std::thread::yield_now();
+        }
+        let err = c.execute("select count(*) as n from t").unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted(_)), "{err:?}");
+        holder.join().unwrap();
+
+        // Slot released on completion: the controller serves again.
+        c.execute("select count(*) as n from t").unwrap();
+        let counts = c.governance_counts();
+        assert_eq!((counts.admitted, counts.shed), (2, 1));
+    }
+
+    /// The bounded queue admits a waiter once a slot frees — shedding only
+    /// starts past `queue_depth`.
+    #[test]
+    fn queued_statement_is_served_after_the_slot_frees() {
+        let stalled = FaultyConnection::new(
+            Arc::new(NodeConnection::new(node(0))),
+            FaultPlan {
+                stall_every: 1,
+                stall: Duration::from_millis(60),
+                only_matching: Some("select".into()),
+                ..FaultPlan::default()
+            },
+        );
+        let c = Arc::new(Controller::new(
+            vec![stalled as Arc<dyn Connection>],
+            config(AdmissionPolicy {
+                max_olap: 1,
+                queue_depth: 2,
+                queue_timeout: Duration::from_secs(5),
+                ..AdmissionPolicy::default()
+            }),
+        ));
+        let holder = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.execute("select count(*) as n from t").unwrap())
+        };
+        while c.pending_counts()[0] == 0 {
+            std::thread::yield_now();
+        }
+        // Queues behind the stalled read, then runs.
+        c.execute("select count(*) as n from t").unwrap();
+        holder.join().unwrap();
+        let counts = c.governance_counts();
+        assert_eq!((counts.admitted, counts.shed), (2, 0));
     }
 }

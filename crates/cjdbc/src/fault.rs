@@ -171,10 +171,10 @@ impl FaultyConnection {
             FaultTarget::Writes => matches!(classify(sql), Ok(StatementKind::Write)),
         }
     }
-}
 
-impl Connection for FaultyConnection {
-    fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+    /// Runs the plan against one statement: sleeps for delays/stalls and
+    /// returns the injected error, if any. `Ok(())` means "pass through".
+    fn inject(&self, sql: &str) -> EngineResult<()> {
         let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
         let plan = self.plan.lock().clone();
         if self.matches(&plan, sql) {
@@ -208,7 +208,37 @@ impl Connection for FaultyConnection {
                 }
             }
         }
+        Ok(())
+    }
+}
+
+impl Connection for FaultyConnection {
+    fn execute(&self, sql: &str) -> EngineResult<QueryOutput> {
+        self.inject(sql)?;
         self.inner.execute(sql)
+    }
+
+    fn execute_governed(
+        &self,
+        sql: &str,
+        gov: &apuama_engine::QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        self.inject(sql)?;
+        self.inner.execute_governed(sql, gov)
+    }
+
+    fn execute_bound_governed(
+        &self,
+        sql: &str,
+        params: &[apuama_sql::Value],
+        gov: &apuama_engine::QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        self.inject(sql)?;
+        self.inner.execute_bound_governed(sql, params, gov)
+    }
+
+    fn mem_peak_bytes(&self) -> u64 {
+        self.inner.mem_peak_bytes()
     }
 
     fn name(&self) -> &str {

@@ -30,10 +30,15 @@
 //!   consistently. The rejoin state machine (`Disabled → CatchingUp →
 //!   Probing → Enabled`) lives in [`Controller::rejoin_backend`]; see
 //!   DESIGN.md §8 "Recovery & rejoin semantics" for the protocol.
+//! * [`admission::AdmissionController`] — per-class (OLTP/OLAP) admission
+//!   limits with a bounded wait queue and graceful shedding, consulted by
+//!   the controller before dispatch. See DESIGN.md §11 "Resource
+//!   governance".
 //!
 //! Out of scope (documented in DESIGN.md): controller replication — a
 //! controller crash still loses the virtual database.
 
+pub mod admission;
 pub mod balancer;
 pub mod connection;
 pub mod controller;
@@ -42,9 +47,10 @@ pub mod health;
 pub mod recovery;
 pub mod scheduler;
 
+pub use admission::{AdmissionController, AdmissionPermit, AdmissionPolicy};
 pub use balancer::{LeastPendingBalancer, LoadBalancer, RandomBalancer, RoundRobinBalancer};
 pub use connection::{classify, Connection, EngineNode, NodeConnection, StatementKind};
-pub use controller::{Controller, ControllerConfig};
+pub use controller::{Controller, ControllerConfig, GovernanceCounters};
 pub use fault::{FaultPlan, FaultTarget, FaultyConnection};
 pub use health::{BreakerPolicy, CircuitState, HealthTracker};
 pub use recovery::{

@@ -1,0 +1,106 @@
+//! Overload soak (CI arm, DESIGN.md §11): an open-loop burst of real
+//! threads at several times the admission limit. The properties under
+//! test are liveness and accounting, not latency:
+//!
+//! * the burst terminates — shed statements fail fast instead of queueing
+//!   without bound (the ci.sh wall-clock timeout backs this up);
+//! * every submission is accounted for: `completed + shed == submitted`,
+//!   and the controller's governance counters agree with the clients'
+//!   tallies;
+//! * the memory pinned by in-flight statements stays bounded — the
+//!   per-node peak memory gauge never exceeds the budget the nodes were
+//!   configured with, because admission caps how many statements run at
+//!   once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use apuama_cjdbc::{
+    AdmissionPolicy, Connection, Controller, ControllerConfig, EngineNode, NodeConnection,
+};
+use apuama_engine::{Database, EngineError};
+
+const MEM_BUDGET_BYTES: u64 = 64 * 1024 * 1024;
+
+fn cluster(n: usize) -> (Controller, Vec<Arc<EngineNode>>) {
+    let mut nodes = Vec::new();
+    let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+    for i in 0..n {
+        let mut db = Database::in_memory();
+        db.execute("create table t (k int not null, g int, primary key (k)) clustered by (k)")
+            .unwrap();
+        let rows: Vec<Vec<apuama_sql::Value>> = (1..=512i64)
+            .map(|k| vec![apuama_sql::Value::Int(k), apuama_sql::Value::Int(k % 7)])
+            .collect();
+        db.load_table("t", rows).unwrap();
+        db.query(&format!("set mem_budget_bytes = {MEM_BUDGET_BYTES}"))
+            .unwrap();
+        let node = EngineNode::new(format!("n{i}"), db);
+        conns.push(Arc::new(NodeConnection::new(node.clone())));
+        nodes.push(node);
+    }
+    let config = ControllerConfig {
+        admission: AdmissionPolicy {
+            max_oltp: 0,
+            max_olap: 4,
+            queue_depth: 4,
+            queue_timeout: Duration::from_millis(100),
+        },
+        ..ControllerConfig::default()
+    };
+    (Controller::new(conns, config), nodes)
+}
+
+#[test]
+fn open_loop_burst_sheds_instead_of_hanging() {
+    let (controller, _nodes) = cluster(2);
+    let controller = Arc::new(controller);
+    // 16 clients × 8 statements against 4 slots + 4 queue places: a
+    // sustained multiple of capacity.
+    let clients = 16u64;
+    let per_client = 8u64;
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let controller = Arc::clone(&controller);
+            let (completed, shed) = (&completed, &shed);
+            s.spawn(move || {
+                for _ in 0..per_client {
+                    match controller.execute("select g, count(*) as n from t group by g") {
+                        Ok((out, _)) => {
+                            assert_eq!(out.rows.len(), 7);
+                            completed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(EngineError::ResourceExhausted(_)) => {
+                            shed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(other) => panic!("unexpected outcome: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let submitted = clients * per_client;
+    let (completed, shed) = (
+        completed.load(Ordering::SeqCst),
+        shed.load(Ordering::SeqCst),
+    );
+    assert_eq!(completed + shed, submitted, "every statement accounted for");
+    assert!(completed > 0, "the admitted fraction must make progress");
+
+    let counts = controller.governance_counts();
+    assert_eq!(counts.admitted, completed, "admitted == client successes");
+    assert_eq!(counts.shed, shed, "shed == client refusals");
+    assert_eq!(counts.cancelled, 0);
+    assert_eq!(counts.deadline_exceeded, 0);
+    assert!(
+        counts.peak_mem_bytes <= MEM_BUDGET_BYTES,
+        "peak memory gauge {} exceeds budget {}",
+        counts.peak_mem_bytes,
+        MEM_BUDGET_BYTES
+    );
+}

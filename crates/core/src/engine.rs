@@ -13,7 +13,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use apuama_cjdbc::{classify, Connection, HealthTracker, StatementKind};
-use apuama_engine::{EngineError, EngineResult, ExecStats, PhaseTiming, QueryOutput};
+use apuama_engine::{
+    EngineError, EngineResult, ExecStats, PhaseTiming, QueryGovernor, QueryOutput,
+};
 use apuama_sql::Value;
 
 use crate::catalog::DataCatalog;
@@ -42,6 +44,12 @@ pub struct ApuamaConfig {
     /// What to do when a sub-query fails: timeout, retries, reassignment,
     /// circuit breaker (see [`FaultPolicy`]).
     pub fault: FaultPolicy,
+    /// Whole-SVP-query deadline (consistency wait + dispatch + composition).
+    /// Distinct from [`FaultPolicy::subquery_timeout_ms`], which bounds one
+    /// attempt on one node: when *this* expires the entire query is doomed,
+    /// so every sibling sub-query is cancelled rather than reassigned.
+    /// `None` = no deadline.
+    pub query_deadline_ms: Option<u64>,
 }
 
 impl Default for ApuamaConfig {
@@ -53,6 +61,7 @@ impl Default for ApuamaConfig {
             pool_size: 8,
             composer: ComposerStrategy::default(),
             fault: FaultPolicy::default(),
+            query_deadline_ms: None,
         }
     }
 }
@@ -193,6 +202,34 @@ impl ApuamaEngine {
         self.nodes[preferred_node].execute_read(sql)
     }
 
+    /// [`ApuamaEngine::execute_read`] under a caller-supplied governor:
+    /// SVP-eligible queries derive their per-query governor from it,
+    /// pass-throughs run the statement governed on the preferred node.
+    pub fn execute_read_governed(
+        &self,
+        preferred_node: usize,
+        sql: &str,
+        gov: &QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        if self.config.svp_enabled {
+            match self.rewriter.rewrite(sql, self.nodes.len())? {
+                Rewritten::Svp(plan) => {
+                    return self
+                        .execute_svp_governed(&plan, Some(gov))
+                        .map(|e| e.output)
+                }
+                Rewritten::Passthrough { .. } => {}
+            }
+        }
+        self.nodes[preferred_node].execute_read_governed(sql, gov)
+    }
+
+    /// The per-node processors, in node order (governance diagnostics:
+    /// in-flight counts, backend memory peaks).
+    pub fn node_processors(&self) -> &[Arc<NodeProcessor>] {
+        &self.nodes
+    }
+
     /// Write entry point: pass-through under the consistency gate.
     pub fn execute_write(&self, node: usize, sql: &str) -> EngineResult<QueryOutput> {
         self.gate.begin_node_write(node, sql);
@@ -235,13 +272,45 @@ impl ApuamaEngine {
     ///   original dispatch wave (documented relaxation; the paper does not
     ///   specify failure behaviour).
     pub fn execute_svp(&self, plan: &SvpPlan) -> EngineResult<SvpExecution> {
+        self.execute_svp_governed(plan, None)
+    }
+
+    /// [`ApuamaEngine::execute_svp`] under a caller-supplied governor
+    /// (client cancel / deadline). A per-query governor is derived from it
+    /// (plus [`ApuamaConfig::query_deadline_ms`], earlier deadline wins) and
+    /// shared by every sub-query: cancelling it — by the caller, or
+    /// internally once the query is doomed — stops every sibling at its
+    /// next batch boundary instead of letting them run to completion.
+    pub fn execute_svp_governed(
+        &self,
+        plan: &SvpPlan,
+        caller: Option<&QueryGovernor>,
+    ) -> EngineResult<SvpExecution> {
         assert_eq!(
             plan.subqueries.len(),
             self.nodes.len(),
             "plan was rewritten for a different cluster size"
         );
+        // Per-query governor: a child of the caller's (so our internal
+        // doom-cancel never fires the caller's token) with the configured
+        // whole-query deadline. The clock starts *before* the consistency
+        // wait — a stuck gate counts against the deadline too.
+        let gov = {
+            let g = match caller {
+                Some(c) => c.child(),
+                None => QueryGovernor::new(),
+            };
+            match self.config.query_deadline_ms {
+                Some(ms) => g.with_deadline_in(std::time::Duration::from_millis(ms)),
+                None => g,
+            }
+        };
         // 1. Wait for replica convergence; hold new updates.
         self.gate.block_updates_and_wait();
+        if let Err(e) = gov.check() {
+            self.gate.release_updates();
+            return Err(e);
+        }
 
         let n = self.nodes.len();
         let policy = self.config.fault;
@@ -304,6 +373,7 @@ impl ApuamaEngine {
                 let barrier = &barrier;
                 let tx = tx.clone();
                 let policy = &policy;
+                let gov = &gov;
                 s.spawn(move || {
                     // Warm the node's plan cache before taking the snapshot
                     // ticket: interior ranges share one statement text, so
@@ -317,7 +387,7 @@ impl ApuamaEngine {
                     barrier.wait();
                     for range in my_ranges {
                         let (sql, params) = &plan.prepared[range];
-                        let (attempts, result) = run_with_retries(node, sql, params, policy);
+                        let (attempts, result) = run_with_retries(node, sql, params, policy, gov);
                         // The receiver drains every message, but ignore send
                         // errors anyway so a panicking main can't wedge a
                         // node.
@@ -381,14 +451,30 @@ impl ApuamaEngine {
                         recovery.failed_attempts += attempts;
                         tried[range].push(node_idx);
                         failed.push((range, e));
+                        // With reassignment off a single failure dooms the
+                        // query — cancel the siblings so they stop at their
+                        // next batch boundary instead of finishing work
+                        // nobody will compose.
+                        if !policy.reassign {
+                            gov.cancel();
+                        }
                     }
+                }
+                if accept_error.is_some() {
+                    // Composition is broken: nothing else can be accepted,
+                    // so the query is doomed regardless of reassignment.
+                    gov.cancel();
                 }
             }
 
             // 5. Reassignment rounds: every still-missing range goes whole
             //    to a surviving replica it has not been tried on, until all
             //    ranges composed or some range has nowhere left to go.
-            while policy.reassign && !failed.is_empty() && accept_error.is_none() {
+            while policy.reassign
+                && !failed.is_empty()
+                && accept_error.is_none()
+                && !gov.is_cancelled()
+            {
                 let mut batch: Vec<(usize, usize)> = Vec::with_capacity(failed.len());
                 let mut stuck = false;
                 for (rr, (range, _)) in failed.iter().enumerate() {
@@ -410,6 +496,7 @@ impl ApuamaEngine {
                     let node = &self.nodes[target];
                     let rtx = rtx.clone();
                     let policy = &policy;
+                    let gov = &gov;
                     // Re-invoke the rewriter on the residual range. A whole
                     // failed node's residual is its entire original range,
                     // so the prepared statement binds the same values — and
@@ -420,7 +507,7 @@ impl ApuamaEngine {
                     s.spawn(move || {
                         let _ = node.prepare_subquery(&sql);
                         let ticket = node.begin_subquery();
-                        let (attempts, result) = run_with_retries(node, &sql, &bound, policy);
+                        let (attempts, result) = run_with_retries(node, &sql, &bound, policy, gov);
                         drop(ticket);
                         let _ = rtx.send((range, target, attempts, result));
                     });
@@ -472,12 +559,21 @@ impl ApuamaEngine {
             //    mid-composition (the seed corrupted the next same-template
             //    query here).
             if let Some(e) = accept_error {
+                gov.cancel();
                 composer.abort();
                 return Err(e);
             }
-            if let Some((_, e)) = failed.into_iter().min_by_key(|(range, _)| *range) {
+            if !failed.is_empty() {
+                gov.cancel();
                 composer.abort();
-                return Err(e);
+                // Surface the root cause: a sibling's `Cancelled` is fallout
+                // from the doom-cancel above, not the reason the query died.
+                failed.sort_by_key(|(range, _)| *range);
+                let root = failed
+                    .iter()
+                    .position(|(_, e)| !matches!(e, EngineError::Cancelled(_)))
+                    .unwrap_or(0);
+                return Err(failed.swap_remove(root).1);
             }
 
             // 7. Finish the composition (serial tail).
@@ -534,11 +630,15 @@ impl apuama_cjdbc::RejoinHooks for ApuamaEngine {
 
 /// Runs the prepared statement on `node` with the policy's deadline and
 /// bounded same-node retries; returns `(attempts made, final outcome)`.
+/// Every attempt executes under `gov` — the per-query governor — so a
+/// doomed query stops retrying (and backing off) as soon as it is
+/// cancelled or its deadline passes.
 fn run_with_retries(
     node: &Arc<NodeProcessor>,
     sql: &str,
     params: &[Value],
     policy: &FaultPolicy,
+    gov: &QueryGovernor,
 ) -> (u32, EngineResult<QueryOutput>) {
     let max_attempts = policy.max_retries.saturating_add(1);
     let mut last = None;
@@ -549,7 +649,12 @@ fn run_with_retries(
                 std::thread::sleep(backoff);
             }
         }
-        match run_attempt(node, sql, params, policy.subquery_timeout_ms) {
+        // The query may have been doomed before this attempt (or while we
+        // slept in backoff): bail without burning another execution.
+        if let Err(e) = gov.check() {
+            return (attempt - 1, Err(e));
+        }
+        match run_attempt(node, sql, params, policy.subquery_timeout_ms, gov) {
             Ok(out) => return (attempt, Ok(out)),
             Err(e) => last = Some(e),
         }
@@ -562,28 +667,35 @@ fn run_with_retries(
 /// The snapshot ticket guard is not `Send`, so the deadline cannot simply
 /// join the statement thread: the statement runs on a detached thread over
 /// a cloned `Arc<NodeProcessor>` (the *caller* keeps holding the ticket)
-/// and the attempt gives up after the deadline. An abandoned statement
-/// keeps running to completion on its thread; it holds one pool slot and
-/// nothing else — sub-queries are read-only.
+/// and the attempt gives up after the deadline. The abandoned statement is
+/// *cancelled* through a per-attempt child of the query governor — it
+/// observes the token at its next batch boundary, unwinds, and releases
+/// its pool slot. (The seed left it running to completion, pinning a slot
+/// for the statement's full duration.) The child token keeps sibling
+/// attempts and the query itself unaffected.
 fn run_attempt(
     node: &Arc<NodeProcessor>,
     sql: &str,
     params: &[Value],
     timeout_ms: Option<u64>,
+    gov: &QueryGovernor,
 ) -> EngineResult<QueryOutput> {
     let Some(ms) = timeout_ms else {
-        return node.run_subquery_bound(sql, params);
+        return node.run_subquery_bound_governed(sql, params, gov);
     };
     let (tx, rx) = std::sync::mpsc::channel();
     let worker_node = Arc::clone(node);
     let statement = sql.to_string();
     let bound: Vec<Value> = params.to_vec();
+    let attempt_gov = gov.child();
+    let worker_gov = attempt_gov.clone();
     std::thread::spawn(move || {
-        let _ = tx.send(worker_node.run_subquery_bound(&statement, &bound));
+        let _ = tx.send(worker_node.run_subquery_bound_governed(&statement, &bound, &worker_gov));
     });
     match rx.recv_timeout(std::time::Duration::from_millis(ms)) {
         Ok(result) => result,
         Err(_) => {
+            attempt_gov.cancel();
             node.record_timeout();
             Err(EngineError::Timeout(format!(
                 "sub-query exceeded {ms} ms on {}",
@@ -613,6 +725,23 @@ impl Connection for ApuamaConnection {
             StatementKind::Read => self.engine.execute_read(self.node, sql),
             StatementKind::Write => self.engine.execute_write(self.node, sql),
         }
+    }
+
+    fn execute_governed(&self, sql: &str, gov: &QueryGovernor) -> EngineResult<QueryOutput> {
+        match classify(sql)? {
+            StatementKind::Read => self.engine.execute_read_governed(self.node, sql, gov),
+            // Writes stay short replicated statements: governed only by a
+            // pre-dispatch check (a half-cancelled broadcast would diverge
+            // the replicas).
+            StatementKind::Write => {
+                gov.check()?;
+                self.engine.execute_write(self.node, sql)
+            }
+        }
+    }
+
+    fn mem_peak_bytes(&self) -> u64 {
+        self.engine.nodes[self.node].mem_peak_bytes()
     }
 
     fn name(&self) -> &str {
@@ -1014,5 +1143,217 @@ mod fault_tests {
         };
         let exec = engine.execute_svp(&plan).unwrap();
         assert!(exec.recovery.clean(), "{:?}", exec.recovery);
+    }
+}
+
+#[cfg(test)]
+mod governance_tests {
+    use super::*;
+    use crate::fault::FaultPolicy;
+    use apuama_cjdbc::{EngineNode, FaultPlan, FaultyConnection, NodeConnection};
+    use apuama_engine::{Database, EngineError, QueryGovernor};
+    use apuama_sql::Value;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn faulty_cluster(
+        n: usize,
+        config: ApuamaConfig,
+    ) -> (Arc<ApuamaEngine>, Vec<Arc<FaultyConnection>>) {
+        let mut faulties = Vec::new();
+        let mut conns: Vec<Arc<dyn Connection>> = Vec::new();
+        for i in 0..n {
+            let mut db = Database::in_memory();
+            db.execute(
+                "create table orders (o_orderkey int not null, o_totalprice float, \
+                 primary key (o_orderkey)) clustered by (o_orderkey)",
+            )
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (1..=60i64)
+                .map(|k| vec![Value::Int(k), Value::Float(k as f64 * 1.37)])
+                .collect();
+            db.load_table("orders", rows).unwrap();
+            let node = EngineNode::new(format!("n{i}"), db);
+            let faulty =
+                FaultyConnection::new(Arc::new(NodeConnection::new(node)), FaultPlan::default());
+            conns.push(faulty.clone() as Arc<dyn Connection>);
+            faulties.push(faulty);
+        }
+        let engine = ApuamaEngine::new(conns, DataCatalog::tpch(60), config);
+        (engine, faulties)
+    }
+
+    const SQL: &str = "select count(*) as n, sum(o_totalprice) as t, avg(o_totalprice) as a \
+                       from orders";
+
+    fn delay_all(faulties: &[Arc<FaultyConnection>], ms: u64) {
+        for f in faulties {
+            f.set_plan(FaultPlan {
+                delay: Duration::from_millis(ms),
+                only_matching: Some("from orders".into()),
+                ..FaultPlan::default()
+            });
+        }
+    }
+
+    fn heal_all(faulties: &[Arc<FaultyConnection>]) {
+        for f in faulties {
+            f.heal();
+        }
+    }
+
+    /// Satellite (a) regression: the timeout path in `run_attempt` spawns a
+    /// detached worker thread. Before governance it kept the node's pool
+    /// slot and in-flight count pinned for the full stall; now the
+    /// abandoned attempt's child token is cancelled and the thread exits at
+    /// its next batch boundary, draining the in-flight count to zero.
+    #[test]
+    fn in_flight_drains_to_zero_after_timeout_reassignment() {
+        let (engine, faulties) = faulty_cluster(
+            3,
+            ApuamaConfig {
+                fault: FaultPolicy {
+                    subquery_timeout_ms: Some(25),
+                    max_retries: 0,
+                    ..FaultPolicy::default()
+                },
+                ..ApuamaConfig::default()
+            },
+        );
+        faulties[0].set_plan(FaultPlan {
+            stall_every: 1,
+            stall: Duration::from_millis(300),
+            only_matching: Some("from orders".into()),
+            ..FaultPlan::default()
+        });
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let exec = engine.execute_svp(&plan).unwrap();
+        assert!(
+            exec.recovery
+                .reassigned
+                .iter()
+                .any(|&(range, _)| range == 0),
+            "{:?}",
+            exec.recovery
+        );
+        // The stalled node's worker is still asleep inside the injected
+        // stall when the query completes; it must wake, observe its
+        // cancelled token, and release the slot — not linger forever.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let in_flight: usize = engine
+                .node_processors()
+                .iter()
+                .map(|n| n.subqueries_in_flight())
+                .sum();
+            if in_flight == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "abandoned attempt leaked: {in_flight} sub-queries still in flight"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Satellite (b): the deadline outcome must leave the pooled composer
+    /// as clean as the failure outcome — a same-template replay after a
+    /// deadline-killed SVP is byte-identical to a fresh engine.
+    #[test]
+    fn deadline_exceeded_svp_leaves_pooled_composer_clean() {
+        let (engine, faulties) = faulty_cluster(3, ApuamaConfig::default());
+        delay_all(&faulties, 60);
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let gov = QueryGovernor::new().with_deadline_in(Duration::from_millis(10));
+        let err = engine.execute_svp_governed(&plan, Some(&gov)).unwrap_err();
+        assert!(matches!(err, EngineError::Timeout(_)), "{err:?}");
+
+        heal_all(&faulties);
+        let replay = engine.execute_read(0, SQL).unwrap();
+        let (fresh, _) = faulty_cluster(3, ApuamaConfig::default());
+        let want = fresh.execute_read(0, SQL).unwrap();
+        assert_eq!(replay.rows, want.rows);
+    }
+
+    /// Satellite (b), cancellation outcome: a caller that abandons the
+    /// query mid-flight (cancel fires while sub-queries are delayed) must
+    /// not poison the template's pooled composer either.
+    #[test]
+    fn cancelled_svp_leaves_pooled_composer_clean() {
+        let (engine, faulties) = faulty_cluster(3, ApuamaConfig::default());
+        delay_all(&faulties, 60);
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let gov = QueryGovernor::new();
+        let canceller = {
+            let token = gov.cancel_token().clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                token.cancel();
+            })
+        };
+        let err = engine.execute_svp_governed(&plan, Some(&gov)).unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, EngineError::Cancelled(_)), "{err:?}");
+
+        heal_all(&faulties);
+        let replay = engine.execute_read(0, SQL).unwrap();
+        let (fresh, _) = faulty_cluster(3, ApuamaConfig::default());
+        let want = fresh.execute_read(0, SQL).unwrap();
+        assert_eq!(replay.rows, want.rows);
+    }
+
+    /// Cancellation is health-neutral: the abandoning caller is not the
+    /// nodes' fault, so no breaker strikes accrue from a cancelled query.
+    #[test]
+    fn cancelled_query_records_no_node_failures() {
+        let (engine, faulties) = faulty_cluster(3, ApuamaConfig::default());
+        delay_all(&faulties, 60);
+        let Rewritten::Svp(plan) = engine.rewriter().rewrite(SQL, 3).unwrap() else {
+            panic!()
+        };
+        let gov = QueryGovernor::new();
+        let canceller = {
+            let token = gov.cancel_token().clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                token.cancel();
+            })
+        };
+        let err = engine.execute_svp_governed(&plan, Some(&gov)).unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, EngineError::Cancelled(_)), "{err:?}");
+        for node in 0..3 {
+            assert_eq!(engine.health().failures(node), 0, "node {node}");
+        }
+    }
+
+    /// `ApuamaConfig::query_deadline_ms` bounds every statement without
+    /// the caller carrying a governor; the engine works again for the next
+    /// statement once the slowdown clears.
+    #[test]
+    fn config_statement_deadline_times_out_and_recovers() {
+        let (engine, faulties) = faulty_cluster(
+            3,
+            ApuamaConfig {
+                query_deadline_ms: Some(15),
+                ..ApuamaConfig::default()
+            },
+        );
+        delay_all(&faulties, 80);
+        let err = engine.execute_read(0, SQL).unwrap_err();
+        assert!(matches!(err, EngineError::Timeout(_)), "{err:?}");
+
+        heal_all(&faulties);
+        let out = engine.execute_read(0, SQL).unwrap();
+        let (fresh, _) = faulty_cluster(3, ApuamaConfig::default());
+        let want = fresh.execute_read(0, SQL).unwrap();
+        assert_eq!(out.rows, want.rows);
     }
 }

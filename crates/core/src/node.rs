@@ -7,13 +7,13 @@
 //! process multiple requests, the Node Processor creates a pool of
 //! connections."
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use apuama_cjdbc::{BreakerPolicy, Connection, HealthTracker};
-use apuama_engine::{EngineResult, QueryOutput};
+use apuama_engine::{EngineError, EngineResult, QueryGovernor, QueryOutput};
 
 /// A counting semaphore bounding concurrent statements per node — the
 /// connection pool. (In-process we do not hold real sockets; the pool's
@@ -93,6 +93,20 @@ pub struct NodeProcessor {
     health: Arc<HealthTracker>,
     /// This node's index in the tracker.
     index: usize,
+    /// SVP sub-query statements currently inside `run_guarded` (queued on
+    /// the pool or executing). Observable for the timeout-reassignment
+    /// leak regression: after an abandoned attempt is cancelled, this
+    /// drains back to zero.
+    in_flight: AtomicUsize,
+}
+
+/// RAII decrement for [`NodeProcessor::in_flight`].
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl NodeProcessor {
@@ -121,6 +135,7 @@ impl NodeProcessor {
             force_index,
             health,
             index,
+            in_flight: AtomicUsize::new(0),
         })
     }
 
@@ -144,6 +159,12 @@ impl NodeProcessor {
         self.pool.capacity
     }
 
+    /// SVP sub-query statements currently in flight on this node (queued
+    /// on the pool or executing).
+    pub fn subqueries_in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
     /// Committed write transactions seen by this node.
     pub fn txn_count(&self) -> u64 {
         self.txn_counter.load(Ordering::SeqCst)
@@ -155,6 +176,23 @@ impl NodeProcessor {
         let _slot = PoolSlot(&self.pool);
         let _shared = self.snapshot.read();
         self.conn.execute(sql)
+    }
+
+    /// Pass-through read under a [`QueryGovernor`].
+    pub fn execute_read_governed(
+        &self,
+        sql: &str,
+        gov: &QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        self.pool.acquire();
+        let _slot = PoolSlot(&self.pool);
+        let _shared = self.snapshot.read();
+        self.conn.execute_governed(sql, gov)
+    }
+
+    /// Peak pipeline-breaker memory reported by the wrapped backend.
+    pub fn mem_peak_bytes(&self) -> u64 {
+        self.conn.mem_peak_bytes()
     }
 
     /// Write (single statement or transaction script): serialized against
@@ -203,6 +241,21 @@ impl NodeProcessor {
         self.run_guarded(|conn| conn.execute_bound(sql, params))
     }
 
+    /// Like [`NodeProcessor::run_subquery_bound`], but the statement runs
+    /// under a [`QueryGovernor`]: a cancelled or expired governor stops it
+    /// at the next batch boundary instead of letting it run to completion.
+    /// This is how the engine reclaims an abandoned (timed-out) attempt —
+    /// the detached thread observes the cancel, unwinds, and releases its
+    /// pool slot.
+    pub fn run_subquery_bound_governed(
+        &self,
+        sql: &str,
+        params: &[apuama_sql::Value],
+        gov: &QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        self.run_guarded(|conn| conn.execute_bound_governed(sql, params, gov))
+    }
+
     /// Registers a sub-query statement with the node's plan cache ahead of
     /// execution (dispatch warm-up). Failures are the caller's to ignore:
     /// execution re-reports anything real.
@@ -214,6 +267,8 @@ impl NodeProcessor {
         &self,
         run: impl FnOnce(&dyn Connection) -> EngineResult<QueryOutput>,
     ) -> EngineResult<QueryOutput> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _in_flight = InFlightGuard(&self.in_flight);
         self.pool.acquire();
         let _slot = PoolSlot(&self.pool);
         let guard = if self.force_index {
@@ -232,6 +287,11 @@ impl NodeProcessor {
         let result = run(self.conn.as_ref());
         match &result {
             Ok(_) => self.health.record_success(self.index),
+            // A cooperative cancel is the *coordinator* abandoning the
+            // attempt (timeout reassignment, sibling failure, client
+            // cancel) — the node did nothing wrong, so it is
+            // health-neutral: neither a success nor a breaker strike.
+            Err(EngineError::Cancelled(_)) => {}
             Err(_) => self.health.record_failure(self.index),
         }
         // Dropping the guard *after* recording lets a failed

@@ -24,6 +24,7 @@ use crate::catalog::{Catalog, TableSchema};
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{eval_expr, split_conjuncts};
 use crate::exec::{self, ExecContext};
+use crate::governor::{MemoryGauge, QueryGovernor};
 use crate::physical;
 use crate::plan_cache::{self, CachedPlan, PlanCache, PlanCacheStats};
 use crate::planner;
@@ -48,6 +49,10 @@ pub struct QueryOutput {
 #[derive(Debug)]
 pub struct Settings {
     enable_seqscan: AtomicBool,
+    /// Default per-statement deadline (`SET statement_timeout_ms`, 0 =
+    /// none). Cached out of `misc` so the hot read path pays one atomic
+    /// load, not a map lookup.
+    statement_timeout_ms: AtomicU64,
     misc: Mutex<HashMap<String, String>>,
 }
 
@@ -55,6 +60,7 @@ impl Default for Settings {
     fn default() -> Self {
         Settings {
             enable_seqscan: AtomicBool::new(true),
+            statement_timeout_ms: AtomicU64::new(0),
             misc: Mutex::new(HashMap::new()),
         }
     }
@@ -91,6 +97,10 @@ pub struct Database {
     catalog_version: AtomicU64,
     /// Prepared-statement plan cache (see [`crate::plan_cache`]).
     plan_cache: Mutex<PlanCache>,
+    /// Node-level memory accounting for pipeline-breaker state
+    /// (`SET mem_budget_bytes` to enforce a budget; see
+    /// [`crate::governor::MemoryGauge`]).
+    mem_gauge: MemoryGauge,
 }
 
 impl Database {
@@ -105,6 +115,7 @@ impl Database {
             txn: None,
             catalog_version: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::default()),
+            mem_gauge: MemoryGauge::unlimited(),
         }
     }
 
@@ -119,6 +130,7 @@ impl Database {
             txn: None,
             catalog_version: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::default()),
+            mem_gauge: MemoryGauge::unlimited(),
         }
     }
 
@@ -182,6 +194,35 @@ impl Database {
             .get("enable_batch_exec")
             .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
             .unwrap_or(true)
+    }
+
+    /// The node's memory gauge: pipeline-breaker state charged by every
+    /// statement on this database. `SET mem_budget_bytes = N` arms the
+    /// budget (0 disarms it).
+    pub fn mem_gauge(&self) -> &MemoryGauge {
+        &self.mem_gauge
+    }
+
+    /// High-water mark of pipeline-breaker memory since this database was
+    /// created (bytes).
+    pub fn mem_peak_bytes(&self) -> u64 {
+        self.mem_gauge.peak_bytes()
+    }
+
+    /// Builds the effective per-statement governor: the caller's governor
+    /// (if any) tightened by the session's `statement_timeout_ms` default.
+    /// Returns `None` when there is nothing to enforce, keeping the
+    /// ungoverned hot path a single atomic load.
+    fn statement_governor(&self, caller: Option<&QueryGovernor>) -> Option<QueryGovernor> {
+        let timeout_ms = self.settings.statement_timeout_ms.load(Ordering::Relaxed);
+        match (caller, timeout_ms) {
+            (None, 0) => None,
+            (Some(g), 0) => Some(g.clone()),
+            (caller, ms) => {
+                let base = caller.cloned().unwrap_or_default();
+                Some(base.with_deadline_in(std::time::Duration::from_millis(ms)))
+            }
+        }
     }
 
     /// Reads back a miscellaneous session setting.
@@ -259,10 +300,24 @@ impl Database {
     /// Read-only entry point usable from `&self` (concurrent readers).
     /// Accepts SELECT and SET; anything else is rejected.
     pub fn query(&self, sql: &str) -> EngineResult<QueryOutput> {
+        self.query_opt_governed(sql, None)
+    }
+
+    /// [`Database::query`] under a [`QueryGovernor`]: the statement is
+    /// cancellable and deadline-bounded at scan-batch grain.
+    pub fn query_governed(&self, sql: &str, gov: &QueryGovernor) -> EngineResult<QueryOutput> {
+        self.query_opt_governed(sql, Some(gov))
+    }
+
+    fn query_opt_governed(
+        &self,
+        sql: &str,
+        gov: Option<&QueryGovernor>,
+    ) -> EngineResult<QueryOutput> {
         let stmt = parse_statement(sql)?;
         match &stmt {
             Statement::Select(q) => {
-                let ctx = ExecContext::new(self);
+                let ctx = ExecContext::governed(self, Vec::new(), self.statement_governor(gov));
                 let rel = exec::run_select(q, &[], &ctx)?;
                 ctx.record_output(&rel);
                 Ok(QueryOutput {
@@ -368,6 +423,26 @@ impl Database {
     /// execution. Results are byte-identical to rendering the literals
     /// into the text and calling [`Database::query`].
     pub fn query_bound(&self, sql: &str, params: &[Value]) -> EngineResult<QueryOutput> {
+        self.query_bound_opt_governed(sql, params, None)
+    }
+
+    /// [`Database::query_bound`] under a [`QueryGovernor`]: the statement
+    /// is cancellable and deadline-bounded at scan-batch grain.
+    pub fn query_bound_governed(
+        &self,
+        sql: &str,
+        params: &[Value],
+        gov: &QueryGovernor,
+    ) -> EngineResult<QueryOutput> {
+        self.query_bound_opt_governed(sql, params, Some(gov))
+    }
+
+    fn query_bound_opt_governed(
+        &self,
+        sql: &str,
+        params: &[Value],
+        gov: Option<&QueryGovernor>,
+    ) -> EngineResult<QueryOutput> {
         let Some(plan) = self.plan_for(sql)? else {
             if !params.is_empty() {
                 return Err(EngineError::Unsupported(
@@ -375,7 +450,7 @@ impl Database {
                 ));
             }
             // SET / EXPLAIN take the plain read path.
-            return self.query(sql);
+            return self.query_opt_governed(sql, gov);
         };
         if params.len() != plan.n_params {
             return Err(EngineError::TypeError(format!(
@@ -384,7 +459,7 @@ impl Database {
                 params.len()
             )));
         }
-        let ctx = ExecContext::with_params(self, params.to_vec());
+        let ctx = ExecContext::governed(self, params.to_vec(), self.statement_governor(gov));
         let rel = physical::execute(&plan.physical, &[], &ctx)?;
         ctx.record_output(&rel);
         Ok(QueryOutput {
@@ -486,12 +561,21 @@ impl Database {
         if name == "enable_seqscan" {
             let on = matches!(value, "on" | "true" | "1" | "yes");
             self.settings.enable_seqscan.store(on, Ordering::SeqCst);
-        } else {
-            self.settings
-                .misc
-                .lock()
-                .insert(name.to_string(), value.to_string());
+            return;
         }
+        if name == "statement_timeout_ms" {
+            let ms = value.parse::<u64>().unwrap_or(0);
+            self.settings
+                .statement_timeout_ms
+                .store(ms, Ordering::Relaxed);
+        } else if name == "mem_budget_bytes" {
+            let bytes = value.parse::<u64>().unwrap_or(0);
+            self.mem_gauge.set_limit(bytes);
+        }
+        self.settings
+            .misc
+            .lock()
+            .insert(name.to_string(), value.to_string());
     }
 
     // -- DML -----------------------------------------------------------------
@@ -811,6 +895,7 @@ impl Database {
             // The clone starts with an empty cache: cached plans hold no
             // data, only compiled shapes, and recompiling is cheap.
             plan_cache: Mutex::new(PlanCache::default()),
+            mem_gauge: MemoryGauge::unlimited(),
         })
     }
 }

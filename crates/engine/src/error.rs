@@ -23,9 +23,17 @@ pub enum EngineError {
     Transaction(String),
     /// Constraint violation (NOT NULL, arity mismatch on INSERT, ...).
     Constraint(String),
-    /// A statement exceeded its deadline (per-sub-query timeout in the
-    /// cluster layer; the engine itself never times out).
+    /// A statement exceeded its deadline (statement- or query-level
+    /// deadline via [`crate::QueryGovernor`], or the per-sub-query timeout
+    /// in the cluster layer).
     Timeout(String),
+    /// The statement was cooperatively cancelled via a
+    /// [`crate::CancelToken`]; observed within one scan batch.
+    Cancelled(String),
+    /// A resource budget was exceeded (memory gauge over its limit, or an
+    /// admission queue shedding load). The statement failed cleanly and
+    /// the engine remains usable.
+    ResourceExhausted(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -41,6 +49,8 @@ impl std::fmt::Display for EngineError {
             EngineError::Transaction(m) => write!(f, "transaction error: {m}"),
             EngineError::Constraint(m) => write!(f, "constraint violation: {m}"),
             EngineError::Timeout(m) => write!(f, "timeout: {m}"),
+            EngineError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            EngineError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
         }
     }
 }

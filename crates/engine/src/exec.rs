@@ -10,7 +10,7 @@
 //! the statistics charging contracts, which the simulator prices and which
 //! must not drift between read and write paths.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use apuama_sql::ast::{is_aggregate_name, Expr, Select, SelectItem};
@@ -22,6 +22,7 @@ use crate::catalog::TableSchema;
 use crate::db::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{eval_expr, truthiness, Frame};
+use crate::governor::QueryGovernor;
 use crate::physical;
 use crate::planner::AccessPath;
 use crate::stats::ExecStats;
@@ -83,12 +84,18 @@ pub fn bindings_for_table(schema: &TableSchema, alias: Option<&str>) -> Vec<Bind
 }
 
 /// Per-statement execution context: the database handle, the bound
-/// parameter values (empty for plain text statements), and the statistics
-/// being accumulated for this statement.
+/// parameter values (empty for plain text statements), the statistics
+/// being accumulated for this statement, and the governance handle
+/// (cancellation + deadline) checked at batch boundaries.
 pub struct ExecContext<'a> {
     pub db: &'a Database,
     params: Vec<Value>,
     stats: RefCell<ExecStats>,
+    gov: Option<QueryGovernor>,
+    /// Bytes this statement has charged to the node's [`MemoryGauge`];
+    /// released on drop so every exit path (success, error, cancel)
+    /// returns the budget.
+    mem_charged: Cell<u64>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -99,10 +106,18 @@ impl<'a> ExecContext<'a> {
     /// Context for a prepared statement executed with bound values; `$N`
     /// placeholders resolve to `params[N-1]`.
     pub fn with_params(db: &'a Database, params: Vec<Value>) -> Self {
+        Self::governed(db, params, None)
+    }
+
+    /// Context carrying a [`QueryGovernor`] (cancel token + deadline); the
+    /// physical pipeline checks it once per scan batch.
+    pub fn governed(db: &'a Database, params: Vec<Value>, gov: Option<QueryGovernor>) -> Self {
         ExecContext {
             db,
             params,
             stats: RefCell::new(ExecStats::default()),
+            gov,
+            mem_charged: Cell::new(0),
         }
     }
 
@@ -168,6 +183,48 @@ impl<'a> ExecContext<'a> {
     pub fn take_stats(&self) -> ExecStats {
         std::mem::take(&mut self.stats.borrow_mut())
     }
+
+    /// One cooperative cancellation point: fails with
+    /// [`EngineError::Cancelled`] / [`EngineError::Timeout`] when this
+    /// statement's governor fired. Called once per scan batch — a single
+    /// branch when no governor is attached.
+    #[inline]
+    pub fn check_interrupt(&self) -> EngineResult<()> {
+        match &self.gov {
+            Some(g) => g.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charges `bytes` of pipeline-breaker state growth against the node's
+    /// memory gauge (batch-grain accounting). Fails the statement with
+    /// [`EngineError::ResourceExhausted`] when the budget is exceeded; the
+    /// cumulative charge is released when this context drops.
+    pub fn charge_mem(&self, bytes: u64) -> EngineResult<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        self.db.mem_gauge().charge(bytes)?;
+        self.mem_charged.set(self.mem_charged.get() + bytes);
+        Ok(())
+    }
+}
+
+impl Drop for ExecContext<'_> {
+    fn drop(&mut self) {
+        let charged = self.mem_charged.get();
+        if charged > 0 {
+            self.db.mem_gauge().release(charged);
+        }
+    }
+}
+
+/// Cheap constant-time estimate of materialized row-set growth, used for
+/// batch-grain memory accounting where summing [`row_bytes`] per row would
+/// show up in the hot path: per-row `Vec` + enum-value overhead plus eight
+/// bytes per column.
+pub(crate) fn approx_state_bytes(rows: u64, cols: usize) -> u64 {
+    rows * (32 + 8 * cols as u64)
 }
 
 /// Approximate wire size of a row.

@@ -31,6 +31,7 @@ pub mod db;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod governor;
 mod physical;
 mod plan_cache;
 pub mod planner;
@@ -41,6 +42,7 @@ pub use catalog::{Catalog, ColumnMeta, TableSchema};
 pub use db::{Database, QueryOutput, Settings};
 pub use error::{EngineError, EngineResult};
 pub use exec::SCAN_BATCH_ROWS;
+pub use governor::{CancelToken, MemoryGauge, QueryGovernor};
 pub use plan_cache::PlanCacheStats;
 pub use stats::{ExecStats, PhaseTiming};
 pub use table::Table;

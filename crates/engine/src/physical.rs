@@ -412,6 +412,7 @@ pub(crate) fn execute_shape<'e>(
     let bindings = root.open()?;
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch()? {
+        ctx.check_interrupt()?;
         rows.extend(batch.rows.into_owned());
     }
     Ok(Relation { bindings, rows })
@@ -484,7 +485,7 @@ fn build_tree<'e>(
     if q.quantifier == SetQuantifier::Distinct {
         (op, idx) = instrument(
             az,
-            Box::new(DistinctExec::new(op)),
+            Box::new(DistinctExec::new(op, ctx)),
             "distinct".to_string(),
             idx.into_iter().collect(),
         );
@@ -500,7 +501,7 @@ fn build_tree<'e>(
     if let Some(l) = q.limit {
         (op, idx) = instrument(
             az,
-            Box::new(LimitExec::new(l, op)),
+            Box::new(LimitExec::new(l, op, ctx)),
             format!("limit {l}"),
             idx.into_iter().collect(),
         );
@@ -941,6 +942,10 @@ impl GroupTable {
     fn into_states(self) -> Vec<GroupState> {
         self.states
     }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
 }
 
 /// FNV-1a, the fused kernel's bucketing hash. Only bucket placement
@@ -1072,6 +1077,10 @@ impl FusedGroups {
     /// The accumulated group states, in first-seen order.
     fn into_states(self) -> Vec<GroupState> {
         self.states
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
     }
 }
 
@@ -1244,6 +1253,7 @@ impl<'e> Operator<'e> for ScanExec<'e> {
     }
 
     fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        self.ctx.check_interrupt()?;
         let Some(state) = self.state.as_mut() else {
             return Ok(None);
         };
@@ -1527,6 +1537,7 @@ impl<'e> Operator<'e> for FilterExec<'e> {
             if self.emitter.is_none() {
                 let mut all = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
+                    self.ctx.check_interrupt()?;
                     all.extend(batch.rows.into_owned());
                 }
                 let kept = self.filter_batch(all)?;
@@ -1535,6 +1546,7 @@ impl<'e> Operator<'e> for FilterExec<'e> {
             return Ok(self.emitter.as_mut().and_then(BatchEmitter::next));
         }
         loop {
+            self.ctx.check_interrupt()?;
             let Some(batch) = self.child.next_batch()? else {
                 return Ok(None);
             };
@@ -1615,6 +1627,13 @@ impl<'e> Operator<'e> for JoinExec<'e> {
             let bindings = op.open()?;
             let mut rows = Vec::new();
             while let Some(batch) = op.next_batch()? {
+                ctx.check_interrupt()?;
+                // Join inputs are materialized in full: charge the build-
+                // side growth against the memory budget at batch grain.
+                ctx.charge_mem(exec::approx_state_bytes(
+                    batch.rows.len() as u64,
+                    bindings.len(),
+                ))?;
                 rows.extend(batch.rows.into_owned());
             }
             inputs.push(Relation { bindings, rows });
@@ -1658,6 +1677,7 @@ impl<'e> Operator<'e> for JoinExec<'e> {
                         (l_bound && e.right == names[next]) || (r_bound && e.left == names[next])
                     })
                     .collect();
+                ctx.check_interrupt()?;
                 current = if my_edges.is_empty() {
                     cross_join(current, next_rel, ctx)
                 } else {
@@ -1671,6 +1691,14 @@ impl<'e> Operator<'e> for JoinExec<'e> {
                         batch_mode,
                     )?
                 };
+                // Each greedy join step materializes a fresh intermediate;
+                // charge its size (a conservative running total — earlier
+                // intermediates are freed but stay charged until the
+                // statement completes).
+                ctx.charge_mem(exec::approx_state_bytes(
+                    current.rows.len() as u64,
+                    current.bindings.len(),
+                ))?;
                 bound.push(next);
                 current = apply_ready_post_filters(current, &mut post, &names, &bound, outer, ctx)?;
             }
@@ -2247,6 +2275,7 @@ impl<'e> Operator<'e> for ProjectExec<'e> {
             if self.emitter.is_none() {
                 let mut all = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
+                    self.ctx.check_interrupt()?;
                     all.extend(batch.rows.into_owned());
                 }
                 let (rows, keys) = self.project_batch(all)?;
@@ -2387,6 +2416,11 @@ impl<'e> Operator<'e> for AggregateExec<'e> {
 
     fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.emitter.is_none() {
+            // Group-state growth is charged against the memory budget at
+            // batch grain: one charge per batch covering the groups it
+            // created (state width ≈ rep row + one accumulator per spec).
+            let state_width = self.in_bindings.len() + self.specs.len();
+            let mut charged_groups = 0u64;
             let states: Vec<GroupState> = if let Some((key_progs, arg_progs)) = &self.progs {
                 // Batch-exec fold: positional key/argument programs over
                 // borrowed rows, group lookup without key clones, cpu
@@ -2394,6 +2428,7 @@ impl<'e> Operator<'e> for AggregateExec<'e> {
                 let mut table = GroupTable::new();
                 let mut scratch: Vec<Value> = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
+                    self.ctx.check_interrupt()?;
                     let mut cpu = 0u64;
                     for row in batch.rows.iter() {
                         cpu += 1;
@@ -2412,6 +2447,12 @@ impl<'e> Operator<'e> for AggregateExec<'e> {
                         }
                     }
                     self.ctx.bump_cpu(cpu);
+                    let groups = table.len() as u64;
+                    self.ctx.charge_mem(exec::approx_state_bytes(
+                        groups - charged_groups,
+                        state_width,
+                    ))?;
+                    charged_groups = groups;
                 }
                 table.into_states()
             } else {
@@ -2420,16 +2461,30 @@ impl<'e> Operator<'e> for AggregateExec<'e> {
                 if self.breaker {
                     let mut all = Vec::new();
                     while let Some(batch) = self.child.next_batch()? {
+                        self.ctx.check_interrupt()?;
+                        self.ctx.charge_mem(exec::approx_state_bytes(
+                            batch.rows.len() as u64,
+                            self.in_bindings.len(),
+                        ))?;
                         all.extend(batch.rows.into_owned());
                     }
                     for row in &all {
                         self.fold_row(row, &self.specs, &mut groups, &mut order)?;
                     }
+                    self.ctx
+                        .charge_mem(exec::approx_state_bytes(groups.len() as u64, state_width))?;
                 } else {
                     while let Some(batch) = self.child.next_batch()? {
+                        self.ctx.check_interrupt()?;
                         for row in batch.rows.iter() {
                             self.fold_row(row, &self.specs, &mut groups, &mut order)?;
                         }
+                        let n = groups.len() as u64;
+                        self.ctx.charge_mem(exec::approx_state_bytes(
+                            n - charged_groups,
+                            state_width,
+                        ))?;
+                        charged_groups = n;
                     }
                 }
                 order
@@ -2540,11 +2595,15 @@ impl<'e> FusedExec<'e> {
 
         let mut table_groups = FusedGroups::new();
         let mut scratch: Vec<Value> = Vec::new();
+        let state_width = plan.bindings.len() + plan.specs.len();
+        let mut charged_groups = 0u64;
 
         // Folds one batch of borrowed rows: predicate pass, then
         // accumulator updates, with the statistics for the whole batch
-        // charged in one go.
+        // charged in one go. Also the kernel's cancellation point and
+        // memory-charge boundary.
         let mut fold_batch = |batch: &[&Row]| -> EngineResult<()> {
+            ctx.check_interrupt()?;
             ctx.bump_rows_scanned(batch.len() as u64);
             ctx.bump_scan_batches(1);
             let mut cpu = 0u64;
@@ -2570,6 +2629,12 @@ impl<'e> FusedExec<'e> {
                 }
             }
             ctx.bump_cpu(cpu);
+            let groups = table_groups.len() as u64;
+            ctx.charge_mem(exec::approx_state_bytes(
+                groups - charged_groups,
+                state_width,
+            ))?;
+            charged_groups = groups;
             Ok(())
         };
 
@@ -2659,16 +2724,19 @@ impl<'e> Operator<'e> for FusedExec<'e> {
 // ---------------------------------------------------------------------------
 
 /// Streaming DISTINCT over whole output rows, preserving first-seen order
-/// and the row-parallel sort keys. Charges nothing, like the interpreter.
+/// and the row-parallel sort keys. Charges no cpu, like the interpreter,
+/// but its seen-set growth counts against the memory budget.
 struct DistinctExec<'e> {
     child: Box<dyn Operator<'e> + 'e>,
+    ctx: &'e ExecContext<'e>,
     seen: HashSet<Vec<HashableValue>>,
 }
 
 impl<'e> DistinctExec<'e> {
-    fn new(child: Box<dyn Operator<'e> + 'e>) -> Self {
+    fn new(child: Box<dyn Operator<'e> + 'e>, ctx: &'e ExecContext<'e>) -> Self {
         DistinctExec {
             child,
+            ctx,
             seen: HashSet::new(),
         }
     }
@@ -2681,10 +2749,12 @@ impl<'e> Operator<'e> for DistinctExec<'e> {
 
     fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         loop {
+            self.ctx.check_interrupt()?;
             let Some(batch) = self.child.next_batch()? else {
                 return Ok(None);
             };
             let in_rows = batch.rows.into_owned();
+            let width = in_rows.first().map_or(0, Vec::len);
             let mut rows = Vec::with_capacity(in_rows.len());
             let mut keys = Vec::with_capacity(batch.keys.len());
             for (row, key) in in_rows.into_iter().zip(batch.keys) {
@@ -2694,6 +2764,9 @@ impl<'e> Operator<'e> for DistinctExec<'e> {
                     keys.push(key);
                 }
             }
+            // Every emitted row added one key to the seen set.
+            self.ctx
+                .charge_mem(exec::approx_state_bytes(rows.len() as u64, width))?;
             if !rows.is_empty() {
                 return Ok(Some(RowBatch::owned(rows, keys)));
             }
@@ -2737,7 +2810,14 @@ impl<'e> Operator<'e> for SortExec<'e> {
         if self.emitter.is_none() {
             let mut rows: Vec<Row> = Vec::new();
             let mut sort_keys: Vec<Vec<Value>> = Vec::new();
+            let n_keys = self.q.order_by.len();
             while let Some(batch) = self.child.next_batch()? {
+                self.ctx.check_interrupt()?;
+                let width = batch.rows.iter().next().map_or(0, Vec::len);
+                self.ctx.charge_mem(exec::approx_state_bytes(
+                    batch.rows.len() as u64,
+                    width + n_keys,
+                ))?;
                 rows.extend(batch.rows.into_owned());
                 sort_keys.extend(batch.keys);
             }
@@ -2773,14 +2853,16 @@ impl<'e> Operator<'e> for SortExec<'e> {
 struct LimitExec<'e> {
     limit: u64,
     child: Box<dyn Operator<'e> + 'e>,
+    ctx: &'e ExecContext<'e>,
     emitter: Option<BatchEmitter>,
 }
 
 impl<'e> LimitExec<'e> {
-    fn new(limit: u64, child: Box<dyn Operator<'e> + 'e>) -> Self {
+    fn new(limit: u64, child: Box<dyn Operator<'e> + 'e>, ctx: &'e ExecContext<'e>) -> Self {
         LimitExec {
             limit,
             child,
+            ctx,
             emitter: None,
         }
     }
@@ -2795,6 +2877,7 @@ impl<'e> Operator<'e> for LimitExec<'e> {
         if self.emitter.is_none() {
             let mut rows: Vec<Row> = Vec::new();
             while let Some(batch) = self.child.next_batch()? {
+                self.ctx.check_interrupt()?;
                 rows.extend(batch.rows.into_owned());
             }
             rows.truncate(self.limit as usize);

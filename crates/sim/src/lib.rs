@@ -38,4 +38,7 @@ pub use cluster::{
 pub use cost::CostModel;
 pub use isolated::{run_isolated, IsolatedReport};
 pub use recovery::{price_rejoin, RejoinCost};
-pub use workload::{run_workload, SimReport, WorkloadSpec};
+pub use workload::{
+    run_overload, run_workload, OverloadGovernance, OverloadReport, OverloadSpec, SimReport,
+    WorkloadSpec,
+};

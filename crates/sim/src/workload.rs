@@ -381,6 +381,298 @@ pub fn run_workload(cluster: &mut SimCluster, spec: WorkloadSpec) -> EngineResul
     Ok(report)
 }
 
+/// Open-loop overload parameters (Ablation 9). Unlike [`WorkloadSpec`]'s
+/// closed loop — where a stream submits its next query only after the
+/// previous one completes — arrivals here land on a fixed clock regardless
+/// of completions, so an under-provisioned cluster accumulates backlog.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSpec {
+    /// Total queries submitted.
+    pub arrivals: usize,
+    /// Inter-arrival gap in virtual milliseconds. Overload means this is
+    /// smaller than the cluster's mean service time.
+    pub interval_ms: f64,
+    /// Seed for query-parameter substitution.
+    pub seed: u64,
+    /// `None` = ungoverned (every arrival is dispatched immediately and
+    /// queues without bound); `Some` = admission control with shedding.
+    pub governance: Option<OverloadGovernance>,
+}
+
+/// The sim-side mirror of `apuama_cjdbc::AdmissionPolicy`: a concurrency
+/// limit, a bounded wait queue, and a queue-wait deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadGovernance {
+    /// Queries admitted (dispatched) concurrently.
+    pub max_concurrent: usize,
+    /// Arrivals allowed to wait once the limit is reached; beyond this an
+    /// arrival is shed immediately.
+    pub queue_depth: usize,
+    /// Longest a queued arrival may wait before it is shed.
+    pub queue_timeout_ms: f64,
+}
+
+/// Outcome of an open-loop run. Latencies are measured from *arrival*, so
+/// time spent in the admission queue (or, ungoverned, in node queues) is
+/// charged to the query — the cost model prices queue wait.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    pub submitted: usize,
+    pub completed: usize,
+    /// Queries refused by admission control (queue full on arrival, or
+    /// queue-wait deadline passed). Always 0 when ungoverned.
+    pub shed: usize,
+    pub makespan_ms: f64,
+    /// Largest number of queries simultaneously in the system (dispatched
+    /// but unfinished, plus waiting for admission) — the proxy for memory
+    /// pinned by in-flight statements. Governance bounds it at
+    /// `max_concurrent + queue_depth`.
+    pub peak_backlog: usize,
+    /// Arrival-to-completion latency of each completed query, in arrival
+    /// order.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl OverloadReport {
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let idx = ((sorted.len() - 1) as f64 * p).ceil() as usize;
+        sorted[idx]
+    }
+
+    /// 99th-percentile completion latency — the ablation's tail metric.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    pub fn median_ms(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+    }
+}
+
+enum OEv {
+    Arrive { idx: usize },
+    TaskDone { node: usize, job: usize },
+    JobFinal { job: usize },
+    QueueTimeout { ticket: usize },
+}
+
+struct OJob {
+    arrival_ms: f64,
+    remaining: usize,
+    tail_ms: f64,
+}
+
+/// Runs an open-loop arrival storm against the cluster. The read-only
+/// overload arm: every arrival is one of the eight evaluation queries with
+/// randomized parameters, dispatched SVP (or pass-through to the
+/// least-pending node when ineligible).
+pub fn run_overload(cluster: &SimCluster, spec: OverloadSpec) -> EngineResult<OverloadReport> {
+    let n = cluster.node_count();
+    // Arrival list: permuted 8-query rounds, TPC-H-style parameters.
+    let mut arrivals: Vec<String> = Vec::with_capacity(spec.arrivals);
+    let mut round = 0u64;
+    while arrivals.len() < spec.arrivals {
+        for (qi, query) in query_sequence(spec.seed.wrapping_add(round))
+            .iter()
+            .enumerate()
+        {
+            if arrivals.len() >= spec.arrivals {
+                break;
+            }
+            let pseed = spec
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(round << 16)
+                .wrapping_add(qi as u64);
+            arrivals.push(query.sql(&QueryParams::random(pseed)));
+        }
+        round += 1;
+    }
+
+    let mut queue: EventQueue<OEv> = EventQueue::new();
+    let mut nodes: Vec<NodeQueue<Task>> = (0..n)
+        .map(|_| NodeQueue::new(cluster.config().servers_per_node))
+        .collect();
+    let mut jobs: Vec<OJob> = Vec::new();
+    // Admission state (governed runs only).
+    let mut running = 0usize;
+    let mut pending: VecDeque<(usize, f64, String)> = VecDeque::new();
+    let mut next_ticket = 0usize;
+    let mut report = OverloadReport {
+        submitted: spec.arrivals,
+        completed: 0,
+        shed: 0,
+        makespan_ms: 0.0,
+        peak_backlog: 0,
+        latencies_ms: Vec::new(),
+    };
+
+    for (i, _) in arrivals.iter().enumerate() {
+        queue.schedule(spec.interval_ms * i as f64, OEv::Arrive { idx: i });
+    }
+
+    fn start_if_free(
+        queue: &mut EventQueue<OEv>,
+        nodes: &mut [NodeQueue<Task>],
+        node: usize,
+        task: Task,
+        priority: bool,
+    ) {
+        if let Some(t) = nodes[node].submit(task, priority) {
+            queue.schedule_in(t.dur_ms, OEv::TaskDone { node, job: t.job });
+        }
+    }
+
+    // Dispatches one query: sub-queries execute now (dispatch-time
+    // snapshot), the DES models server occupancy for the measured
+    // durations. Latency is anchored at `arrival_ms`, not dispatch time.
+    let dispatch = |cluster: &SimCluster,
+                    queue: &mut EventQueue<OEv>,
+                    nodes: &mut [NodeQueue<Task>],
+                    jobs: &mut Vec<OJob>,
+                    arrival_ms: f64,
+                    sql: &str|
+     -> EngineResult<()> {
+        match cluster.rewrite(sql)? {
+            Rewritten::Svp(plan) => {
+                let mut partials = Vec::with_capacity(plan.subqueries.len());
+                let mut durs = Vec::with_capacity(plan.subqueries.len());
+                for (i, sub) in plan.subqueries.iter().enumerate() {
+                    let (out, ms) = cluster.exec_subquery(i, sub)?;
+                    partials.push(out);
+                    durs.push(ms);
+                }
+                let timed = cluster.compose_timed(&plan, &partials, &durs)?;
+                let job_id = jobs.len();
+                jobs.push(OJob {
+                    arrival_ms,
+                    remaining: durs.len(),
+                    tail_ms: timed.tail_ms,
+                });
+                for (node, dur) in durs.into_iter().enumerate() {
+                    start_if_free(
+                        queue,
+                        nodes,
+                        node,
+                        Task {
+                            job: job_id,
+                            dur_ms: dur,
+                        },
+                        true,
+                    );
+                }
+            }
+            Rewritten::Passthrough { .. } => {
+                let node = (0..n).min_by_key(|&i| nodes[i].load()).expect("n > 0");
+                let (_, dur) = cluster.exec_read(node, sql)?;
+                let job_id = jobs.len();
+                jobs.push(OJob {
+                    arrival_ms,
+                    remaining: 1,
+                    tail_ms: 0.0,
+                });
+                start_if_free(
+                    queue,
+                    nodes,
+                    node,
+                    Task {
+                        job: job_id,
+                        dur_ms: dur,
+                    },
+                    false,
+                );
+            }
+        }
+        Ok(())
+    };
+
+    while let Some((now, ev)) = queue.pop() {
+        report.makespan_ms = now;
+        match ev {
+            OEv::Arrive { idx } => {
+                let sql = &arrivals[idx];
+                match spec.governance {
+                    None => {
+                        running += 1;
+                        dispatch(cluster, &mut queue, &mut nodes, &mut jobs, now, sql)?;
+                    }
+                    Some(gov) => {
+                        if running < gov.max_concurrent {
+                            running += 1;
+                            dispatch(cluster, &mut queue, &mut nodes, &mut jobs, now, sql)?;
+                        } else if pending.len() >= gov.queue_depth {
+                            report.shed += 1;
+                        } else {
+                            pending.push_back((next_ticket, now, sql.clone()));
+                            queue.schedule_in(
+                                gov.queue_timeout_ms,
+                                OEv::QueueTimeout {
+                                    ticket: next_ticket,
+                                },
+                            );
+                            next_ticket += 1;
+                        }
+                    }
+                }
+                report.peak_backlog = report.peak_backlog.max(running + pending.len());
+            }
+            OEv::QueueTimeout { ticket } => {
+                // Still waiting at the deadline → shed. (If the ticket is
+                // gone it was admitted in the meantime; nothing to do.)
+                if let Some(pos) = pending.iter().position(|(t, _, _)| *t == ticket) {
+                    pending.remove(pos);
+                    report.shed += 1;
+                }
+            }
+            OEv::TaskDone { node, job } => {
+                if let Some(next) = nodes[node].complete() {
+                    queue.schedule_in(
+                        next.dur_ms,
+                        OEv::TaskDone {
+                            node,
+                            job: next.job,
+                        },
+                    );
+                }
+                let j = &mut jobs[job];
+                j.remaining -= 1;
+                if j.remaining == 0 {
+                    let tail = j.tail_ms;
+                    queue.schedule_in(tail, OEv::JobFinal { job });
+                }
+            }
+            OEv::JobFinal { job } => {
+                report.completed += 1;
+                report.latencies_ms.push(now - jobs[job].arrival_ms);
+                running -= 1;
+                // A slot freed: admit from the queue, oldest first.
+                if let Some(gov) = spec.governance {
+                    while running < gov.max_concurrent {
+                        let Some((_, arrival_ms, sql)) = pending.pop_front() else {
+                            break;
+                        };
+                        running += 1;
+                        dispatch(cluster, &mut queue, &mut nodes, &mut jobs, arrival_ms, &sql)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +766,94 @@ mod tests {
             assert!(rec.end_ms <= r.makespan_ms);
             assert!(rec.label.starts_with('Q'));
         }
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+    use crate::cluster::SimClusterConfig;
+    use apuama_tpch::{generate, TpchConfig};
+
+    fn cluster() -> SimCluster {
+        let d = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+        });
+        SimCluster::new(&d, SimClusterConfig::paper(2)).unwrap()
+    }
+
+    fn storm(governance: Option<OverloadGovernance>) -> OverloadSpec {
+        // Queries at this scale take tens of virtual ms; a 1 ms gap is a
+        // many-times-capacity arrival storm.
+        OverloadSpec {
+            arrivals: 48,
+            interval_ms: 1.0,
+            seed: 9,
+            governance,
+        }
+    }
+
+    fn governed() -> OverloadGovernance {
+        OverloadGovernance {
+            max_concurrent: 2,
+            queue_depth: 4,
+            queue_timeout_ms: 200.0,
+        }
+    }
+
+    #[test]
+    fn ungoverned_storm_completes_everything_but_queues_without_bound() {
+        let c = cluster();
+        let r = run_overload(&c, storm(None)).unwrap();
+        assert_eq!(r.completed, r.submitted);
+        assert_eq!(r.shed, 0);
+        // Open loop: arrivals outpace service, so nearly the whole storm
+        // is in the system at once.
+        assert!(
+            r.peak_backlog > r.submitted / 2,
+            "expected unbounded backlog, saw peak {}",
+            r.peak_backlog
+        );
+    }
+
+    #[test]
+    fn governance_bounds_backlog_and_accounts_for_every_arrival() {
+        let c = cluster();
+        let g = governed();
+        let r = run_overload(&c, storm(Some(g))).unwrap();
+        assert!(r.shed > 0, "a 4x storm must shed");
+        assert_eq!(r.completed + r.shed, r.submitted);
+        assert!(
+            r.peak_backlog <= g.max_concurrent + g.queue_depth,
+            "backlog {} exceeds admission bound {}",
+            r.peak_backlog,
+            g.max_concurrent + g.queue_depth
+        );
+    }
+
+    #[test]
+    fn governed_tail_latency_beats_ungoverned() {
+        let c = cluster();
+        let ungoverned = run_overload(&c, storm(None)).unwrap();
+        let governed_run = run_overload(&c, storm(Some(governed()))).unwrap();
+        assert!(
+            governed_run.p99_ms() < ungoverned.p99_ms(),
+            "governed p99 {:.0}ms must beat ungoverned {:.0}ms",
+            governed_run.p99_ms(),
+            ungoverned.p99_ms()
+        );
+    }
+
+    #[test]
+    fn overload_is_deterministic_given_seed() {
+        let c = cluster();
+        let r1 = run_overload(&c, storm(Some(governed()))).unwrap();
+        let r2 = run_overload(&c, storm(Some(governed()))).unwrap();
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.shed, r2.shed);
+        assert_eq!(r1.makespan_ms, r2.makespan_ms);
+        assert_eq!(r1.latencies_ms, r2.latencies_ms);
     }
 }
 

@@ -37,6 +37,10 @@ timeout "$SUITE_TIMEOUT" cargo test -q --test recovery_rejoin
 timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-cjdbc --lib -- "recovery::"
 timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-sim --lib -- "recovery::"
 
+echo "== parallel: morsel-driven byte-identity suite (DESIGN.md §12) =="
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-engine --test parallel_identity
+timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-engine --lib parallel
+
 echo "== governance: cancellation/deadline/budget/admission suite (DESIGN.md §11) =="
 timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-engine --lib governor
 timeout "$SUITE_TIMEOUT" cargo test -q -p apuama-engine --test cancellation_identity
@@ -63,5 +67,23 @@ if ! awk -v s="$pipeline_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
   exit 1
 fi
 echo "perf gate: pipeline_speedup_vs_seed = $pipeline_speedup >= 1.0"
+
+echo "== bench_smoke: parallel_pipeline arm =="
+timeout "$SUITE_TIMEOUT" cargo bench -p apuama-bench --bench parallel -- 100
+cat BENCH_parallel.json
+
+echo "== perf gate: morsel parallelism must pay for itself on multi-core =="
+bench_cores=$(sed -n 's/.*"cores": \([0-9]*\).*/\1/p' BENCH_parallel.json)
+parallel_speedup=$(sed -n 's/.*"parallel_speedup_vs_serial": \([0-9.]*\).*/\1/p' BENCH_parallel.json)
+if [ "$bench_cores" -ge 2 ]; then
+  if ! awk -v s="$parallel_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+    echo "FAIL: parallel_speedup_vs_serial = $parallel_speedup < 1.0 on a"
+    echo "      $bench_cores-core machine — morsel workers are slower than serial."
+    exit 1
+  fi
+  echo "perf gate: parallel_speedup_vs_serial = $parallel_speedup >= 1.0 on $bench_cores cores"
+else
+  echo "perf gate: skipped (single core — parallel_speedup_vs_serial = $parallel_speedup recorded only)"
+fi
 
 echo "ci: all green"

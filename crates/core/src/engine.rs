@@ -50,6 +50,12 @@ pub struct ApuamaConfig {
     /// so every sibling sub-query is cancelled rather than reassigned.
     /// `None` = no deadline.
     pub query_deadline_ms: Option<u64>,
+    /// Per-node morsel-parallel worker count (the third parallelism tier:
+    /// intra-node, across one node's cores — the paper's testbed machines
+    /// were 2-way SMPs). Applied to every node as
+    /// `SET parallel_workers = N` at construction, so SVP sub-queries
+    /// inherit it. `None` leaves each node's default (its own core count).
+    pub parallel_workers: Option<usize>,
 }
 
 impl Default for ApuamaConfig {
@@ -62,6 +68,7 @@ impl Default for ApuamaConfig {
             composer: ComposerStrategy::default(),
             fault: FaultPolicy::default(),
             query_deadline_ms: None,
+            parallel_workers: None,
         }
     }
 }
@@ -110,6 +117,15 @@ impl ApuamaEngine {
     ) -> Arc<ApuamaEngine> {
         assert!(!conns.is_empty(), "a cluster needs at least one node");
         let n = conns.len();
+        if let Some(w) = config.parallel_workers {
+            // Session-level: every statement the middleware sends — SVP
+            // sub-queries included — runs under this intra-node worker
+            // count. Results are byte-identical at any setting, so a
+            // failure here only costs the knob, not correctness.
+            for c in &conns {
+                let _ = c.execute(&format!("set parallel_workers = {w}"));
+            }
+        }
         let health = Arc::new(HealthTracker::new(n, config.fault.breaker()));
         Arc::new(ApuamaEngine {
             nodes: conns
@@ -794,6 +810,32 @@ mod tests {
             reference.rows[0][2].as_f64().unwrap(),
         );
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_workers_config_reaches_every_node() {
+        let (engine, nodes) = cluster(
+            3,
+            ApuamaConfig {
+                parallel_workers: Some(3),
+                ..ApuamaConfig::default()
+            },
+        );
+        // The session knob landed on every backend, so SVP sub-queries
+        // dispatched over these connections inherit it.
+        for node in &nodes {
+            let setting = node.with_db(|db| db.setting("parallel_workers"));
+            assert_eq!(setting.as_deref(), Some("3"), "{}", node.name());
+        }
+        // And execution under the knob still answers correctly: sum of
+        // 1..=60 (integer-valued floats, exact at any association).
+        let out = engine
+            .execute_read(0, "select sum(o_totalprice) as s from orders")
+            .unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Float(1830.0)]]);
+        // Default config leaves the node's own default untouched.
+        let (_, nodes) = cluster(1, ApuamaConfig::default());
+        assert_eq!(nodes[0].with_db(|db| db.setting("parallel_workers")), None);
     }
 
     #[test]

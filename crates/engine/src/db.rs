@@ -101,6 +101,9 @@ pub struct Database {
     /// (`SET mem_budget_bytes` to enforce a budget; see
     /// [`crate::governor::MemoryGauge`]).
     mem_gauge: MemoryGauge,
+    /// Lazily-started worker pool for morsel-driven parallel execution
+    /// (`SET parallel_workers`); `None` until the first parallel statement.
+    workers: Mutex<Option<std::sync::Arc<crate::parallel::WorkerPool>>>,
 }
 
 impl Database {
@@ -116,6 +119,7 @@ impl Database {
             catalog_version: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::default()),
             mem_gauge: MemoryGauge::unlimited(),
+            workers: Mutex::new(None),
         }
     }
 
@@ -131,6 +135,7 @@ impl Database {
             catalog_version: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::default()),
             mem_gauge: MemoryGauge::unlimited(),
+            workers: Mutex::new(None),
         }
     }
 
@@ -194,6 +199,38 @@ impl Database {
             .get("enable_batch_exec")
             .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
             .unwrap_or(true)
+    }
+
+    /// Worker count for morsel-driven intra-node parallel execution
+    /// (`SET parallel_workers = N`). Defaults to the machine's available
+    /// cores; `0` and `1` both mean serial. Like `enable_batch_exec`, the
+    /// knob changes neither results nor statistics — execution stays
+    /// byte-identical to serial — so it is not part of the plan-cache
+    /// fingerprint: it is read at execution time, not lowering time.
+    pub fn parallel_workers(&self) -> usize {
+        let configured = self
+            .settings
+            .misc
+            .lock()
+            .get("parallel_workers")
+            .and_then(|v| v.trim().parse::<usize>().ok());
+        configured
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .clamp(1, 64)
+    }
+
+    /// The node's lazily-started pool of execution workers, grown to at
+    /// least `workers` threads. Shared by every parallel statement on this
+    /// database.
+    pub(crate) fn worker_pool(
+        &self,
+        workers: usize,
+    ) -> std::sync::Arc<crate::parallel::WorkerPool> {
+        let mut slot = self.workers.lock();
+        let pool =
+            slot.get_or_insert_with(|| std::sync::Arc::new(crate::parallel::WorkerPool::new()));
+        pool.ensure_threads(workers);
+        pool.clone()
     }
 
     /// The node's memory gauge: pipeline-breaker state charged by every
@@ -896,6 +933,7 @@ impl Database {
             // data, only compiled shapes, and recompiling is cheap.
             plan_cache: Mutex::new(PlanCache::default()),
             mem_gauge: MemoryGauge::unlimited(),
+            workers: Mutex::new(None),
         })
     }
 }

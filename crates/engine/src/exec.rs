@@ -121,6 +121,19 @@ impl<'a> ExecContext<'a> {
         }
     }
 
+    /// Snapshot of the bound parameter values, for spawning worker-thread
+    /// contexts that must resolve `$N` exactly as this one does.
+    pub(crate) fn params_snapshot(&self) -> Vec<Value> {
+        self.params.clone()
+    }
+
+    /// A child governor for one parallel worker: cancelling the statement
+    /// cancels the worker, a worker failing does not fire the statement's
+    /// token, and the deadline is shared. `None` when ungoverned.
+    pub(crate) fn child_governor(&self) -> Option<QueryGovernor> {
+        self.gov.as_ref().map(QueryGovernor::child)
+    }
+
     /// Value bound to placeholder `$n` (1-based).
     pub fn param(&self, n: usize) -> EngineResult<Value> {
         self.params
@@ -163,6 +176,13 @@ impl<'a> ExecContext<'a> {
 
     pub fn bump_index_probes(&self, n: u64) {
         self.stats.borrow_mut().index_probes += n;
+    }
+
+    /// Heap pages a sequential scan skipped via zone maps. Pruned pages
+    /// are never iterated, so they generate no page charge and none of
+    /// their rows count as scanned.
+    pub fn bump_pages_pruned(&self, n: u64) {
+        self.stats.borrow_mut().pages_pruned += n;
     }
 
     /// One scan batch dispatched ([`SCAN_BATCH_ROWS`] rows or the final
@@ -366,8 +386,9 @@ pub fn scan_rids(
     let mut scanned = BatchedCounter::new(ctx);
     match path {
         AccessPath::SeqScan => {
+            let residual_refs: Vec<&Expr> = residual.iter().collect();
             let mut last_page = u64::MAX;
-            for (rid, row) in table.heap.iter() {
+            for (rid, row) in physical::seq_scan_iter(table, &bindings, &residual_refs, ctx) {
                 let page = table.heap.geometry().page_of(rid);
                 if page != last_page {
                     ctx.charge_page(table.schema.id, page, AccessKind::Sequential);
@@ -493,7 +514,7 @@ pub(crate) struct AggSpec {
     key: String,
     name: String,
     pub(crate) arg: Option<Expr>,
-    distinct: bool,
+    pub(crate) distinct: bool,
     pub(crate) star: bool,
 }
 
@@ -647,6 +668,75 @@ impl Acc {
             }
         }
         Ok(())
+    }
+
+    /// Folds another accumulator of the same shape into this one — the
+    /// combine step of morsel-driven partial aggregation. Merging `other`
+    /// after every row of the earlier partial has been applied is exactly
+    /// equivalent to updating one accumulator with both partials' rows in
+    /// morsel order: counts add, sums add (the wrapping integer add and the
+    /// float add are both associative over the engine's exact test data),
+    /// and min/max keep the earlier value on ties (`update` replaces only
+    /// on strict inequality, so first-seen wins there too). DISTINCT
+    /// accumulators are never merged — the parallel planner excludes them,
+    /// because replaying a hash set's insertion order is not order-free.
+    pub(crate) fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::CountStar(n), Acc::CountStar(m)) => *n += m,
+            (Acc::Count { n, distinct: None }, Acc::Count { n: m, .. }) => *n += m,
+            (
+                Acc::Sum {
+                    int,
+                    float,
+                    any_float,
+                    n,
+                    distinct: None,
+                },
+                Acc::Sum {
+                    int: oi,
+                    float: of,
+                    any_float: oa,
+                    n: on,
+                    ..
+                },
+            ) => {
+                *int = int.wrapping_add(oi);
+                *float += of;
+                *any_float |= oa;
+                *n += on;
+            }
+            (
+                Acc::Avg {
+                    sum,
+                    n,
+                    distinct: None,
+                },
+                Acc::Avg { sum: os, n: on, .. },
+            ) => {
+                *sum += os;
+                *n += on;
+            }
+            (Acc::Min(cur), Acc::Min(Some(v))) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.sql_cmp(c) == Some(std::cmp::Ordering::Less),
+                };
+                if replace {
+                    *cur = Some(v);
+                }
+            }
+            (Acc::Max(cur), Acc::Max(Some(v))) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.sql_cmp(c) == Some(std::cmp::Ordering::Greater),
+                };
+                if replace {
+                    *cur = Some(v);
+                }
+            }
+            (Acc::Min(_), Acc::Min(None)) | (Acc::Max(_), Acc::Max(None)) => {}
+            _ => unreachable!("merging mismatched or DISTINCT accumulators"),
+        }
     }
 
     fn finalize(self) -> Value {

@@ -42,7 +42,10 @@ use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::hash::Hasher;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrd};
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use apuama_sql::ast::{BinOp, Expr, Select, SelectItem, SetQuantifier, TableRef};
 use apuama_sql::value::{hash_value, HashableValue};
@@ -455,13 +458,46 @@ fn build_tree<'e>(
     az: Option<&'e Analyze>,
 ) -> (Box<dyn Operator<'e> + 'e>, Option<usize>) {
     let batch = ctx.db.batch_exec_enabled();
+    let workers = ctx.db.parallel_workers();
     let (mut op, mut idx) = match shape {
-        Shape::Fused(f) => instrument(
-            az,
-            Box::new(FusedExec::new(q, f, outer, ctx)),
-            format!("fused aggregate over {}", f.binding_name),
-            Vec::new(),
-        ),
+        Shape::Fused(f) => {
+            // DISTINCT accumulators cannot be merged across partials and
+            // correlated frames cannot cross threads; both fall back to the
+            // serial fused kernel.
+            if workers >= 2 && outer.is_empty() && !f.specs.iter().any(|s| s.distinct) {
+                // Register up front (like the join block) so worker
+                // breakdowns can attach as children from run().
+                let pidx = az.map(|a| {
+                    a.register(
+                        format!(
+                            "fused aggregate over {} [parallel ×{workers}]",
+                            f.binding_name
+                        ),
+                        Vec::new(),
+                    )
+                });
+                let op: Box<dyn Operator<'e> + 'e> =
+                    Box::new(ParallelFusedExec::new(q, f, outer, ctx, workers, az, pidx));
+                match (az, pidx) {
+                    (Some(a), Some(idx)) => (
+                        Box::new(TimedExec {
+                            inner: op,
+                            az: a,
+                            idx,
+                        }) as Box<dyn Operator<'e> + 'e>,
+                        Some(idx),
+                    ),
+                    _ => (op, None),
+                }
+            } else {
+                instrument(
+                    az,
+                    Box::new(FusedExec::new(q, f, outer, ctx)),
+                    format!("fused aggregate over {}", f.binding_name),
+                    Vec::new(),
+                )
+            }
+        }
         Shape::General(g) => {
             let (source, sidx) = build_source(g, outer, ctx, batch, az);
             let children: Vec<usize> = sidx.into_iter().collect();
@@ -567,22 +603,61 @@ fn build_input<'e>(
             name,
             alias,
             single,
-        } => instrument(
-            az,
-            Box::new(ScanExec::new(
-                name,
-                alias.as_deref(),
-                single,
-                outer,
-                ctx,
-                batch,
-            )),
-            match alias {
-                Some(a) => format!("scan {name} as {a}"),
-                None => format!("scan {name}"),
-            },
-            Vec::new(),
-        ),
+        } => {
+            let workers = ctx.db.parallel_workers();
+            // Subquery predicates need the coordinator's evaluation
+            // context and correlated frames cannot cross threads; both
+            // keep the serial scan.
+            if workers >= 2
+                && outer.is_empty()
+                && single.iter().all(|e| !exec::contains_subquery(e))
+            {
+                let label = match alias {
+                    Some(a) => format!("scan {name} as {a} [parallel ×{workers}]"),
+                    None => format!("scan {name} [parallel ×{workers}]"),
+                };
+                let pidx = az.map(|a| a.register(label, Vec::new()));
+                let op: Box<dyn Operator<'e> + 'e> = Box::new(ParallelScanExec::new(
+                    name,
+                    alias.as_deref(),
+                    single,
+                    outer,
+                    ctx,
+                    batch,
+                    workers,
+                    az,
+                    pidx,
+                ));
+                match (az, pidx) {
+                    (Some(a), Some(idx)) => (
+                        Box::new(TimedExec {
+                            inner: op,
+                            az: a,
+                            idx,
+                        }) as Box<dyn Operator<'e> + 'e>,
+                        Some(idx),
+                    ),
+                    _ => (op, None),
+                }
+            } else {
+                instrument(
+                    az,
+                    Box::new(ScanExec::new(
+                        name,
+                        alias.as_deref(),
+                        single,
+                        outer,
+                        ctx,
+                        batch,
+                    )),
+                    match alias {
+                        Some(a) => format!("scan {name} as {a}"),
+                        None => format!("scan {name}"),
+                    },
+                    Vec::new(),
+                )
+            }
+        }
         InputNode::Derived {
             alias,
             plan,
@@ -799,6 +874,287 @@ fn keep_row(
     ctx: &ExecContext<'_>,
 ) -> EngineResult<bool> {
     keep_row_charged(row, bindings, preds, outer, ctx, || ctx.bump_cpu(1))
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map page pruning
+// ---------------------------------------------------------------------------
+
+/// The `col <cmp> literal` residual conjuncts eligible for zone-map page
+/// pruning on `table`: exactly the [`ResidualPred::FastCmp`] shape,
+/// restricted to columns the heap keeps zone maps for. Extraction is
+/// independent of the execution mode — it recompiles from the raw
+/// expressions with bound parameters folded in — so every scan path
+/// (legacy, batch-exec, fused kernel, DML) prunes the same pages and the
+/// cross-mode counter identity holds.
+fn zone_prune_preds(
+    table: &Table,
+    bindings: &[Binding],
+    residual_exprs: &[&Expr],
+    ctx: &ExecContext<'_>,
+) -> Vec<(usize, BinOp, Value)> {
+    let zone_cols = table.heap.zone_columns();
+    if zone_cols.is_empty() {
+        return Vec::new();
+    }
+    residual_exprs
+        .iter()
+        .filter_map(|e| {
+            let c = eval::compile_expr(e, bindings)?;
+            match ResidualPred::from_compiled(eval::prebind_params(&c, ctx)) {
+                ResidualPred::FastCmp { col, op, lit } if zone_cols.contains(&col) => {
+                    Some((col, op, lit))
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Does `page`'s zone map prove no live row can satisfy `col <op> lit`?
+///
+/// Decisions mirror the row-level `FastCmp` semantics ([`Value::sql_cmp`]):
+/// a NULL literal or an all-NULL page can never produce a `true`
+/// comparison (NULL operands short-circuit to false before comparing), so
+/// both always prune; an incomparable min or max means some row might
+/// raise a type error, so the page is kept and row-level evaluation
+/// surfaces the same error it always did. Comparable min/max bounds are
+/// safe because [`Value::sort_cmp`]'s type ranks coincide with
+/// `sql_cmp`'s comparability classes: if both bounds compare with the
+/// literal, every value between them does too (NaN sorts above all floats
+/// and is itself incomparable, so a page containing one is never pruned).
+fn zone_page_refutes(
+    heap: &apuama_storage::Heap,
+    page: u64,
+    preds: &[(usize, BinOp, Value)],
+) -> bool {
+    use apuama_storage::ZoneRange;
+    preds.iter().any(|(col, op, lit)| {
+        match heap.zone_range(*col, page) {
+            None => false,
+            Some(ZoneRange::Empty) => true,
+            Some(ZoneRange::Range { min, max }) => {
+                if lit.is_null() {
+                    return true;
+                }
+                let (Some(lo), Some(hi)) = (min.sql_cmp(lit), max.sql_cmp(lit)) else {
+                    return false;
+                };
+                match op {
+                    BinOp::Eq => lo == Ordering::Greater || hi == Ordering::Less,
+                    // Only refutable when the page holds a single value.
+                    BinOp::NotEq => lo == Ordering::Equal && hi == Ordering::Equal,
+                    BinOp::Lt => lo != Ordering::Less,
+                    BinOp::LtEq => lo == Ordering::Greater,
+                    BinOp::Gt => hi != Ordering::Greater,
+                    BinOp::GtEq => hi == Ordering::Less,
+                    _ => false,
+                }
+            }
+        }
+    })
+}
+
+/// Builds the heap iterator for a sequential scan, skipping — and counting
+/// as `pages_pruned` — pages whose zone maps refute a residual conjunct.
+/// Pruned pages are never iterated: no page charge, no `rows_scanned`.
+pub(crate) fn seq_scan_iter<'e>(
+    table: &'e Table,
+    bindings: &[Binding],
+    residual_exprs: &[&Expr],
+    ctx: &ExecContext<'_>,
+) -> Box<dyn Iterator<Item = (RowId, &'e Row)> + 'e> {
+    let preds = zone_prune_preds(table, bindings, residual_exprs, ctx);
+    if preds.is_empty() {
+        return Box::new(table.heap.iter());
+    }
+    let mut allowed: Vec<u64> = Vec::new();
+    let mut pruned = 0u64;
+    for page in 0..table.heap.pages() {
+        if zone_page_refutes(&table.heap, page, &preds) {
+            pruned += 1;
+        } else {
+            allowed.push(page);
+        }
+    }
+    ctx.bump_pages_pruned(pruned);
+    let heap = &table.heap;
+    let rpp = heap.geometry().rows_per_page;
+    Box::new(
+        allowed
+            .into_iter()
+            .flat_map(move |p| heap.iter_range(p * rpp, (p + 1) * rpp)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel scans (intra-node parallelism)
+// ---------------------------------------------------------------------------
+
+/// One morsel's row source: a slice of a sequential scan's page list or a
+/// slice of an index range's row-id list. Morsels tile the scan in global
+/// row order — concatenating their row streams in morsel-index order
+/// reproduces the serial scan exactly.
+enum MorselInput {
+    Pages(Vec<u64>),
+    Rids(Vec<RowId>),
+}
+
+/// The morsel decomposition of one base-table scan, planned without
+/// charging any statistics so the caller can still fall back to the serial
+/// operator (which does its own accounting). On commit the coordinator
+/// applies `pages_pruned` / `index_probes` itself and replays the page
+/// charges via [`precharge_morsel_pages`].
+struct ScanMorsels<'e> {
+    table: &'e Table,
+    kind: AccessKind,
+    morsels: Vec<MorselInput>,
+    pages_pruned: u64,
+    index_probes: u64,
+}
+
+/// Splits a scan into ~[`exec::SCAN_BATCH_ROWS`]-row morsels: page-aligned
+/// chunks of the zone-allowed page list for sequential scans, row-id
+/// slices for index ranges. Zone-map pruning is evaluated here with the
+/// same predicates the serial path uses, so both modes skip — and count —
+/// the same pages.
+fn plan_scan_morsels<'e>(
+    table: &'e Table,
+    bindings: &[Binding],
+    residual_exprs: &[&Expr],
+    choice: &planner::ScanChoice,
+    ctx: &ExecContext<'_>,
+) -> ScanMorsels<'e> {
+    match &choice.path {
+        AccessPath::SeqScan => {
+            let preds = zone_prune_preds(table, bindings, residual_exprs, ctx);
+            let mut pages: Vec<u64> = Vec::new();
+            let mut pruned = 0u64;
+            for page in 0..table.heap.pages() {
+                if !preds.is_empty() && zone_page_refutes(&table.heap, page, &preds) {
+                    pruned += 1;
+                } else {
+                    pages.push(page);
+                }
+            }
+            let rpp = table.heap.geometry().rows_per_page;
+            let per = (exec::SCAN_BATCH_ROWS.div_ceil(rpp.max(1)).max(1)) as usize;
+            ScanMorsels {
+                table,
+                kind: AccessKind::Sequential,
+                morsels: pages
+                    .chunks(per)
+                    .map(|c| MorselInput::Pages(c.to_vec()))
+                    .collect(),
+                pages_pruned: pruned,
+                index_probes: 0,
+            }
+        }
+        AccessPath::IndexRange {
+            column,
+            low,
+            high,
+            clustered,
+        } => {
+            let idx = table
+                .index_on(*column)
+                .expect("planner only chooses existing indexes");
+            let rids: Vec<RowId> = idx
+                .range(exec::bound_ref(low), exec::bound_ref(high))
+                .map(|(_, rid)| rid)
+                .collect();
+            ScanMorsels {
+                table,
+                kind: if *clustered {
+                    AccessKind::Sequential
+                } else {
+                    AccessKind::Random
+                },
+                morsels: rids
+                    .chunks(exec::SCAN_BATCH_ROWS as usize)
+                    .map(|c| MorselInput::Rids(c.to_vec()))
+                    .collect(),
+                pages_pruned: 0,
+                index_probes: 1,
+            }
+        }
+    }
+}
+
+/// Replays the serial scan's buffer-pool traffic on the coordinator:
+/// pages are touched in exactly the order and multiplicity the serial
+/// operator produces — ascending page order for sequential scans, row-id
+/// order for index ranges, one charge per page change, pages with no live
+/// row skipped — so the LRU state and hit/miss counters after a parallel
+/// scan are byte-identical to the serial ones. Workers never touch the
+/// pool.
+fn precharge_morsel_pages(sm: &ScanMorsels<'_>, ctx: &ExecContext<'_>) {
+    let table = sm.table;
+    let rpp = table.heap.geometry().rows_per_page;
+    let mut last_page = u64::MAX;
+    for m in &sm.morsels {
+        match m {
+            MorselInput::Pages(pages) => {
+                for &p in pages {
+                    let live = table
+                        .heap
+                        .iter_range(p * rpp, (p + 1) * rpp)
+                        .next()
+                        .is_some();
+                    if live && p != last_page {
+                        ctx.charge_page(table.schema.id, p, sm.kind);
+                        last_page = p;
+                    }
+                }
+            }
+            MorselInput::Rids(rids) => {
+                for &rid in rids {
+                    if table.heap.get(rid).is_none() {
+                        continue; // dead row ids cost nothing, as in the serial path
+                    }
+                    let p = table.heap.geometry().page_of(rid);
+                    if p != last_page {
+                        ctx.charge_page(table.schema.id, p, sm.kind);
+                        last_page = p;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterates one morsel's live rows in scan order.
+fn morsel_rows<'a>(table: &'a Table, m: &'a MorselInput) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
+    match m {
+        MorselInput::Pages(pages) => {
+            let heap = &table.heap;
+            let rpp = heap.geometry().rows_per_page;
+            Box::new(
+                pages.iter().flat_map(move |&p| {
+                    heap.iter_range(p * rpp, (p + 1) * rpp).map(|(_, row)| row)
+                }),
+            )
+        }
+        MorselInput::Rids(rids) => Box::new(rids.iter().filter_map(|&rid| table.heap.get(rid))),
+    }
+}
+
+/// Per-worker execution tally, recorded as an `EXPLAIN ANALYZE` child
+/// probe: rows scanned, morsels processed, wall-clock nanoseconds.
+type WorkerTally = (u64, u64, u128);
+
+/// Registers one child probe per worker under a parallel operator's
+/// `[parallel ×N]` node, so `EXPLAIN ANALYZE` shows the per-worker
+/// row/morsel/time breakdown.
+fn record_worker_probes(az: Option<&Analyze>, probe: Option<usize>, tallies: &[WorkerTally]) {
+    let (Some(az), Some(parent)) = (az, probe) else {
+        return;
+    };
+    for (w, &(rows, morsels, nanos)) in tallies.iter().enumerate() {
+        let child = az.register(format!("parallel worker {w}"), Vec::new());
+        az.add_child(parent, child);
+        az.record(child, rows, morsels, nanos);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1082,6 +1438,63 @@ impl FusedGroups {
     fn len(&self) -> usize {
         self.states.len()
     }
+
+    /// Folds another group table — one morsel's partial aggregate — into
+    /// this one. The parallel coordinator calls this in morsel order, which
+    /// preserves global first-seen group order: a group's first occurrence
+    /// lives in the earliest morsel containing it, so it is either already
+    /// present (keeping its earlier representative row) or appended here
+    /// exactly when the serial scan would have created it. Lookup follows
+    /// the same regime as [`Self::find_or_insert`] — linear `sort_cmp`
+    /// matching until the cut-over, the FNV index after — and
+    /// [`hash_value`] normalizes numerics, so hash and linear probes agree
+    /// on which keys are equal.
+    fn merge(&mut self, other: FusedGroups) {
+        for (key, state) in other.keys.into_iter().zip(other.states) {
+            let gi = {
+                let matches_key = |stored: &[Value]| {
+                    stored
+                        .iter()
+                        .zip(&key)
+                        .all(|(s, k)| s.sort_cmp(k) == Ordering::Equal)
+                };
+                match &self.index {
+                    None => self.keys.iter().position(|stored| matches_key(stored)),
+                    Some(index) => index.get(&Self::stored_hash(&key)).and_then(|bucket| {
+                        bucket
+                            .iter()
+                            .map(|&gi| gi as usize)
+                            .find(|&gi| matches_key(&self.keys[gi]))
+                    }),
+                }
+            };
+            match gi {
+                Some(gi) => {
+                    for (acc, o) in self.states[gi].accs.iter_mut().zip(state.accs) {
+                        acc.merge(o);
+                    }
+                }
+                None => {
+                    let gi = self.states.len() as u32;
+                    self.keys.push(key);
+                    self.states.push(state);
+                    if let Some(index) = &mut self.index {
+                        let h = Self::stored_hash(&self.keys[gi as usize]);
+                        index.entry(h).or_default().push(gi);
+                    } else if self.keys.len() > LINEAR_GROUPS_MAX {
+                        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+                        for (i, key) in self.keys.iter().enumerate() {
+                            index
+                                .entry(Self::stored_hash(key))
+                                .or_default()
+                                .push(i as u32);
+                        }
+                        self.index = Some(index);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Keeps only rows satisfying every predicate (materialized form, used by
@@ -1213,7 +1626,7 @@ impl<'e> Operator<'e> for ScanExec<'e> {
             .collect();
         let (iter, kind) = match &choice.path {
             AccessPath::SeqScan => (
-                ScanIter::Heap(Box::new(table.heap.iter())),
+                ScanIter::Heap(seq_scan_iter(table, &bindings, &residual_exprs, ctx)),
                 AccessKind::Sequential,
             ),
             AccessPath::IndexRange {
@@ -1369,6 +1782,224 @@ impl<'e> Operator<'e> for ScanExec<'e> {
     }
 }
 
+/// A planned-and-committed parallel scan, produced by
+/// [`ParallelScanExec::open`] when the scan is wide enough to split.
+struct PreparedScan<'e> {
+    sm: ScanMorsels<'e>,
+    residual: Vec<ResidualPred>,
+    bindings: Vec<Binding>,
+}
+
+/// Morsel-driven parallel base-table scan: workers pull morsels, filter
+/// rows against the pushed-down conjuncts, and clone survivors; the
+/// coordinator replays the serial page-charge sequence, sums the workers'
+/// counter tallies, and re-emits the survivors in morsel order as owned
+/// [`exec::SCAN_BATCH_ROWS`]-row batches — the same row stream, batch
+/// boundaries, and statistics the serial [`ScanExec`] produces. Safe under
+/// joins and streaming operators because non-breaker operators never touch
+/// heap pages and every subquery-evaluating operator is a pipeline breaker
+/// (the build layer only chooses this operator when the scan's own
+/// conjuncts are subquery-free and compile positionally).
+///
+/// Holds the serial [`ScanExec`] and delegates to it whenever the parallel
+/// decomposition is not viable (residual needs frame evaluation, or fewer
+/// than two morsels), so planner errors and small-table behavior are
+/// untouched.
+struct ParallelScanExec<'e> {
+    inner: ScanExec<'e>,
+    workers: usize,
+    az: Option<&'e Analyze>,
+    probe: Option<usize>,
+    prepared: Option<PreparedScan<'e>>,
+    emitter: Option<BatchEmitter>,
+}
+
+impl<'e> ParallelScanExec<'e> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: &'e str,
+        alias: Option<&'e str>,
+        single: &'e [Expr],
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
+        workers: usize,
+        az: Option<&'e Analyze>,
+        probe: Option<usize>,
+    ) -> Self {
+        ParallelScanExec {
+            inner: ScanExec::new(name, alias, single, outer, ctx, batch_mode),
+            workers,
+            az,
+            probe,
+            prepared: None,
+            emitter: None,
+        }
+    }
+
+    fn run_parallel(&self, prep: PreparedScan<'e>) -> EngineResult<BatchEmitter> {
+        let ctx = self.inner.ctx;
+        let sm = prep.sm;
+        let n_morsels = sm.morsels.len();
+        // Commit the decomposition's accounting and replay the serial
+        // page-touch sequence before any worker runs.
+        ctx.bump_pages_pruned(sm.pages_pruned);
+        ctx.bump_index_probes(sm.index_probes);
+        precharge_morsel_pages(&sm, ctx);
+
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        type MorselOut = (Vec<Row>, u64, u64); // survivors, rows scanned, cpu
+        let results: Mutex<Vec<Option<EngineResult<MorselOut>>>> =
+            Mutex::new((0..n_morsels).map(|_| None).collect());
+        let tallies: Mutex<Vec<WorkerTally>> = Mutex::new(vec![(0, 0, 0); self.workers]);
+        let db = ctx.db;
+        let params = ctx.params_snapshot();
+        let width = prep.bindings.len();
+
+        let pool = db.worker_pool(self.workers);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let params = params.clone();
+            let gov = ctx.child_governor();
+            let (next, abort, results, tallies) = (&next, &abort, &results, &tallies);
+            let (sm, residual, bindings) = (&sm, &prep.residual, &prep.bindings);
+            tasks.push(Box::new(move || {
+                let start = Instant::now();
+                let wctx = ExecContext::governed(db, params, gov);
+                let (mut wrows, mut wmorsels) = (0u64, 0u64);
+                loop {
+                    let i = next.fetch_add(1, AtomicOrd::Relaxed);
+                    if i >= n_morsels || abort.load(AtomicOrd::Relaxed) {
+                        break;
+                    }
+                    let r: EngineResult<MorselOut> = (|| {
+                        wctx.check_interrupt()?;
+                        let mut out: Vec<Row> = Vec::new();
+                        let (mut scanned, mut cpu) = (0u64, 0u64);
+                        for row in morsel_rows(sm.table, &sm.morsels[i]) {
+                            scanned += 1;
+                            if residual.is_empty()
+                                || keep_row_charged(row, bindings, residual, &[], &wctx, || {
+                                    cpu += 1
+                                })?
+                            {
+                                out.push(row.clone());
+                            }
+                        }
+                        // Transient survivor materialization, released when
+                        // this worker's context drops.
+                        wctx.charge_mem(exec::approx_state_bytes(out.len() as u64, width))?;
+                        Ok((out, scanned, cpu))
+                    })();
+                    let failed = r.is_err();
+                    if let Ok((_, scanned, _)) = &r {
+                        wrows += scanned;
+                    }
+                    wmorsels += 1;
+                    results.lock()[i] = Some(r);
+                    if failed {
+                        abort.store(true, AtomicOrd::Relaxed);
+                    }
+                }
+                tallies.lock()[w] = (wrows, wmorsels, start.elapsed().as_nanos());
+            }));
+        }
+        pool.scoped_run(tasks);
+
+        // Morsel-order merge; see ParallelFusedExec::run for why the first
+        // non-Ok slot is the earliest failure in scan order.
+        let mut rows: Vec<Row> = Vec::new();
+        let (mut total_scanned, mut total_cpu) = (0u64, 0u64);
+        for slot in results.into_inner() {
+            ctx.check_interrupt()?;
+            match slot {
+                Some(Ok((out, scanned, cpu))) => {
+                    total_scanned += scanned;
+                    total_cpu += cpu;
+                    rows.extend(out);
+                }
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("abandoned morsel precedes the slot that aborted it"),
+            }
+        }
+        ctx.bump_rows_scanned(total_scanned);
+        ctx.bump_scan_batches(total_scanned.div_ceil(exec::SCAN_BATCH_ROWS));
+        ctx.bump_cpu(total_cpu);
+        record_worker_probes(self.az, self.probe, &tallies.into_inner());
+        Ok(BatchEmitter::rows_only(rows))
+    }
+}
+
+impl<'e> Operator<'e> for ParallelScanExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        let ctx = self.inner.ctx;
+        let table = ctx
+            .db
+            .table(self.inner.name)
+            .ok_or_else(|| EngineError::UnknownTable(self.inner.name.to_string()))?;
+        let binding_name = self.inner.alias.unwrap_or(self.inner.name);
+        let eval_const = |e: &Expr| -> Option<Value> {
+            if exec::expr_has_columns(e) {
+                None
+            } else {
+                eval_expr(e, &[], ctx).ok()
+            }
+        };
+        let choice = planner::choose_access_path(
+            table,
+            binding_name,
+            self.inner.single,
+            ctx.db.seqscan_enabled(),
+            ctx.db.indexscan_enabled(),
+            &eval_const,
+        );
+        let bindings = exec::bindings_for_table(&table.schema, self.inner.alias);
+        let residual_exprs: Vec<&Expr> = self
+            .inner
+            .single
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !choice.consumed.contains(i))
+            .map(|(_, e)| e)
+            .collect();
+        // Parallel workers evaluate predicates positionally; results and
+        // cpu charges are identical to both serial modes (one charge per
+        // evaluation, same values, same errors). A residual that needs
+        // frame evaluation falls back to the serial operator.
+        let residual: Option<Vec<ResidualPred>> = residual_exprs
+            .iter()
+            .map(|e| {
+                eval::compile_expr(e, &bindings)
+                    .map(|c| ResidualPred::from_compiled(eval::prebind_params(&c, ctx)))
+            })
+            .collect();
+        if let Some(residual) = residual {
+            let sm = plan_scan_morsels(table, &bindings, &residual_exprs, &choice, ctx);
+            if sm.morsels.len() >= 2 {
+                self.prepared = Some(PreparedScan {
+                    sm,
+                    residual,
+                    bindings: bindings.clone(),
+                });
+                return Ok(bindings);
+            }
+        }
+        self.inner.open()
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        if let Some(prep) = self.prepared.take() {
+            self.inner.ctx.check_interrupt()?;
+            self.emitter = Some(self.run_parallel(prep)?);
+        }
+        match &mut self.emitter {
+            Some(em) => Ok(em.next()),
+            None => self.inner.next_batch(),
+        }
+    }
+}
+
 /// Derived table (FROM subquery): executes the lowered inner plan — a
 /// pipeline breaker by construction — requalifies its bindings to the
 /// alias, applies the pushed-down conjuncts, and re-emits batches.
@@ -1461,59 +2092,68 @@ impl<'e> FilterExec<'e> {
         }
     }
 
-    /// Legacy per-row filtering over an owned batch.
-    fn filter_batch(&self, rows: Vec<Row>) -> EngineResult<Vec<Row>> {
-        let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
+    /// Legacy per-row filtering over an owned batch, compacted in place —
+    /// the batch's allocation flows through instead of a fresh output
+    /// vector per batch.
+    fn filter_batch(&self, mut rows: Vec<Row>) -> EngineResult<Vec<Row>> {
+        let mut kept = 0;
+        for i in 0..rows.len() {
             if keep_row(
-                &row,
+                &rows[i],
                 &self.in_bindings,
                 &self.resolved,
                 self.outer,
                 self.ctx,
             )? {
-                out.push(row);
+                rows.swap(kept, i);
+                kept += 1;
             }
         }
-        Ok(out)
+        rows.truncate(kept);
+        Ok(rows)
     }
 
     /// Batch-exec filtering: preserves the batch's ownership (borrowed
-    /// rows stay borrowed) and flushes cpu charges once per batch.
+    /// rows stay borrowed), compacts survivors into the batch's own
+    /// allocation, and flushes cpu charges once per batch.
     fn filter_batch_fast(&self, rows: BatchRows<'e>) -> EngineResult<BatchRows<'e>> {
         let mut cpu = 0u64;
         let out = match rows {
-            BatchRows::Owned(v) => {
-                let mut out = Vec::with_capacity(v.len());
-                for row in v {
+            BatchRows::Owned(mut v) => {
+                let mut kept = 0;
+                for i in 0..v.len() {
                     if keep_row_charged(
-                        &row,
+                        &v[i],
                         &self.in_bindings,
                         &self.resolved,
                         self.outer,
                         self.ctx,
                         || cpu += 1,
                     )? {
-                        out.push(row);
+                        v.swap(kept, i);
+                        kept += 1;
                     }
                 }
-                BatchRows::Owned(out)
+                v.truncate(kept);
+                BatchRows::Owned(v)
             }
-            BatchRows::Borrowed(v) => {
-                let mut out = Vec::with_capacity(v.len());
-                for row in v {
+            BatchRows::Borrowed(mut v) => {
+                let mut kept = 0;
+                for i in 0..v.len() {
                     if keep_row_charged(
-                        row,
+                        v[i],
                         &self.in_bindings,
                         &self.resolved,
                         self.outer,
                         self.ctx,
                         || cpu += 1,
                     )? {
-                        out.push(row);
+                        v.swap(kept, i);
+                        kept += 1;
                     }
                 }
-                BatchRows::Borrowed(out)
+                v.truncate(kept);
+                BatchRows::Borrowed(v)
             }
         };
         self.ctx.bump_cpu(cpu);
@@ -1535,12 +2175,45 @@ impl<'e> Operator<'e> for FilterExec<'e> {
     fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.breaker {
             if self.emitter.is_none() {
-                let mut all = Vec::new();
+                // Drain first (the subqueries' page touches must land
+                // after the child's), then filter in order; borrowed rows
+                // are cloned only when they survive.
+                let mut batches: Vec<BatchRows<'e>> = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
                     self.ctx.check_interrupt()?;
-                    all.extend(batch.rows.into_owned());
+                    batches.push(batch.rows);
                 }
-                let kept = self.filter_batch(all)?;
+                let mut kept: Vec<Row> = Vec::new();
+                for b in batches {
+                    match b {
+                        BatchRows::Owned(v) => {
+                            for row in v {
+                                if keep_row(
+                                    &row,
+                                    &self.in_bindings,
+                                    &self.resolved,
+                                    self.outer,
+                                    self.ctx,
+                                )? {
+                                    kept.push(row);
+                                }
+                            }
+                        }
+                        BatchRows::Borrowed(v) => {
+                            for row in v {
+                                if keep_row(
+                                    row,
+                                    &self.in_bindings,
+                                    &self.resolved,
+                                    self.outer,
+                                    self.ctx,
+                                )? {
+                                    kept.push(row.clone());
+                                }
+                            }
+                        }
+                    }
+                }
                 self.emitter = Some(BatchEmitter::rows_only(kept));
             }
             return Ok(self.emitter.as_mut().and_then(BatchEmitter::next));
@@ -2257,6 +2930,51 @@ impl<'e> ProjectExec<'e> {
         }
         Ok((rows, keys))
     }
+
+    /// [`Self::project_batch`] over borrowed rows: the input row is cloned
+    /// only when the select list actually re-emits it (a wildcard), never
+    /// just to feed expression evaluation. Charges are identical.
+    fn project_borrowed(&self, in_rows: &[&Row]) -> EngineResult<(Vec<Row>, Vec<Vec<Value>>)> {
+        let names: Vec<&str> = self.out_names.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::with_capacity(in_rows.len());
+        let mut keys = Vec::with_capacity(in_rows.len());
+        for &row in in_rows {
+            self.ctx.bump_cpu(1);
+            let mut frames = Vec::with_capacity(self.outer.len() + 1);
+            frames.push(Frame {
+                bindings: &self.in_bindings,
+                row,
+            });
+            frames.extend_from_slice(self.outer);
+            if self.wildcard_only {
+                let key =
+                    exec::sort_key_for_row(&self.q.order_by, &names, row, &frames, self.ctx, None)?;
+                keys.push(key);
+                rows.push(row.clone());
+            } else {
+                let mut out_row = Vec::with_capacity(self.out_bindings.len());
+                for item in &self.q.items {
+                    match item {
+                        SelectItem::Wildcard => out_row.extend(row.iter().cloned()),
+                        SelectItem::Expr { expr, .. } => {
+                            out_row.push(eval_expr(expr, &frames, self.ctx)?)
+                        }
+                    }
+                }
+                let key = exec::sort_key_for_row(
+                    &self.q.order_by,
+                    &names,
+                    &out_row,
+                    &frames,
+                    self.ctx,
+                    None,
+                )?;
+                keys.push(key);
+                rows.push(out_row);
+            }
+        }
+        Ok((rows, keys))
+    }
 }
 
 impl<'e> Operator<'e> for ProjectExec<'e> {
@@ -2273,12 +2991,23 @@ impl<'e> Operator<'e> for ProjectExec<'e> {
     fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.breaker {
             if self.emitter.is_none() {
-                let mut all = Vec::new();
+                // Drain first, then project in order; borrowed batches are
+                // projected by reference instead of being cloned wholesale.
+                let mut batches: Vec<BatchRows<'e>> = Vec::new();
                 while let Some(batch) = self.child.next_batch()? {
                     self.ctx.check_interrupt()?;
-                    all.extend(batch.rows.into_owned());
+                    batches.push(batch.rows);
                 }
-                let (rows, keys) = self.project_batch(all)?;
+                let mut rows = Vec::new();
+                let mut keys = Vec::new();
+                for b in batches {
+                    let (mut r, mut k) = match b {
+                        BatchRows::Owned(v) => self.project_batch(v)?,
+                        BatchRows::Borrowed(v) => self.project_borrowed(&v)?,
+                    };
+                    rows.append(&mut r);
+                    keys.append(&mut k);
+                }
                 self.emitter = Some(BatchEmitter::new(rows, keys));
             }
             return Ok(self.emitter.as_mut().and_then(BatchEmitter::next));
@@ -2459,17 +3188,24 @@ impl<'e> Operator<'e> for AggregateExec<'e> {
                 let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
                 let mut order: Vec<Vec<HashableValue>> = Vec::new();
                 if self.breaker {
-                    let mut all = Vec::new();
+                    // Drain first (subquery page touches land after the
+                    // child's), then fold each row by reference — borrowed
+                    // batches are never cloned just to be read once. The
+                    // memory charges are unchanged: the buffered input is
+                    // charged per batch as it arrives.
+                    let mut batches: Vec<BatchRows<'e>> = Vec::new();
                     while let Some(batch) = self.child.next_batch()? {
                         self.ctx.check_interrupt()?;
                         self.ctx.charge_mem(exec::approx_state_bytes(
                             batch.rows.len() as u64,
                             self.in_bindings.len(),
                         ))?;
-                        all.extend(batch.rows.into_owned());
+                        batches.push(batch.rows);
                     }
-                    for row in &all {
-                        self.fold_row(row, &self.specs, &mut groups, &mut order)?;
+                    for b in &batches {
+                        for row in b.iter() {
+                            self.fold_row(row, &self.specs, &mut groups, &mut order)?;
+                        }
                     }
                     self.ctx
                         .charge_mem(exec::approx_state_bytes(groups.len() as u64, state_width))?;
@@ -2509,6 +3245,47 @@ impl<'e> Operator<'e> for AggregateExec<'e> {
 // ---------------------------------------------------------------------------
 // Fused scan→filter→aggregate
 // ---------------------------------------------------------------------------
+
+/// One aggregate input, pre-resolved: no per-row work for `count(*)`,
+/// a direct positional read for plain-column arguments (the common
+/// kernel case), a compiled program otherwise.
+enum FusedArg {
+    None,
+    Col(usize),
+    Expr(CompiledExpr),
+}
+
+/// Specializes the fused plan's aggregate-argument programs for one
+/// execution (parameters folded in).
+fn resolve_fused_args(plan: &FusedPlan, ctx: &ExecContext<'_>) -> Vec<FusedArg> {
+    plan.agg_args
+        .iter()
+        .map(|a| match a.as_ref().map(|c| eval::prebind_params(c, ctx)) {
+            None => FusedArg::None,
+            Some(CompiledExpr::Col(i)) => FusedArg::Col(i),
+            Some(other) => FusedArg::Expr(other),
+        })
+        .collect()
+}
+
+/// The fused plan's residual predicate programs: scan conjuncts the access
+/// path didn't consume, then post predicates, in plan order, with bound
+/// parameters folded in and `col <cmp> literal` sunk to direct
+/// comparisons.
+fn resolve_fused_preds(
+    plan: &FusedPlan,
+    choice: &planner::ScanChoice,
+    ctx: &ExecContext<'_>,
+) -> Vec<ResidualPred> {
+    plan.compiled_single
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !choice.consumed.contains(i))
+        .map(|(_, c)| c)
+        .chain(plan.compiled_post.iter())
+        .map(|c| ResidualPred::from_compiled(eval::prebind_params(c, ctx)))
+        .collect()
+}
 
 /// The fusion rule's executor: one pass over the base table in borrowed
 /// [`exec::SCAN_BATCH_ROWS`]-row batches, predicates and aggregate updates
@@ -2565,33 +3342,9 @@ impl<'e> FusedExec<'e> {
         // sunk to direct comparisons, group keys turned into positional
         // programs. Residual scan predicates run before post predicates,
         // in plan order, exactly as before.
-        let preds: Vec<ResidualPred> = plan
-            .compiled_single
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !choice.consumed.contains(i))
-            .map(|(_, c)| c)
-            .chain(plan.compiled_post.iter())
-            .map(|c| ResidualPred::from_compiled(eval::prebind_params(c, ctx)))
-            .collect();
+        let preds = resolve_fused_preds(plan, &choice, ctx);
         let key_progs = key_progs_from_compiled(&plan.group_by, ctx);
-        /// One aggregate input, pre-resolved: no per-row work for `count(*)`,
-        /// a direct positional read for plain-column arguments (the common
-        /// kernel case), a compiled program otherwise.
-        enum FusedArg {
-            None,
-            Col(usize),
-            Expr(CompiledExpr),
-        }
-        let agg_args: Vec<FusedArg> = plan
-            .agg_args
-            .iter()
-            .map(|a| match a.as_ref().map(|c| eval::prebind_params(c, ctx)) {
-                None => FusedArg::None,
-                Some(CompiledExpr::Col(i)) => FusedArg::Col(i),
-                Some(other) => FusedArg::Expr(other),
-            })
-            .collect();
+        let agg_args = resolve_fused_args(plan, ctx);
 
         let mut table_groups = FusedGroups::new();
         let mut scratch: Vec<Value> = Vec::new();
@@ -2642,8 +3395,15 @@ impl<'e> FusedExec<'e> {
         let mut batch: Vec<&Row> = Vec::with_capacity(batch_cap);
         match &choice.path {
             AccessPath::SeqScan => {
+                let residual_exprs: Vec<&Expr> = plan
+                    .single
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !choice.consumed.contains(i))
+                    .map(|(_, e)| e)
+                    .collect();
                 let mut last_page = u64::MAX;
-                for (rid, row) in table.heap.iter() {
+                for (rid, row) in seq_scan_iter(table, &plan.bindings, &residual_exprs, ctx) {
                     let page = table.heap.geometry().page_of(rid);
                     if page != last_page {
                         ctx.charge_page(table.schema.id, page, AccessKind::Sequential);
@@ -2720,6 +3480,252 @@ impl<'e> Operator<'e> for FusedExec<'e> {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel fused scan→filter→partial-aggregate
+// ---------------------------------------------------------------------------
+
+/// Morsel-driven parallel variant of [`FusedExec`] — the engine's third
+/// parallelism tier (intra-node), below the cluster's inter-query and
+/// intra-query tiers. The scan is split into page-aligned morsels
+/// ([`plan_scan_morsels`]); each worker pulls morsel indices from a shared
+/// atomic and folds its morsels into private [`FusedGroups`] partials,
+/// which the coordinator merges **in morsel-index order** — preserving the
+/// serial first-seen group order — before finishing through the same
+/// [`exec::project_groups`].
+///
+/// Byte-identity with serial execution, counters included, is maintained
+/// by construction:
+/// - page charges are replayed on the coordinator in serial order
+///   ([`precharge_morsel_pages`]); workers never touch the buffer pool or
+///   the statement's stats;
+/// - workers tally `rows_scanned` / `cpu_tuple_ops` in plain integers that
+///   the coordinator sums and bumps once (addition is order-free), with
+///   `scan_batches = ceil(rows/SCAN_BATCH_ROWS)` exactly as the serial
+///   batch loop produces;
+/// - each worker runs under a child [`crate::governor::QueryGovernor`]
+///   (statement cancel reaches workers; a worker failure aborts peers) and
+///   charges its transient partial state to the shared memory gauge
+///   through its own context, released when the worker finishes.
+///
+/// Falls back to [`FusedExec`] at run time when the scan yields fewer than
+/// two morsels, so small tables pay no dispatch cost and errors (unknown
+/// table, type errors) surface identically.
+struct ParallelFusedExec<'e> {
+    q: &'e Select,
+    plan: &'e FusedPlan,
+    outer: &'e [Frame<'e>],
+    ctx: &'e ExecContext<'e>,
+    workers: usize,
+    az: Option<&'e Analyze>,
+    probe: Option<usize>,
+    emitter: Option<BatchEmitter>,
+}
+
+impl<'e> ParallelFusedExec<'e> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        q: &'e Select,
+        plan: &'e FusedPlan,
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+        workers: usize,
+        az: Option<&'e Analyze>,
+        probe: Option<usize>,
+    ) -> Self {
+        ParallelFusedExec {
+            q,
+            plan,
+            outer,
+            ctx,
+            workers,
+            az,
+            probe,
+            emitter: None,
+        }
+    }
+
+    fn run(&self) -> EngineResult<(Relation, Vec<Vec<Value>>)> {
+        let (plan, ctx) = (self.plan, self.ctx);
+        let table = ctx
+            .db
+            .table(&plan.table)
+            .ok_or_else(|| EngineError::UnknownTable(plan.table.clone()))?;
+        let eval_const = |e: &Expr| -> Option<Value> {
+            if exec::expr_has_columns(e) {
+                None
+            } else {
+                eval_expr(e, &[], ctx).ok()
+            }
+        };
+        let choice = planner::choose_access_path(
+            table,
+            &plan.binding_name,
+            &plan.single,
+            ctx.db.seqscan_enabled(),
+            ctx.db.indexscan_enabled(),
+            &eval_const,
+        );
+        let residual_exprs: Vec<&Expr> = plan
+            .single
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !choice.consumed.contains(i))
+            .map(|(_, e)| e)
+            .collect();
+        let sm = plan_scan_morsels(table, &plan.bindings, &residual_exprs, &choice, ctx);
+        let n_morsels = sm.morsels.len();
+        if n_morsels < 2 {
+            return FusedExec::new(self.q, plan, self.outer, ctx).run();
+        }
+        // Committed to the parallel decomposition: apply its accounting and
+        // replay the serial page-touch sequence up front (safe because no
+        // other page touches can interleave — every subquery-evaluating
+        // operator is a pipeline breaker, and the fused shape has none).
+        ctx.bump_pages_pruned(sm.pages_pruned);
+        ctx.bump_index_probes(sm.index_probes);
+        precharge_morsel_pages(&sm, ctx);
+
+        let preds = resolve_fused_preds(plan, &choice, ctx);
+        let key_progs = key_progs_from_compiled(&plan.group_by, ctx);
+        let agg_args = resolve_fused_args(plan, ctx);
+        let state_width = plan.bindings.len() + plan.specs.len();
+
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        type MorselOut = (FusedGroups, u64, u64); // partial groups, rows, cpu
+        let results: Mutex<Vec<Option<EngineResult<MorselOut>>>> =
+            Mutex::new((0..n_morsels).map(|_| None).collect());
+        let tallies: Mutex<Vec<WorkerTally>> = Mutex::new(vec![(0, 0, 0); self.workers]);
+        let db = ctx.db;
+        let params = ctx.params_snapshot();
+
+        let pool = db.worker_pool(self.workers);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let params = params.clone();
+            let gov = ctx.child_governor();
+            let (next, abort, results, tallies) = (&next, &abort, &results, &tallies);
+            let (sm, preds, key_progs, agg_args) = (&sm, &preds, &key_progs, &agg_args);
+            tasks.push(Box::new(move || {
+                let start = Instant::now();
+                let wctx = ExecContext::governed(db, params, gov);
+                let mut scratch: Vec<Value> = Vec::new();
+                let (mut wrows, mut wmorsels) = (0u64, 0u64);
+                loop {
+                    let i = next.fetch_add(1, AtomicOrd::Relaxed);
+                    if i >= n_morsels || abort.load(AtomicOrd::Relaxed) {
+                        break;
+                    }
+                    let r: EngineResult<MorselOut> = (|| {
+                        wctx.check_interrupt()?;
+                        let mut groups = FusedGroups::new();
+                        let (mut rows, mut cpu) = (0u64, 0u64);
+                        for row in morsel_rows(sm.table, &sm.morsels[i]) {
+                            rows += 1;
+                            if !preds.is_empty()
+                                && !keep_row_charged(
+                                    row,
+                                    &plan.bindings,
+                                    preds,
+                                    &[],
+                                    &wctx,
+                                    || cpu += 1,
+                                )?
+                            {
+                                continue;
+                            }
+                            cpu += 1; // the aggregation update charge
+                            eval_key_scratch(key_progs, row, &wctx, &mut scratch)?;
+                            let group =
+                                groups.find_or_insert(key_progs, row, &scratch, || GroupState {
+                                    rep_row: row.to_vec(),
+                                    accs: plan.specs.iter().map(Acc::new).collect(),
+                                });
+                            for (arg, acc) in agg_args.iter().zip(group.accs.iter_mut()) {
+                                let v = match arg {
+                                    FusedArg::None => None,
+                                    FusedArg::Col(i) => Some(row[*i].clone()),
+                                    FusedArg::Expr(a) => Some(eval::eval_compiled(a, row, &wctx)?),
+                                };
+                                acc.update(v)?;
+                            }
+                        }
+                        // Transient partial-state accounting: charged to the
+                        // shared gauge here, released when this worker's
+                        // context drops; the coordinator charges the merged
+                        // total exactly as the serial operator does.
+                        wctx.charge_mem(exec::approx_state_bytes(
+                            groups.len() as u64,
+                            state_width,
+                        ))?;
+                        Ok((groups, rows, cpu))
+                    })();
+                    let failed = r.is_err();
+                    if let Ok((_, rows, _)) = &r {
+                        wrows += rows;
+                    }
+                    wmorsels += 1;
+                    results.lock()[i] = Some(r);
+                    if failed {
+                        abort.store(true, AtomicOrd::Relaxed);
+                    }
+                }
+                tallies.lock()[w] = (wrows, wmorsels, start.elapsed().as_nanos());
+            }));
+        }
+        pool.scoped_run(tasks);
+
+        // Merge in morsel-index order. Walking in order also makes error
+        // reporting deterministic: morsel indices are claimed in increasing
+        // order and abandoned slots (after an abort) always sit beyond the
+        // erroring one, so the first non-Ok slot is the earliest failure in
+        // scan order. The per-morsel interrupt check mirrors the serial
+        // once-per-batch cancellation cadence.
+        let mut merged = FusedGroups::new();
+        let (mut total_rows, mut total_cpu) = (0u64, 0u64);
+        for slot in results.into_inner() {
+            ctx.check_interrupt()?;
+            match slot {
+                Some(Ok((groups, rows, cpu))) => {
+                    total_rows += rows;
+                    total_cpu += cpu;
+                    merged.merge(groups);
+                }
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("abandoned morsel precedes the slot that aborted it"),
+            }
+        }
+        ctx.bump_rows_scanned(total_rows);
+        ctx.bump_scan_batches(total_rows.div_ceil(exec::SCAN_BATCH_ROWS));
+        ctx.bump_cpu(total_cpu);
+        ctx.charge_mem(exec::approx_state_bytes(merged.len() as u64, state_width))?;
+        record_worker_probes(self.az, self.probe, &tallies.into_inner());
+
+        exec::project_groups(
+            self.q,
+            &plan.bindings,
+            &plan.specs,
+            merged.into_states(),
+            self.outer,
+            ctx,
+        )
+    }
+}
+
+impl<'e> Operator<'e> for ParallelFusedExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        Ok(exec::output_bindings(self.q, &self.plan.bindings))
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        if self.emitter.is_none() {
+            let (rel, keys) = self.run()?;
+            self.emitter = Some(BatchEmitter::new(rel.rows, keys));
+        }
+        Ok(self.emitter.as_mut().and_then(BatchEmitter::next))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Distinct, Sort, Limit
 // ---------------------------------------------------------------------------
 
@@ -2774,6 +3780,59 @@ impl<'e> Operator<'e> for DistinctExec<'e> {
     }
 }
 
+/// Sorts an index permutation on the worker pool: each worker stable-sorts
+/// one contiguous chunk, then the coordinator k-way merges the chunks. On
+/// equal keys the earlier chunk wins, and within a chunk `sort_by` keeps
+/// input order — since the chunks partition the (initially ascending)
+/// index vector in order, the result is exactly what a stable sort of the
+/// whole vector produces, so parallel and serial sorts emit identical row
+/// orders.
+fn parallel_sort_indices(
+    idx: &mut Vec<usize>,
+    workers: usize,
+    db: &Database,
+    cmp: &(dyn Fn(usize, usize) -> std::cmp::Ordering + Sync),
+) {
+    let n = idx.len();
+    let chunk = n.div_ceil(workers).max(1);
+    let pool = db.worker_pool(workers);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = idx
+        .chunks_mut(chunk)
+        .map(|part| {
+            Box::new(move || part.sort_by(|&a, &b| cmp(a, b))) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.scoped_run(tasks);
+
+    let bounds: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk).min(n)))
+        .collect();
+    let mut heads: Vec<usize> = bounds.iter().map(|&(s, _)| s).collect();
+    let mut merged = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (c, &(_, end)) in bounds.iter().enumerate() {
+            if heads[c] >= end {
+                continue;
+            }
+            match best {
+                None => best = Some(c),
+                // Strict `Less` only: ties keep the earliest chunk.
+                Some(b) => {
+                    if cmp(idx[heads[c]], idx[heads[b]]) == std::cmp::Ordering::Less {
+                        best = Some(c);
+                    }
+                }
+            }
+        }
+        let Some(b) = best else { break };
+        merged.push(idx[heads[b]]);
+        heads[b] += 1;
+    }
+    *idx = merged;
+}
+
 /// Pipeline breaker: drains the child, charges the interpreter's `n·log n`
 /// comparison estimate once, and re-emits rows in key order. The sort keys
 /// were computed by the projection stage; they are consumed here.
@@ -2826,7 +3885,7 @@ impl<'e> Operator<'e> for SortExec<'e> {
             self.ctx
                 .bump_cpu((n as f64 * (n.max(2) as f64).log2()) as u64);
             let mut idx: Vec<usize> = (0..rows.len()).collect();
-            idx.sort_by(|&a, &b| {
+            let cmp = |a: usize, b: usize| -> std::cmp::Ordering {
                 for (k, desc) in sort_keys[a].iter().zip(sort_keys[b].iter()).zip(&descs) {
                     let ((x, y), desc) = (k, *desc);
                     let ord = x.sort_cmp(y);
@@ -2836,7 +3895,13 @@ impl<'e> Operator<'e> for SortExec<'e> {
                     }
                 }
                 std::cmp::Ordering::Equal
-            });
+            };
+            let workers = self.ctx.db.parallel_workers();
+            if workers >= 2 && n >= 2 * exec::SCAN_BATCH_ROWS as usize {
+                parallel_sort_indices(&mut idx, workers, self.ctx.db, &cmp);
+            } else {
+                idx.sort_by(|&a, &b| cmp(a, b));
+            }
             let mut sorted = Vec::with_capacity(rows.len());
             for i in idx {
                 sorted.push(std::mem::take(&mut rows[i]));
@@ -2875,12 +3940,21 @@ impl<'e> Operator<'e> for LimitExec<'e> {
 
     fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
         if self.emitter.is_none() {
+            // The child is still drained in full (counters must not
+            // change), but rows past the limit are dropped on arrival
+            // instead of being materialized and truncated afterwards.
+            let limit = self.limit as usize;
             let mut rows: Vec<Row> = Vec::new();
             while let Some(batch) = self.child.next_batch()? {
                 self.ctx.check_interrupt()?;
-                rows.extend(batch.rows.into_owned());
+                let room = limit.saturating_sub(rows.len());
+                if room > 0 {
+                    match batch.rows {
+                        BatchRows::Owned(v) => rows.extend(v.into_iter().take(room)),
+                        BatchRows::Borrowed(v) => rows.extend(v.into_iter().take(room).cloned()),
+                    }
+                }
             }
-            rows.truncate(self.limit as usize);
             self.emitter = Some(BatchEmitter::rows_only(rows));
         }
         Ok(self.emitter.as_mut().and_then(BatchEmitter::next))

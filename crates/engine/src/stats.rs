@@ -32,6 +32,11 @@ pub struct ExecStats {
     /// one per scan). Identical between the fused and general shapes; the
     /// sim can price per-batch dispatch overhead off it.
     pub scan_batches: u64,
+    /// Heap pages a sequential scan skipped outright because the page's
+    /// zone map proved no row could satisfy a pushed-down comparison.
+    /// Pruned pages are *not* charged to the buffer pool and their rows
+    /// are not counted in `rows_scanned`.
+    pub pages_pruned: u64,
 }
 
 impl ExecStats {
@@ -48,6 +53,7 @@ impl ExecStats {
         self.bytes_out += other.bytes_out;
         self.index_probes += other.index_probes;
         self.scan_batches += other.scan_batches;
+        self.pages_pruned += other.pages_pruned;
     }
 }
 
@@ -227,5 +233,85 @@ mod tests {
             );
         }
         d.query("set enable_batch_exec = on").unwrap();
+    }
+
+    /// Zone-map pruning accounting, pinned exactly: pruned pages are
+    /// counted in `pages_pruned`, generate no buffer-pool access, and
+    /// contribute nothing to `rows_scanned` / `scan_batches` — identically
+    /// in every execution mode.
+    #[test]
+    fn zone_map_pruning_accounting_is_exact() {
+        use apuama_sql::Value;
+        use apuama_storage::PageGeometry;
+        let mut d = crate::Database::in_memory();
+        d.execute("create table t (k int not null, g int, primary key (k)) clustered by (k)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..3000i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+            .collect();
+        d.load_table("t", rows).unwrap();
+        // Same geometry derivation as Table::new: 8-byte header + two
+        // 8-byte int columns.
+        let rpp = PageGeometry::for_tuple_bytes(8 + 8 + 8).rows_per_page;
+        let pages = 3000u64.div_ceil(rpp);
+        assert!(pages >= 4, "need a multi-page heap for pruning to show");
+        // Force the heap path: with index scans disabled the k-range stays
+        // a residual FastCmp conjunct the zone maps can refute per page.
+        d.query("set enable_indexscan = off").unwrap();
+        let cut = 2 * rpp as i64 + 100; // mid third page
+        let sql = format!("select count(*) as n from t where k >= {cut}");
+        let out = d.query(&sql).unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(3000 - cut));
+        // The first two pages hold only keys below the cut.
+        assert_eq!(out.stats.pages_pruned, 2);
+        assert_eq!(out.stats.buffer.accesses(), pages - 2);
+        assert_eq!(out.stats.rows_scanned, 3000 - 2 * rpp);
+        assert_eq!(
+            out.stats.scan_batches,
+            (3000 - 2 * rpp).div_ceil(crate::exec::SCAN_BATCH_ROWS)
+        );
+        // Every execution mode prunes the same pages and charges the same
+        // counters.
+        for (kernel, batch) in [(false, true), (true, false), (false, false)] {
+            d.query(&format!(
+                "set enable_kernel = {}",
+                if kernel { "on" } else { "off" }
+            ))
+            .unwrap();
+            d.query(&format!(
+                "set enable_batch_exec = {}",
+                if batch { "on" } else { "off" }
+            ))
+            .unwrap();
+            let other = d.query(&sql).unwrap();
+            assert_eq!(other.rows, out.rows);
+            assert_eq!(other.stats.pages_pruned, out.stats.pages_pruned);
+            assert_eq!(other.stats.rows_scanned, out.stats.rows_scanned);
+            assert_eq!(other.stats.cpu_tuple_ops, out.stats.cpu_tuple_ops);
+            assert_eq!(other.stats.scan_batches, out.stats.scan_batches);
+            assert_eq!(other.stats.buffer.accesses(), out.stats.buffer.accesses());
+        }
+        d.query("set enable_kernel = on").unwrap();
+        d.query("set enable_batch_exec = on").unwrap();
+        // An unmapped column never prunes, even when every page could be
+        // refuted by its values.
+        let out = d.query("select count(*) as n from t where g > 6").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(0));
+        assert_eq!(out.stats.pages_pruned, 0);
+        assert_eq!(out.stats.rows_scanned, 3000);
+        // Indexing g adds it to the zone maps; every page's g-range is
+        // 0..=6, so `g > 6` now refutes the entire heap: nothing scanned,
+        // nothing charged.
+        d.execute("create index ig on t (g)").unwrap();
+        let out = d.query("select count(*) as n from t where g > 6").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(0));
+        assert_eq!(out.stats.pages_pruned, pages);
+        assert_eq!(out.stats.rows_scanned, 0);
+        assert_eq!(out.stats.buffer.accesses(), 0);
+        assert_eq!(out.stats.scan_batches, 0);
+        // ... while an in-range predicate on the same column prunes nothing.
+        let out = d.query("select count(*) as n from t where g = 3").unwrap();
+        assert_eq!(out.stats.pages_pruned, 0);
+        assert_eq!(out.stats.rows_scanned, 3000);
     }
 }

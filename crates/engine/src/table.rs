@@ -23,17 +23,22 @@ impl Table {
     pub fn new(schema: TableSchema) -> Table {
         let geometry = PageGeometry::for_tuple_bytes(schema.tuple_bytes());
         let mut indexes = HashMap::new();
+        let mut heap = Heap::new(geometry);
         if let Some(c) = schema.clustered_by {
             indexes.insert(c, OrderedIndex::new());
+            // Indexed columns carry per-page zone maps so sequential scans
+            // with a pushed-down comparison can skip whole pages.
+            heap.set_zone_columns(&[c]);
         }
         Table {
             schema,
-            heap: Heap::new(geometry),
+            heap,
             indexes,
         }
     }
 
-    /// Adds a secondary index on `column` and back-fills it.
+    /// Adds a secondary index on `column` and back-fills it (plus the zone
+    /// map a seq scan consults for predicates on that column).
     pub fn create_index(&mut self, column: usize) {
         if self.indexes.contains_key(&column) {
             return;
@@ -43,6 +48,8 @@ impl Table {
             idx.insert(row[column].clone(), rid);
         }
         self.indexes.insert(column, idx);
+        let cols: Vec<usize> = self.indexes.keys().copied().collect();
+        self.heap.set_zone_columns(&cols);
     }
 
     /// Index on a column, if one exists.
@@ -112,6 +119,9 @@ impl Table {
             return Ok(None);
         };
         let old = std::mem::replace(slot, new_row.clone());
+        // The in-place write bypassed the heap's insert path; re-derive the
+        // page's zone map entries from the new contents.
+        self.heap.refresh_zone_page(rid);
         for (&c, idx) in self.indexes.iter_mut() {
             if old[c] != new_row[c] {
                 idx.remove(&old[c], rid);

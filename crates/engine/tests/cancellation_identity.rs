@@ -5,7 +5,10 @@
 //! byte-identically to a never-cancelled engine. Checked across the
 //! execution-mode matrix: `enable_kernel` on/off × `enable_batch_exec`
 //! on/off, so the interpreter, the batch fast paths, and the fused kernel
-//! all honor the same unwind contract.
+//! all honor the same unwind contract — and `parallel_workers` ∈ {1, 2, 4},
+//! so a cancel that lands while morsel workers are in flight must likewise
+//! unwind cleanly (worker-side memory charges released, no partial state
+//! surviving into the replay).
 
 use proptest::prelude::*;
 
@@ -34,11 +37,13 @@ fn db() -> Database {
     d
 }
 
-fn set_modes(d: &Database, kernel: bool, batch: bool) {
+fn set_modes(d: &Database, kernel: bool, batch: bool, workers: usize) {
     let onoff = |b: bool| if b { "on" } else { "off" };
     d.query(&format!("set enable_kernel = {}", onoff(kernel)))
         .unwrap();
     d.query(&format!("set enable_batch_exec = {}", onoff(batch)))
+        .unwrap();
+    d.query(&format!("set parallel_workers = {workers}"))
         .unwrap();
 }
 
@@ -60,16 +65,17 @@ proptest! {
         fuse in 0u64..48,
         kernel in any::<bool>(),
         batch in any::<bool>(),
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
     ) {
         let sql = QUERIES[query_idx];
 
         // Reference: an engine that never saw a cancellation.
         let clean = db();
-        set_modes(&clean, kernel, batch);
+        set_modes(&clean, kernel, batch, workers);
         let want = clean.query(sql).unwrap();
 
         let d = db();
-        set_modes(&d, kernel, batch);
+        set_modes(&d, kernel, batch, workers);
         let gov = QueryGovernor::new();
         gov.cancel_token().cancel_after_checks(fuse);
         match d.query_governed(sql, &gov) {

@@ -577,6 +577,34 @@ mod tests {
     }
 
     #[test]
+    fn smp_cores_ablation_speeds_up_isolated_queries() {
+        // The testbed's nodes were 2-way Opteron SMPs, but the paper's
+        // PostgreSQL ran each statement on one core. Pricing the second
+        // core in (intra-node morsel parallelism) must shrink the
+        // CPU-bound part of an isolated Q1 — but only that part, so the
+        // speedup stays below 2× (disk and composition do not scale).
+        let data = generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+        });
+        let sql = TpchQuery::Q1.sql(&QueryParams::default());
+        let one_core = SimCluster::new(&data, SimClusterConfig::paper(4)).unwrap();
+        let t1 = one_core.run_query_isolated(&sql).unwrap().makespan_ms;
+        let mut cfg = SimClusterConfig::paper(4);
+        cfg.cost = cfg.cost.with_cores(2);
+        let smp = SimCluster::new(&data, cfg).unwrap();
+        let t2 = smp.run_query_isolated(&sql).unwrap().makespan_ms;
+        assert!(
+            t2 < t1,
+            "2-way SMP must help: 1 core = {t1} ms, 2 = {t2} ms"
+        );
+        assert!(
+            t2 > t1 / 2.0,
+            "speedup must stay sub-linear (Amdahl): 1 core = {t1} ms, 2 = {t2} ms"
+        );
+    }
+
+    #[test]
     fn svp_disabled_runs_single_node() {
         let data = generate(TpchConfig {
             scale_factor: 0.002,

@@ -43,6 +43,14 @@ pub struct CostModel {
     /// and per-tuple CPU already covers them — but kept as a knob so
     /// batch-pipeline experiments can price dispatch explicitly.
     pub batch_dispatch_ms: f64,
+    /// CPU cores a node devotes to one statement (morsel-driven intra-node
+    /// parallelism — the third parallelism tier). The per-tuple CPU term
+    /// divides by this; page faults and network do not parallelize. 1 in
+    /// the 2006 calibration: PostgreSQL 8 ran each statement on a single
+    /// core even though the testbed nodes were 2-way SMPs — which is
+    /// exactly the ablation this knob enables (what the paper's own
+    /// hardware had left on the table).
+    pub cores: usize,
 }
 
 impl CostModel {
@@ -57,6 +65,7 @@ impl CostModel {
             net_request_ms: 0.3,
             write_coord_ms: 0.8,
             batch_dispatch_ms: 0.0,
+            cores: 1,
         }
     }
 
@@ -76,12 +85,24 @@ impl CostModel {
         }
     }
 
-    /// Time one statement takes on a node's CPU+disk.
+    /// The same calibration with `cores` CPUs per node — the intra-node
+    /// morsel-parallelism ablation. `with_cores(2)` models the testbed's
+    /// actual 2-way Opteron SMPs running the engine's third parallelism
+    /// tier instead of the paper's one-core-per-statement PostgreSQL.
+    pub fn with_cores(self, cores: usize) -> CostModel {
+        CostModel { cores, ..self }
+    }
+
+    /// Time one statement takes on a node's CPU+disk. The per-tuple CPU
+    /// term is divided across the node's `cores` (morsel workers share the
+    /// tuple work near-perfectly); page faults and batch dispatch are not —
+    /// one disk arm, one coordinator.
     pub fn statement_ms(&self, s: &ExecStats) -> f64 {
         s.buffer.misses_seq as f64 * self.seq_page_ms
             + s.buffer.misses_rand as f64 * self.rand_page_ms
             + s.buffer.hits as f64 * self.hit_page_ms
             + (s.rows_scanned + s.cpu_tuple_ops) as f64 * self.cpu_tuple_ms
+                / self.cores.max(1) as f64
             + s.scan_batches as f64 * self.batch_dispatch_ms
     }
 
@@ -116,6 +137,7 @@ mod tests {
             bytes_out: bytes,
             index_probes: 0,
             scan_batches: 0,
+            pages_pruned: 0,
         }
     }
 
@@ -172,6 +194,25 @@ mod tests {
         );
         // The 2006 calibration itself stays dispatch-free.
         assert_eq!(base.batch_dispatch_ms, 0.0);
+    }
+
+    #[test]
+    fn cores_divide_only_the_cpu_term() {
+        let base = CostModel::paper_2006();
+        // The 2006 calibration models PostgreSQL's one core per statement.
+        assert_eq!(base.cores, 1);
+        let smp = base.with_cores(2);
+
+        // A CPU-bound statement halves on the 2-way SMP …
+        let cpu = stats(0, 0, 0, 100_000, 0);
+        assert!((smp.statement_ms(&cpu) - base.statement_ms(&cpu) / 2.0).abs() < 1e-12);
+
+        // … while a disk-bound one is untouched: the disk arm is shared.
+        let io = stats(10_000, 500, 2_000, 0, 0);
+        assert_eq!(smp.statement_ms(&io), base.statement_ms(&io));
+
+        // And the builder changed nothing else.
+        assert_eq!(CostModel { cores: 1, ..smp }, base);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! remain stable for the indexes; the engine compacts when the tombstone
 //! ratio gets large.
 
+use std::cmp::Ordering;
+
+use apuama_sql::Value;
+
 use crate::Row;
 
 /// A stable row identifier: the slot number within the heap.
@@ -44,12 +48,56 @@ impl PageGeometry {
     }
 }
 
+/// Per-page min/max summary of one column's live, non-null values — the
+/// zone map entry a sequential scan consults to skip pages that cannot
+/// contain a matching row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneRange {
+    /// No live row on the page has a non-null value in the column (the
+    /// page may be empty, all-tombstone, or all-NULL in this column).
+    Empty,
+    /// Inclusive bounds over the page's live non-null values.
+    Range { min: Value, max: Value },
+}
+
+impl ZoneRange {
+    fn widen(&mut self, v: &Value) {
+        match self {
+            ZoneRange::Empty => {
+                *self = ZoneRange::Range {
+                    min: v.clone(),
+                    max: v.clone(),
+                }
+            }
+            ZoneRange::Range { min, max } => {
+                if v.sort_cmp(min) == Ordering::Less {
+                    *min = v.clone();
+                }
+                if v.sort_cmp(max) == Ordering::Greater {
+                    *max = v.clone();
+                }
+            }
+        }
+    }
+}
+
+/// Zone map for one column: one [`ZoneRange`] per page.
+#[derive(Debug, Clone)]
+struct ZoneColumn {
+    col: usize,
+    pages: Vec<ZoneRange>,
+}
+
 /// The heap itself: a slab of optional rows plus the page geometry.
 #[derive(Debug, Clone)]
 pub struct Heap {
     rows: Vec<Option<Row>>,
     geometry: PageGeometry,
     live: u64,
+    /// Zone maps for the columns the table asked to summarize (indexed /
+    /// clustering columns). Maintained on insert, recomputed per page on
+    /// delete and in-place update, rebuilt on compaction.
+    zones: Vec<ZoneColumn>,
 }
 
 impl Heap {
@@ -59,6 +107,102 @@ impl Heap {
             rows: Vec::new(),
             geometry,
             live: 0,
+            zones: Vec::new(),
+        }
+    }
+
+    /// Declares which columns get per-page zone maps, (re)building them
+    /// from the current contents. Duplicate columns are collapsed; calling
+    /// again replaces the previous configuration.
+    pub fn set_zone_columns(&mut self, cols: &[usize]) {
+        let mut uniq: Vec<usize> = cols.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        self.zones = uniq
+            .into_iter()
+            .map(|col| ZoneColumn {
+                col,
+                pages: Vec::new(),
+            })
+            .collect();
+        self.rebuild_zones();
+    }
+
+    /// The columns currently covered by zone maps, ascending.
+    pub fn zone_columns(&self) -> Vec<usize> {
+        self.zones.iter().map(|z| z.col).collect()
+    }
+
+    /// The zone map entry for `col` on `page`, if that column is mapped.
+    /// Pages past the end of the heap report [`ZoneRange::Empty`].
+    pub fn zone_range(&self, col: usize, page: u64) -> Option<&ZoneRange> {
+        let z = self.zones.iter().find(|z| z.col == col)?;
+        Some(z.pages.get(page as usize).unwrap_or(&ZoneRange::Empty))
+    }
+
+    /// Recomputes every zone map entry for the page containing `id`
+    /// (in-place UPDATEs go through [`Heap::get_mut`], which cannot see the
+    /// new values; the table layer calls this afterwards).
+    pub fn refresh_zone_page(&mut self, id: RowId) {
+        let page = self.geometry.page_of(id) as usize;
+        self.recompute_zone_page(page);
+    }
+
+    fn note_insert(&mut self, id: RowId, row: &Row) {
+        let page = self.geometry.page_of(id) as usize;
+        for z in &mut self.zones {
+            if z.pages.len() <= page {
+                z.pages.resize(page + 1, ZoneRange::Empty);
+            }
+            if let Some(v) = row.get(z.col) {
+                if !v.is_null() {
+                    z.pages[page].widen(v);
+                }
+            }
+        }
+    }
+
+    fn recompute_zone_page(&mut self, page: usize) {
+        if self.zones.is_empty() {
+            return;
+        }
+        let lo = (page as u64 * self.geometry.rows_per_page) as usize;
+        let hi = (lo + self.geometry.rows_per_page as usize).min(self.rows.len());
+        let lo = lo.min(self.rows.len());
+        let fresh: Vec<ZoneRange> = self
+            .zones
+            .iter()
+            .map(|z| {
+                let mut entry = ZoneRange::Empty;
+                for row in self.rows[lo..hi].iter().flatten() {
+                    if let Some(v) = row.get(z.col) {
+                        if !v.is_null() {
+                            entry.widen(v);
+                        }
+                    }
+                }
+                entry
+            })
+            .collect();
+        for (z, entry) in self.zones.iter_mut().zip(fresh) {
+            if z.pages.len() <= page {
+                z.pages.resize(page + 1, ZoneRange::Empty);
+            }
+            z.pages[page] = entry;
+        }
+    }
+
+    fn rebuild_zones(&mut self) {
+        if self.zones.is_empty() {
+            return;
+        }
+        let pages = self.geometry.pages_for(self.rows.len() as u64) as usize;
+        for z in &mut self.zones {
+            z.pages.clear();
+            z.pages.resize(pages, ZoneRange::Empty);
+        }
+        for page in 0..pages {
+            self.recompute_zone_page(page);
         }
     }
 
@@ -70,6 +214,7 @@ impl Heap {
     /// Appends a row, returning its id.
     pub fn insert(&mut self, row: Row) -> RowId {
         let id = self.rows.len() as RowId;
+        self.note_insert(id, &row);
         self.rows.push(Some(row));
         self.live += 1;
         id
@@ -100,6 +245,7 @@ impl Heap {
         let old = slot.take();
         if old.is_some() {
             self.live -= 1;
+            self.refresh_zone_page(id);
         }
         old
     }
@@ -160,6 +306,7 @@ impl Heap {
             }
         }
         self.rows = new_rows;
+        self.rebuild_zones();
         mapping
     }
 }
@@ -253,6 +400,75 @@ mod tests {
         let vals: Vec<i64> = h.iter().map(|(_, r)| r[0].as_i64().unwrap()).collect();
         assert_eq!(vals, vec![0, 2, 3, 5]);
         assert!(mapping.contains(&(5, 3)));
+    }
+
+    fn range_of(h: &Heap, col: usize, page: u64) -> Option<(i64, i64)> {
+        match h.zone_range(col, page)? {
+            ZoneRange::Empty => None,
+            ZoneRange::Range { min, max } => Some((min.as_i64().unwrap(), max.as_i64().unwrap())),
+        }
+    }
+
+    #[test]
+    fn zone_maps_widen_on_insert() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        h.set_zone_columns(&[0]);
+        for i in 0..10 {
+            h.insert(row(i));
+        }
+        assert_eq!(range_of(&h, 0, 0), Some((0, 3)));
+        assert_eq!(range_of(&h, 0, 1), Some((4, 7)));
+        assert_eq!(range_of(&h, 0, 2), Some((8, 9)));
+        // Unmapped column: no zone information at all.
+        assert!(h.zone_range(1, 0).is_none());
+        // Pages past the heap end report Empty, not absence.
+        assert_eq!(h.zone_range(0, 99), Some(&ZoneRange::Empty));
+    }
+
+    #[test]
+    fn zone_maps_rebuild_from_existing_rows_and_skip_nulls() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 2 });
+        h.insert(row(5));
+        h.insert(vec![Value::Null]);
+        h.insert(row(7));
+        h.set_zone_columns(&[0]);
+        assert_eq!(range_of(&h, 0, 0), Some((5, 5)));
+        assert_eq!(range_of(&h, 0, 1), Some((7, 7)));
+        // An all-NULL page summarizes to Empty.
+        h.delete(0);
+        assert_eq!(h.zone_range(0, 0), Some(&ZoneRange::Empty));
+    }
+
+    #[test]
+    fn zone_maps_tighten_on_delete_and_survive_compact() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        h.set_zone_columns(&[0]);
+        for i in 0..8 {
+            h.insert(row(i));
+        }
+        // Deleting the page max recomputes the page's bounds exactly.
+        h.delete(3);
+        assert_eq!(range_of(&h, 0, 0), Some((0, 2)));
+        h.delete(4);
+        assert_eq!(range_of(&h, 0, 1), Some((5, 7)));
+        // Compaction shifts rows across page boundaries; the maps follow.
+        h.compact();
+        assert_eq!(h.slots(), 6);
+        assert_eq!(range_of(&h, 0, 0), Some((0, 5)));
+        assert_eq!(range_of(&h, 0, 1), Some((6, 7)));
+    }
+
+    #[test]
+    fn zone_maps_refresh_after_in_place_update() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        h.set_zone_columns(&[0]);
+        for i in 0..4 {
+            h.insert(row(i));
+        }
+        *h.get_mut(2).unwrap() = row(100);
+        // get_mut cannot see the write; the explicit refresh does.
+        h.refresh_zone_page(2);
+        assert_eq!(range_of(&h, 0, 0), Some((0, 100)));
     }
 
     #[test]

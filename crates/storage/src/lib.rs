@@ -26,7 +26,7 @@ pub mod heap;
 pub mod index;
 
 pub use buffer::{AccessKind, BufferPool, BufferStats, PageKey};
-pub use heap::{Heap, PageGeometry, RowId};
+pub use heap::{Heap, PageGeometry, RowId, ZoneRange};
 pub use index::{IndexKey, OrderedIndex};
 
 /// A tuple: one dynamic value per column.

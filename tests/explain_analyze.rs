@@ -41,6 +41,10 @@ fn field(line: &str, name: &str) -> f64 {
 #[test]
 fn explain_analyze_tpch_q1ish_reports_consistent_tree() {
     let db = tpch_db();
+    // Pinned serial: with morsel workers the per-worker probe lines report
+    // overlapping wall time, so the exclusive-time sum below is a
+    // serial-tree invariant. The parallel rendering has its own test.
+    db.query("set parallel_workers = 1").unwrap();
     let q = &ALL_QUERIES[0];
     let sql = q.sql(&QueryParams::random(7));
     let expected_rows = db.query(&sql).unwrap().rows.len() as f64;
@@ -101,6 +105,57 @@ fn explain_analyze_tpch_q1ish_reports_consistent_tree() {
     );
     // And the accounting is not degenerate: the probes did record time.
     assert!(total_ms > 0.0, "{footer}");
+}
+
+/// With `parallel_workers` ≥ 2, eligible operators carry a `[parallel ×N]`
+/// marker and per-worker row/morsel/time breakdown lines, and the reported
+/// row counts still reconcile with the plain query.
+#[test]
+fn explain_analyze_shows_parallel_marker_and_worker_breakdown() {
+    let db = tpch_db();
+    db.query("set parallel_workers = 2").unwrap();
+    let q = &ALL_QUERIES[0];
+    let sql = q.sql(&QueryParams::random(7));
+    let expected_rows = db.query(&sql).unwrap().rows.len() as f64;
+
+    // Fused shape: the parallel fused aggregate advertises its workers and
+    // attaches one probe line per worker.
+    let fused = plan_lines(&db, &format!("explain analyze {sql}"));
+    assert!(
+        fused
+            .iter()
+            .any(|l| l.contains("fused aggregate over") && l.contains("[parallel ×2]")),
+        "{fused:?}"
+    );
+    let workers: Vec<&String> = fused
+        .iter()
+        .filter(|l| l.trim_start().starts_with("parallel worker "))
+        .collect();
+    assert_eq!(workers.len(), 2, "{fused:?}");
+    for w in &workers {
+        assert!(w.contains("(actual rows=") && w.contains("self_ms="), "{w}");
+    }
+    // Workers together scanned every morsel's rows exactly once.
+    let scanned: f64 = workers.iter().map(|l| field(l, "rows")).sum();
+    let serial_scanned = {
+        db.query("set parallel_workers = 1").unwrap();
+        let out = db.query(&sql).unwrap();
+        db.query("set parallel_workers = 2").unwrap();
+        out.stats.rows_scanned as f64
+    };
+    assert_eq!(scanned, serial_scanned, "{fused:?}");
+    assert_eq!(field(&fused[0], "rows"), expected_rows, "{fused:?}");
+
+    // General shape: the base-table scan carries the marker instead.
+    db.query("set enable_kernel = off").unwrap();
+    let lines = plan_lines(&db, &format!("explain analyze {sql}"));
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.trim_start().starts_with("scan ") && l.contains("[parallel ×2]")),
+        "{lines:?}"
+    );
+    assert_eq!(field(&lines[0], "rows"), expected_rows, "{lines:?}");
 }
 
 /// The instrumented execution answers exactly like the plain one for every

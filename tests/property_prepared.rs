@@ -42,12 +42,16 @@ fn lineitem_db(rows: &[(i64, i64, f64, u8)]) -> Database {
     db
 }
 
-/// Strategy: unique order keys with arbitrary payloads.
+/// Strategy: unique order keys with arbitrary payloads. Float payloads are
+/// quarter-steps (exactly representable, sums never round), so the strict
+/// byte-identity assertions stay valid however partial aggregates
+/// associate — including under morsel-parallel execution on multi-core
+/// hosts, where `parallel_workers` defaults to the core count.
 fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, f64, u8)>> {
-    proptest::collection::btree_map(0i64..500, (0i64..100, 0.0f64..1000.0, any::<u8>()), 0..150)
+    proptest::collection::btree_map(0i64..500, (0i64..100, 0i64..4000, any::<u8>()), 0..150)
         .prop_map(|m| {
             m.into_iter()
-                .map(|(k, (q, p, f))| (k, q, p, f))
+                .map(|(k, (q, p, f))| (k, q, p as f64 * 0.25, f))
                 .collect::<Vec<_>>()
         })
 }

@@ -79,6 +79,12 @@ fn main() {
         .replace("$2", &ROWS.to_string())
         .replace("$3", "5");
 
+    // Recorded so CI's perf gates can tell a timing regression from
+    // single-core scheduling noise and skip (with a reason) accordingly.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     let db = lineitem();
 
     // -- arm 1: interpreter_seed (text, fusion off, legacy row-at-a-time
@@ -115,7 +121,8 @@ fn main() {
 
     // -- report ------------------------------------------------------------
     let json = format!(
-        "{{\n  \"interpreter_seed_us_per_exec\": {interpreter_us:.2},\n  \
+        "{{\n  \"cores\": {cores},\n  \
+         \"interpreter_seed_us_per_exec\": {interpreter_us:.2},\n  \
          \"unified_pipeline_us_per_exec\": {pipeline_us:.2},\n  \
          \"fused_rule_us_per_exec\": {fused_us:.2},\n  \
          \"pipeline_speedup_vs_seed\": {pipeline_speedup:.3},\n  \

@@ -112,8 +112,14 @@ fn main() {
     );
 
     // -- report ------------------------------------------------------------
+    // Recorded so CI's perf gates can tell a timing regression from
+    // single-core scheduling noise and skip (with a reason) accordingly.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"text_us_per_exec\": {text_us:.2},\n  \
+        "{{\n  \"cores\": {cores},\n  \
+         \"text_us_per_exec\": {text_us:.2},\n  \
          \"prepared_us_per_exec\": {prepared_us:.2},\n  \
          \"prepared_speedup\": {prepared_speedup:.3},\n  \
          \"interpreted_us_per_exec\": {interpreted_us:.2},\n  \

@@ -389,6 +389,13 @@ pub trait Composer {
     /// partial's stats are not forwarded — per-node statement stats are
     /// recorded by the orchestrator before composition, and no composer
     /// reads them from an accepted partial.
+    ///
+    /// Re-chunking moves each row exactly once into its chunk (no clone,
+    /// no per-row allocation); the compute-heavy half of composition — the
+    /// recombination query a staged composer runs over its scratch table —
+    /// executes through the embedded engine, where the fused kernel
+    /// transposes each scan batch into typed column vectors
+    /// (`enable_columnar`) rather than re-walking rows of boxed values.
     fn accept_batched(&mut self, node: usize, partial: QueryOutput) -> EngineResult<()> {
         if partial.rows.len() as u64 <= apuama_engine::SCAN_BATCH_ROWS {
             return self.accept(node, partial);

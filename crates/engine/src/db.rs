@@ -201,6 +201,22 @@ impl Database {
             .unwrap_or(true)
     }
 
+    /// Whether the fused kernel may run its columnar fold
+    /// (`SET enable_columnar`, default on): referenced attributes are
+    /// transposed into typed column vectors per batch and predicates /
+    /// aggregates loop over them under a selection vector. Off keeps the
+    /// scalar row loop. Results, errors, and statistics are byte-identical
+    /// either way, so — like `enable_batch_exec` — the knob is not part of
+    /// the plan fingerprint; it is read at execution time.
+    pub fn columnar_enabled(&self) -> bool {
+        self.settings
+            .misc
+            .lock()
+            .get("enable_columnar")
+            .map(|v| !matches!(v.as_str(), "off" | "false" | "0" | "no"))
+            .unwrap_or(true)
+    }
+
     /// Worker count for morsel-driven intra-node parallel execution
     /// (`SET parallel_workers = N`). Defaults to the machine's available
     /// cores; `0` and `1` both mean serial. Like `enable_batch_exec`, the

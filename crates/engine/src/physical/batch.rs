@@ -1,0 +1,230 @@
+use apuama_sql::Value;
+use apuama_storage::Row;
+
+use crate::exec::{self};
+
+// ---------------------------------------------------------------------------
+// Operator contract
+// ---------------------------------------------------------------------------
+
+/// Rows of one batch: owned (a breaker's materialized output, or the
+/// legacy row-at-a-time mode's cloned scan output) or borrowed straight
+/// out of a table heap — the batch-exec fast path's form, which is what
+/// eliminates the seed interpreter's per-row `row.clone()` on the scan
+/// path.
+pub(crate) enum BatchRows<'e> {
+    Owned(Vec<Row>),
+    Borrowed(Vec<&'e Row>),
+}
+
+impl<'e> BatchRows<'e> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            BatchRows::Owned(v) => v.len(),
+            BatchRows::Borrowed(v) => v.len(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn iter(&self) -> BatchRowsIter<'_, 'e> {
+        match self {
+            BatchRows::Owned(v) => BatchRowsIter::Owned(v.iter()),
+            BatchRows::Borrowed(v) => BatchRowsIter::Borrowed(v.iter()),
+        }
+    }
+
+    /// Materializes the batch, cloning only when the rows were borrowed
+    /// (exactly the clone the legacy scan path would have paid up front).
+    pub(crate) fn into_owned(self) -> Vec<Row> {
+        match self {
+            BatchRows::Owned(v) => v,
+            BatchRows::Borrowed(v) => v.into_iter().cloned().collect(),
+        }
+    }
+}
+
+pub(crate) enum BatchRowsIter<'a, 'e> {
+    Owned(std::slice::Iter<'a, Row>),
+    Borrowed(std::slice::Iter<'a, &'e Row>),
+}
+
+impl<'a> Iterator for BatchRowsIter<'a, '_> {
+    type Item = &'a Row;
+    fn next(&mut self) -> Option<&'a Row> {
+        match self {
+            BatchRowsIter::Owned(it) => it.next(),
+            BatchRowsIter::Borrowed(it) => it.next().map(|r| &**r),
+        }
+    }
+}
+
+/// Row-parallel ORDER BY sort keys in one flat buffer: row `i`'s key is
+/// `vals[i * stride..(i + 1) * stride]`. Replaces the former
+/// `Vec<Vec<Value>>` — one `Vec` allocation per projected row on every
+/// ORDER BY path — with a single buffer per batch. `stride` is the ORDER
+/// BY component count (0 when the statement has no ORDER BY, in which
+/// case the buffer stays empty and only the row count is tracked).
+#[derive(Default)]
+pub(crate) struct KeyBuf {
+    vals: Vec<Value>,
+    stride: usize,
+    rows: usize,
+}
+
+impl KeyBuf {
+    pub(crate) fn with_capacity(stride: usize, rows: usize) -> Self {
+        KeyBuf {
+            vals: Vec::with_capacity(stride * rows),
+            stride,
+            rows: 0,
+        }
+    }
+
+    /// Bridges from nested per-row keys (the shape `exec::project_groups`
+    /// and the framed evaluation paths still produce).
+    pub(crate) fn from_nested(keys: Vec<Vec<Value>>) -> Self {
+        let rows = keys.len();
+        let stride = keys.first().map_or(0, Vec::len);
+        let mut vals = Vec::with_capacity(stride * rows);
+        for k in keys {
+            debug_assert_eq!(k.len(), stride, "ragged sort keys");
+            vals.extend(k);
+        }
+        KeyBuf { vals, stride, rows }
+    }
+
+    pub(crate) fn from_parts(vals: Vec<Value>, stride: usize, rows: usize) -> Self {
+        debug_assert_eq!(vals.len(), stride * rows);
+        KeyBuf { vals, stride, rows }
+    }
+
+    pub(crate) fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of keyed rows (meaningful even at stride 0).
+    pub(crate) fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Row `i`'s key components.
+    #[inline]
+    pub(crate) fn key(&self, i: usize) -> &[Value] {
+        &self.vals[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Appends one key component of the row currently being built; the row
+    /// is complete after exactly `stride` pushes followed by [`Self::end_row`].
+    #[inline]
+    pub(crate) fn push_val(&mut self, v: Value) {
+        self.vals.push(v);
+    }
+
+    /// Marks the current row complete.
+    #[inline]
+    pub(crate) fn end_row(&mut self) {
+        self.rows += 1;
+        debug_assert_eq!(self.vals.len(), self.rows * self.stride);
+    }
+
+    /// Appends a whole per-row key (bridge for the framed paths that still
+    /// build one `Vec` per row). The first pushed key fixes the stride.
+    pub(crate) fn push_key(&mut self, key: Vec<Value>) {
+        if self.rows == 0 && self.vals.is_empty() {
+            self.stride = key.len();
+        }
+        debug_assert_eq!(key.len(), self.stride, "ragged sort keys");
+        self.vals.extend(key);
+        self.rows += 1;
+    }
+
+    /// Moves another buffer's keys onto the end of this one. An empty
+    /// buffer adopts the other's stride (batches before the first row
+    /// carry stride 0).
+    pub(crate) fn append(&mut self, other: KeyBuf) {
+        if self.rows == 0 {
+            self.stride = other.stride;
+        }
+        debug_assert!(other.rows == 0 || other.stride == self.stride);
+        self.vals.extend(other.vals);
+        self.rows += other.rows;
+    }
+
+    pub(crate) fn into_vals(self) -> Vec<Value> {
+        self.vals
+    }
+}
+
+/// A batch of rows flowing between operators, with the ORDER BY sort keys
+/// computed alongside them. `keys` is row-parallel above the projection
+/// stage and empty below it.
+pub(crate) struct RowBatch<'e> {
+    pub(crate) rows: BatchRows<'e>,
+    pub(crate) keys: KeyBuf,
+}
+
+impl<'e> RowBatch<'e> {
+    pub(crate) fn owned(rows: Vec<Row>, keys: KeyBuf) -> Self {
+        RowBatch {
+            rows: BatchRows::Owned(rows),
+            keys,
+        }
+    }
+
+    pub(crate) fn borrowed(rows: Vec<&'e Row>) -> Self {
+        RowBatch {
+            rows: BatchRows::Borrowed(rows),
+            keys: KeyBuf::default(),
+        }
+    }
+}
+// ---------------------------------------------------------------------------
+// Shared pieces
+// ---------------------------------------------------------------------------
+
+/// Re-emits a materialized row set (a pipeline breaker's output) in
+/// [`exec::SCAN_BATCH_ROWS`]-row batches.
+pub(crate) struct BatchEmitter {
+    rows: std::vec::IntoIter<Row>,
+    keys: std::vec::IntoIter<Value>,
+    stride: usize,
+}
+
+impl BatchEmitter {
+    pub(crate) fn new(rows: Vec<Row>, keys: KeyBuf) -> Self {
+        let stride = keys.stride();
+        BatchEmitter {
+            rows: rows.into_iter(),
+            keys: keys.into_vals().into_iter(),
+            stride,
+        }
+    }
+
+    /// Bridge for producers still emitting nested per-row keys
+    /// (`exec::project_groups`).
+    pub(crate) fn nested(rows: Vec<Row>, keys: Vec<Vec<Value>>) -> Self {
+        Self::new(rows, KeyBuf::from_nested(keys))
+    }
+
+    pub(crate) fn rows_only(rows: Vec<Row>) -> Self {
+        Self::new(rows, KeyBuf::default())
+    }
+
+    pub(crate) fn next<'e>(&mut self) -> Option<RowBatch<'e>> {
+        let rows: Vec<Row> = self
+            .rows
+            .by_ref()
+            .take(exec::SCAN_BATCH_ROWS as usize)
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let vals: Vec<Value> = self.keys.by_ref().take(self.stride * rows.len()).collect();
+        let keyed_rows = vals.len().checked_div(self.stride).unwrap_or(0);
+        let keys = KeyBuf::from_parts(vals, self.stride, keyed_rows);
+        Some(RowBatch::owned(rows, keys))
+    }
+}

@@ -1,0 +1,685 @@
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+use apuama_sql::ast::{BinOp, Expr};
+use apuama_sql::value::hash_value;
+use apuama_sql::Value;
+use apuama_storage::{Row, RowId};
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{self, eval_expr, truthiness, CompiledExpr, Frame};
+use crate::exec::{Binding, ExecContext, GroupState, Relation};
+use crate::table::Table;
+
+/// A filter predicate, pre-resolved to positional form where possible.
+/// Compilation succeeds exactly when every column resolves uniquely in the
+/// operator's own bindings and no subquery appears — in which case the
+/// compiled program is value- and error-identical to frame evaluation —
+/// so falling back to `Framed` never changes semantics. The batch-exec
+/// mode additionally specializes the hot `col <cmp> literal` shape to a
+/// direct comparison (`FastCmp`), skipping the expression walk and its
+/// per-operand `Value` clones.
+pub(crate) enum ResidualPred {
+    /// `col <op> lit`, normalized so the column is on the left. Semantics
+    /// mirror [`eval::eval_binary_with`] for comparison operators: NULL on
+    /// either side filters the row (three-valued logic), incomparable
+    /// non-null operands are a type error with the same message.
+    FastCmp {
+        col: usize,
+        op: BinOp,
+        lit: Value,
+    },
+    Compiled(CompiledExpr),
+    Framed(Expr),
+}
+
+impl ResidualPred {
+    /// Re-sinks a compiled predicate into its fastest evaluable form.
+    pub(crate) fn from_compiled(c: CompiledExpr) -> ResidualPred {
+        if let CompiledExpr::Binary { left, op, right } = &c {
+            if op.is_comparison() {
+                match (left.as_ref(), right.as_ref()) {
+                    (CompiledExpr::Col(i), CompiledExpr::Lit(v)) => {
+                        return ResidualPred::FastCmp {
+                            col: *i,
+                            op: *op,
+                            lit: v.clone(),
+                        }
+                    }
+                    (CompiledExpr::Lit(v), CompiledExpr::Col(i)) => {
+                        return ResidualPred::FastCmp {
+                            col: *i,
+                            op: flip_cmp(*op),
+                            lit: v.clone(),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ResidualPred::Compiled(c)
+    }
+}
+
+/// Mirror image of a comparison operator (`lit < col` ⇔ `col > lit`).
+pub(crate) fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other, // Eq / NotEq are symmetric.
+    }
+}
+
+pub(crate) fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("FastCmp only built for comparison operators"),
+    }
+}
+
+/// Legacy (row-at-a-time) predicate resolution: compiled where possible,
+/// framed otherwise, parameters looked up per row — the seed interpreter's
+/// cost profile.
+pub(crate) fn resolve_preds(preds: &[Expr], bindings: &[Binding]) -> Vec<ResidualPred> {
+    preds
+        .iter()
+        .map(|e| match eval::compile_expr(e, bindings) {
+            Some(c) => ResidualPred::Compiled(c),
+            None => ResidualPred::Framed(e.clone()),
+        })
+        .collect()
+}
+
+/// Batch-exec predicate resolution: bound parameters are folded into the
+/// program once per execution and the `col <cmp> literal` shape is
+/// specialized. Values and errors are identical to [`resolve_preds`]'
+/// output; only the per-row cost differs.
+pub(crate) fn resolve_preds_batch(
+    preds: &[Expr],
+    bindings: &[Binding],
+    ctx: &ExecContext<'_>,
+) -> Vec<ResidualPred> {
+    preds
+        .iter()
+        .map(|e| match eval::compile_expr(e, bindings) {
+            Some(c) => ResidualPred::from_compiled(eval::prebind_params(&c, ctx)),
+            None => ResidualPred::Framed(e.clone()),
+        })
+        .collect()
+}
+
+/// One row through a conjunctive predicate list: `charge` is called before
+/// each evaluation and the list short-circuits on the first non-true,
+/// exactly like the interpreter's scan/filter loops. The caller chooses
+/// whether charges land on the context per row (legacy mode) or in a local
+/// counter flushed per batch (batch-exec mode) — totals are identical.
+pub(crate) fn keep_row_charged(
+    row: &Row,
+    bindings: &[Binding],
+    preds: &[ResidualPred],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+    mut charge: impl FnMut(),
+) -> EngineResult<bool> {
+    let mut frames: Option<Vec<Frame<'_>>> = None;
+    for pred in preds {
+        charge();
+        let keep = match pred {
+            ResidualPred::FastCmp { col, op, lit } => {
+                let v = &row[*col];
+                if v.is_null() || lit.is_null() {
+                    false // NULL comparison result is never true.
+                } else {
+                    match v.sql_cmp(lit) {
+                        None => {
+                            return Err(EngineError::TypeError(format!(
+                                "cannot compare {v} with {lit}"
+                            )))
+                        }
+                        Some(ord) => cmp_matches(*op, ord),
+                    }
+                }
+            }
+            ResidualPred::Compiled(c) => {
+                truthiness(&eval::eval_compiled(c, row, ctx)?) == Some(true)
+            }
+            ResidualPred::Framed(e) => {
+                let frames = frames.get_or_insert_with(|| {
+                    let mut f = Vec::with_capacity(outer.len() + 1);
+                    f.push(Frame { bindings, row });
+                    f.extend_from_slice(outer);
+                    f
+                });
+                truthiness(&eval_expr(e, frames, ctx)?) == Some(true)
+            }
+        };
+        if !keep {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Legacy per-row form: `cpu_tuple_ops` bumped on the context before each
+/// predicate evaluation.
+pub(crate) fn keep_row(
+    row: &Row,
+    bindings: &[Binding],
+    preds: &[ResidualPred],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<bool> {
+    keep_row_charged(row, bindings, preds, outer, ctx, || ctx.bump_cpu(1))
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map page pruning
+// ---------------------------------------------------------------------------
+
+/// The `col <cmp> literal` residual conjuncts eligible for zone-map page
+/// pruning on `table`: exactly the [`ResidualPred::FastCmp`] shape,
+/// restricted to columns the heap keeps zone maps for. Extraction is
+/// independent of the execution mode — it recompiles from the raw
+/// expressions with bound parameters folded in — so every scan path
+/// (legacy, batch-exec, fused kernel, DML) prunes the same pages and the
+/// cross-mode counter identity holds.
+pub(crate) fn zone_prune_preds(
+    table: &Table,
+    bindings: &[Binding],
+    residual_exprs: &[&Expr],
+    ctx: &ExecContext<'_>,
+) -> Vec<(usize, BinOp, Value)> {
+    let zone_cols = table.heap.zone_columns();
+    if zone_cols.is_empty() {
+        return Vec::new();
+    }
+    residual_exprs
+        .iter()
+        .filter_map(|e| {
+            let c = eval::compile_expr(e, bindings)?;
+            match ResidualPred::from_compiled(eval::prebind_params(&c, ctx)) {
+                ResidualPred::FastCmp { col, op, lit } if zone_cols.contains(&col) => {
+                    Some((col, op, lit))
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Does `page`'s zone map prove no live row can satisfy `col <op> lit`?
+///
+/// Decisions mirror the row-level `FastCmp` semantics ([`Value::sql_cmp`]):
+/// a NULL literal or an all-NULL page can never produce a `true`
+/// comparison (NULL operands short-circuit to false before comparing), so
+/// both always prune; an incomparable min or max means some row might
+/// raise a type error, so the page is kept and row-level evaluation
+/// surfaces the same error it always did. Comparable min/max bounds are
+/// safe because [`Value::sort_cmp`]'s type ranks coincide with
+/// `sql_cmp`'s comparability classes: if both bounds compare with the
+/// literal, every value between them does too (NaN sorts above all floats
+/// and is itself incomparable, so a page containing one is never pruned).
+pub(crate) fn zone_page_refutes(
+    heap: &apuama_storage::Heap,
+    page: u64,
+    preds: &[(usize, BinOp, Value)],
+) -> bool {
+    use apuama_storage::ZoneRange;
+    preds.iter().any(|(col, op, lit)| {
+        match heap.zone_range(*col, page) {
+            None => false,
+            Some(ZoneRange::Empty) => true,
+            Some(ZoneRange::Range { min, max }) => {
+                if lit.is_null() {
+                    return true;
+                }
+                let (Some(lo), Some(hi)) = (min.sql_cmp(lit), max.sql_cmp(lit)) else {
+                    return false;
+                };
+                match op {
+                    BinOp::Eq => lo == Ordering::Greater || hi == Ordering::Less,
+                    // Only refutable when the page holds a single value.
+                    BinOp::NotEq => lo == Ordering::Equal && hi == Ordering::Equal,
+                    BinOp::Lt => lo != Ordering::Less,
+                    BinOp::LtEq => lo == Ordering::Greater,
+                    BinOp::Gt => hi != Ordering::Greater,
+                    BinOp::GtEq => hi == Ordering::Less,
+                    _ => false,
+                }
+            }
+        }
+    })
+}
+
+/// Builds the heap iterator for a sequential scan, skipping — and counting
+/// as `pages_pruned` — pages whose zone maps refute a residual conjunct.
+/// Pruned pages are never iterated: no page charge, no `rows_scanned`.
+pub(crate) fn seq_scan_iter<'e>(
+    table: &'e Table,
+    bindings: &[Binding],
+    residual_exprs: &[&Expr],
+    ctx: &ExecContext<'_>,
+) -> Box<dyn Iterator<Item = (RowId, &'e Row)> + 'e> {
+    let preds = zone_prune_preds(table, bindings, residual_exprs, ctx);
+    if preds.is_empty() {
+        return Box::new(table.heap.iter());
+    }
+    let mut allowed: Vec<u64> = Vec::new();
+    let mut pruned = 0u64;
+    for page in 0..table.heap.pages() {
+        if zone_page_refutes(&table.heap, page, &preds) {
+            pruned += 1;
+        } else {
+            allowed.push(page);
+        }
+    }
+    ctx.bump_pages_pruned(pruned);
+    let heap = &table.heap;
+    let rpp = heap.geometry().rows_per_page;
+    Box::new(
+        allowed
+            .into_iter()
+            .flat_map(move |p| heap.iter_range(p * rpp, (p + 1) * rpp)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Group table
+// ---------------------------------------------------------------------------
+
+/// One group-by key component program: a direct column read (no clone per
+/// row) or a compiled expression evaluated into a per-row scratch slot.
+pub(crate) enum KeyProg {
+    Col(usize),
+    Expr { expr: CompiledExpr, slot: usize },
+}
+
+/// Compiles group-by expressions into [`KeyProg`]s; `None` when any key
+/// needs framed evaluation (the caller falls back to the legacy fold).
+pub(crate) fn compile_key_progs(
+    exprs: &[Expr],
+    bindings: &[Binding],
+    ctx: &ExecContext<'_>,
+) -> Option<Vec<KeyProg>> {
+    let mut progs = Vec::with_capacity(exprs.len());
+    let mut slots = 0usize;
+    for e in exprs {
+        let c = eval::prebind_params(&eval::compile_expr(e, bindings)?, ctx);
+        progs.push(match c {
+            CompiledExpr::Col(i) => KeyProg::Col(i),
+            other => {
+                let slot = slots;
+                slots += 1;
+                KeyProg::Expr { expr: other, slot }
+            }
+        });
+    }
+    Some(progs)
+}
+
+/// Prebound [`KeyProg`]s from already-compiled group-by programs (the
+/// fused plan carries those from lowering).
+pub(crate) fn key_progs_from_compiled(
+    exprs: &[CompiledExpr],
+    ctx: &ExecContext<'_>,
+) -> Vec<KeyProg> {
+    let mut slots = 0usize;
+    exprs
+        .iter()
+        .map(|c| match eval::prebind_params(c, ctx) {
+            CompiledExpr::Col(i) => KeyProg::Col(i),
+            other => {
+                let slot = slots;
+                slots += 1;
+                KeyProg::Expr { expr: other, slot }
+            }
+        })
+        .collect()
+}
+
+/// Evaluates the expression-valued key components into `scratch` (cleared
+/// first); `Col` components are read straight from the row at lookup time.
+pub(crate) fn eval_key_scratch(
+    progs: &[KeyProg],
+    row: &[Value],
+    ctx: &ExecContext<'_>,
+    scratch: &mut Vec<Value>,
+) -> EngineResult<()> {
+    scratch.clear();
+    for p in progs {
+        if let KeyProg::Expr { expr, .. } = p {
+            scratch.push(eval::eval_compiled(expr, row, ctx)?);
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn key_component<'a>(
+    progs: &[KeyProg],
+    i: usize,
+    row: &'a [Value],
+    scratch: &'a [Value],
+) -> &'a Value {
+    match &progs[i] {
+        KeyProg::Col(c) => &row[*c],
+        KeyProg::Expr { slot, .. } => &scratch[*slot],
+    }
+}
+
+/// Hash-grouping table replacing `HashMap<Vec<HashableValue>, GroupState>`
+/// on the hot aggregation paths: groups are matched by *borrowed* key
+/// components (no per-row key `Vec` or `Value` clones — the key is cloned
+/// exactly once, when its group is first seen) and states come out in
+/// first-seen order, ready for [`exec::project_groups`]. Hashing uses the
+/// same canonicalization as [`HashableValue`] and equality is
+/// `sort_cmp == Equal` per component, so grouping is identical to the
+/// legacy map (NULLs form one group, `1` and `1.0` share a group).
+pub(crate) struct GroupTable {
+    /// Canonical hash → indices into `keys`/`states` (collision list).
+    index: HashMap<u64, Vec<u32>>,
+    keys: Vec<Vec<Value>>,
+    states: Vec<GroupState>,
+}
+
+impl GroupTable {
+    pub(crate) fn new() -> Self {
+        GroupTable {
+            index: HashMap::new(),
+            keys: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    pub(crate) fn find_or_insert(
+        &mut self,
+        progs: &[KeyProg],
+        row: &[Value],
+        scratch: &[Value],
+        new_state: impl FnOnce() -> GroupState,
+    ) -> &mut GroupState {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for i in 0..progs.len() {
+            hash_value(key_component(progs, i, row, scratch), &mut hasher);
+        }
+        let h = hasher.finish();
+        if let Some(bucket) = self.index.get(&h) {
+            for &gi in bucket {
+                let stored = &self.keys[gi as usize];
+                if stored.iter().enumerate().all(|(i, s)| {
+                    s.sort_cmp(key_component(progs, i, row, scratch)) == Ordering::Equal
+                }) {
+                    return &mut self.states[gi as usize];
+                }
+            }
+        }
+        let gi = self.states.len() as u32;
+        self.index.entry(h).or_default().push(gi);
+        self.keys.push(
+            (0..progs.len())
+                .map(|i| key_component(progs, i, row, scratch).clone())
+                .collect(),
+        );
+        self.states.push(new_state());
+        self.states.last_mut().expect("just pushed")
+    }
+
+    /// The accumulated group states, in first-seen order.
+    pub(crate) fn into_states(self) -> Vec<GroupState> {
+        self.states
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// FNV-1a, the fused kernel's bucketing hash. Only bucket placement
+/// depends on the hash — grouping equality is `sort_cmp` and output order
+/// is first-seen — so the kernel is free to use a cheaper function than
+/// the general table's SipHash.
+pub(crate) struct FnvHasher(u64);
+
+impl FnvHasher {
+    pub(crate) fn new() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// How many groups the fused kernel matches by linear scan before cutting
+/// over to a hashed index.
+pub(crate) const LINEAR_GROUPS_MAX: usize = 16;
+
+/// The fused kernel's group table. Grouping semantics are identical to
+/// [`GroupTable`] (equality is `sort_cmp == Equal` per component, states
+/// come out in first-seen order), but the lookup is specialized for the
+/// kernel's profile: the scan→filter→aggregate shape the fusion rule
+/// accepts almost always has tiny group cardinality (TPC-H Q1 has four),
+/// where a couple of direct comparisons beat hashing the key on every row.
+/// The table runs hash-free until the group count outgrows
+/// [`LINEAR_GROUPS_MAX`], then builds an FNV index once and probes it from
+/// there on.
+pub(crate) struct FusedGroups {
+    keys: Vec<Vec<Value>>,
+    states: Vec<GroupState>,
+    /// FNV hash → group indices (collision list); `None` in the linear
+    /// regime, built exactly once at cut-over.
+    index: Option<HashMap<u64, Vec<u32>>>,
+}
+
+impl FusedGroups {
+    pub(crate) fn new() -> Self {
+        FusedGroups {
+            keys: Vec::new(),
+            states: Vec::new(),
+            index: None,
+        }
+    }
+
+    pub(crate) fn probe_hash(progs: &[KeyProg], row: &[Value], scratch: &[Value]) -> u64 {
+        let mut hasher = FnvHasher::new();
+        for i in 0..progs.len() {
+            hash_value(key_component(progs, i, row, scratch), &mut hasher);
+        }
+        hasher.finish()
+    }
+
+    pub(crate) fn stored_hash(key: &[Value]) -> u64 {
+        let mut hasher = FnvHasher::new();
+        for v in key {
+            hash_value(v, &mut hasher);
+        }
+        hasher.finish()
+    }
+
+    pub(crate) fn matches(
+        stored: &[Value],
+        progs: &[KeyProg],
+        row: &[Value],
+        scratch: &[Value],
+    ) -> bool {
+        stored
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.sort_cmp(key_component(progs, i, row, scratch)) == Ordering::Equal)
+    }
+
+    pub(crate) fn find_or_insert(
+        &mut self,
+        progs: &[KeyProg],
+        row: &[Value],
+        scratch: &[Value],
+        new_state: impl FnOnce() -> GroupState,
+    ) -> &mut GroupState {
+        self.find_or_insert_with(
+            || Self::probe_hash(progs, row, scratch),
+            |stored| Self::matches(stored, progs, row, scratch),
+            || {
+                // Load-bearing clone: a new group's key is materialized
+                // once; probes compare against row/scratch without cloning.
+                (0..progs.len())
+                    .map(|i| key_component(progs, i, row, scratch).clone())
+                    .collect()
+            },
+            new_state,
+        )
+    }
+
+    /// Generalized probe: the caller supplies how to hash, match, and
+    /// materialize the probe key, so the columnar fold can probe with
+    /// column cells without boxing them first. `probe_hash` is only called
+    /// in the indexed regime (the linear regime never hashes) and
+    /// `make_key` only when the group is first seen — the same cost
+    /// profile as the row-based probe above, which delegates here.
+    pub(crate) fn find_or_insert_with(
+        &mut self,
+        probe_hash: impl FnOnce() -> u64,
+        matches: impl Fn(&[Value]) -> bool,
+        make_key: impl FnOnce() -> Vec<Value>,
+        new_state: impl FnOnce() -> GroupState,
+    ) -> &mut GroupState {
+        let gi = match &self.index {
+            None => self.keys.iter().position(|stored| matches(stored)),
+            Some(index) => index.get(&probe_hash()).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .map(|&gi| gi as usize)
+                    .find(|&gi| matches(&self.keys[gi]))
+            }),
+        };
+        if let Some(gi) = gi {
+            return &mut self.states[gi];
+        }
+        let gi = self.states.len() as u32;
+        self.keys.push(make_key());
+        self.states.push(new_state());
+        if let Some(index) = &mut self.index {
+            let h = Self::stored_hash(&self.keys[gi as usize]);
+            index.entry(h).or_default().push(gi);
+        } else if self.keys.len() > LINEAR_GROUPS_MAX {
+            // Cut over: index every group seen so far, once.
+            let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (i, key) in self.keys.iter().enumerate() {
+                index
+                    .entry(Self::stored_hash(key))
+                    .or_default()
+                    .push(i as u32);
+            }
+            self.index = Some(index);
+        }
+        self.states.last_mut().expect("just pushed")
+    }
+
+    /// The accumulated group states, in first-seen order.
+    pub(crate) fn into_states(self) -> Vec<GroupState> {
+        self.states
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Folds another group table — one morsel's partial aggregate — into
+    /// this one. The parallel coordinator calls this in morsel order, which
+    /// preserves global first-seen group order: a group's first occurrence
+    /// lives in the earliest morsel containing it, so it is either already
+    /// present (keeping its earlier representative row) or appended here
+    /// exactly when the serial scan would have created it. Lookup follows
+    /// the same regime as [`Self::find_or_insert`] — linear `sort_cmp`
+    /// matching until the cut-over, the FNV index after — and
+    /// [`hash_value`] normalizes numerics, so hash and linear probes agree
+    /// on which keys are equal.
+    pub(crate) fn merge(&mut self, other: FusedGroups) {
+        for (key, state) in other.keys.into_iter().zip(other.states) {
+            let gi = {
+                let matches_key = |stored: &[Value]| {
+                    stored
+                        .iter()
+                        .zip(&key)
+                        .all(|(s, k)| s.sort_cmp(k) == Ordering::Equal)
+                };
+                match &self.index {
+                    None => self.keys.iter().position(|stored| matches_key(stored)),
+                    Some(index) => index.get(&Self::stored_hash(&key)).and_then(|bucket| {
+                        bucket
+                            .iter()
+                            .map(|&gi| gi as usize)
+                            .find(|&gi| matches_key(&self.keys[gi]))
+                    }),
+                }
+            };
+            match gi {
+                Some(gi) => {
+                    for (acc, o) in self.states[gi].accs.iter_mut().zip(state.accs) {
+                        acc.merge(o);
+                    }
+                }
+                None => {
+                    let gi = self.states.len() as u32;
+                    self.keys.push(key);
+                    self.states.push(state);
+                    if let Some(index) = &mut self.index {
+                        let h = Self::stored_hash(&self.keys[gi as usize]);
+                        index.entry(h).or_default().push(gi);
+                    } else if self.keys.len() > LINEAR_GROUPS_MAX {
+                        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+                        for (i, key) in self.keys.iter().enumerate() {
+                            index
+                                .entry(Self::stored_hash(key))
+                                .or_default()
+                                .push(i as u32);
+                        }
+                        self.index = Some(index);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Keeps only rows satisfying every predicate (materialized form, used by
+/// the join phase and derived tables).
+pub(crate) fn filter_rows(
+    rel: Relation,
+    preds: &[Expr],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Relation> {
+    let bindings = rel.bindings;
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    'rows: for row in rel.rows {
+        let mut frames = Vec::with_capacity(outer.len() + 1);
+        frames.push(Frame {
+            bindings: &bindings,
+            row: &row,
+        });
+        frames.extend_from_slice(outer);
+        for p in preds {
+            ctx.bump_cpu(1);
+            if truthiness(&eval_expr(p, &frames, ctx)?) != Some(true) {
+                continue 'rows;
+            }
+        }
+        rows.push(row);
+    }
+    Ok(Relation { bindings, rows })
+}

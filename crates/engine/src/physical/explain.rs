@@ -1,0 +1,418 @@
+use std::cell::RefCell;
+use std::time::Instant;
+
+use apuama_sql::ast::{Expr, Select, SetQuantifier};
+use apuama_sql::Value;
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::eval_expr;
+use crate::exec::{self, Binding, ExecContext};
+use crate::planner::{self, AccessPath};
+use crate::table::Table;
+
+use crate::physical::*;
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation
+// ---------------------------------------------------------------------------
+
+/// One operator's runtime probe, filled in by [`TimedExec`].
+pub(crate) struct ProbeNode {
+    label: String,
+    children: Vec<usize>,
+    rows: u64,
+    batches: u64,
+    nanos: u128,
+}
+
+/// The `EXPLAIN ANALYZE` collector: a flat arena of probe nodes built as
+/// the operator tree is assembled. Most parents register after their
+/// children; the join block registers first and attaches its input probes
+/// while it materializes them in `open`.
+pub(crate) struct Analyze {
+    nodes: RefCell<Vec<ProbeNode>>,
+}
+
+impl Analyze {
+    pub(crate) fn new() -> Self {
+        Analyze {
+            nodes: RefCell::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn register(&self, label: String, children: Vec<usize>) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(ProbeNode {
+            label,
+            children,
+            rows: 0,
+            batches: 0,
+            nanos: 0,
+        });
+        nodes.len() - 1
+    }
+
+    pub(crate) fn add_child(&self, parent: usize, child: usize) {
+        self.nodes.borrow_mut()[parent].children.push(child);
+    }
+
+    pub(crate) fn record(&self, idx: usize, rows: u64, batches: u64, nanos: u128) {
+        let mut nodes = self.nodes.borrow_mut();
+        let n = &mut nodes[idx];
+        n.rows += rows;
+        n.batches += batches;
+        n.nanos += nanos;
+    }
+}
+
+/// Wraps an operator, timing `open` and `next_batch` inclusively and
+/// counting the rows and batches it emits.
+pub(crate) struct TimedExec<'e> {
+    pub(crate) inner: Box<dyn Operator<'e> + 'e>,
+    pub(crate) az: &'e Analyze,
+    pub(crate) idx: usize,
+}
+
+impl<'e> Operator<'e> for TimedExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        let start = Instant::now();
+        let r = self.inner.open();
+        self.az.record(self.idx, 0, 0, start.elapsed().as_nanos());
+        r
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        let start = Instant::now();
+        let r = self.inner.next_batch();
+        let nanos = start.elapsed().as_nanos();
+        let (rows, batches) = match &r {
+            Ok(Some(b)) => (b.rows.len() as u64, 1),
+            _ => (0, 0),
+        };
+        self.az.record(self.idx, rows, batches, nanos);
+        r
+    }
+}
+
+/// `EXPLAIN ANALYZE`: executes the query with every operator wrapped in a
+/// timing probe, then renders the tree with actual row/batch counts and
+/// per-operator times. `self_ms` is the node's inclusive time minus its
+/// children's inclusive time (probe timings nest); `total_ms` is
+/// inclusive. The footer reports wall-clock time for the whole execution,
+/// so the per-operator `self_ms` values sum to at most (roughly) the
+/// footer time.
+pub(crate) fn explain_analyze(q: &Select, ctx: &ExecContext<'_>) -> EngineResult<Vec<String>> {
+    let shape = lower_shape(q, ctx.db, ctx.db.kernel_enabled());
+    let az = Analyze::new();
+    let total = Instant::now();
+    {
+        let (mut root, _) = build_tree(q, &shape, &[], ctx, Some(&az));
+        root.open()?;
+        while root.next_batch()?.is_some() {}
+    }
+    let total_ms = total.elapsed().as_nanos() as f64 / 1e6;
+    let nodes = az.nodes.into_inner();
+    // The root is the highest-numbered node no other node claims as a child.
+    let mut is_child = vec![false; nodes.len()];
+    for n in &nodes {
+        for &c in &n.children {
+            is_child[c] = true;
+        }
+    }
+    let root = (0..nodes.len()).rev().find(|&i| !is_child[i]).unwrap_or(0);
+    let mut out = Vec::new();
+    render_probe(&nodes, root, 0, &mut out);
+    out.push(format!("execution time: {total_ms:.3} ms"));
+    Ok(out)
+}
+
+pub(crate) fn render_probe(nodes: &[ProbeNode], idx: usize, depth: usize, out: &mut Vec<String>) {
+    let n = &nodes[idx];
+    let child_nanos: u128 = n.children.iter().map(|&c| nodes[c].nanos).sum();
+    let total_ms = n.nanos as f64 / 1e6;
+    let self_ms = n.nanos.saturating_sub(child_nanos) as f64 / 1e6;
+    out.push(format!(
+        "{}{} (actual rows={} batches={} self_ms={:.3} total_ms={:.3})",
+        "  ".repeat(depth),
+        n.label,
+        n.rows,
+        n.batches,
+        self_ms,
+        total_ms
+    ));
+    for &c in &n.children {
+        render_probe(nodes, c, depth + 1, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+/// Indented plan lines: (depth, text).
+pub(crate) type Lines = Vec<(usize, String)>;
+
+pub(crate) fn wrap(line: String, child: Lines) -> Lines {
+    let mut out = vec![(0, line)];
+    out.extend(child.into_iter().map(|(d, l)| (d + 1, l)));
+    out
+}
+
+/// Renders the physical operator tree for a SELECT without executing it:
+/// one output row per operator, children indented under their parent, each
+/// with its estimated row count, and the fusion rule marked where applied.
+///
+/// Access paths are the planner's real choices; the join order shown is
+/// the *estimated* order (execution refines it with actual cardinalities,
+/// so an `(estimated)` marker is included).
+pub(crate) fn explain(q: &Select, ctx: &ExecContext<'_>) -> EngineResult<Vec<String>> {
+    let shape = lower_shape(q, ctx.db, ctx.db.kernel_enabled());
+    let (lines, _) = explain_shape(q, &shape, ctx)?;
+    Ok(lines
+        .into_iter()
+        .map(|(d, l)| format!("{}{}", "  ".repeat(d), l))
+        .collect())
+}
+
+pub(crate) fn explain_shape(
+    q: &Select,
+    shape: &Shape,
+    ctx: &ExecContext<'_>,
+) -> EngineResult<(Lines, f64)> {
+    let (mut block, mut est) = match shape {
+        Shape::Fused(f) => explain_fused(q, f, ctx)?,
+        Shape::General(g) => explain_general(q, g, ctx)?,
+    };
+    if q.quantifier == SetQuantifier::Distinct {
+        block = wrap(format!("distinct, ~{est:.0} rows"), block);
+    }
+    if !q.order_by.is_empty() {
+        block = wrap(
+            format!("sort: {} key(s), ~{est:.0} rows", q.order_by.len()),
+            block,
+        );
+    }
+    if let Some(l) = q.limit {
+        est = est.min(l as f64);
+        block = wrap(format!("limit {l}, ~{est:.0} rows"), block);
+    }
+    Ok((block, est))
+}
+
+pub(crate) fn path_desc(table: &Table, path: &AccessPath) -> String {
+    match path {
+        AccessPath::SeqScan => "seq scan".to_string(),
+        AccessPath::IndexRange {
+            column,
+            low,
+            high,
+            clustered,
+        } => {
+            let col = &table.schema.columns[*column].name;
+            let fmt_bound = |b: &std::ops::Bound<Value>, open: &str| match b {
+                std::ops::Bound::Unbounded => open.to_string(),
+                std::ops::Bound::Included(v) => format!("{v}="),
+                std::ops::Bound::Excluded(v) => format!("{v}"),
+            };
+            format!(
+                "{} index range on {col} [{} .. {})",
+                if *clustered { "clustered" } else { "secondary" },
+                fmt_bound(low, "-inf"),
+                fmt_bound(high, "+inf"),
+            )
+        }
+    }
+}
+
+/// One scan line in the interpreter's long-standing format.
+pub(crate) fn scan_line(
+    name: &str,
+    binding_name: &str,
+    single: &[Expr],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<(String, f64)> {
+    let table = ctx
+        .db
+        .table(name)
+        .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+    let eval_const = |e: &Expr| -> Option<Value> {
+        if exec::expr_has_columns(e) {
+            None
+        } else {
+            eval_expr(e, &[], ctx).ok()
+        }
+    };
+    let choice = planner::choose_access_path(
+        table,
+        binding_name,
+        single,
+        ctx.db.seqscan_enabled(),
+        ctx.db.indexscan_enabled(),
+        &eval_const,
+    );
+    let alias_note = if binding_name != name {
+        format!(" as {binding_name}")
+    } else {
+        String::new()
+    };
+    Ok((
+        format!(
+            "scan {name}{alias_note}: {}, {} filter(s), ~{:.0} rows (cost {:.1})",
+            path_desc(table, &choice.path),
+            single.len().saturating_sub(choice.consumed.len()),
+            choice.estimated_rows,
+            choice.cost,
+        ),
+        choice.estimated_rows,
+    ))
+}
+
+pub(crate) fn explain_general(
+    q: &Select,
+    g: &GeneralPlan,
+    ctx: &ExecContext<'_>,
+) -> EngineResult<(Lines, f64)> {
+    let names: Vec<&str> = g.inputs.iter().map(InputNode::scope_name).collect();
+    let mut input_blocks: Vec<Option<Lines>> = Vec::with_capacity(g.inputs.len());
+    let mut estimates: Vec<f64> = Vec::with_capacity(g.inputs.len());
+    for node in &g.inputs {
+        match node {
+            InputNode::Table { name, single, .. } => {
+                let (line, est) = scan_line(name, node.scope_name(), single, ctx)?;
+                input_blocks.push(Some(vec![(0, line)]));
+                estimates.push(est);
+            }
+            InputNode::Derived { alias, plan, .. } => {
+                let (sub, _) = explain_shape(&plan.select, &plan.shape, ctx)?;
+                input_blocks.push(Some(wrap(
+                    format!("derived table {alias}: subquery materialization"),
+                    sub,
+                )));
+                estimates.push(1000.0);
+            }
+        }
+    }
+
+    let (mut block, mut est) = if g.inputs.is_empty() {
+        (Lines::new(), 1.0)
+    } else if g.inputs.len() == 1 {
+        (input_blocks[0].take().expect("just built"), estimates[0])
+    } else {
+        // Estimated greedy join order.
+        let driving = estimates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("from nonempty");
+        let mut block = wrap(
+            format!("drive with {} (estimated)", names[driving]),
+            input_blocks[driving].take().expect("just built"),
+        );
+        let mut est = estimates[driving];
+        let mut bound = vec![driving];
+        while bound.len() < g.inputs.len() {
+            let next = (0..g.inputs.len())
+                .filter(|i| !bound.contains(i))
+                .filter(|&i| {
+                    g.edges.iter().any(|e| {
+                        (e.left == names[i] && bound.iter().any(|&b| names[b] == e.right))
+                            || (e.right == names[i] && bound.iter().any(|&b| names[b] == e.left))
+                    })
+                })
+                .min_by(|&a, &b| estimates[a].total_cmp(&estimates[b]))
+                .or_else(|| (0..g.inputs.len()).find(|i| !bound.contains(i)));
+            let Some(next) = next else { break };
+            let keys: Vec<String> = g
+                .edges
+                .iter()
+                .filter(|e| e.left == names[next] || e.right == names[next])
+                .map(|e| format!("{} = {}", e.left_expr, e.right_expr))
+                .collect();
+            let mut children = block;
+            children.extend(input_blocks[next].take().expect("unbound until now"));
+            if keys.is_empty() {
+                est *= estimates[next];
+                block = wrap(
+                    format!("cross join {}, ~{est:.0} rows", names[next]),
+                    children,
+                );
+            } else {
+                est = est.max(estimates[next]);
+                block = wrap(
+                    format!(
+                        "hash join {} on {}, ~{est:.0} rows",
+                        names[next],
+                        keys.join(" and ")
+                    ),
+                    children,
+                );
+            }
+            bound.push(next);
+        }
+        (block, est)
+    };
+
+    if !g.post.is_empty() {
+        block = wrap(
+            format!("post-filter: {} residual predicate(s)", g.post.len()),
+            block,
+        );
+    }
+
+    if g.aggregated {
+        if q.group_by.is_empty() {
+            est = 1.0;
+            block = wrap("aggregate: global, ~1 rows".to_string(), block);
+        } else {
+            let groups: Vec<String> = q.group_by.iter().map(|g| g.to_string()).collect();
+            block = wrap(
+                format!(
+                    "aggregate: hash group by {}, ~{est:.0} rows",
+                    groups.join(", ")
+                ),
+                block,
+            );
+        }
+    } else {
+        block = wrap(
+            format!("project: {} column(s), ~{est:.0} rows", q.items.len()),
+            block,
+        );
+    }
+    Ok((block, est))
+}
+
+pub(crate) fn explain_fused(
+    q: &Select,
+    f: &FusedPlan,
+    ctx: &ExecContext<'_>,
+) -> EngineResult<(Lines, f64)> {
+    let (line, scan_est) = scan_line(&f.table, &f.binding_name, &f.single, ctx)?;
+    let mut child = vec![(0, line)];
+    if !f.compiled_post.is_empty() {
+        child = wrap(
+            format!(
+                "post-filter: {} residual predicate(s)",
+                f.compiled_post.len()
+            ),
+            child,
+        );
+    }
+    let (agg_line, est) = if q.group_by.is_empty() {
+        (
+            "aggregate: global [fused scan→filter→aggregate], ~1 rows".to_string(),
+            1.0,
+        )
+    } else {
+        let groups: Vec<String> = q.group_by.iter().map(|g| g.to_string()).collect();
+        (
+            format!(
+                "aggregate: hash group by {} [fused scan→filter→aggregate], ~{scan_est:.0} rows",
+                groups.join(", ")
+            ),
+            scan_est,
+        )
+    };
+    Ok((wrap(agg_line, child), est))
+}

@@ -1,0 +1,201 @@
+use apuama_sql::ast::Expr;
+use apuama_storage::Row;
+
+use crate::error::EngineResult;
+use crate::eval::Frame;
+use crate::exec::{self, Binding, ExecContext};
+
+use crate::physical::*;
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+/// Streaming conjunctive filter. Subquery-bearing predicates make it a
+/// pipeline breaker: the child is drained first, then filtered in order,
+/// so the subqueries' page touches land after the child's — exactly the
+/// interpreter's sequencing.
+pub(crate) struct FilterExec<'e> {
+    child: Box<dyn Operator<'e> + 'e>,
+    preds: Vec<Expr>,
+    breaker: bool,
+    batch_mode: bool,
+    outer: &'e [Frame<'e>],
+    ctx: &'e ExecContext<'e>,
+    in_bindings: Vec<Binding>,
+    resolved: Vec<ResidualPred>,
+    emitter: Option<BatchEmitter>,
+}
+
+impl<'e> FilterExec<'e> {
+    pub(crate) fn new(
+        child: Box<dyn Operator<'e> + 'e>,
+        preds: Vec<Expr>,
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
+    ) -> Self {
+        let breaker = preds.iter().any(exec::contains_subquery);
+        FilterExec {
+            child,
+            preds,
+            breaker,
+            batch_mode,
+            outer,
+            ctx,
+            in_bindings: Vec::new(),
+            resolved: Vec::new(),
+            emitter: None,
+        }
+    }
+
+    /// Legacy per-row filtering over an owned batch, compacted in place —
+    /// the batch's allocation flows through instead of a fresh output
+    /// vector per batch.
+    pub(crate) fn filter_batch(&self, mut rows: Vec<Row>) -> EngineResult<Vec<Row>> {
+        let mut kept = 0;
+        for i in 0..rows.len() {
+            if keep_row(
+                &rows[i],
+                &self.in_bindings,
+                &self.resolved,
+                self.outer,
+                self.ctx,
+            )? {
+                rows.swap(kept, i);
+                kept += 1;
+            }
+        }
+        rows.truncate(kept);
+        Ok(rows)
+    }
+
+    /// Batch-exec filtering: preserves the batch's ownership (borrowed
+    /// rows stay borrowed), compacts survivors into the batch's own
+    /// allocation, and flushes cpu charges once per batch.
+    pub(crate) fn filter_batch_fast(&self, rows: BatchRows<'e>) -> EngineResult<BatchRows<'e>> {
+        let mut cpu = 0u64;
+        let out = match rows {
+            BatchRows::Owned(mut v) => {
+                let mut kept = 0;
+                for i in 0..v.len() {
+                    if keep_row_charged(
+                        &v[i],
+                        &self.in_bindings,
+                        &self.resolved,
+                        self.outer,
+                        self.ctx,
+                        || cpu += 1,
+                    )? {
+                        v.swap(kept, i);
+                        kept += 1;
+                    }
+                }
+                v.truncate(kept);
+                BatchRows::Owned(v)
+            }
+            BatchRows::Borrowed(mut v) => {
+                let mut kept = 0;
+                for i in 0..v.len() {
+                    if keep_row_charged(
+                        v[i],
+                        &self.in_bindings,
+                        &self.resolved,
+                        self.outer,
+                        self.ctx,
+                        || cpu += 1,
+                    )? {
+                        v.swap(kept, i);
+                        kept += 1;
+                    }
+                }
+                v.truncate(kept);
+                BatchRows::Borrowed(v)
+            }
+        };
+        self.ctx.bump_cpu(cpu);
+        Ok(out)
+    }
+}
+
+impl<'e> Operator<'e> for FilterExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        self.in_bindings = self.child.open()?;
+        self.resolved = if self.batch_mode {
+            resolve_preds_batch(&self.preds, &self.in_bindings, self.ctx)
+        } else {
+            resolve_preds(&self.preds, &self.in_bindings)
+        };
+        Ok(self.in_bindings.clone())
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        if self.breaker {
+            if self.emitter.is_none() {
+                // Drain first (the subqueries' page touches must land
+                // after the child's), then filter in order; borrowed rows
+                // are cloned only when they survive.
+                let mut batches: Vec<BatchRows<'e>> = Vec::new();
+                while let Some(batch) = self.child.next_batch()? {
+                    self.ctx.check_interrupt()?;
+                    batches.push(batch.rows);
+                }
+                let mut kept: Vec<Row> = Vec::new();
+                for b in batches {
+                    match b {
+                        BatchRows::Owned(v) => {
+                            for row in v {
+                                if keep_row(
+                                    &row,
+                                    &self.in_bindings,
+                                    &self.resolved,
+                                    self.outer,
+                                    self.ctx,
+                                )? {
+                                    kept.push(row);
+                                }
+                            }
+                        }
+                        BatchRows::Borrowed(v) => {
+                            for row in v {
+                                if keep_row(
+                                    row,
+                                    &self.in_bindings,
+                                    &self.resolved,
+                                    self.outer,
+                                    self.ctx,
+                                )? {
+                                    // Load-bearing clone: survivors of a
+                                    // borrowed batch must outlive the scan.
+                                    kept.push(row.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                self.emitter = Some(BatchEmitter::rows_only(kept));
+            }
+            return Ok(self.emitter.as_mut().and_then(BatchEmitter::next));
+        }
+        loop {
+            self.ctx.check_interrupt()?;
+            let Some(batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            if self.batch_mode {
+                let rows = self.filter_batch_fast(batch.rows)?;
+                if !rows.is_empty() {
+                    return Ok(Some(RowBatch {
+                        rows,
+                        keys: KeyBuf::default(),
+                    }));
+                }
+            } else {
+                let rows = self.filter_batch(batch.rows.into_owned())?;
+                if !rows.is_empty() {
+                    return Ok(Some(RowBatch::owned(rows, KeyBuf::default())));
+                }
+            }
+        }
+    }
+}

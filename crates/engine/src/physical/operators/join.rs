@@ -1,0 +1,491 @@
+use std::collections::{HashMap, HashSet};
+
+use apuama_sql::ast::Expr;
+use apuama_sql::value::HashableValue;
+use apuama_storage::Row;
+
+use crate::error::EngineResult;
+use crate::eval::{self, eval_expr, CompiledExpr, Frame};
+use crate::exec::{self, Binding, ExecContext, Relation};
+use crate::planner::{self};
+
+use crate::physical::*;
+
+// ---------------------------------------------------------------------------
+// HashJoin
+// ---------------------------------------------------------------------------
+
+/// Multi-input join block: materializes every FROM item in order, then
+/// runs the greedy join phase (largest input drives; each step picks the
+/// connected input minimizing the classic output-cardinality estimate),
+/// applying post-filters as soon as their scopes are bound.
+pub(crate) struct JoinExec<'e> {
+    general: &'e GeneralPlan,
+    outer: &'e [Frame<'e>],
+    ctx: &'e ExecContext<'e>,
+    az: Option<&'e Analyze>,
+    idx: Option<usize>,
+    emitter: Option<BatchEmitter>,
+}
+
+impl<'e> JoinExec<'e> {
+    pub(crate) fn new(
+        general: &'e GeneralPlan,
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+        az: Option<&'e Analyze>,
+        idx: Option<usize>,
+    ) -> Self {
+        JoinExec {
+            general,
+            outer,
+            ctx,
+            az,
+            idx,
+            emitter: None,
+        }
+    }
+}
+
+impl<'e> Operator<'e> for JoinExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        let g = self.general;
+        let (outer, ctx) = (self.outer, self.ctx);
+        let batch_mode = ctx.db.batch_exec_enabled();
+        let names: Vec<String> = g
+            .inputs
+            .iter()
+            .map(|n| n.scope_name().to_string())
+            .collect();
+
+        // Materialize each FROM item, in FROM order. (Borrowed scan
+        // batches are cloned here — the same clone the legacy scan path
+        // paid per row, deferred to the materialization boundary.)
+        let mut inputs: Vec<Relation> = Vec::with_capacity(g.inputs.len());
+        for node in &g.inputs {
+            let (mut op, cidx) = build_input(node, outer, ctx, batch_mode, self.az);
+            if let (Some(a), Some(i), Some(ci)) = (self.az, self.idx, cidx) {
+                a.add_child(i, ci);
+            }
+            let bindings = op.open()?;
+            let mut rows = Vec::new();
+            while let Some(batch) = op.next_batch()? {
+                ctx.check_interrupt()?;
+                // Join inputs are materialized in full: charge the build-
+                // side growth against the memory budget at batch grain.
+                ctx.charge_mem(exec::approx_state_bytes(
+                    batch.rows.len() as u64,
+                    bindings.len(),
+                ))?;
+                rows.extend(batch.rows.into_owned());
+            }
+            inputs.push(Relation { bindings, rows });
+        }
+
+        // Load-bearing clone: the pending-predicate list is consumed as
+        // scopes bind, but the plan is shared across executions.
+        let mut post = g.post.clone();
+        let mut current = if inputs.is_empty() {
+            Relation {
+                bindings: vec![],
+                rows: vec![vec![]],
+            }
+        } else {
+            let driving = inputs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.rows.len())
+                .map(|(i, _)| i)
+                .expect("inputs nonempty");
+            let mut bound: Vec<usize> = vec![driving];
+            // The driving input is never revisited: move it out instead of
+            // cloning the whole relation.
+            let mut current = std::mem::take(&mut inputs[driving]);
+            current = apply_ready_post_filters(current, &mut post, &names, &bound, outer, ctx)?;
+            while bound.len() < inputs.len() {
+                let next = pick_next_input(
+                    current.rows.len(),
+                    &inputs,
+                    &names,
+                    &g.edges,
+                    &bound,
+                    outer,
+                    ctx,
+                );
+                let next_rel = &inputs[next];
+                let my_edges: Vec<&planner::JoinEdge> = g
+                    .edges
+                    .iter()
+                    .filter(|e| {
+                        let l_bound = bound.iter().any(|&b| names[b] == e.left);
+                        let r_bound = bound.iter().any(|&b| names[b] == e.right);
+                        (l_bound && e.right == names[next]) || (r_bound && e.left == names[next])
+                    })
+                    .collect();
+                ctx.check_interrupt()?;
+                current = if my_edges.is_empty() {
+                    cross_join(current, next_rel, ctx)
+                } else {
+                    hash_join(
+                        current,
+                        next_rel,
+                        &my_edges,
+                        &names[next],
+                        outer,
+                        ctx,
+                        batch_mode,
+                    )?
+                };
+                // Each greedy join step materializes a fresh intermediate;
+                // charge its size (a conservative running total — earlier
+                // intermediates are freed but stay charged until the
+                // statement completes).
+                ctx.charge_mem(exec::approx_state_bytes(
+                    current.rows.len() as u64,
+                    current.bindings.len(),
+                ))?;
+                bound.push(next);
+                current = apply_ready_post_filters(current, &mut post, &names, &bound, outer, ctx)?;
+            }
+            current
+        };
+
+        // Any post filters left reference nothing in FROM (constant or
+        // purely correlated predicates): apply them row-wise now.
+        if !post.is_empty() {
+            let leftovers: Vec<Expr> = post.drain(..).map(|(e, _)| e).collect();
+            current = filter_rows(current, &leftovers, outer, ctx)?;
+        }
+
+        let Relation { bindings, rows } = current;
+        self.emitter = Some(BatchEmitter::rows_only(rows));
+        Ok(bindings)
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        Ok(self.emitter.as_mut().and_then(BatchEmitter::next))
+    }
+}
+
+/// Picks the next FROM-item to join in: among inputs connected to the
+/// current result by an equi-join edge, the one minimizing the classic
+/// output-cardinality estimate `current × candidate / distinct(candidate
+/// join keys)` — which keeps low-distinct edges (TPC-H's nation-key joins)
+/// from exploding the intermediate result.
+pub(crate) fn pick_next_input(
+    current_rows: usize,
+    inputs: &[Relation],
+    names: &[String],
+    edges: &[planner::JoinEdge],
+    bound: &[usize],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> usize {
+    let is_bound = |i: usize| bound.contains(&i);
+    let candidate_edges = |i: usize| -> Vec<&planner::JoinEdge> {
+        edges
+            .iter()
+            .filter(|e| {
+                (e.left == names[i] && bound.iter().any(|&b| names[b] == e.right))
+                    || (e.right == names[i] && bound.iter().any(|&b| names[b] == e.left))
+            })
+            .collect()
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..inputs.len() {
+        if is_bound(i) {
+            continue;
+        }
+        let my_edges = candidate_edges(i);
+        if my_edges.is_empty() {
+            continue;
+        }
+        let distinct = distinct_join_keys(&inputs[i], &my_edges, &names[i], outer, ctx).max(1);
+        let est = current_rows as f64 * inputs[i].rows.len() as f64 / distinct as f64;
+        if best.is_none_or(|(_, b)| est < b) {
+            best = Some((i, est));
+        }
+    }
+    if let Some((b, _)) = best {
+        return b;
+    }
+    // No connected input: fall back to the smallest unbound one (cross join).
+    (0..inputs.len())
+        .filter(|&i| !is_bound(i))
+        .min_by_key(|&i| inputs[i].rows.len())
+        .expect("caller ensures an unbound input exists")
+}
+
+/// Number of distinct composite join keys a candidate input exposes over
+/// the given edges (evaluation errors degrade to "all distinct", which
+/// simply keeps the old smallest-input heuristic).
+pub(crate) fn distinct_join_keys(
+    input: &Relation,
+    edges: &[&planner::JoinEdge],
+    my_name: &str,
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> usize {
+    let key_exprs: Vec<&Expr> = edges
+        .iter()
+        .map(|e| {
+            if e.right == my_name {
+                &e.right_expr
+            } else {
+                &e.left_expr
+            }
+        })
+        .collect();
+    let mut set: HashSet<Vec<HashableValue>> = HashSet::with_capacity(input.rows.len());
+    for row in &input.rows {
+        let mut frames = Vec::with_capacity(outer.len() + 1);
+        frames.push(Frame {
+            bindings: &input.bindings,
+            row,
+        });
+        frames.extend_from_slice(outer);
+        let mut key = Vec::with_capacity(key_exprs.len());
+        let mut ok = true;
+        for k in &key_exprs {
+            match eval_expr(k, &frames, ctx) {
+                Ok(v) => key.push(v.hash_key()),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            return input.rows.len();
+        }
+        set.insert(key);
+    }
+    set.len()
+}
+
+/// Computes one side's composite join key for a row; `None` when any key
+/// component is NULL (NULL keys never match, per SQL semantics).
+pub(crate) fn join_key(
+    row: &Row,
+    bindings: &[Binding],
+    keys: &[&Expr],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Option<Vec<HashableValue>>> {
+    let mut frames = Vec::with_capacity(outer.len() + 1);
+    frames.push(Frame { bindings, row });
+    frames.extend_from_slice(outer);
+    let mut key = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = eval_expr(k, &frames, ctx)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        key.push(v.hash_key());
+    }
+    Ok(Some(key))
+}
+
+/// Concatenates a probe row with a matched build row, cloning each value
+/// exactly once into a right-sized output row (no intermediate clone of
+/// the probe side).
+pub(crate) fn splice(left: &Row, right: &Row) -> Row {
+    let mut combined = Vec::with_capacity(left.len() + right.len());
+    combined.extend_from_slice(left);
+    combined.extend_from_slice(right);
+    combined
+}
+
+/// One join side's key program: compiled column-resolved programs with
+/// parameters prebound (batch-exec mode, when every key expression
+/// compiles) or the framed expressions (legacy mode and fallback).
+pub(crate) fn compile_join_side(
+    keys: &[&Expr],
+    bindings: &[Binding],
+    ctx: &ExecContext<'_>,
+) -> Option<Vec<CompiledExpr>> {
+    keys.iter()
+        .map(|k| eval::compile_expr(k, bindings).map(|c| eval::prebind_params(&c, ctx)))
+        .collect()
+}
+
+/// Composite join key via whichever program is available; `None` when any
+/// component is NULL, exactly like [`join_key`].
+pub(crate) fn side_key(
+    row: &Row,
+    prog: &Option<Vec<CompiledExpr>>,
+    keys: &[&Expr],
+    bindings: &[Binding],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Option<Vec<HashableValue>>> {
+    match prog {
+        Some(cs) => {
+            let mut key = Vec::with_capacity(cs.len());
+            for c in cs {
+                let v = eval::eval_compiled(c, row, ctx)?;
+                if v.is_null() {
+                    return Ok(None);
+                }
+                key.push(v.hash_key());
+            }
+            Ok(Some(key))
+        }
+        None => join_key(row, bindings, keys, outer, ctx),
+    }
+}
+
+/// Hash join of `current` with the newly added `right` input. The hash
+/// table is built on whichever side is smaller; output rows are always
+/// `current ++ right` columns, emitted current-major with right matches in
+/// ascending right-row order — identical to always building on `right`.
+/// In batch-exec mode the key expressions are compiled once per side and
+/// cpu charges accumulate locally, flushed once at the end — same totals,
+/// no per-row `RefCell` traffic or frame construction.
+pub(crate) fn hash_join(
+    current: Relation,
+    right: &Relation,
+    edges: &[&planner::JoinEdge],
+    right_name: &str,
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+    batch_mode: bool,
+) -> EngineResult<Relation> {
+    // For each edge, which side belongs to the right input?
+    let mut right_keys: Vec<&Expr> = Vec::with_capacity(edges.len());
+    let mut left_keys: Vec<&Expr> = Vec::with_capacity(edges.len());
+    for e in edges {
+        if e.right == right_name {
+            left_keys.push(&e.left_expr);
+            right_keys.push(&e.right_expr);
+        } else {
+            left_keys.push(&e.right_expr);
+            right_keys.push(&e.left_expr);
+        }
+    }
+    let left_prog = if batch_mode {
+        compile_join_side(&left_keys, &current.bindings, ctx)
+    } else {
+        None
+    };
+    let right_prog = if batch_mode {
+        compile_join_side(&right_keys, &right.bindings, ctx)
+    } else {
+        None
+    };
+    let mut cpu = 0u64;
+    let charge = |cpu: &mut u64| {
+        if batch_mode {
+            *cpu += 1;
+        } else {
+            ctx.bump_cpu(1);
+        }
+    };
+
+    let mut bindings = current.bindings.clone();
+    bindings.extend(right.bindings.iter().cloned());
+    let mut rows = Vec::new();
+
+    if current.rows.len() < right.rows.len() {
+        // Build on `current` (the smaller side), probe with `right`. To
+        // keep the output order current-major, matches are collected per
+        // current row and emitted afterwards; probing in ascending right
+        // order makes each match list ascending for free.
+        let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
+            HashMap::with_capacity(current.rows.len());
+        for (i, row) in current.rows.iter().enumerate() {
+            charge(&mut cpu);
+            if let Some(key) = side_key(row, &left_prog, &left_keys, &current.bindings, outer, ctx)?
+            {
+                built.entry(key).or_default().push(i);
+            }
+        }
+        let mut matches: Vec<Vec<usize>> = vec![Vec::new(); current.rows.len()];
+        for (ri, row) in right.rows.iter().enumerate() {
+            charge(&mut cpu);
+            if let Some(key) = side_key(row, &right_prog, &right_keys, &right.bindings, outer, ctx)?
+            {
+                if let Some(hits) = built.get(&key) {
+                    for &ci in hits {
+                        matches[ci].push(ri);
+                    }
+                }
+            }
+        }
+        for (row, right_rows) in current.rows.iter().zip(&matches) {
+            for &ri in right_rows {
+                charge(&mut cpu);
+                rows.push(splice(row, &right.rows[ri]));
+            }
+        }
+    } else {
+        // Build on `right`, probe with `current`.
+        let mut built: HashMap<Vec<HashableValue>, Vec<usize>> =
+            HashMap::with_capacity(right.rows.len());
+        for (i, row) in right.rows.iter().enumerate() {
+            charge(&mut cpu);
+            if let Some(key) = side_key(row, &right_prog, &right_keys, &right.bindings, outer, ctx)?
+            {
+                built.entry(key).or_default().push(i);
+            }
+        }
+        for row in &current.rows {
+            charge(&mut cpu);
+            let Some(key) = side_key(row, &left_prog, &left_keys, &current.bindings, outer, ctx)?
+            else {
+                continue;
+            };
+            if let Some(matches) = built.get(&key) {
+                for &ri in matches {
+                    charge(&mut cpu);
+                    rows.push(splice(row, &right.rows[ri]));
+                }
+            }
+        }
+    }
+    ctx.bump_cpu(cpu);
+    Ok(Relation { bindings, rows })
+}
+
+/// Cartesian product (only reached for disconnected FROM items, which the
+/// TPC-H workload never produces but the engine stays total for).
+pub(crate) fn cross_join(current: Relation, right: &Relation, ctx: &ExecContext<'_>) -> Relation {
+    let mut bindings = current.bindings.clone();
+    bindings.extend(right.bindings.iter().cloned());
+    let mut rows = Vec::with_capacity(current.rows.len() * right.rows.len());
+    for l in &current.rows {
+        for r in &right.rows {
+            ctx.bump_cpu(1);
+            rows.push(splice(l, r));
+        }
+    }
+    Relation { bindings, rows }
+}
+
+pub(crate) fn apply_ready_post_filters(
+    current: Relation,
+    post: &mut Vec<(Expr, Vec<String>)>,
+    names: &[String],
+    bound: &[usize],
+    outer: &[Frame<'_>],
+    ctx: &ExecContext<'_>,
+) -> EngineResult<Relation> {
+    let bound_names: Vec<&str> = bound.iter().map(|&b| names[b].as_str()).collect();
+    // Partition by moving: ready predicates leave the pending list instead
+    // of being cloned out of it.
+    let mut ready = Vec::new();
+    let mut pending = Vec::new();
+    for (e, needs) in post.drain(..) {
+        if needs.iter().all(|n| bound_names.contains(&n.as_str())) {
+            ready.push(e);
+        } else {
+            pending.push((e, needs));
+        }
+    }
+    *post = pending;
+    if ready.is_empty() {
+        Ok(current)
+    } else {
+        filter_rows(current, &ready, outer, ctx)
+    }
+}

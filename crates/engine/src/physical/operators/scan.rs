@@ -1,0 +1,319 @@
+use apuama_sql::ast::Expr;
+use apuama_sql::Value;
+use apuama_storage::{AccessKind, Row, RowId};
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{self, eval_expr, Frame};
+use crate::exec::{self, BatchedCounter, Binding, ExecContext, Relation};
+use crate::planner::{self, AccessPath};
+use crate::table::Table;
+
+use crate::physical::*;
+
+// ---------------------------------------------------------------------------
+// Scan operators (SeqScan / IndexRangeScan)
+// ---------------------------------------------------------------------------
+
+pub(crate) enum ScanIter<'e> {
+    Heap(Box<dyn Iterator<Item = (RowId, &'e Row)> + 'e>),
+    /// Index ranges pre-collect their row ids (index traversal is
+    /// charge-free); heap pages are still touched lazily, per batch, in
+    /// range order — identical LRU traffic to the interpreter.
+    Rids(std::vec::IntoIter<RowId>),
+}
+
+pub(crate) struct ScanState<'e> {
+    table: &'e Table,
+    iter: ScanIter<'e>,
+    kind: AccessKind,
+    last_page: u64,
+    residual: Vec<ResidualPred>,
+    scanned: BatchedCounter<'e, 'e>,
+}
+
+/// Base-table scan: chooses the access path at open (from the actual bound
+/// parameter values), then streams surviving rows in batches.
+pub(crate) struct ScanExec<'e> {
+    pub(crate) name: &'e str,
+    pub(crate) alias: Option<&'e str>,
+    pub(crate) single: &'e [Expr],
+    pub(crate) outer: &'e [Frame<'e>],
+    pub(crate) ctx: &'e ExecContext<'e>,
+    pub(crate) batch_mode: bool,
+    pub(crate) bindings: Vec<Binding>,
+    pub(crate) state: Option<ScanState<'e>>,
+}
+
+impl<'e> ScanExec<'e> {
+    pub(crate) fn new(
+        name: &'e str,
+        alias: Option<&'e str>,
+        single: &'e [Expr],
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+        batch_mode: bool,
+    ) -> Self {
+        ScanExec {
+            name,
+            alias,
+            single,
+            outer,
+            ctx,
+            batch_mode,
+            bindings: Vec::new(),
+            state: None,
+        }
+    }
+}
+
+impl<'e> Operator<'e> for ScanExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        let ctx = self.ctx;
+        let table = ctx
+            .db
+            .table(self.name)
+            .ok_or_else(|| EngineError::UnknownTable(self.name.to_string()))?;
+        let binding_name = self.alias.unwrap_or(self.name);
+        let eval_const = |e: &Expr| -> Option<Value> {
+            if exec::expr_has_columns(e) {
+                None
+            } else {
+                eval_expr(e, &[], ctx).ok()
+            }
+        };
+        let choice = planner::choose_access_path(
+            table,
+            binding_name,
+            self.single,
+            ctx.db.seqscan_enabled(),
+            ctx.db.indexscan_enabled(),
+            &eval_const,
+        );
+        let bindings = exec::bindings_for_table(&table.schema, self.alias);
+        // Predicates consumed by the index range are implied by the scan
+        // bounds; only the rest are re-checked per row.
+        let residual_exprs: Vec<&Expr> = self
+            .single
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !choice.consumed.contains(i))
+            .map(|(_, e)| e)
+            .collect();
+        let residual = residual_exprs
+            .iter()
+            .map(|e| match eval::compile_expr(e, &bindings) {
+                Some(c) if self.batch_mode => {
+                    ResidualPred::from_compiled(eval::prebind_params(&c, ctx))
+                }
+                Some(c) => ResidualPred::Compiled(c),
+                None => ResidualPred::Framed((*e).clone()),
+            })
+            .collect();
+        let (iter, kind) = match &choice.path {
+            AccessPath::SeqScan => (
+                ScanIter::Heap(seq_scan_iter(table, &bindings, &residual_exprs, ctx)),
+                AccessKind::Sequential,
+            ),
+            AccessPath::IndexRange {
+                column,
+                low,
+                high,
+                clustered,
+            } => {
+                let idx = table
+                    .index_on(*column)
+                    .expect("planner only chooses existing indexes");
+                ctx.bump_index_probes(1);
+                let rids: Vec<RowId> = idx
+                    .range(exec::bound_ref(low), exec::bound_ref(high))
+                    .map(|(_, rid)| rid)
+                    .collect();
+                (
+                    ScanIter::Rids(rids.into_iter()),
+                    if *clustered {
+                        AccessKind::Sequential
+                    } else {
+                        AccessKind::Random
+                    },
+                )
+            }
+        };
+        self.state = Some(ScanState {
+            table,
+            iter,
+            kind,
+            last_page: u64::MAX,
+            residual,
+            scanned: BatchedCounter::new(ctx),
+        });
+        self.bindings = bindings;
+        Ok(self.bindings.clone())
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        self.ctx.check_interrupt()?;
+        let Some(state) = self.state.as_mut() else {
+            return Ok(None);
+        };
+        let ScanState {
+            table,
+            iter,
+            kind,
+            last_page,
+            residual,
+            scanned,
+        } = state;
+        if self.batch_mode {
+            // Batch-exec path: survivors are *borrowed* from the heap —
+            // no per-row clone — and cpu charges accumulate locally,
+            // flushed to the context once per batch (totals identical).
+            let mut rows: Vec<&'e Row> = Vec::new();
+            let mut exhausted = false;
+            let mut cpu = 0u64;
+            loop {
+                let fetched = match iter {
+                    ScanIter::Heap(it) => it.next(),
+                    ScanIter::Rids(it) => match it.next() {
+                        None => None,
+                        Some(rid) => match table.heap.get(rid) {
+                            // A dead row id costs nothing, as in the interpreter.
+                            None => continue,
+                            Some(row) => Some((rid, row)),
+                        },
+                    },
+                };
+                let Some((rid, row)) = fetched else {
+                    exhausted = true;
+                    break;
+                };
+                let page = table.heap.geometry().page_of(rid);
+                if page != *last_page {
+                    self.ctx.charge_page(table.schema.id, page, *kind);
+                    *last_page = page;
+                }
+                scanned.row_scanned();
+                if residual.is_empty()
+                    || keep_row_charged(
+                        row,
+                        &self.bindings,
+                        residual,
+                        self.outer,
+                        self.ctx,
+                        || cpu += 1,
+                    )?
+                {
+                    rows.push(row);
+                }
+                if rows.len() as u64 == exec::SCAN_BATCH_ROWS {
+                    break;
+                }
+            }
+            self.ctx.bump_cpu(cpu);
+            if exhausted {
+                // Dropping the state flushes the batched row_scanned counter.
+                self.state = None;
+            }
+            if rows.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(RowBatch::borrowed(rows)))
+            }
+        } else {
+            // Legacy (seed-profile) path: rows cloned out of the heap,
+            // cpu bumped on the shared context per predicate evaluation.
+            let mut rows: Vec<Row> = Vec::new();
+            let mut exhausted = false;
+            loop {
+                let fetched = match iter {
+                    ScanIter::Heap(it) => it.next(),
+                    ScanIter::Rids(it) => match it.next() {
+                        None => None,
+                        Some(rid) => match table.heap.get(rid) {
+                            // A dead row id costs nothing, as in the interpreter.
+                            None => continue,
+                            Some(row) => Some((rid, row)),
+                        },
+                    },
+                };
+                let Some((rid, row)) = fetched else {
+                    exhausted = true;
+                    break;
+                };
+                let page = table.heap.geometry().page_of(rid);
+                if page != *last_page {
+                    self.ctx.charge_page(table.schema.id, page, *kind);
+                    *last_page = page;
+                }
+                scanned.row_scanned();
+                if residual.is_empty()
+                    || keep_row(row, &self.bindings, residual, self.outer, self.ctx)?
+                {
+                    // Load-bearing clone: the legacy row-at-a-time mode hands
+                    // out owned rows (the batch-exec path borrows instead).
+                    rows.push(row.clone());
+                }
+                if rows.len() as u64 == exec::SCAN_BATCH_ROWS {
+                    break;
+                }
+            }
+            if exhausted {
+                // Dropping the state flushes the batched row_scanned counter.
+                self.state = None;
+            }
+            if rows.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(RowBatch::owned(rows, KeyBuf::default())))
+            }
+        }
+    }
+}
+/// Derived table (FROM subquery): executes the lowered inner plan — a
+/// pipeline breaker by construction — requalifies its bindings to the
+/// alias, applies the pushed-down conjuncts, and re-emits batches.
+pub(crate) struct DerivedExec<'e> {
+    alias: &'e str,
+    plan: &'e PhysicalPlan,
+    single: &'e [Expr],
+    outer: &'e [Frame<'e>],
+    ctx: &'e ExecContext<'e>,
+    emitter: Option<BatchEmitter>,
+}
+
+impl<'e> DerivedExec<'e> {
+    pub(crate) fn new(
+        alias: &'e str,
+        plan: &'e PhysicalPlan,
+        single: &'e [Expr],
+        outer: &'e [Frame<'e>],
+        ctx: &'e ExecContext<'e>,
+    ) -> Self {
+        DerivedExec {
+            alias,
+            plan,
+            single,
+            outer,
+            ctx,
+            emitter: None,
+        }
+    }
+}
+
+impl<'e> Operator<'e> for DerivedExec<'e> {
+    fn open(&mut self) -> EngineResult<Vec<Binding>> {
+        let mut rel = execute(self.plan, self.outer, self.ctx)?;
+        for b in &mut rel.bindings {
+            b.qualifier = Some(self.alias.to_string());
+        }
+        if !self.single.is_empty() {
+            rel = filter_rows(rel, self.single, self.outer, self.ctx)?;
+        }
+        let Relation { bindings, rows } = rel;
+        self.emitter = Some(BatchEmitter::rows_only(rows));
+        Ok(bindings)
+    }
+
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch<'e>>> {
+        Ok(self.emitter.as_mut().and_then(BatchEmitter::next))
+    }
+}

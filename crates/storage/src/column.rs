@@ -1,0 +1,385 @@
+//! Typed column vectors extracted from heap tuples.
+//!
+//! A [`Column`] is one attribute of a row batch in columnar form: a typed
+//! vector ([`ColumnVec`]) plus a [`Validity`] bitmap marking which slots
+//! hold non-NULL values. Extraction sniffs the value type on the fly —
+//! a column whose non-NULL values are all `Int` lands in `Int(Vec<i64>)`,
+//! all-`Float` lands in `Float(Vec<f64>)`, strings share one byte arena
+//! with an offsets vector, and anything mixed or exotic (booleans,
+//! intervals, `Int`/`Float` widening mid-column) degrades to a flat
+//! `Vec<Value>` — still one allocation per column, never one per row.
+//!
+//! The representation is storage-level on purpose: tuples live here as
+//! `Vec<Value>` rows, so the row→column transposition belongs next to the
+//! heap that owns the tuples. Execution-level machinery (selection
+//! vectors, vectorized predicates, aggregate updates) lives in the
+//! engine's `physical::columns`.
+
+use apuama_sql::Value;
+
+use crate::Row;
+
+/// Validity bitmap: bit `i` set ⇔ slot `i` holds a non-NULL value.
+#[derive(Debug, Clone, Default)]
+pub struct Validity {
+    words: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl Validity {
+    pub fn new() -> Self {
+        Validity::default()
+    }
+
+    pub fn push(&mut self, valid: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if valid {
+            *self.words.last_mut().expect("just ensured") |= 1u64 << (self.len % 64);
+        } else {
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    pub fn any_null(&self) -> bool {
+        self.nulls > 0
+    }
+}
+
+/// One column's values in typed, flat form. Slots whose validity bit is
+/// clear hold an arbitrary placeholder (0, 0.0, the empty string) and must
+/// never be read as data.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    /// Days since the epoch — [`apuama_sql::value::Date`]'s wire form.
+    Date(Vec<i32>),
+    /// All string payloads back to back in one arena; string `i` is
+    /// `arena[offsets[i] as usize..offsets[i + 1] as usize]`.
+    Str {
+        arena: Vec<u8>,
+        offsets: Vec<u32>,
+    },
+    /// Mixed- or exotic-typed columns: one flat vector of boxed values.
+    Val(Vec<Value>),
+}
+
+impl ColumnVec {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Float(v) => v.len(),
+            ColumnVec::Date(v) => v.len(),
+            ColumnVec::Str { offsets, .. } => offsets.len().saturating_sub(1),
+            ColumnVec::Val(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The string at slot `i` (callers guarantee the column is `Str`).
+    #[inline]
+    pub fn str_at(&self, i: usize) -> &str {
+        match self {
+            ColumnVec::Str { arena, offsets } => {
+                let s = &arena[offsets[i] as usize..offsets[i + 1] as usize];
+                // The arena is only ever filled from `Value::Str`, so the
+                // slice is valid UTF-8 by construction.
+                std::str::from_utf8(s).expect("arena holds UTF-8 by construction")
+            }
+            _ => unreachable!("str_at on a non-Str column"),
+        }
+    }
+}
+
+/// One extracted column: typed vector + validity bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub data: ColumnVec,
+    pub validity: Validity,
+    /// Whether any valid `Float` slot holds a NaN — vectorized comparisons
+    /// need to know up front, because NaN comparisons are per-row type
+    /// errors in SQL semantics.
+    pub has_nan: bool,
+}
+
+/// Extraction state machine: typed until the first value that doesn't fit,
+/// then degraded to `Val` for the rest of the batch.
+enum Builder {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Date(Vec<i32>),
+    Str { arena: Vec<u8>, offsets: Vec<u32> },
+    Val(Vec<Value>),
+}
+
+impl Column {
+    /// Transposes one attribute of a borrowed row batch into columnar
+    /// form. Rows arrive in whatever order the caller scans them (for heap
+    /// scans: page order), and slot `i` of the column corresponds to
+    /// `rows[i]`.
+    ///
+    /// The common all-one-type column runs a tight per-variant loop; only
+    /// a mid-column type change pays for the degrade-to-`Val` replay.
+    pub fn from_row_refs(rows: &[&Row], col: usize) -> Column {
+        let mut validity = Validity::new();
+        let mut has_nan = false;
+        let n = rows.len();
+        // Leading NULLs buffer as placeholder slots until the first
+        // non-NULL value picks the representation.
+        let mut i = 0;
+        while i < n && matches!(rows[i][col], Value::Null) {
+            validity.push(false);
+            i += 1;
+        }
+        if i == n {
+            return Column {
+                data: ColumnVec::Val(vec![Value::Null; n]),
+                validity,
+                has_nan: false,
+            };
+        }
+        let mut b = match &rows[i][col] {
+            Value::Int(_) => Builder::Int(vec![0; i]),
+            Value::Float(_) => Builder::Float(vec![0.0; i]),
+            Value::Date(_) => Builder::Date(vec![0; i]),
+            Value::Str(_) => Builder::Str {
+                arena: Vec::new(),
+                offsets: vec![0; i + 1],
+            },
+            _ => Builder::Val(vec![Value::Null; i]),
+        };
+        loop {
+            // The typed fast loop: runs until the batch ends or a value
+            // stops fitting the representation.
+            match &mut b {
+                Builder::Int(vec) => {
+                    while i < n {
+                        match &rows[i][col] {
+                            Value::Int(x) => {
+                                vec.push(*x);
+                                validity.push(true);
+                            }
+                            Value::Null => {
+                                vec.push(0);
+                                validity.push(false);
+                            }
+                            _ => break,
+                        }
+                        i += 1;
+                    }
+                }
+                Builder::Float(vec) => {
+                    while i < n {
+                        match &rows[i][col] {
+                            Value::Float(x) => {
+                                has_nan |= x.is_nan();
+                                vec.push(*x);
+                                validity.push(true);
+                            }
+                            Value::Null => {
+                                vec.push(0.0);
+                                validity.push(false);
+                            }
+                            _ => break,
+                        }
+                        i += 1;
+                    }
+                }
+                Builder::Date(vec) => {
+                    while i < n {
+                        match &rows[i][col] {
+                            Value::Date(d) => {
+                                vec.push(d.0);
+                                validity.push(true);
+                            }
+                            Value::Null => {
+                                vec.push(0);
+                                validity.push(false);
+                            }
+                            _ => break,
+                        }
+                        i += 1;
+                    }
+                }
+                Builder::Str { arena, offsets } => {
+                    while i < n {
+                        match &rows[i][col] {
+                            Value::Str(s) => {
+                                arena.extend_from_slice(s.as_bytes());
+                                offsets.push(arena.len() as u32);
+                                validity.push(true);
+                            }
+                            Value::Null => {
+                                offsets.push(arena.len() as u32);
+                                validity.push(false);
+                            }
+                            _ => break,
+                        }
+                        i += 1;
+                    }
+                }
+                Builder::Val(vec) => {
+                    // Terminal representation: everything fits.
+                    while i < n {
+                        let v = &rows[i][col];
+                        validity.push(!matches!(v, Value::Null));
+                        vec.push(v.clone());
+                        i += 1;
+                    }
+                }
+            }
+            if i == n {
+                break;
+            }
+            // Type mismatch at slot `i` (never NULL — NULL fits every
+            // representation): degrade to boxed values, replaying the
+            // typed slots accumulated so far.
+            let mut vec: Vec<Value> = Vec::with_capacity(n);
+            for j in 0..i {
+                vec.push(if validity.is_valid(j) {
+                    replay(&b, j)
+                } else {
+                    Value::Null
+                });
+            }
+            validity.push(true);
+            vec.push(rows[i][col].clone());
+            i += 1;
+            b = Builder::Val(vec);
+        }
+        let data = match b {
+            Builder::Int(v) => ColumnVec::Int(v),
+            Builder::Float(v) => ColumnVec::Float(v),
+            Builder::Date(v) => ColumnVec::Date(v),
+            Builder::Str { arena, offsets } => ColumnVec::Str { arena, offsets },
+            Builder::Val(v) => ColumnVec::Val(v),
+        };
+        Column {
+            data,
+            validity,
+            has_nan,
+        }
+    }
+
+    /// Materializes slot `i` back into a boxed [`Value`] — the row-form
+    /// escape hatch used at materialization boundaries and in error
+    /// messages.
+    pub fn value_at(&self, i: usize) -> Value {
+        if !self.validity.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnVec::Int(v) => Value::Int(v[i]),
+            ColumnVec::Float(v) => Value::Float(v[i]),
+            ColumnVec::Date(v) => Value::Date(apuama_sql::value::Date(v[i])),
+            ColumnVec::Str { .. } => Value::Str(self.data.str_at(i).to_string()),
+            ColumnVec::Val(v) => v[i].clone(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+}
+
+/// Re-boxes slot `j` of a typed builder during the degrade-to-`Val` replay.
+fn replay(b: &Builder, j: usize) -> Value {
+    match b {
+        Builder::Int(v) => Value::Int(v[j]),
+        Builder::Float(v) => Value::Float(v[j]),
+        Builder::Date(v) => Value::Date(apuama_sql::value::Date(v[j])),
+        Builder::Str { arena, offsets } => Value::Str(
+            std::str::from_utf8(&arena[offsets[j] as usize..offsets[j + 1] as usize])
+                .expect("arena holds UTF-8 by construction")
+                .to_string(),
+        ),
+        Builder::Val(_) => unreachable!("replay only from typed builders"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: Vec<Vec<Value>>) -> Vec<Row> {
+        vals
+    }
+
+    #[test]
+    fn typed_extraction_and_roundtrip() {
+        let data = rows(vec![
+            vec![Value::Int(1), Value::Str("a".into())],
+            vec![Value::Null, Value::Str("bc".into())],
+            vec![Value::Int(3), Value::Null],
+        ]);
+        let refs: Vec<&Row> = data.iter().collect();
+        let ints = Column::from_row_refs(&refs, 0);
+        assert!(matches!(ints.data, ColumnVec::Int(_)));
+        assert_eq!(ints.validity.null_count(), 1);
+        let strs = Column::from_row_refs(&refs, 1);
+        assert!(matches!(strs.data, ColumnVec::Str { .. }));
+        assert_eq!(strs.data.str_at(1), "bc");
+        for (i, row) in data.iter().enumerate() {
+            assert_eq!(ints.value_at(i), row[0]);
+            assert_eq!(strs.value_at(i), row[1]);
+        }
+    }
+
+    #[test]
+    fn mixed_types_degrade_to_val() {
+        let data = rows(vec![
+            vec![Value::Int(1)],
+            vec![Value::Null],
+            vec![Value::Float(2.5)],
+            vec![Value::Int(4)],
+        ]);
+        let refs: Vec<&Row> = data.iter().collect();
+        let c = Column::from_row_refs(&refs, 0);
+        assert!(matches!(c.data, ColumnVec::Val(_)));
+        for (i, row) in data.iter().enumerate() {
+            assert_eq!(c.value_at(i), row[0]);
+        }
+    }
+
+    #[test]
+    fn all_null_column_stays_val_and_nan_is_flagged() {
+        let data = rows(vec![vec![Value::Null], vec![Value::Null]]);
+        let refs: Vec<&Row> = data.iter().collect();
+        let c = Column::from_row_refs(&refs, 0);
+        assert!(matches!(c.data, ColumnVec::Val(_)));
+        assert!(!c.validity.is_valid(0) && !c.validity.is_valid(1));
+
+        let data = rows(vec![vec![Value::Float(1.0)], vec![Value::Float(f64::NAN)]]);
+        let refs: Vec<&Row> = data.iter().collect();
+        let c = Column::from_row_refs(&refs, 0);
+        assert!(c.has_nan);
+    }
+}

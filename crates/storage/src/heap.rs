@@ -293,6 +293,22 @@ impl Heap {
             .filter_map(move |(i, r)| r.as_ref().map(|row| ((lo + i) as RowId, row)))
     }
 
+    /// Extracts `cols` of one page's live tuples into typed column vectors,
+    /// in page (slot) order — the page-at-a-time columnar scan path.
+    /// Tombstoned slots are skipped, so column slot `k` is the page's
+    /// `k`-th live tuple, matching what [`Self::iter_range`] over the page
+    /// yields.
+    pub fn page_columns(&self, page: u64, cols: &[usize]) -> Vec<crate::column::Column> {
+        let rpp = self.geometry.rows_per_page;
+        let lo = (page * rpp) as usize;
+        let hi = ((page + 1) * rpp).min(self.rows.len() as u64) as usize;
+        let lo = lo.min(self.rows.len());
+        let live: Vec<&Row> = self.rows[lo..hi].iter().flatten().collect();
+        cols.iter()
+            .map(|&c| crate::column::Column::from_row_refs(&live, c))
+            .collect()
+    }
+
     /// Rebuilds the heap without tombstones, returning the mapping from old
     /// row id to new row id so indexes can be rebuilt. Clustered order is
     /// preserved (slot order is retained).
@@ -484,5 +500,25 @@ mod tests {
         assert_eq!(h.pages(), 3);
         h.compact();
         assert_eq!(h.pages(), 0);
+    }
+
+    #[test]
+    fn page_columns_extracts_live_tuples_in_slot_order() {
+        let mut h = Heap::new(PageGeometry { rows_per_page: 4 });
+        for v in 0..6 {
+            h.insert(row(v));
+        }
+        h.delete(1); // tombstone inside the first page
+        let cols = h.page_columns(0, &[0]);
+        assert_eq!(cols.len(), 1);
+        let c = &cols[0];
+        assert_eq!(c.len(), 3); // slots 0, 2, 3 live
+        assert_eq!(c.value_at(0), Value::Int(0));
+        assert_eq!(c.value_at(1), Value::Int(2));
+        assert_eq!(c.value_at(2), Value::Int(3));
+        // Second (partial) page.
+        let cols = h.page_columns(1, &[0]);
+        assert_eq!(cols[0].len(), 2);
+        assert_eq!(cols[0].value_at(0), Value::Int(4));
     }
 }

@@ -16,16 +16,21 @@
 //!   counts as in the original 32-node cluster.
 //! * [`index::OrderedIndex`] — a B-tree-backed secondary/clustered index
 //!   with range scans, the access path `SET enable_seqscan = off` forces.
+//! * [`column::Column`] — typed column vectors with validity bitmaps,
+//!   extracted from heap tuples in page order. The engine's vectorized
+//!   operators run over these instead of rows of boxed values.
 //!
 //! The engine charges page accesses through [`buffer::BufferPool::access`];
 //! the simulator later converts the recorded sequential/random miss counts
 //! into time using the calibrated cost model.
 
 pub mod buffer;
+pub mod column;
 pub mod heap;
 pub mod index;
 
 pub use buffer::{AccessKind, BufferPool, BufferStats, PageKey};
+pub use column::{Column, ColumnVec, Validity};
 pub use heap::{Heap, PageGeometry, RowId, ZoneRange};
 pub use index::{IndexKey, OrderedIndex};
 

@@ -208,6 +208,12 @@ proptest! {
         let text_on = db.query(&text).unwrap();
         assert_identical(&text_on, &serial, &format!("parallel ×{workers}≡serial: {text}"));
         let bound_on = db.query_bound(template, &params).unwrap();
+        // The columnar fold (DESIGN.md §13) must be invisible: same rows,
+        // same counters, with the kernel's scalar row loop forced instead.
+        db.query("set enable_columnar = off").unwrap();
+        let scalar_fold = db.query(&text).unwrap();
+        assert_identical(&scalar_fold, &text_on, &format!("columnar off≡on: {text}"));
+        db.query("set enable_columnar = on").unwrap();
         db.query("set enable_kernel = off").unwrap();
         let text_off = db.query(&text).unwrap();
         let bound_off = db.query_bound(template, &params).unwrap();
@@ -287,6 +293,110 @@ fn sort_is_stable_for_equal_keys() {
         }
     }
     db.query("set enable_batch_exec = on").unwrap();
+}
+
+/// Columnar-substrate edge cases (DESIGN.md §13), each asserted
+/// byte-identical across the `enable_kernel` × `enable_batch_exec` ×
+/// `enable_columnar` × `parallel_workers` matrix against one pinned
+/// serial/scalar reference:
+///
+/// * **empty batches** — a predicate range matching zero rows, so column
+///   extraction and the selection vector both see empty input;
+/// * **all-rows-filtered selection vectors** — every row survives the
+///   scan but fails the residual predicate, leaving `sel` empty before
+///   the aggregation stage;
+/// * **NULL-heavy columns** — a column that is mostly NULL (validity
+///   bitmap round-trip: aggregates must skip exactly the invalid slots,
+///   and `count(*)` must not);
+/// * **mixed Int/Float widening** — a column holding both Int and Float
+///   values, which extracts as a boxed `Val` column: predicate batches
+///   decline to the scalar loop, aggregate updates take the boxed path.
+#[test]
+fn columnar_edge_cases_identical_across_modes() {
+    let mut db = Database::in_memory();
+    db.execute(
+        "create table edge (k int not null, q int, p float, f text, \
+         primary key (k)) clustered by (k)",
+    )
+    .unwrap();
+    // > 2 full scan batches so batch boundaries land mid-table. q is
+    // NULL-heavy (two of three slots), p mixes Int and Float values
+    // mid-column (quarter-step floats stay exactly representable), f is a
+    // low-cardinality group key with occasional NULLs.
+    let rows: Vec<Vec<Value>> = (0..3000i64)
+        .map(|k| {
+            vec![
+                Value::Int(k),
+                if k % 3 == 0 {
+                    Value::Int(k % 50)
+                } else {
+                    Value::Null
+                },
+                if k % 2 == 0 {
+                    Value::Int(k % 89)
+                } else {
+                    Value::Float((k % 89) as f64 * 0.25)
+                },
+                if k % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("F{}", k % 3))
+                },
+            ]
+        })
+        .collect();
+    db.load_table("edge", rows).unwrap();
+
+    let cases: &[&str] = &[
+        // Empty batches: the range matches no rows at all.
+        "select count(*) as n, sum(q) as s from edge where k >= 90000 and k < 90010",
+        // All rows filtered: the residual predicate kills every row the
+        // scan produces, so the selection vector drains to empty.
+        "select count(*) as n, sum(q) as s from edge where k >= 0 and k < 3000 and q > 100",
+        // NULL-heavy aggregation: count/sum/avg skip the invalid slots,
+        // count(*) counts them.
+        "select f, count(*) as n, count(q) as nq, sum(q) as s, avg(q) as a \
+         from edge where k >= 0 and k < 3000 group by f order by f",
+        // Mixed Int/Float widening under both predicate and aggregate.
+        "select f, sum(p) as s, min(p) as lo, max(p) as hi from edge \
+         where k >= 0 and k < 3000 and p >= 1 group by f order by f",
+    ];
+    for sql in cases {
+        // Pinned reference: serial, scalar, row-at-a-time.
+        db.query("set parallel_workers = 1").unwrap();
+        db.query("set enable_kernel = off").unwrap();
+        db.query("set enable_batch_exec = off").unwrap();
+        db.query("set enable_columnar = off").unwrap();
+        let want = db.query(sql).unwrap();
+        for workers in [1usize, 4] {
+            db.query(&format!("set parallel_workers = {workers}"))
+                .unwrap();
+            for kernel in ["on", "off"] {
+                db.query(&format!("set enable_kernel = {kernel}")).unwrap();
+                for batch in ["on", "off"] {
+                    db.query(&format!("set enable_batch_exec = {batch}"))
+                        .unwrap();
+                    for columnar in ["on", "off"] {
+                        db.query(&format!("set enable_columnar = {columnar}"))
+                            .unwrap();
+                        let got = db.query(sql).unwrap();
+                        assert_identical(
+                            &got,
+                            &want,
+                            &format!(
+                                "kernel {kernel}, batch {batch}, columnar {columnar}, \
+                                 workers {workers}: {sql}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    db.query("set parallel_workers = 1").unwrap();
+    db.query("set enable_kernel = on").unwrap();
+    db.query("set enable_batch_exec = on").unwrap();
+    db.query("set enable_columnar = on").unwrap();
 }
 
 /// The full TPC-H evaluation-query set answers byte-identically — rows and
